@@ -1,0 +1,230 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks for the performance-critical library
+ * components: state-vector gate application, noisy trajectory shots,
+ * Clifford tableau operations and synthesis, SRB schedule construction,
+ * bin packing, and the SMT scheduler itself.
+ */
+#include <benchmark/benchmark.h>
+
+#include "characterization/binpack.h"
+#include "characterization/rb.h"
+#include "clifford/group.h"
+#include "clifford/tableau.h"
+#include "device/ibmq_devices.h"
+#include "scheduler/scheduler.h"
+#include "scheduler/xtalk_scheduler.h"
+#include "sim/gate_matrices.h"
+#include "sim/noisy_simulator.h"
+#include "sim/stabilizer.h"
+#include "sim/statevector.h"
+#include "workloads/swap_circuits.h"
+
+namespace xtalk {
+namespace {
+
+void
+BM_StateVector1QGate(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    StateVector sv(n);
+    const Matrix h = MatH();
+    int q = 0;
+    for (auto _ : state) {
+        sv.Apply1Q(q, h);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations() << n);
+}
+BENCHMARK(BM_StateVector1QGate)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_StateVector2QGate(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    StateVector sv(n);
+    const Matrix cx = MatCX();
+    int q = 0;
+    for (auto _ : state) {
+        sv.Apply2Q(q, (q + 1) % n, cx);
+        q = (q + 1) % n;
+    }
+    state.SetItemsProcessed(state.iterations() << n);
+}
+BENCHMARK(BM_StateVector2QGate)->Arg(4)->Arg(8)->Arg(12)->Arg(16);
+
+void
+BM_NoisyTrajectoryShot(benchmark::State& state)
+{
+    const Device device = MakePoughkeepsie();
+    const SwapBenchmark bench = BuildSwapBenchmark(device, 0, 13);
+    Circuit circuit = bench.circuit;
+    circuit.Measure(bench.bell_left, 0).Measure(bench.bell_right, 1);
+    ParallelScheduler scheduler(device);
+    const ScheduledCircuit schedule = scheduler.Schedule(circuit);
+    NoisySimulator sim(device);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(sim.Run(schedule, 1));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NoisyTrajectoryShot);
+
+void
+BM_StabilizerShotVsStatevector(benchmark::State& state)
+{
+    // The same noisy SRB-style schedule on both backends (arg 0 =
+    // statevector, arg 1 = stabilizer) — the speedup that lets benches
+    // afford higher RB budgets.
+    const Device device = MakePoughkeepsie();
+    RbRunner runner(device, RbConfig{});
+    Rng rng(5);
+    const EdgeId e1 = device.topology().FindEdge(0, 1);
+    const EdgeId e2 = device.topology().FindEdge(2, 3);
+    const ScheduledCircuit schedule =
+        runner.BuildSrbSchedule({e1, e2}, 16, rng);
+    NoisySimOptions options;
+    options.seed = 9;
+    if (state.range(0) == 0) {
+        NoisySimulator sim(device, options);
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(sim.Run(schedule, 8));
+        }
+    } else {
+        StabilizerSimulator sim(device, options);
+        for (auto _ : state) {
+            benchmark::DoNotOptimize(sim.Run(schedule, 8));
+        }
+    }
+    state.SetItemsProcessed(state.iterations() * 8);
+}
+BENCHMARK(BM_StabilizerShotVsStatevector)->Arg(0)->Arg(1);
+
+void
+BM_TableauCxApply(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Tableau t(n);
+    int q = 0;
+    for (auto _ : state) {
+        t.ApplyCX(q, (q + 1) % n);
+        q = (q + 1) % n;
+    }
+}
+BENCHMARK(BM_TableauCxApply)->Arg(2)->Arg(8)->Arg(32);
+
+void
+BM_TableauSynthesizeInverse(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(3);
+    Tableau t(n);
+    for (int i = 0; i < 50; ++i) {
+        const int q = static_cast<int>(rng.UniformInt(n));
+        const int r = static_cast<int>(rng.UniformInt(n));
+        switch (rng.UniformInt(3)) {
+          case 0: t.ApplyH(q); break;
+          case 1: t.ApplyS(q); break;
+          default:
+            if (q != r) {
+                t.ApplyCX(q, r);
+            }
+            break;
+        }
+    }
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(t.SynthesizeInverse());
+    }
+}
+BENCHMARK(BM_TableauSynthesizeInverse)->Arg(2)->Arg(4)->Arg(8);
+
+void
+BM_TwoQubitCliffordSample(benchmark::State& state)
+{
+    const CliffordGroup& group = CliffordGroup::Shared(2);
+    Rng rng(7);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(group.circuit(group.Sample(rng)));
+    }
+}
+BENCHMARK(BM_TwoQubitCliffordSample);
+
+void
+BM_SrbScheduleConstruction(benchmark::State& state)
+{
+    const Device device = MakePoughkeepsie();
+    RbRunner runner(device, RbConfig{});
+    Rng rng(5);
+    const EdgeId e1 = device.topology().FindEdge(0, 1);
+    const EdgeId e2 = device.topology().FindEdge(2, 3);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            runner.BuildSrbSchedule({e1, e2}, 16, rng));
+    }
+}
+BENCHMARK(BM_SrbScheduleConstruction);
+
+void
+BM_RandomizedFirstFitPack(benchmark::State& state)
+{
+    const Device device = MakePoughkeepsie();
+    const auto pairs = device.topology().EdgePairsAtDistance(1);
+    Rng rng(9);
+    for (auto _ : state) {
+        auto copy = pairs;
+        benchmark::DoNotOptimize(RandomizedFirstFitPack(
+            device.topology(), std::move(copy), 2, 10, rng));
+    }
+}
+BENCHMARK(BM_RandomizedFirstFitPack);
+
+/** Oracle characterization, used to drive the SMT benchmark. */
+CrosstalkCharacterization
+Oracle(const Device& device)
+{
+    CrosstalkCharacterization c;
+    for (EdgeId e = 0; e < device.topology().num_edges(); ++e) {
+        c.SetIndependentError(e, device.CxError(e));
+    }
+    for (const auto& [pair, factor] : device.ground_truth().entries()) {
+        (void)factor;
+        c.SetConditionalError(
+            pair.first, pair.second,
+            device.ConditionalCxError(pair.first, pair.second));
+    }
+    return c;
+}
+
+void
+BM_XtalkSchedulerSwapPath(benchmark::State& state)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = Oracle(device);
+    const SwapBenchmark bench = BuildSwapBenchmark(device, 15, 12);
+    Circuit circuit = bench.circuit;
+    circuit.Measure(bench.bell_left, 0).Measure(bench.bell_right, 1);
+    XtalkScheduler scheduler(device, characterization);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.Schedule(circuit));
+    }
+}
+BENCHMARK(BM_XtalkSchedulerSwapPath)->Unit(benchmark::kMillisecond);
+
+void
+BM_ParSchedSwapPath(benchmark::State& state)
+{
+    const Device device = MakePoughkeepsie();
+    const SwapBenchmark bench = BuildSwapBenchmark(device, 0, 13);
+    Circuit circuit = bench.circuit;
+    circuit.Measure(bench.bell_left, 0).Measure(bench.bell_right, 1);
+    ParallelScheduler scheduler(device);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(scheduler.Schedule(circuit));
+    }
+}
+BENCHMARK(BM_ParSchedSwapPath);
+
+}  // namespace
+}  // namespace xtalk
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Example: the extension features working together as a toolchain.
+ *
+ *  1. Characterize the device once and persist the data to disk (the
+ *     daily hand-off a provider would publish).
+ *  2. Reload it, as a compilation job would.
+ *  3. Pick a route between two distant qubits with the crosstalk-aware
+ *     router and compare it with the naive shortest path.
+ *  4. Auto-select the crosstalk weight factor omega for the resulting
+ *     circuit with the model-guided sweep.
+ *  5. Emit the final barriered schedule as OpenQASM 2.0.
+ *
+ * Build: cmake --build build && ./build/examples/crosstalk_aware_toolchain
+ */
+#include <cstdio>
+#include <iostream>
+
+#include "characterization/io.h"
+#include "circuit/qasm.h"
+#include "device/ibmq_devices.h"
+#include "experiments/experiments.h"
+#include "scheduler/omega_tuning.h"
+#include "transpile/routing.h"
+#include "workloads/swap_circuits.h"
+
+using namespace xtalk;
+
+int
+main()
+{
+    const Device device = MakePoughkeepsie();
+
+    // 1. Characterize and persist.
+    std::cout << "characterizing " << device.name() << "...\n";
+    const auto measured = CharacterizeDevice(
+        device, BenchRbConfig(), CharacterizationPolicy::kOneHopBinPacked);
+    const std::string path = "/tmp/xtalk_characterization_example.txt";
+    SaveCharacterization(path, measured);
+    std::cout << "saved characterization to " << path << "\n";
+
+    // 2. Reload (a fresh compilation job).
+    const CrosstalkCharacterization characterization =
+        LoadCharacterization(path);
+
+    // 3. Route 16 -> 12: the shortest path runs through the
+    //    CX10,15/CX11,12 conflict zone; the crosstalk-aware router can
+    //    detour.
+    const auto naive = device.topology().ShortestPath(16, 12);
+    const auto aware =
+        LowestCrosstalkPath(device, characterization, 16, 12, 1.0);
+    auto print_path = [](const char* label,
+                         const std::vector<QubitId>& path) {
+        std::cout << label << ":";
+        for (QubitId q : path) {
+            std::cout << " " << q;
+        }
+        std::cout << "\n";
+    };
+    print_path("shortest path   ", naive);
+    print_path("crosstalk-aware ", aware);
+
+    // 4. Build the SWAP benchmark along the default route and auto-tune
+    //    omega on the model.
+    const SwapBenchmark bench = BuildSwapBenchmark(device, 16, 12);
+    Circuit circuit = bench.circuit;
+    circuit.Measure(bench.bell_left, 0).Measure(bench.bell_right, 1);
+    const OmegaSelection selection =
+        SelectOmegaByModel(device, characterization, circuit);
+    std::cout << "\nomega sweep (modeled success):\n";
+    for (const auto& [omega, success] : selection.sweep) {
+        std::cout << "  omega=" << omega << "  " << success
+                  << (omega == selection.omega ? "   <-- selected" : "")
+                  << "\n";
+    }
+
+    // 5. Emit the barriered schedule for the selected omega as QASM.
+    XtalkSchedulerOptions options;
+    options.omega = selection.omega;
+    XtalkScheduler scheduler(device, characterization, options);
+    const Circuit barriered = scheduler.ScheduleWithBarriers(circuit);
+    std::cout << "\nfinal executable (OpenQASM 2.0):\n"
+              << ToQasm(barriered);
+    std::remove(path.c_str());
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Example: tuning the crosstalk weight factor omega for an application.
+ *
+ * Runs the 4-qubit hardware-efficient QAOA ansatz on a crosstalk-prone
+ * region of Poughkeepsie, sweeping omega from 0 (ParSched behaviour) to
+ * 1 (SerialSched behaviour) and reporting cross entropy against the
+ * noise-free distribution — a miniature version of the paper's Figure 8
+ * that an application developer would run to pick omega.
+ *
+ * Build: cmake --build build && ./build/examples/qaoa_omega_sweep
+ */
+#include <iomanip>
+#include <iostream>
+
+#include "device/ibmq_devices.h"
+#include "experiments/experiments.h"
+#include "metrics/cross_entropy.h"
+#include "scheduler/xtalk_scheduler.h"
+#include "workloads/qaoa.h"
+
+using namespace xtalk;
+
+int
+main()
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = CharacterizeDevice(
+        device, BenchRbConfig(3), CharacterizationPolicy::kOneHopBinPacked);
+
+    // This chain drives CX15,10 and CX11,12 in the same ansatz layer —
+    // a high-crosstalk pair on this device.
+    const std::vector<QubitId> chain{15, 10, 11, 12};
+    const Circuit circuit = BuildQaoaCircuit(device, chain);
+    std::cout << "QAOA ansatz on qubits [15, 10, 11, 12]: "
+              << circuit.size() - circuit.CountKind(GateKind::kMeasure)
+              << " gates, " << circuit.CountTwoQubitGates() << " CNOTs\n\n";
+
+    std::cout << std::fixed << std::setprecision(4);
+    std::cout << "omega   cross entropy   duration (ns)\n";
+    double best_omega = 0.0;
+    double best_ce = 1e9;
+    double ideal = 0.0;
+    for (double omega : {0.0, 0.05, 0.1, 0.2, 0.4, 0.7, 1.0}) {
+        XtalkSchedulerOptions options;
+        options.omega = omega;
+        XtalkScheduler scheduler(device, characterization, options);
+        const auto result =
+            RunCrossEntropyExperiment(device, scheduler, circuit);
+        std::cout << omega << "  " << result.cross_entropy << "          "
+                  << result.duration_ns << "\n";
+        if (result.cross_entropy < best_ce) {
+            best_ce = result.cross_entropy;
+            best_omega = omega;
+        }
+        ideal = result.ideal_cross_entropy;
+    }
+    std::cout << "\nnoise-free floor: " << ideal << "\n";
+    std::cout << "best omega for this application: " << best_omega
+              << " (cross entropy " << best_ce << ")\n";
+    std::cout << "\nthe paper's takeaway: moderate omega (0.03-0.2) beats "
+                 "both extremes on crosstalk-prone regions.\n";
+    return 0;
+}

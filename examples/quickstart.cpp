@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Quickstart: the full crosstalk-mitigation flow on one SWAP path.
+ *
+ *   1. Build a simulated 20-qubit IBMQ Poughkeepsie device.
+ *   2. Characterize its crosstalk with bin-packed simultaneous RB.
+ *   3. Build a SWAP-path benchmark that crosses a high-crosstalk pair.
+ *   4. Schedule it with ParSched (the IBM default) and XtalkSched.
+ *   5. Execute both schedules on the noisy simulator and compare the
+ *      measured Bell-state error rates.
+ *
+ * Build: cmake --build build && ./build/examples/quickstart
+ */
+#include <iostream>
+
+#include "device/ibmq_devices.h"
+#include "experiments/experiments.h"
+#include "scheduler/scheduler.h"
+#include "scheduler/xtalk_scheduler.h"
+#include "workloads/swap_circuits.h"
+
+using namespace xtalk;
+
+int
+main()
+{
+    // 1. A simulated device: topology + calibration + hidden crosstalk.
+    const Device device = MakePoughkeepsie();
+    std::cout << "device: " << device.name() << " (" << device.num_qubits()
+              << " qubits, " << device.topology().num_edges()
+              << " couplers)\n";
+
+    // 2. Characterize: simultaneous randomized benchmarking over 1-hop
+    //    coupler pairs, parallelized by bin packing. The compiler only
+    //    ever sees these *measured* rates.
+    std::cout << "characterizing crosstalk (SRB on the simulator)...\n";
+    const CrosstalkCharacterization characterization = CharacterizeDevice(
+        device, BenchRbConfig(), CharacterizationPolicy::kOneHopBinPacked);
+    const auto high_pairs = characterization.HighCrosstalkPairs(3.0);
+    std::cout << "discovered " << high_pairs.size()
+              << " high-crosstalk pairs (>3x degradation):\n";
+    for (const auto& [e1, e2] : high_pairs) {
+        const Edge& a = device.topology().edge(e1);
+        const Edge& b = device.topology().edge(e2);
+        std::cout << "  CX" << a.a << "," << a.b << "  |  CX" << b.a << ","
+                  << b.b << "\n";
+    }
+
+    // 3. A SWAP benchmark crossing a high-crosstalk pair: qubit 15 talks
+    //    to qubit 12 through the (CX10,15 | CX11,12) conflict.
+    const SwapBenchmark bench = BuildSwapBenchmark(device, 15, 12);
+    std::cout << "\nSWAP path 15 -> 12 (" << bench.path_hops
+              << " hops), Bell pair lands on (" << bench.bell_left << ", "
+              << bench.bell_right << ")\n";
+    std::cout << "path crosses a high-crosstalk pair: "
+              << (HasCrosstalkConflict(device, bench, characterization)
+                      ? "yes"
+                      : "no")
+              << "\n";
+
+    // 4 + 5. Schedule and execute with both schedulers.
+    ParallelScheduler parsched(device);
+    XtalkScheduler xtalksched(device, characterization);
+    const auto r_par = RunSwapExperiment(device, parsched, bench);
+    const auto r_xtalk = RunSwapExperiment(device, xtalksched, bench);
+
+    std::cout << "\n            error rate   duration\n";
+    std::cout << "ParSched    " << r_par.error_rate << "      "
+              << r_par.duration_ns << " ns\n";
+    std::cout << "XtalkSched  " << r_xtalk.error_rate << "      "
+              << r_xtalk.duration_ns << " ns\n";
+    std::cout << "\nimprovement: " << r_par.error_rate / r_xtalk.error_rate
+              << "x lower error for " << r_xtalk.duration_ns /
+                                             r_par.duration_ns
+              << "x the duration\n";
+    return 0;
+}

@@ -1,0 +1,62 @@
+#include "characterization/binpack.h"
+
+#include "common/error.h"
+
+namespace xtalk {
+
+bool
+IsCompatibleWithBin(const Topology& topology, const GatePair& candidate,
+                    const ExperimentBin& bin, int separation_hops)
+{
+    for (const GatePair& resident : bin) {
+        for (EdgeId mine : {candidate.first, candidate.second}) {
+            for (EdgeId theirs : {resident.first, resident.second}) {
+                const int d = topology.EdgeDistance(mine, theirs);
+                if (d >= 0 && d < separation_hops) {
+                    return false;
+                }
+            }
+        }
+    }
+    return true;
+}
+
+std::vector<ExperimentBin>
+FirstFitPack(const Topology& topology, std::vector<GatePair> pairs,
+             int separation_hops)
+{
+    XTALK_REQUIRE(separation_hops >= 1, "separation must be >= 1 hop");
+    std::vector<ExperimentBin> bins;
+    for (const GatePair& pair : pairs) {
+        bool placed = false;
+        for (ExperimentBin& bin : bins) {
+            if (IsCompatibleWithBin(topology, pair, bin, separation_hops)) {
+                bin.push_back(pair);
+                placed = true;
+                break;
+            }
+        }
+        if (!placed) {
+            bins.push_back({pair});
+        }
+    }
+    return bins;
+}
+
+std::vector<ExperimentBin>
+RandomizedFirstFitPack(const Topology& topology, std::vector<GatePair> pairs,
+                       int separation_hops, int iterations, Rng& rng)
+{
+    XTALK_REQUIRE(iterations >= 1, "need at least one iteration");
+    std::vector<ExperimentBin> best;
+    for (int i = 0; i < iterations; ++i) {
+        rng.Shuffle(pairs);
+        auto bins = FirstFitPack(topology, pairs, separation_hops);
+        if (best.empty() || bins.size() < best.size()) {
+            best = std::move(bins);
+        }
+    }
+    return best;
+}
+
+}  // namespace xtalk

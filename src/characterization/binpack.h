@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Randomized first-fit bin packing of SRB experiments (paper Section 5,
+ * Optimization 2). Each "item" is one gate pair to characterize; a bin
+ * is a set of experiments executed simultaneously. A pair fits a bin
+ * only when every one of its couplers is at least `separation_hops` away
+ * from every coupler already in the bin, so the parallel measurements
+ * cannot interfere with each other.
+ */
+#ifndef XTALK_CHARACTERIZATION_BINPACK_H
+#define XTALK_CHARACTERIZATION_BINPACK_H
+
+#include <utility>
+#include <vector>
+
+#include "common/rng.h"
+#include "device/topology.h"
+
+namespace xtalk {
+
+/** One SRB experiment: measure conditional errors of an edge pair. */
+using GatePair = std::pair<EdgeId, EdgeId>;
+
+/** A batch of SRB experiments that run in parallel. */
+using ExperimentBin = std::vector<GatePair>;
+
+/**
+ * True if @p candidate can join @p bin: every coupler of the candidate
+ * is >= @p separation_hops from every coupler of every resident pair.
+ */
+bool IsCompatibleWithBin(const Topology& topology, const GatePair& candidate,
+                         const ExperimentBin& bin, int separation_hops);
+
+/**
+ * One pass of first-fit over @p pairs in the given order.
+ */
+std::vector<ExperimentBin> FirstFitPack(const Topology& topology,
+                                        std::vector<GatePair> pairs,
+                                        int separation_hops);
+
+/**
+ * Randomized first fit: repeat FirstFitPack over @p iterations random
+ * shuffles and keep the packing with the fewest bins (paper's
+ * algorithm).
+ */
+std::vector<ExperimentBin> RandomizedFirstFitPack(const Topology& topology,
+                                                  std::vector<GatePair> pairs,
+                                                  int separation_hops,
+                                                  int iterations, Rng& rng);
+
+}  // namespace xtalk
+
+#endif  // XTALK_CHARACTERIZATION_BINPACK_H

@@ -1,0 +1,227 @@
+#include "characterization/characterizer.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+std::string
+PolicyName(CharacterizationPolicy policy)
+{
+    switch (policy) {
+      case CharacterizationPolicy::kAllPairs:
+        return "all-pairs";
+      case CharacterizationPolicy::kOneHop:
+        return "one-hop (Opt 1)";
+      case CharacterizationPolicy::kOneHopBinPacked:
+        return "one-hop + bin packing (Opt 2)";
+      case CharacterizationPolicy::kHighOnly:
+        return "high-crosstalk only (Opt 3)";
+    }
+    XTALK_ASSERT(false, "unknown policy");
+}
+
+int
+CharacterizationPlan::NumExperiments() const
+{
+    int n = 0;
+    for (const ExperimentBin& bin : batches) {
+        n += static_cast<int>(bin.size());
+    }
+    return n;
+}
+
+CharacterizationPlan
+BuildCharacterizationPlan(const Topology& topology,
+                          CharacterizationPolicy policy, Rng& rng,
+                          const std::vector<GatePair>& known_high_pairs,
+                          int separation_hops, int packing_iterations)
+{
+    CharacterizationPlan plan;
+    plan.policy = policy;
+    switch (policy) {
+      case CharacterizationPolicy::kAllPairs: {
+        for (const GatePair& pair : topology.SimultaneousEdgePairs()) {
+            plan.batches.push_back({pair});  // One experiment at a time.
+        }
+        break;
+      }
+      case CharacterizationPolicy::kOneHop: {
+        for (const GatePair& pair : topology.EdgePairsAtDistance(1)) {
+            plan.batches.push_back({pair});
+        }
+        break;
+      }
+      case CharacterizationPolicy::kOneHopBinPacked: {
+        plan.batches = RandomizedFirstFitPack(
+            topology, topology.EdgePairsAtDistance(1), separation_hops,
+            packing_iterations, rng);
+        break;
+      }
+      case CharacterizationPolicy::kHighOnly: {
+        XTALK_REQUIRE(!known_high_pairs.empty(),
+                      "kHighOnly needs the previously discovered "
+                      "high-crosstalk pair set");
+        plan.batches =
+            RandomizedFirstFitPack(topology, known_high_pairs,
+                                   separation_hops, packing_iterations, rng);
+        break;
+      }
+    }
+    return plan;
+}
+
+void
+CrosstalkCharacterization::SetIndependentError(EdgeId edge, double error)
+{
+    XTALK_REQUIRE(error >= 0.0 && error <= 1.0, "bad error rate " << error);
+    independent_[edge] = error;
+}
+
+void
+CrosstalkCharacterization::SetConditionalError(EdgeId victim,
+                                               EdgeId aggressor, double error)
+{
+    XTALK_REQUIRE(error >= 0.0 && error <= 1.0, "bad error rate " << error);
+    conditional_[{victim, aggressor}] = error;
+}
+
+bool
+CrosstalkCharacterization::HasIndependentError(EdgeId edge) const
+{
+    return independent_.count(edge) > 0;
+}
+
+double
+CrosstalkCharacterization::IndependentError(EdgeId edge) const
+{
+    const auto it = independent_.find(edge);
+    XTALK_REQUIRE(it != independent_.end(),
+                  "no independent error measured for edge " << edge);
+    return it->second;
+}
+
+bool
+CrosstalkCharacterization::HasConditionalError(EdgeId victim,
+                                               EdgeId aggressor) const
+{
+    return conditional_.count({victim, aggressor}) > 0;
+}
+
+double
+CrosstalkCharacterization::ConditionalError(EdgeId victim,
+                                            EdgeId aggressor) const
+{
+    const auto it = conditional_.find({victim, aggressor});
+    if (it != conditional_.end()) {
+        return it->second;
+    }
+    return IndependentError(victim);
+}
+
+std::vector<GatePair>
+CrosstalkCharacterization::HighCrosstalkPairs(double threshold) const
+{
+    std::set<GatePair> unordered;
+    for (const auto& [pair, conditional] : conditional_) {
+        if (!HasIndependentError(pair.first)) {
+            continue;
+        }
+        if (conditional > threshold * IndependentError(pair.first)) {
+            const auto key = std::minmax(pair.first, pair.second);
+            unordered.insert({key.first, key.second});
+        }
+    }
+    return {unordered.begin(), unordered.end()};
+}
+
+bool
+CrosstalkCharacterization::IsHighCrosstalk(EdgeId victim, EdgeId aggressor,
+                                           double threshold,
+                                           double margin) const
+{
+    if (!HasConditionalError(victim, aggressor) ||
+        !HasIndependentError(victim)) {
+        return false;
+    }
+    const double independent = IndependentError(victim);
+    const double conditional = ConditionalError(victim, aggressor);
+    return conditional >= threshold * independent &&
+           conditional - independent >= margin;
+}
+
+void
+CrosstalkCharacterization::Merge(const CrosstalkCharacterization& other)
+{
+    for (const auto& [edge, error] : other.independent_) {
+        independent_[edge] = error;
+    }
+    for (const auto& [pair, error] : other.conditional_) {
+        conditional_[pair] = error;
+    }
+}
+
+CrosstalkCharacterizer::CrosstalkCharacterizer(const Device& device,
+                                               RbConfig config,
+                                               NoisySimOptions sim_options)
+    : device_(&device), config_(std::move(config)), sim_options_(sim_options)
+{
+}
+
+CrosstalkCharacterization
+CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges)
+{
+    CrosstalkCharacterization out;
+    RbRunner runner(*device_, config_, sim_options_);
+    for (EdgeId edge : edges) {
+        const RbResult result = runner.MeasureIndependent(edge);
+        if (result.ok) {
+            out.SetIndependentError(edge,
+                                    std::clamp(result.cnot_error, 0.0, 1.0));
+        }
+    }
+    return out;
+}
+
+CrosstalkCharacterization
+CrosstalkCharacterizer::Run(const CharacterizationPlan& plan)
+{
+    // Independent RB on every coupler the plan touches.
+    std::set<EdgeId> edge_set;
+    for (const ExperimentBin& bin : plan.batches) {
+        for (const GatePair& pair : bin) {
+            edge_set.insert(pair.first);
+            edge_set.insert(pair.second);
+        }
+    }
+    CrosstalkCharacterization out = MeasureIndependent(
+        std::vector<EdgeId>(edge_set.begin(), edge_set.end()));
+
+    // One SRB per batch: on hardware, all couplers of a batch run
+    // simultaneously in one job (which is what the cost model charges).
+    // In simulation the joint dynamics factorize exactly across pairs —
+    // packed pairs are >= 2 hops apart, and every noise channel in the
+    // model is local to a pair — so each pair is simulated as its own
+    // 4-qubit SRB, which is distribution-identical and exponentially
+    // cheaper than the joint statevector.
+    RbRunner runner(*device_, config_, sim_options_);
+    for (const ExperimentBin& bin : plan.batches) {
+        for (const GatePair& pair : bin) {
+            const std::vector<RbResult> results =
+                runner.MeasureSimultaneous({pair.first, pair.second});
+            for (const RbResult& r : results) {
+                if (!r.ok) {
+                    continue;
+                }
+                const EdgeId partner =
+                    r.edge == pair.first ? pair.second : pair.first;
+                out.SetConditionalError(r.edge, partner,
+                                        std::clamp(r.cnot_error, 0.0, 1.0));
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace xtalk

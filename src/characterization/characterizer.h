@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Full-device crosstalk characterization (paper Section 5).
+ *
+ * A CharacterizationPlan decides *which* SRB experiments to run and how
+ * they batch; the four policies correspond to the paper's baseline and
+ * its three optimizations:
+ *
+ *  - kAllPairs:       every simultaneously drivable CNOT pair, serially;
+ *  - kOneHop:         only pairs separated by exactly 1 hop (Opt 1);
+ *  - kOneHopBinPacked: 1-hop pairs, parallelized with randomized
+ *                      first-fit bin packing (Opt 2);
+ *  - kHighOnly:       only previously known high-crosstalk pairs,
+ *                      bin packed (Opt 3, the daily fast path).
+ *
+ * CrosstalkCharacterizer executes a plan against the noisy simulator and
+ * produces a CrosstalkCharacterization: the measured independent and
+ * conditional error rates the scheduler consumes. The device's hidden
+ * ground truth is never copied — every number comes from RB decays.
+ */
+#ifndef XTALK_CHARACTERIZATION_CHARACTERIZER_H
+#define XTALK_CHARACTERIZATION_CHARACTERIZER_H
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "characterization/binpack.h"
+#include "characterization/rb.h"
+
+namespace xtalk {
+
+/** Which experiments to run (paper baseline + Opts 1-3). */
+enum class CharacterizationPolicy {
+    kAllPairs,
+    kOneHop,
+    kOneHopBinPacked,
+    kHighOnly,
+};
+
+/** Human-readable policy name for reports. */
+std::string PolicyName(CharacterizationPolicy policy);
+
+/** A batched experiment plan. */
+struct CharacterizationPlan {
+    CharacterizationPolicy policy = CharacterizationPolicy::kOneHopBinPacked;
+    std::vector<ExperimentBin> batches;
+
+    int NumExperiments() const;
+    int NumBatches() const { return static_cast<int>(batches.size()); }
+};
+
+/**
+ * Build a plan for the given policy. @p known_high_pairs is required for
+ * kHighOnly (it is the stable set discovered by an earlier full pass).
+ */
+CharacterizationPlan BuildCharacterizationPlan(
+    const Topology& topology, CharacterizationPolicy policy, Rng& rng,
+    const std::vector<GatePair>& known_high_pairs = {},
+    int separation_hops = 2, int packing_iterations = 20);
+
+/** Measured error rates: the compiler-facing characterization output. */
+class CrosstalkCharacterization {
+  public:
+    /** Record an independent error estimate for a coupler. */
+    void SetIndependentError(EdgeId edge, double error);
+
+    /** Record a conditional estimate E(victim | aggressor). */
+    void SetConditionalError(EdgeId victim, EdgeId aggressor, double error);
+
+    /** True if an independent estimate exists. */
+    bool HasIndependentError(EdgeId edge) const;
+
+    /** Independent estimate; throws if absent. */
+    double IndependentError(EdgeId edge) const;
+
+    /** True if a conditional estimate exists for the ordered pair. */
+    bool HasConditionalError(EdgeId victim, EdgeId aggressor) const;
+
+    /**
+     * Conditional estimate; falls back to the independent estimate when
+     * the ordered pair was not measured.
+     */
+    double ConditionalError(EdgeId victim, EdgeId aggressor) const;
+
+    /**
+     * Unordered pairs whose measured conditional rate exceeds
+     * @p threshold times the independent rate in either direction (the
+     * paper's "high crosstalk" test, threshold 3).
+     */
+    std::vector<GatePair> HighCrosstalkPairs(double threshold = 3.0) const;
+
+    /**
+     * Robust high-crosstalk test for one direction: the conditional rate
+     * must exceed @p threshold times the independent rate AND exceed it
+     * by at least @p margin in absolute terms. The margin suppresses
+     * false positives on low-error couplers, where RB shot noise alone
+     * can double a tiny estimate; without it the scheduler would
+     * over-serialize (see DESIGN.md).
+     */
+    bool IsHighCrosstalk(EdgeId victim, EdgeId aggressor,
+                         double threshold = 2.5,
+                         double margin = 0.015) const;
+
+    /** All measured ordered conditional entries. */
+    const std::map<GatePair, double>& conditional_entries() const
+    {
+        return conditional_;
+    }
+
+    /** All measured independent entries. */
+    const std::map<EdgeId, double>& independent_entries() const
+    {
+        return independent_;
+    }
+
+    /** Merge (overwrite) entries from another characterization. */
+    void Merge(const CrosstalkCharacterization& other);
+
+  private:
+    std::map<EdgeId, double> independent_;
+    std::map<GatePair, double> conditional_;
+};
+
+/** Executes characterization plans on the simulated device. */
+class CrosstalkCharacterizer {
+  public:
+    CrosstalkCharacterizer(const Device& device, RbConfig config,
+                           NoisySimOptions sim_options = {});
+
+    /**
+     * Run the plan: first independent RB on every coupler appearing in
+     * it, then one SRB per gate pair (batches run "in parallel" — i.e.
+     * the pairs of a batch are characterized within the same schedule).
+     */
+    CrosstalkCharacterization Run(const CharacterizationPlan& plan);
+
+    /** Independent RB on an explicit set of couplers. */
+    CrosstalkCharacterization MeasureIndependent(
+        const std::vector<EdgeId>& edges);
+
+  private:
+    const Device* device_;
+    RbConfig config_;
+    NoisySimOptions sim_options_;
+};
+
+}  // namespace xtalk
+
+#endif  // XTALK_CHARACTERIZATION_CHARACTERIZER_H

@@ -1,0 +1,38 @@
+#include "characterization/cost_model.h"
+
+namespace xtalk {
+
+long long
+CharacterizationCostModel::TotalExecutions(const CharacterizationPlan& plan,
+                                           const RbConfig& config) const
+{
+    return static_cast<long long>(plan.NumBatches()) *
+           config.TotalExecutions();
+}
+
+double
+CharacterizationCostModel::EstimateSeconds(const CharacterizationPlan& plan,
+                                           const RbConfig& config) const
+{
+    return static_cast<double>(TotalExecutions(plan, config)) *
+           seconds_per_execution;
+}
+
+double
+CharacterizationCostModel::EstimateHours(const CharacterizationPlan& plan,
+                                         const RbConfig& config) const
+{
+    return EstimateSeconds(plan, config) / 3600.0;
+}
+
+RbConfig
+PaperScaleRbConfig()
+{
+    RbConfig config;
+    config.lengths = {1, 2, 4, 6, 8, 12, 16, 24, 32, 40};
+    config.sequences_per_length = 10;  // 100 sequences total.
+    config.shots = 1024;
+    return config;
+}
+
+}  // namespace xtalk

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Wall-clock cost model for characterization plans (paper Section 10 /
+ * Figure 10).
+ *
+ * Real QC devices execute circuits at a roughly fixed rate; the paper's
+ * numbers (221 SRB pairs, 100 sequences x 1024 trials = 22.6M executions
+ * taking "over 8 hours") imply ~1.27 ms per execution including overhead,
+ * which is this model's default. The *ratios* between policies come from
+ * the actual plan structure (experiment counts and bin packing), not
+ * from the constant.
+ */
+#ifndef XTALK_CHARACTERIZATION_COST_MODEL_H
+#define XTALK_CHARACTERIZATION_COST_MODEL_H
+
+#include "characterization/characterizer.h"
+#include "characterization/rb.h"
+
+namespace xtalk {
+
+/** Estimates device time consumed by a characterization plan. */
+struct CharacterizationCostModel {
+    /** Per-execution time (circuit + reset + readout + control latency). */
+    double seconds_per_execution = 0.00127;
+
+    /**
+     * Total executions: batches run sequentially; each batch costs one
+     * SRB budget regardless of how many pairs it holds (they run in
+     * parallel — that is the whole point of Optimization 2).
+     */
+    long long TotalExecutions(const CharacterizationPlan& plan,
+                              const RbConfig& config) const;
+
+    /** Estimated device seconds for the plan. */
+    double EstimateSeconds(const CharacterizationPlan& plan,
+                           const RbConfig& config) const;
+
+    /** Same, in hours. */
+    double EstimateHours(const CharacterizationPlan& plan,
+                         const RbConfig& config) const;
+};
+
+/**
+ * The paper-scale RB budget (100 random sequences split over 10 lengths,
+ * 1024 trials each) used when *estimating* real-device characterization
+ * time. Simulation benches use smaller budgets.
+ */
+RbConfig PaperScaleRbConfig();
+
+}  // namespace xtalk
+
+#endif  // XTALK_CHARACTERIZATION_COST_MODEL_H

@@ -1,0 +1,101 @@
+#include "characterization/io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+std::string
+SerializeCharacterization(const CrosstalkCharacterization& data,
+                          const std::string& device_name)
+{
+    std::ostringstream oss;
+    oss << std::setprecision(17);
+    oss << "# xtalk characterization v1\n";
+    if (!device_name.empty()) {
+        oss << "device " << device_name << "\n";
+    }
+    for (const auto& [edge, error] : data.independent_entries()) {
+        oss << "independent " << edge << " " << error << "\n";
+    }
+    for (const auto& [pair, error] : data.conditional_entries()) {
+        oss << "conditional " << pair.first << " " << pair.second << " "
+            << error << "\n";
+    }
+    return oss.str();
+}
+
+CrosstalkCharacterization
+ParseCharacterization(const std::string& text,
+                      std::string* device_name_out)
+{
+    if (device_name_out) {
+        device_name_out->clear();
+    }
+    CrosstalkCharacterization out;
+    std::istringstream iss(text);
+    std::string line;
+    int line_number = 0;
+    while (std::getline(iss, line)) {
+        ++line_number;
+        if (line.empty() || line[0] == '#') {
+            continue;
+        }
+        std::istringstream fields(line);
+        std::string kind;
+        fields >> kind;
+        if (kind == "device") {
+            std::string name;
+            fields >> name;
+            if (device_name_out) {
+                *device_name_out = name;
+            }
+        } else if (kind == "independent") {
+            int edge = -1;
+            double error = -1.0;
+            fields >> edge >> error;
+            XTALK_REQUIRE(!fields.fail() && edge >= 0,
+                          "malformed independent entry on line "
+                              << line_number << ": " << line);
+            out.SetIndependentError(edge, error);
+        } else if (kind == "conditional") {
+            int victim = -1, aggressor = -1;
+            double error = -1.0;
+            fields >> victim >> aggressor >> error;
+            XTALK_REQUIRE(!fields.fail() && victim >= 0 && aggressor >= 0,
+                          "malformed conditional entry on line "
+                              << line_number << ": " << line);
+            out.SetConditionalError(victim, aggressor, error);
+        } else {
+            XTALK_REQUIRE(false, "unknown record '" << kind << "' on line "
+                                                    << line_number);
+        }
+    }
+    return out;
+}
+
+void
+SaveCharacterization(const std::string& path,
+                     const CrosstalkCharacterization& data,
+                     const std::string& device_name)
+{
+    std::ofstream file(path);
+    XTALK_REQUIRE(file.good(), "cannot open " << path << " for writing");
+    file << SerializeCharacterization(data, device_name);
+    XTALK_REQUIRE(file.good(), "write to " << path << " failed");
+}
+
+CrosstalkCharacterization
+LoadCharacterization(const std::string& path, std::string* device_name_out)
+{
+    std::ifstream file(path);
+    XTALK_REQUIRE(file.good(), "cannot open " << path << " for reading");
+    std::ostringstream buffer;
+    buffer << file.rdbuf();
+    return ParseCharacterization(buffer.str(), device_name_out);
+}
+
+}  // namespace xtalk

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Persistence for characterization data. In the paper's deployment, the
+ * daily crosstalk characterization is measured once and then consumed by
+ * every compilation job until the next calibration; this module provides
+ * the storage format for that hand-off: a line-oriented text format
+ *
+ *     # comment
+ *     independent <edge> <error>
+ *     conditional <victim> <aggressor> <error>
+ */
+#ifndef XTALK_CHARACTERIZATION_IO_H
+#define XTALK_CHARACTERIZATION_IO_H
+
+#include <string>
+
+#include "characterization/characterizer.h"
+
+namespace xtalk {
+
+/**
+ * Serialize to the text format (deterministic, sorted order). When
+ * @p device_name is non-empty a `device <name>` record is included so
+ * loaders can detect data measured on a different machine (edge ids are
+ * only meaningful relative to one topology).
+ */
+std::string SerializeCharacterization(const CrosstalkCharacterization& data,
+                                      const std::string& device_name = "");
+
+/**
+ * Parse the text format; throws xtalk::Error on malformed input. If
+ * @p device_name_out is non-null it receives the file's `device` record
+ * ("" when absent).
+ */
+CrosstalkCharacterization ParseCharacterization(
+    const std::string& text, std::string* device_name_out = nullptr);
+
+/** Write to a file (throws on I/O failure). */
+void SaveCharacterization(const std::string& path,
+                          const CrosstalkCharacterization& data,
+                          const std::string& device_name = "");
+
+/** Read from a file (throws on I/O failure or malformed content). */
+CrosstalkCharacterization LoadCharacterization(
+    const std::string& path, std::string* device_name_out = nullptr);
+
+}  // namespace xtalk
+
+#endif  // XTALK_CHARACTERIZATION_IO_H

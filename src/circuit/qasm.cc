@@ -1,0 +1,79 @@
+#include "circuit/qasm.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+namespace {
+
+/** Render a parameter list "(a, b, c)" with enough digits to round-trip. */
+std::string
+Params(const Gate& gate)
+{
+    if (gate.params.empty()) {
+        return "";
+    }
+    std::ostringstream oss;
+    oss << "(" << std::setprecision(17);
+    for (size_t i = 0; i < gate.params.size(); ++i) {
+        oss << (i ? "," : "") << gate.params[i];
+    }
+    oss << ")";
+    return oss.str();
+}
+
+}  // namespace
+
+std::string
+ToQasm(const Circuit& circuit)
+{
+    std::ostringstream oss;
+    oss << "OPENQASM 2.0;\n"
+        << "include \"qelib1.inc\";\n"
+        << "qreg q[" << circuit.num_qubits() << "];\n";
+    if (circuit.num_clbits() > 0) {
+        oss << "creg c[" << circuit.num_clbits() << "];\n";
+    }
+    for (const Gate& g : circuit.gates()) {
+        switch (g.kind) {
+          case GateKind::kBarrier: {
+            oss << "barrier";
+            for (size_t i = 0; i < g.qubits.size(); ++i) {
+                oss << (i ? ", q[" : " q[") << g.qubits[i] << "]";
+            }
+            oss << ";\n";
+            continue;
+          }
+          case GateKind::kMeasure:
+            oss << "measure q[" << g.qubits[0] << "] -> c[" << g.cbit
+                << "];\n";
+            continue;
+          case GateKind::kSwap:
+            // qelib1 has swap, but emit the canonical 3-CNOT expansion so
+            // the output matches the hardware-level IR the paper uses.
+            oss << "cx q[" << g.qubits[0] << "], q[" << g.qubits[1]
+                << "];\n";
+            oss << "cx q[" << g.qubits[1] << "], q[" << g.qubits[0]
+                << "];\n";
+            oss << "cx q[" << g.qubits[0] << "], q[" << g.qubits[1]
+                << "];\n";
+            continue;
+          case GateKind::kI:
+            oss << "id q[" << g.qubits[0] << "];\n";
+            continue;
+          default:
+            break;
+        }
+        oss << GateKindName(g.kind) << Params(g);
+        for (size_t i = 0; i < g.qubits.size(); ++i) {
+            oss << (i ? ", q[" : " q[") << g.qubits[i] << "]";
+        }
+        oss << ";\n";
+    }
+    return oss.str();
+}
+
+}  // namespace xtalk

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * OpenQASM 2.0 export for circuits — the interchange format of the
+ * IBMQ toolchain the paper targets (Cross et al., arXiv:1707.03429).
+ * Allows schedules produced here (including their ordering barriers) to
+ * be inspected with, or fed to, standard quantum toolchains.
+ */
+#ifndef XTALK_CIRCUIT_QASM_H
+#define XTALK_CIRCUIT_QASM_H
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace xtalk {
+
+/**
+ * Serialize a circuit as an OpenQASM 2.0 program over one quantum and
+ * one classical register. All gate kinds in the IR map to qelib1.inc
+ * gates (logical SWAPs are emitted as the standard 3-CNOT expansion).
+ */
+std::string ToQasm(const Circuit& circuit);
+
+}  // namespace xtalk
+
+#endif  // XTALK_CIRCUIT_QASM_H

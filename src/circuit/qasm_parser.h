@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Parser for the OpenQASM 2.0 subset this library emits and consumes:
+ * one quantum register, one classical register, the qelib1 gates of the
+ * IR (id/x/y/z/h/s/sdg/t/tdg/sx/rx/ry/rz/u1/u2/u3/cx/cz/swap), barrier,
+ * and measure. Gate parameters accept decimal literals and simple
+ * `pi`-expressions (pi, -pi, pi/2, 2*pi, 3*pi/4, ...).
+ *
+ * Deliberately not a full OpenQASM implementation: no user-defined
+ * gates, no if/reset, no multiple registers — enough to round-trip this
+ * library's output and to ingest externally written circuits of the
+ * paper's gate set.
+ */
+#ifndef XTALK_CIRCUIT_QASM_PARSER_H
+#define XTALK_CIRCUIT_QASM_PARSER_H
+
+#include <string>
+
+#include "circuit/circuit.h"
+
+namespace xtalk {
+
+/**
+ * Parse an OpenQASM 2.0 program. Throws xtalk::Error with a line number
+ * on anything outside the supported subset.
+ */
+Circuit ParseQasm(const std::string& source);
+
+}  // namespace xtalk
+
+#endif  // XTALK_CIRCUIT_QASM_PARSER_H

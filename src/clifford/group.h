@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Exhaustive enumeration of the small Clifford groups used by randomized
+ * benchmarking: the 24-element single-qubit group and the 11520-element
+ * two-qubit group. Enumeration is breadth-first over tableaux from the
+ * generator set {H, S, CX}, so each element's stored circuit is a
+ * shortest generator word — uniform sampling is exact (pick a uniform
+ * index) rather than approximate.
+ */
+#ifndef XTALK_CLIFFORD_GROUP_H
+#define XTALK_CLIFFORD_GROUP_H
+
+#include <cstddef>
+#include <memory>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "clifford/tableau.h"
+#include "common/rng.h"
+
+namespace xtalk {
+
+/** The full Clifford group on 1 or 2 qubits, enumerated once. */
+class CliffordGroup {
+  public:
+    /**
+     * Enumerate the group on @p num_qubits qubits (1 or 2 supported;
+     * larger groups are astronomically big and rejected).
+     */
+    explicit CliffordGroup(int num_qubits);
+
+    int num_qubits() const { return num_qubits_; }
+    size_t size() const { return circuits_.size(); }
+
+    /** Shortest-word circuit for element @p index. */
+    const Circuit& circuit(size_t index) const;
+
+    /** Uniformly random element index. */
+    size_t Sample(Rng& rng) const;
+
+    /** Index of the element equal to @p tableau; throws if not found. */
+    size_t Find(const Tableau& tableau) const;
+
+    /**
+     * Process-wide shared instance (1 or 2 qubits); enumerated lazily on
+     * first use and cached.
+     */
+    static const CliffordGroup& Shared(int num_qubits);
+
+  private:
+    int num_qubits_;
+    std::vector<Circuit> circuits_;
+    // Key -> index lookup; keys come from Tableau::Key().
+    struct Lookup;
+    std::shared_ptr<const Lookup> lookup_;
+};
+
+}  // namespace xtalk
+
+#endif  // XTALK_CLIFFORD_GROUP_H

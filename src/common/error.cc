@@ -1,0 +1,35 @@
+#include "common/error.h"
+
+namespace xtalk {
+namespace detail {
+
+namespace {
+
+std::string
+Format(const char* kind, const char* file, int line, const char* cond,
+       const std::string& msg)
+{
+    std::ostringstream oss;
+    oss << kind << " at " << file << ":" << line << ": " << msg
+        << " [condition: " << cond << "]";
+    return oss.str();
+}
+
+}  // namespace
+
+void
+ThrowError(const char* file, int line, const char* cond,
+           const std::string& msg)
+{
+    throw Error(Format("error", file, line, cond, msg));
+}
+
+void
+ThrowInternal(const char* file, int line, const char* cond,
+              const std::string& msg)
+{
+    throw InternalError(Format("internal error", file, line, cond, msg));
+}
+
+}  // namespace detail
+}  // namespace xtalk

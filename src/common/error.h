@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Error handling for the xtalk library.
+ *
+ * Follows the gem5 fatal()/panic() distinction: Error (thrown via
+ * XTALK_REQUIRE) reports a condition caused by invalid user input, while
+ * XTALK_ASSERT guards internal invariants whose violation is a library bug.
+ */
+#ifndef XTALK_COMMON_ERROR_H
+#define XTALK_COMMON_ERROR_H
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace xtalk {
+
+/** Exception thrown for user-facing errors (bad arguments, bad config). */
+class Error : public std::runtime_error {
+  public:
+    explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/** Exception thrown for violated internal invariants (library bugs). */
+class InternalError : public std::logic_error {
+  public:
+    explicit InternalError(const std::string& what)
+        : std::logic_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] void ThrowError(const char* file, int line, const char* cond,
+                             const std::string& msg);
+[[noreturn]] void ThrowInternal(const char* file, int line, const char* cond,
+                                const std::string& msg);
+
+}  // namespace detail
+
+}  // namespace xtalk
+
+/**
+ * Validate a user-facing precondition; throws xtalk::Error on failure.
+ *
+ * The trailing message is a streamable expression, e.g.
+ *   XTALK_REQUIRE(q < num_qubits, "qubit " << q << " out of range");
+ */
+#define XTALK_REQUIRE(cond, msg)                                          \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::ostringstream xtalk_oss_;                                \
+            xtalk_oss_ << msg;                                            \
+            ::xtalk::detail::ThrowError(__FILE__, __LINE__, #cond,        \
+                                        xtalk_oss_.str());                \
+        }                                                                 \
+    } while (0)
+
+/** Validate an internal invariant; throws xtalk::InternalError on failure. */
+#define XTALK_ASSERT(cond, msg)                                           \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            std::ostringstream xtalk_oss_;                                \
+            xtalk_oss_ << msg;                                            \
+            ::xtalk::detail::ThrowInternal(__FILE__, __LINE__, #cond,     \
+                                           xtalk_oss_.str());             \
+        }                                                                 \
+    } while (0)
+
+#endif  // XTALK_COMMON_ERROR_H

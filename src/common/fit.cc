@@ -1,0 +1,127 @@
+#include "common/fit.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+namespace {
+
+/**
+ * For fixed decay parameter p, solve the linear least squares for (A, B)
+ * in y = A * p^m + B and return the SSE; outputs A and B through pointers.
+ */
+double
+SolveLinearGivenP(const std::vector<double>& ms, const std::vector<double>& ys,
+                  double p, double* a_out, double* b_out)
+{
+    const size_t n = ms.size();
+    // Design matrix columns: x_i = p^m_i and constant 1.
+    double sxx = 0.0, sx = 0.0, sxy = 0.0, sy = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double x = std::pow(p, ms[i]);
+        sxx += x * x;
+        sx += x;
+        sxy += x * ys[i];
+        sy += ys[i];
+    }
+    const double nn = static_cast<double>(n);
+    const double det = sxx * nn - sx * sx;
+    double a, b;
+    if (std::abs(det) < 1e-15) {
+        // Degenerate (p ~ 1 or p ~ 0 with constant column): fall back to a
+        // pure offset fit.
+        a = 0.0;
+        b = sy / nn;
+    } else {
+        a = (sxy * nn - sx * sy) / det;
+        b = (sxx * sy - sx * sxy) / det;
+    }
+    double sse = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double r = ys[i] - (a * std::pow(p, ms[i]) + b);
+        sse += r * r;
+    }
+    *a_out = a;
+    *b_out = b;
+    return sse;
+}
+
+}  // namespace
+
+DecayFit
+FitExponentialDecay(const std::vector<double>& ms, const std::vector<double>& ys)
+{
+    DecayFit fit;
+    XTALK_REQUIRE(ms.size() == ys.size(),
+                  "length mismatch: " << ms.size() << " vs " << ys.size());
+    if (ms.size() < 3) {
+        return fit;
+    }
+    // Require at least 3 distinct sequence lengths for identifiability.
+    std::vector<double> distinct(ms);
+    std::sort(distinct.begin(), distinct.end());
+    distinct.erase(std::unique(distinct.begin(), distinct.end()),
+                   distinct.end());
+    if (distinct.size() < 3) {
+        return fit;
+    }
+
+    // Coarse grid over p.
+    constexpr int kGridPoints = 200;
+    double best_p = 0.5;
+    double best_sse = std::numeric_limits<double>::infinity();
+    double a = 0.0, b = 0.0;
+    for (int i = 1; i < kGridPoints; ++i) {
+        const double p = static_cast<double>(i) / kGridPoints;
+        double ai, bi;
+        const double sse = SolveLinearGivenP(ms, ys, p, &ai, &bi);
+        if (sse < best_sse) {
+            best_sse = sse;
+            best_p = p;
+        }
+    }
+
+    // Golden-section refinement around the best grid cell.
+    const double golden = (std::sqrt(5.0) - 1.0) / 2.0;
+    double lo = std::max(1e-6, best_p - 1.0 / kGridPoints);
+    double hi = std::min(1.0 - 1e-6, best_p + 1.0 / kGridPoints);
+    double x1 = hi - golden * (hi - lo);
+    double x2 = lo + golden * (hi - lo);
+    double f1 = SolveLinearGivenP(ms, ys, x1, &a, &b);
+    double f2 = SolveLinearGivenP(ms, ys, x2, &a, &b);
+    for (int iter = 0; iter < 60; ++iter) {
+        if (f1 < f2) {
+            hi = x2;
+            x2 = x1;
+            f2 = f1;
+            x1 = hi - golden * (hi - lo);
+            f1 = SolveLinearGivenP(ms, ys, x1, &a, &b);
+        } else {
+            lo = x1;
+            x1 = x2;
+            f1 = f2;
+            x2 = lo + golden * (hi - lo);
+            f2 = SolveLinearGivenP(ms, ys, x2, &a, &b);
+        }
+    }
+    fit.p = 0.5 * (lo + hi);
+    fit.sse = SolveLinearGivenP(ms, ys, fit.p, &fit.a, &fit.b);
+    fit.a = std::clamp(fit.a, -2.0, 2.0);
+    fit.b = std::clamp(fit.b, -1.0, 2.0);
+    fit.ok = true;
+    return fit;
+}
+
+double
+ErrorPerCliffordFromDecay(double p, int num_qubits)
+{
+    XTALK_REQUIRE(num_qubits > 0, "num_qubits must be positive");
+    const double d = std::pow(2.0, num_qubits);
+    return (d - 1.0) / d * (1.0 - p);
+}
+
+}  // namespace xtalk

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Exponential-decay curve fitting for randomized benchmarking.
+ *
+ * RB survival probabilities follow y(m) = A * p^m + B where m is the
+ * Clifford sequence length; the error per Clifford is derived from the
+ * decay parameter p. The fitter solves the separable least-squares
+ * problem: for fixed p, optimal (A, B) is a 2x2 linear solve, and p is
+ * located by coarse grid search refined with golden-section search.
+ */
+#ifndef XTALK_COMMON_FIT_H
+#define XTALK_COMMON_FIT_H
+
+#include <vector>
+
+namespace xtalk {
+
+/** Result of fitting y = A * p^m + B. */
+struct DecayFit {
+    double a = 0.0;     ///< Amplitude A.
+    double p = 0.0;     ///< Decay parameter p in [0, 1].
+    double b = 0.0;     ///< Offset B.
+    double sse = 0.0;   ///< Sum of squared residuals at the optimum.
+    bool ok = false;    ///< False if the data could not be fit.
+};
+
+/**
+ * Fit y = A * p^m + B to (m, y) samples.
+ *
+ * @param ms Sequence lengths (at least 3 distinct values required).
+ * @param ys Observed survival probabilities, same size as @p ms.
+ */
+DecayFit FitExponentialDecay(const std::vector<double>& ms,
+                             const std::vector<double>& ys);
+
+/**
+ * Convert an RB decay parameter into an average error per Clifford for a
+ * system of the given dimension d = 2^n: r = (d - 1) / d * (1 - p).
+ */
+double ErrorPerCliffordFromDecay(double p, int num_qubits);
+
+}  // namespace xtalk
+
+#endif  // XTALK_COMMON_FIT_H

@@ -1,0 +1,52 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace xtalk {
+
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+void
+Emit(LogLevel required, const char* tag, const std::string& msg)
+{
+    if (static_cast<int>(g_level.load()) >= static_cast<int>(required)) {
+        std::cerr << tag << msg << "\n";
+    }
+}
+
+}  // namespace
+
+void
+SetLogLevel(LogLevel level)
+{
+    g_level.store(level);
+}
+
+LogLevel
+GetLogLevel()
+{
+    return g_level.load();
+}
+
+void
+Inform(const std::string& msg)
+{
+    Emit(LogLevel::kInform, "info: ", msg);
+}
+
+void
+Warn(const std::string& msg)
+{
+    Emit(LogLevel::kWarn, "warn: ", msg);
+}
+
+void
+Debug(const std::string& msg)
+{
+    Emit(LogLevel::kDebug, "debug: ", msg);
+}
+
+}  // namespace xtalk

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Minimal status logging, following the gem5 inform()/warn() convention:
+ * these report simulation status to the user and never stop execution.
+ */
+#ifndef XTALK_COMMON_LOGGING_H
+#define XTALK_COMMON_LOGGING_H
+
+#include <string>
+
+namespace xtalk {
+
+/** Verbosity levels; messages below the global level are suppressed. */
+enum class LogLevel { kQuiet = 0, kWarn = 1, kInform = 2, kDebug = 3 };
+
+/** Set the global verbosity (default kWarn). */
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/** Informative status message (stderr), suppressed below kInform. */
+void Inform(const std::string& msg);
+
+/** Warning about questionable but survivable conditions. */
+void Warn(const std::string& msg);
+
+/** Debug chatter, suppressed below kDebug. */
+void Debug(const std::string& msg);
+
+}  // namespace xtalk
+
+#endif  // XTALK_COMMON_LOGGING_H

@@ -1,0 +1,230 @@
+#include "common/matrix.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+Matrix::Matrix(size_t rows, size_t cols)
+    : rows_(rows), cols_(cols), data_(rows * cols, Complex(0.0, 0.0))
+{
+}
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<Complex>> rows)
+{
+    rows_ = rows.size();
+    cols_ = rows.begin() == rows.end() ? 0 : rows.begin()->size();
+    data_.reserve(rows_ * cols_);
+    for (const auto& row : rows) {
+        XTALK_REQUIRE(row.size() == cols_, "ragged initializer list");
+        for (const auto& v : row) {
+            data_.push_back(v);
+        }
+    }
+}
+
+Matrix
+Matrix::Identity(size_t n)
+{
+    Matrix m(n, n);
+    for (size_t i = 0; i < n; ++i) {
+        m(i, i) = Complex(1.0, 0.0);
+    }
+    return m;
+}
+
+Matrix
+Matrix::operator*(const Matrix& rhs) const
+{
+    XTALK_REQUIRE(cols_ == rhs.rows_, "shape mismatch in matrix multiply: "
+                                          << cols_ << " vs " << rhs.rows_);
+    Matrix out(rows_, rhs.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t k = 0; k < cols_; ++k) {
+            const Complex aik = (*this)(i, k);
+            if (aik == Complex(0.0, 0.0)) {
+                continue;
+            }
+            for (size_t j = 0; j < rhs.cols_; ++j) {
+                out(i, j) += aik * rhs(k, j);
+            }
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator+(const Matrix& rhs) const
+{
+    XTALK_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                  "shape mismatch in matrix add");
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] + rhs.data_[i];
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator-(const Matrix& rhs) const
+{
+    XTALK_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                  "shape mismatch in matrix subtract");
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] - rhs.data_[i];
+    }
+    return out;
+}
+
+Matrix
+Matrix::operator*(Complex scalar) const
+{
+    Matrix out(rows_, cols_);
+    for (size_t i = 0; i < data_.size(); ++i) {
+        out.data_[i] = data_[i] * scalar;
+    }
+    return out;
+}
+
+Matrix
+Matrix::Dagger() const
+{
+    Matrix out(cols_, rows_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t j = 0; j < cols_; ++j) {
+            out(j, i) = std::conj((*this)(i, j));
+        }
+    }
+    return out;
+}
+
+Matrix
+Matrix::Kron(const Matrix& rhs) const
+{
+    Matrix out(rows_ * rhs.rows_, cols_ * rhs.cols_);
+    for (size_t i = 0; i < rows_; ++i) {
+        for (size_t j = 0; j < cols_; ++j) {
+            const Complex a = (*this)(i, j);
+            for (size_t k = 0; k < rhs.rows_; ++k) {
+                for (size_t l = 0; l < rhs.cols_; ++l) {
+                    out(i * rhs.rows_ + k, j * rhs.cols_ + l) = a * rhs(k, l);
+                }
+            }
+        }
+    }
+    return out;
+}
+
+Complex
+Matrix::Trace() const
+{
+    XTALK_REQUIRE(rows_ == cols_, "trace of non-square matrix");
+    Complex t(0.0, 0.0);
+    for (size_t i = 0; i < rows_; ++i) {
+        t += (*this)(i, i);
+    }
+    return t;
+}
+
+double
+Matrix::DistanceFrom(const Matrix& rhs) const
+{
+    XTALK_REQUIRE(rows_ == rhs.rows_ && cols_ == rhs.cols_,
+                  "shape mismatch in DistanceFrom");
+    double ss = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        ss += std::norm(data_[i] - rhs.data_[i]);
+    }
+    return std::sqrt(ss);
+}
+
+bool
+Matrix::IsUnitary(double tol) const
+{
+    if (rows_ != cols_) {
+        return false;
+    }
+    const Matrix product = (*this) * Dagger();
+    return product.DistanceFrom(Identity(rows_)) < tol;
+}
+
+bool
+Matrix::EqualsUpToPhase(const Matrix& rhs, double tol) const
+{
+    if (rows_ != rhs.rows_ || cols_ != rhs.cols_) {
+        return false;
+    }
+    // Find the largest-magnitude entry to anchor the phase.
+    size_t best = 0;
+    double best_mag = 0.0;
+    for (size_t i = 0; i < data_.size(); ++i) {
+        if (std::abs(data_[i]) > best_mag) {
+            best_mag = std::abs(data_[i]);
+            best = i;
+        }
+    }
+    if (best_mag < tol) {
+        return DistanceFrom(rhs) < tol;
+    }
+    const size_t r = best / cols_;
+    const size_t c = best % cols_;
+    if (std::abs(rhs(r, c)) < tol) {
+        return false;
+    }
+    const Complex phase = rhs(r, c) / (*this)(r, c);
+    if (std::abs(std::abs(phase) - 1.0) > tol) {
+        return false;
+    }
+    return ((*this) * phase).DistanceFrom(rhs) < tol;
+}
+
+std::vector<Complex>
+SolveLinearSystem(Matrix a, std::vector<Complex> b)
+{
+    const size_t n = a.rows();
+    XTALK_REQUIRE(a.cols() == n, "SolveLinearSystem requires a square matrix");
+    XTALK_REQUIRE(b.size() == n, "rhs size mismatch");
+    for (size_t col = 0; col < n; ++col) {
+        // Partial pivot.
+        size_t pivot = col;
+        double best = std::abs(a(col, col));
+        for (size_t r = col + 1; r < n; ++r) {
+            if (std::abs(a(r, col)) > best) {
+                best = std::abs(a(r, col));
+                pivot = r;
+            }
+        }
+        XTALK_REQUIRE(best > 1e-12, "singular linear system");
+        if (pivot != col) {
+            for (size_t c = 0; c < n; ++c) {
+                std::swap(a(pivot, c), a(col, c));
+            }
+            std::swap(b[pivot], b[col]);
+        }
+        const Complex inv = Complex(1.0, 0.0) / a(col, col);
+        for (size_t r = col + 1; r < n; ++r) {
+            const Complex factor = a(r, col) * inv;
+            if (factor == Complex(0.0, 0.0)) {
+                continue;
+            }
+            for (size_t c = col; c < n; ++c) {
+                a(r, c) -= factor * a(col, c);
+            }
+            b[r] -= factor * b[col];
+        }
+    }
+    // Back substitution.
+    std::vector<Complex> x(n);
+    for (size_t i = n; i-- > 0;) {
+        Complex acc = b[i];
+        for (size_t j = i + 1; j < n; ++j) {
+            acc -= a(i, j) * x[j];
+        }
+        x[i] = acc / a(i, i);
+    }
+    return x;
+}
+
+}  // namespace xtalk

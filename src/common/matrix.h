@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Dense complex matrices for gate unitaries, density matrices, and the
+ * linear-inversion tomography in the metrics module. Sized for NISQ-scale
+ * work (dimension up to a few hundred), not for HPC.
+ */
+#ifndef XTALK_COMMON_MATRIX_H
+#define XTALK_COMMON_MATRIX_H
+
+#include <complex>
+#include <initializer_list>
+#include <vector>
+
+namespace xtalk {
+
+using Complex = std::complex<double>;
+
+/** Row-major dense complex matrix. */
+class Matrix {
+  public:
+    Matrix() = default;
+
+    /** Zero matrix of the given shape. */
+    Matrix(size_t rows, size_t cols);
+
+    /** Build from nested initializer lists (rows of equal length). */
+    Matrix(std::initializer_list<std::initializer_list<Complex>> rows);
+
+    /** Identity matrix of dimension n. */
+    static Matrix Identity(size_t n);
+
+    size_t rows() const { return rows_; }
+    size_t cols() const { return cols_; }
+
+    Complex& operator()(size_t r, size_t c) { return data_[r * cols_ + c]; }
+    const Complex&
+    operator()(size_t r, size_t c) const
+    {
+        return data_[r * cols_ + c];
+    }
+
+    Matrix operator*(const Matrix& rhs) const;
+    Matrix operator+(const Matrix& rhs) const;
+    Matrix operator-(const Matrix& rhs) const;
+    Matrix operator*(Complex scalar) const;
+
+    /** Conjugate transpose. */
+    Matrix Dagger() const;
+
+    /** Kronecker (tensor) product, this (x) rhs. */
+    Matrix Kron(const Matrix& rhs) const;
+
+    /** Trace; requires a square matrix. */
+    Complex Trace() const;
+
+    /** Frobenius norm of (this - rhs). */
+    double DistanceFrom(const Matrix& rhs) const;
+
+    /** True if this is unitary within the tolerance. */
+    bool IsUnitary(double tol = 1e-9) const;
+
+    /** True if equal to rhs up to a global phase, within tolerance. */
+    bool EqualsUpToPhase(const Matrix& rhs, double tol = 1e-9) const;
+
+  private:
+    size_t rows_ = 0;
+    size_t cols_ = 0;
+    std::vector<Complex> data_;
+};
+
+/**
+ * Solve A x = b for a square complex system by partial-pivot Gaussian
+ * elimination. Throws xtalk::Error on singular systems.
+ */
+std::vector<Complex> SolveLinearSystem(Matrix a, std::vector<Complex> b);
+
+}  // namespace xtalk
+
+#endif  // XTALK_COMMON_MATRIX_H

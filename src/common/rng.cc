@@ -1,0 +1,136 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+namespace {
+
+/** splitmix64 step, used for seeding the xoshiro state. */
+uint64_t
+SplitMix64(uint64_t& x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+}
+
+uint64_t
+Rotl(uint64_t x, int k)
+{
+    return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(uint64_t seed)
+{
+    uint64_t s = seed;
+    for (auto& word : state_) {
+        word = SplitMix64(s);
+    }
+}
+
+uint64_t
+Rng::Next()
+{
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+}
+
+double
+Rng::Uniform()
+{
+    // 53 high bits -> double in [0, 1).
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+double
+Rng::Uniform(double lo, double hi)
+{
+    XTALK_REQUIRE(lo <= hi, "invalid uniform range [" << lo << ", " << hi
+                                                      << ")");
+    return lo + (hi - lo) * Uniform();
+}
+
+uint64_t
+Rng::UniformInt(uint64_t n)
+{
+    XTALK_REQUIRE(n > 0, "UniformInt requires n > 0");
+    // Rejection sampling to remove modulo bias.
+    const uint64_t limit = ~0ull - (~0ull % n);
+    uint64_t x;
+    do {
+        x = Next();
+    } while (x >= limit);
+    return x % n;
+}
+
+double
+Rng::Normal()
+{
+    if (has_cached_normal_) {
+        has_cached_normal_ = false;
+        return cached_normal_;
+    }
+    double u1;
+    do {
+        u1 = Uniform();
+    } while (u1 <= 0.0);
+    const double u2 = Uniform();
+    const double r = std::sqrt(-2.0 * std::log(u1));
+    const double theta = 2.0 * M_PI * u2;
+    cached_normal_ = r * std::sin(theta);
+    has_cached_normal_ = true;
+    return r * std::cos(theta);
+}
+
+double
+Rng::Normal(double mean, double stddev)
+{
+    return mean + stddev * Normal();
+}
+
+bool
+Rng::Bernoulli(double p)
+{
+    return Uniform() < p;
+}
+
+size_t
+Rng::Discrete(const std::vector<double>& weights)
+{
+    double total = 0.0;
+    for (double w : weights) {
+        XTALK_REQUIRE(w >= 0.0, "negative weight " << w);
+        total += w;
+    }
+    XTALK_REQUIRE(total > 0.0, "Discrete requires a positive total weight");
+    double target = Uniform() * total;
+    for (size_t i = 0; i < weights.size(); ++i) {
+        target -= weights[i];
+        if (target < 0.0) {
+            return i;
+        }
+    }
+    return weights.size() - 1;  // Floating-point edge: last positive bucket.
+}
+
+Rng
+Rng::Fork()
+{
+    return Rng(Next() ^ 0xd1b54a32d192ed03ull);
+}
+
+}  // namespace xtalk

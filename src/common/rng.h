@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Deterministic pseudo-random number generation.
+ *
+ * Every stochastic component in the library (noise sampling, RB sequence
+ * generation, randomized bin packing, synthetic calibrations) draws from an
+ * explicitly seeded Rng so that experiments are reproducible shot-for-shot.
+ * The engine is xoshiro256** seeded through splitmix64, which is fast and
+ * has no observable correlations at the scales used here.
+ */
+#ifndef XTALK_COMMON_RNG_H
+#define XTALK_COMMON_RNG_H
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace xtalk {
+
+/** Seeded pseudo-random generator used throughout the library. */
+class Rng {
+  public:
+    using result_type = uint64_t;
+
+    /** Construct from a 64-bit seed; equal seeds give equal streams. */
+    explicit Rng(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+    /** Next raw 64-bit value. */
+    uint64_t Next();
+
+    /** Uniform double in [0, 1). */
+    double Uniform();
+
+    /** Uniform double in [lo, hi). */
+    double Uniform(double lo, double hi);
+
+    /** Uniform integer in [0, n). Requires n > 0. */
+    uint64_t UniformInt(uint64_t n);
+
+    /** Standard normal deviate (Box-Muller with caching). */
+    double Normal();
+
+    /** Normal deviate with the given mean and standard deviation. */
+    double Normal(double mean, double stddev);
+
+    /** Bernoulli trial: true with probability p. */
+    bool Bernoulli(double p);
+
+    /**
+     * Sample an index from an unnormalized non-negative weight vector.
+     * Requires at least one strictly positive weight.
+     */
+    size_t Discrete(const std::vector<double>& weights);
+
+    /** Fisher-Yates shuffle of a vector in place. */
+    template <typename T>
+    void
+    Shuffle(std::vector<T>& v)
+    {
+        for (size_t i = v.size(); i > 1; --i) {
+            size_t j = UniformInt(i);
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+    /** Derive an independent child generator (for parallel streams). */
+    Rng Fork();
+
+    // UniformRandomBitGenerator interface for <algorithm> compatibility.
+    static constexpr uint64_t min() { return 0; }
+    static constexpr uint64_t max() { return ~0ull; }
+    uint64_t operator()() { return Next(); }
+
+  private:
+    std::array<uint64_t, 4> state_;
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+}  // namespace xtalk
+
+#endif  // XTALK_COMMON_RNG_H

@@ -1,0 +1,97 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+double
+Mean(const std::vector<double>& xs)
+{
+    XTALK_REQUIRE(!xs.empty(), "Mean of empty vector");
+    double sum = 0.0;
+    for (double x : xs) {
+        sum += x;
+    }
+    return sum / static_cast<double>(xs.size());
+}
+
+double
+StdDev(const std::vector<double>& xs)
+{
+    if (xs.size() < 2) {
+        return 0.0;
+    }
+    const double mu = Mean(xs);
+    double ss = 0.0;
+    for (double x : xs) {
+        ss += (x - mu) * (x - mu);
+    }
+    return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double
+Median(std::vector<double> xs)
+{
+    XTALK_REQUIRE(!xs.empty(), "Median of empty vector");
+    std::sort(xs.begin(), xs.end());
+    const size_t n = xs.size();
+    if (n % 2 == 1) {
+        return xs[n / 2];
+    }
+    return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+double
+GeoMean(const std::vector<double>& xs)
+{
+    XTALK_REQUIRE(!xs.empty(), "GeoMean of empty vector");
+    double log_sum = 0.0;
+    for (double x : xs) {
+        XTALK_REQUIRE(x > 0.0, "GeoMean requires positive values, got " << x);
+        log_sum += std::log(x);
+    }
+    return std::exp(log_sum / static_cast<double>(xs.size()));
+}
+
+double
+Min(const std::vector<double>& xs)
+{
+    XTALK_REQUIRE(!xs.empty(), "Min of empty vector");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double
+Max(const std::vector<double>& xs)
+{
+    XTALK_REQUIRE(!xs.empty(), "Max of empty vector");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+void
+RunningStats::Add(double x)
+{
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+double
+RunningStats::variance() const
+{
+    if (count_ < 2) {
+        return 0.0;
+    }
+    return m2_ / static_cast<double>(count_ - 1);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+}  // namespace xtalk

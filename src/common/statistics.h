@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Descriptive statistics helpers used by the characterization fitters and
+ * the experiment harnesses (geomean improvement factors, error bands).
+ */
+#ifndef XTALK_COMMON_STATISTICS_H
+#define XTALK_COMMON_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace xtalk {
+
+/** Arithmetic mean. Requires a non-empty input. */
+double Mean(const std::vector<double>& xs);
+
+/** Sample standard deviation (n-1 denominator); 0 for fewer than 2 points. */
+double StdDev(const std::vector<double>& xs);
+
+/** Median (average of middle two for even sizes). Requires non-empty. */
+double Median(std::vector<double> xs);
+
+/** Geometric mean. Requires non-empty input of strictly positive values. */
+double GeoMean(const std::vector<double>& xs);
+
+/** Minimum. Requires non-empty input. */
+double Min(const std::vector<double>& xs);
+
+/** Maximum. Requires non-empty input. */
+double Max(const std::vector<double>& xs);
+
+/**
+ * Online accumulator for mean/variance (Welford) used where streaming shot
+ * results would be wasteful to store.
+ */
+class RunningStats {
+  public:
+    void Add(double x);
+
+    size_t count() const { return count_; }
+    double mean() const { return mean_; }
+    /** Sample variance; 0 for fewer than 2 samples. */
+    double variance() const;
+    double stddev() const;
+
+  private:
+    size_t count_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+}  // namespace xtalk
+
+#endif  // XTALK_COMMON_STATISTICS_H

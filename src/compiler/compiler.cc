@@ -1,0 +1,92 @@
+#include "compiler/compiler.h"
+
+#include <memory>
+
+#include "common/error.h"
+#include "scheduler/greedy_scheduler.h"
+#include "scheduler/omega_tuning.h"
+#include "scheduler/scheduler.h"
+#include "transpile/layout.h"
+#include "transpile/routing.h"
+
+namespace xtalk {
+
+CompileResult
+Compile(const Device& device,
+        const CrosstalkCharacterization& characterization,
+        const Circuit& logical, const CompilerOptions& options)
+{
+    CompileResult result;
+
+    // 1. Placement.
+    switch (options.layout) {
+      case LayoutPolicy::kTrivial:
+        result.initial_layout = TrivialLayout(logical);
+        break;
+      case LayoutPolicy::kNoiseAware: {
+        NoiseAwareLayoutOptions layout_options;
+        layout_options.crosstalk_penalty_weight =
+            options.layout_crosstalk_penalty;
+        result.initial_layout = NoiseAwareLayout(
+            device, logical, &characterization, layout_options);
+        break;
+      }
+    }
+
+    // 2. Routing (SWAP insertion, lowered to CNOTs).
+    const RoutingResult routed =
+        RouteCircuit(device, logical, result.initial_layout);
+    result.final_layout = routed.final_layout;
+
+    // 3. Scheduling.
+    switch (options.scheduler) {
+      case SchedulerPolicy::kXtalk: {
+        XtalkScheduler scheduler(device, characterization, options.xtalk);
+        result.executable =
+            scheduler.ScheduleWithBarriers(routed.circuit,
+                                           &result.schedule);
+        result.omega = options.xtalk.omega;
+        result.scheduler_name = scheduler.name();
+        break;
+      }
+      case SchedulerPolicy::kXtalkAutoOmega: {
+        const OmegaSelection selection =
+            SelectOmegaByModel(device, characterization, routed.circuit,
+                               options.omega_candidates, options.xtalk);
+        // Re-run at the winning omega to obtain the barriered circuit.
+        XtalkSchedulerOptions tuned = options.xtalk;
+        tuned.omega = selection.omega;
+        XtalkScheduler scheduler(device, characterization, tuned);
+        result.executable =
+            scheduler.ScheduleWithBarriers(routed.circuit,
+                                           &result.schedule);
+        result.omega = selection.omega;
+        result.scheduler_name = "XtalkSched(auto)";
+        break;
+      }
+      case SchedulerPolicy::kSerial:
+      case SchedulerPolicy::kParallel:
+      case SchedulerPolicy::kGreedy: {
+        std::unique_ptr<Scheduler> scheduler;
+        if (options.scheduler == SchedulerPolicy::kSerial) {
+            scheduler = std::make_unique<SerialScheduler>(device);
+        } else if (options.scheduler == SchedulerPolicy::kParallel) {
+            scheduler = std::make_unique<ParallelScheduler>(device);
+        } else {
+            scheduler = std::make_unique<GreedyXtalkScheduler>(
+                device, characterization);
+        }
+        result.schedule = scheduler->Schedule(routed.circuit);
+        result.executable = result.schedule.ToCircuit();
+        result.omega = options.xtalk.omega;
+        result.scheduler_name = scheduler->name();
+        break;
+      }
+    }
+
+    result.estimate = EstimateScheduleError(result.schedule, device,
+                                            &characterization);
+    return result;
+}
+
+}  // namespace xtalk

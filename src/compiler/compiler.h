@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The end-to-end compilation pipeline (the facade a downstream user
+ * adopts): logical circuit -> placement -> SWAP routing -> crosstalk-
+ * adaptive scheduling -> barriered executable, mirroring the paper's
+ * Figure 2 toolflow in one call.
+ *
+ *   CompilerOptions options;
+ *   options.layout = LayoutPolicy::kNoiseAware;
+ *   CompileResult out = Compile(device, characterization, logical,
+ *                               options);
+ *   // out.executable is ready to run; out.schedule carries timing.
+ */
+#ifndef XTALK_COMPILER_COMPILER_H
+#define XTALK_COMPILER_COMPILER_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "characterization/characterizer.h"
+#include "circuit/circuit.h"
+#include "circuit/schedule.h"
+#include "device/device.h"
+#include "scheduler/analysis.h"
+#include "scheduler/xtalk_scheduler.h"
+
+namespace xtalk {
+
+/** Placement policies. */
+enum class LayoutPolicy {
+    kTrivial,     ///< logical i -> physical i.
+    kNoiseAware,  ///< Greedy error/crosstalk-aware placement.
+};
+
+/** Scheduling policies (Table 1 + the greedy ablation). */
+enum class SchedulerPolicy {
+    kSerial,
+    kParallel,
+    kGreedy,
+    kXtalk,
+    kXtalkAutoOmega,  ///< XtalkSched with model-guided omega selection.
+};
+
+/** Pipeline configuration. */
+struct CompilerOptions {
+    LayoutPolicy layout = LayoutPolicy::kNoiseAware;
+    SchedulerPolicy scheduler = SchedulerPolicy::kXtalk;
+    /** XtalkSched options (omega ignored under kXtalkAutoOmega). */
+    XtalkSchedulerOptions xtalk;
+    /** Candidates for kXtalkAutoOmega. */
+    std::vector<double> omega_candidates{0.0, 0.05, 0.1, 0.2,
+                                         0.35, 0.5, 0.75, 1.0};
+    /**
+     * Penalize placing interacting pairs on couplers with high-crosstalk
+     * partnerships (kNoiseAware only).
+     */
+    double layout_crosstalk_penalty = 0.5;
+};
+
+/** Everything the pipeline produces. */
+struct CompileResult {
+    /** Hardware circuit with ordering barriers — ready to execute. */
+    Circuit executable{1};
+    /** The timed schedule behind the executable. */
+    ScheduledCircuit schedule{1};
+    /** initial_layout[logical] = physical. */
+    std::vector<QubitId> initial_layout;
+    /** final_layout[logical] = physical after routing SWAPs. */
+    std::vector<QubitId> final_layout;
+    /** Modeled quality under the characterized error model. */
+    ScheduleErrorEstimate estimate;
+    /** Omega actually used (relevant for auto selection). */
+    double omega = 0.5;
+    /** Scheduler that produced the schedule ("XtalkSched", ...). */
+    std::string scheduler_name;
+};
+
+/**
+ * Run the full pipeline on a logical circuit. The circuit may be
+ * narrower than the device; two-qubit gates may connect any logical
+ * pair (routing inserts SWAPs).
+ */
+CompileResult Compile(const Device& device,
+                      const CrosstalkCharacterization& characterization,
+                      const Circuit& logical,
+                      const CompilerOptions& options = {});
+
+}  // namespace xtalk
+
+#endif  // XTALK_COMPILER_COMPILER_H

@@ -1,0 +1,32 @@
+/**
+ * @file
+ * Daily calibration data, mirroring what IBM publishes per device: gate
+ * error rates and durations, qubit coherence times (T1/T2), and readout
+ * errors (paper Section 2.2 and 8.5). These are the *independent* numbers;
+ * conditional (crosstalk) error rates are deliberately absent — they must
+ * be measured by the characterization module.
+ */
+#ifndef XTALK_DEVICE_CALIBRATION_H
+#define XTALK_DEVICE_CALIBRATION_H
+
+namespace xtalk {
+
+/** Per-qubit calibration entries. */
+struct QubitCalibration {
+    double t1_us = 70.0;              ///< Relaxation time, microseconds.
+    double t2_us = 70.0;              ///< Dephasing time, microseconds.
+    double readout_error = 0.048;     ///< Assignment error probability.
+    double sq_error = 0.0008;         ///< Single-qubit gate error rate.
+    double sq_duration_ns = 50.0;     ///< Single-qubit gate duration.
+    double readout_duration_ns = 1000.0;  ///< Measurement duration.
+};
+
+/** Per-coupler calibration entries. */
+struct EdgeCalibration {
+    double cx_error = 0.018;          ///< Independent CNOT error rate.
+    double cx_duration_ns = 400.0;    ///< CNOT duration.
+};
+
+}  // namespace xtalk
+
+#endif  // XTALK_DEVICE_CALIBRATION_H

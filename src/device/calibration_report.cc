@@ -1,0 +1,53 @@
+#include "device/calibration_report.h"
+
+#include <iomanip>
+#include <sstream>
+
+namespace xtalk {
+
+std::string
+DescribeCalibration(const Device& device)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(4);
+    oss << device.name() << " calibration (day " << device.day() << ")\n";
+    oss << "qubit  T1(us)    T2(us)    readout_err  sq_err\n";
+    for (QubitId q = 0; q < device.num_qubits(); ++q) {
+        oss << std::left << std::setw(7) << q << std::setw(10)
+            << device.T1us(q) << std::setw(10) << device.T2us(q)
+            << std::setw(13) << device.ReadoutError(q) << device.SqError(q)
+            << "\n";
+    }
+    oss << "coupler      cx_err    duration(ns)\n";
+    const Topology& topo = device.topology();
+    for (EdgeId e = 0; e < topo.num_edges(); ++e) {
+        std::ostringstream label;
+        label << "CX" << topo.edge(e).a << "," << topo.edge(e).b;
+        oss << std::left << std::setw(13) << label.str() << std::setw(10)
+            << device.CxError(e) << device.CxDuration(e) << "\n";
+    }
+    return oss.str();
+}
+
+std::string
+DescribeGroundTruth(const Device& device, double threshold)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(4);
+    oss << device.name() << " hidden crosstalk pairs (threshold "
+        << threshold << "x)\n";
+    const Topology& topo = device.topology();
+    for (const auto& [e1, e2] :
+         device.ground_truth().HighCrosstalkPairs(threshold)) {
+        const Edge& a = topo.edge(e1);
+        const Edge& b = topo.edge(e2);
+        oss << "  CX" << a.a << "," << a.b << " | CX" << b.a << "," << b.b
+            << "  E(gi|gj)=" << device.ConditionalCxError(e1, e2)
+            << "  E(gj|gi)=" << device.ConditionalCxError(e2, e1)
+            << "  E(gi)=" << device.CxError(e1)
+            << "  E(gj)=" << device.CxError(e2) << "\n";
+    }
+    return oss.str();
+}
+
+}  // namespace xtalk

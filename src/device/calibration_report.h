@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Human-readable device calibration reports, mirroring the daily
+ * property tables IBM publishes for its backends (the data the paper's
+ * compiler consumes besides the crosstalk characterization).
+ */
+#ifndef XTALK_DEVICE_CALIBRATION_REPORT_H
+#define XTALK_DEVICE_CALIBRATION_REPORT_H
+
+#include <string>
+
+#include "device/device.h"
+
+namespace xtalk {
+
+/**
+ * Multi-line report: per-qubit T1/T2/readout rows and per-coupler CNOT
+ * error/duration rows, for the device's current calibration day.
+ */
+std::string DescribeCalibration(const Device& device);
+
+/**
+ * One-line-per-pair report of the device's *hidden* crosstalk ground
+ * truth (test/diagnostic use; the compiler must use characterization).
+ */
+std::string DescribeGroundTruth(const Device& device,
+                                double threshold = 3.0);
+
+}  // namespace xtalk
+
+#endif  // XTALK_DEVICE_CALIBRATION_REPORT_H

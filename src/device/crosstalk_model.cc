@@ -1,0 +1,106 @@
+#include "device/crosstalk_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+void
+CrosstalkGroundTruth::SetFactor(EdgeId victim, EdgeId aggressor, double factor)
+{
+    XTALK_REQUIRE(victim != aggressor, "victim and aggressor must differ");
+    XTALK_REQUIRE(factor >= 1.0, "crosstalk factor " << factor << " < 1");
+    factors_[{victim, aggressor}] = factor;
+}
+
+double
+CrosstalkGroundTruth::Factor(EdgeId victim, EdgeId aggressor) const
+{
+    const auto it = factors_.find({victim, aggressor});
+    return it == factors_.end() ? 1.0 : it->second;
+}
+
+bool
+CrosstalkGroundTruth::HasEntry(EdgeId victim, EdgeId aggressor) const
+{
+    return factors_.count({victim, aggressor}) > 0;
+}
+
+std::vector<std::pair<EdgeId, EdgeId>>
+CrosstalkGroundTruth::HighCrosstalkPairs(double threshold) const
+{
+    std::set<std::pair<EdgeId, EdgeId>> unordered;
+    for (const auto& [pair, factor] : factors_) {
+        if (factor > threshold) {
+            const auto key = std::minmax(pair.first, pair.second);
+            unordered.insert({key.first, key.second});
+        }
+    }
+    return {unordered.begin(), unordered.end()};
+}
+
+DriftModel::DriftModel(uint64_t seed, double independent_amplitude,
+                       double conditional_amplitude)
+    : seed_(seed),
+      independent_amplitude_(independent_amplitude),
+      conditional_amplitude_(conditional_amplitude)
+{
+}
+
+namespace {
+
+/** Stateless 64-bit mix (splitmix64 finalizer). */
+uint64_t
+Mix(uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Uniform [0, 1) from a hashed key. */
+double
+HashUniform(uint64_t key)
+{
+    return static_cast<double>(Mix(key) >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+double
+DriftModel::Wobble(uint64_t key, int day, double amplitude) const
+{
+    // A slow per-entity sinusoid (weekly-ish period with a random phase)
+    // plus small day-to-day hash jitter, exponentiated so the factor is
+    // always positive and symmetric in log space.
+    const double phase = 2.0 * M_PI * HashUniform(key ^ seed_);
+    const double period = 6.0 + 4.0 * HashUniform(key ^ seed_ ^ 0x1234567ull);
+    const double slow =
+        std::sin(2.0 * M_PI * static_cast<double>(day) / period + phase);
+    const double jitter =
+        2.0 * HashUniform(key ^ seed_ ^
+                          (static_cast<uint64_t>(day) * 0x9e3779b9ull)) -
+        1.0;
+    return std::exp(amplitude * slow + 0.3 * amplitude * jitter);
+}
+
+double
+DriftModel::IndependentFactor(int entity, int day) const
+{
+    const uint64_t key = 0xA5A5A5A5ull ^ static_cast<uint64_t>(entity);
+    return Wobble(key, day, independent_amplitude_);
+}
+
+double
+DriftModel::ConditionalFactor(int victim, int aggressor, int day) const
+{
+    const uint64_t key = (static_cast<uint64_t>(victim) << 32) ^
+                         static_cast<uint64_t>(aggressor) ^ 0x5C5C5C5Cull;
+    return Wobble(key, day, conditional_amplitude_);
+}
+
+}  // namespace xtalk

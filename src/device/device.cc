@@ -1,0 +1,172 @@
+#include "device/device.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+Device::Device(std::string name, Topology topology,
+               std::vector<QubitCalibration> qubits,
+               std::vector<EdgeCalibration> couplers,
+               CrosstalkGroundTruth ground_truth, DeviceTraits traits,
+               uint64_t drift_seed)
+    : name_(std::move(name)),
+      topology_(std::move(topology)),
+      qubit_cal_(std::move(qubits)),
+      edge_cal_(std::move(couplers)),
+      ground_truth_(std::move(ground_truth)),
+      traits_(traits),
+      drift_(drift_seed)
+{
+    XTALK_REQUIRE(static_cast<int>(qubit_cal_.size()) ==
+                      topology_.num_qubits(),
+                  "qubit calibration count mismatch");
+    XTALK_REQUIRE(static_cast<int>(edge_cal_.size()) == topology_.num_edges(),
+                  "edge calibration count mismatch");
+}
+
+double
+Device::CxError(EdgeId e) const
+{
+    const double base = edge_cal_.at(e).cx_error;
+    const double factor = drift_.IndependentFactor(e, day_);
+    return std::clamp(base * factor, 1e-6, 0.75);
+}
+
+double
+Device::CxDuration(EdgeId e) const
+{
+    return edge_cal_.at(e).cx_duration_ns;
+}
+
+double
+Device::SqError(QubitId q) const
+{
+    const double base = qubit_cal_.at(q).sq_error;
+    const double factor = drift_.IndependentFactor(q + 4096, day_);
+    return std::clamp(base * factor, 1e-7, 0.5);
+}
+
+double
+Device::SqDuration(QubitId q) const
+{
+    return qubit_cal_.at(q).sq_duration_ns;
+}
+
+double
+Device::ReadoutError(QubitId q) const
+{
+    return qubit_cal_.at(q).readout_error;
+}
+
+double
+Device::ReadoutDuration(QubitId q) const
+{
+    return qubit_cal_.at(q).readout_duration_ns;
+}
+
+double
+Device::T1us(QubitId q) const
+{
+    return qubit_cal_.at(q).t1_us;
+}
+
+double
+Device::T2us(QubitId q) const
+{
+    return qubit_cal_.at(q).t2_us;
+}
+
+double
+Device::CoherenceTimeNs(QubitId q) const
+{
+    return std::min(T1us(q), T2us(q)) * 1000.0;
+}
+
+double
+Device::GateDuration(const Gate& gate) const
+{
+    switch (gate.kind) {
+      case GateKind::kBarrier:
+        return 0.0;
+      case GateKind::kU1:
+      case GateKind::kRZ:
+      case GateKind::kZ:
+      case GateKind::kS:
+      case GateKind::kSdg:
+      case GateKind::kT:
+      case GateKind::kTdg:
+        // Virtual-Z family: implemented as frame changes, zero duration.
+        return 0.0;
+      case GateKind::kMeasure:
+        return ReadoutDuration(gate.qubits[0]);
+      case GateKind::kCX:
+      case GateKind::kCZ: {
+        const EdgeId e = topology_.FindEdge(gate.qubits[0], gate.qubits[1]);
+        XTALK_REQUIRE(e >= 0, "two-qubit gate on uncoupled qubits ("
+                                  << gate.qubits[0] << ", " << gate.qubits[1]
+                                  << ")");
+        return CxDuration(e);
+      }
+      case GateKind::kSwap: {
+        const EdgeId e = topology_.FindEdge(gate.qubits[0], gate.qubits[1]);
+        XTALK_REQUIRE(e >= 0, "swap on uncoupled qubits");
+        return 3.0 * CxDuration(e);
+      }
+      default:
+        return SqDuration(gate.qubits[0]);
+    }
+}
+
+double
+Device::GateError(const Gate& gate) const
+{
+    switch (gate.kind) {
+      case GateKind::kBarrier:
+        return 0.0;
+      case GateKind::kU1:
+      case GateKind::kRZ:
+        return 0.0;  // Virtual-Z gates are error-free.
+      case GateKind::kMeasure:
+        return ReadoutError(gate.qubits[0]);
+      case GateKind::kCX:
+      case GateKind::kCZ: {
+        const EdgeId e = topology_.FindEdge(gate.qubits[0], gate.qubits[1]);
+        XTALK_REQUIRE(e >= 0, "two-qubit gate on uncoupled qubits");
+        return CxError(e);
+      }
+      case GateKind::kSwap: {
+        const EdgeId e = topology_.FindEdge(gate.qubits[0], gate.qubits[1]);
+        XTALK_REQUIRE(e >= 0, "swap on uncoupled qubits");
+        // Three back-to-back CNOTs.
+        const double p = CxError(e);
+        return 1.0 - std::pow(1.0 - p, 3.0);
+      }
+      default:
+        return SqError(gate.qubits[0]);
+    }
+}
+
+double
+Device::ConditionalCxError(EdgeId victim, EdgeId aggressor) const
+{
+    const double independent = CxError(victim);
+    if (!ground_truth_.HasEntry(victim, aggressor)) {
+        return independent;
+    }
+    const double base_factor = ground_truth_.Factor(victim, aggressor);
+    const double drift = drift_.ConditionalFactor(victim, aggressor, day_);
+    const double factor = std::max(1.0, base_factor * drift);
+    return std::clamp(independent * factor, independent, 0.75);
+}
+
+bool
+Device::IsHighCrosstalkPair(EdgeId e1, EdgeId e2, double threshold) const
+{
+    return ConditionalCxError(e1, e2) > threshold * CxError(e1) ||
+           ConditionalCxError(e2, e1) > threshold * CxError(e2);
+}
+
+}  // namespace xtalk

@@ -1,0 +1,147 @@
+#include "experiments/experiments.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+#include "metrics/cross_entropy.h"
+#include "metrics/readout_mitigation.h"
+#include "metrics/tomography.h"
+
+namespace xtalk {
+
+RbConfig
+BenchRbConfig(uint64_t seed)
+{
+    RbConfig config;
+    config.lengths = {1, 2, 4, 7, 12, 20, 30};
+    config.sequences_per_length = 4;
+    config.shots = 128;
+    config.seed = seed;
+    return config;
+}
+
+CrosstalkCharacterization
+CharacterizeDevice(const Device& device, const RbConfig& config,
+                   CharacterizationPolicy policy, uint64_t seed)
+{
+    Rng rng(seed);
+    CrosstalkCharacterizer characterizer(device, config);
+    if (policy == CharacterizationPolicy::kHighOnly) {
+        // Periodic full scan discovers the stable high-crosstalk set;
+        // the daily fast path then re-measures only those pairs.
+        const auto full_plan = BuildCharacterizationPlan(
+            device.topology(), CharacterizationPolicy::kOneHopBinPacked,
+            rng);
+        const auto full = characterizer.Run(full_plan);
+        const auto high = full.HighCrosstalkPairs(3.0);
+        if (high.empty()) {
+            return full;
+        }
+        const auto daily_plan = BuildCharacterizationPlan(
+            device.topology(), CharacterizationPolicy::kHighOnly, rng, high);
+        CrosstalkCharacterization merged = full;
+        merged.Merge(characterizer.Run(daily_plan));
+        return merged;
+    }
+    const auto plan =
+        BuildCharacterizationPlan(device.topology(), policy, rng);
+    return characterizer.Run(plan);
+}
+
+std::vector<double>
+MeasuredQubitFlips(const Device& device, const Circuit& circuit)
+{
+    std::vector<double> flips(std::max(1, circuit.num_clbits()), 0.0);
+    for (const Gate& g : circuit.gates()) {
+        if (g.IsMeasure()) {
+            flips.at(g.cbit) = device.ReadoutError(g.qubits[0]);
+        }
+    }
+    return flips;
+}
+
+SwapExperimentResult
+RunSwapExperiment(const Device& device, Scheduler& scheduler,
+                  const SwapBenchmark& benchmark, int shots_per_setting,
+                  uint64_t sim_seed, bool mitigate_readout)
+{
+    SwapExperimentResult result;
+    const std::vector<Circuit> tomo = TomographyCircuits(
+        benchmark.circuit, benchmark.bell_left, benchmark.bell_right);
+    std::vector<std::vector<double>> distributions;
+    Rng seeder(sim_seed);
+    for (const Circuit& circuit : tomo) {
+        const ScheduledCircuit schedule = scheduler.Schedule(circuit);
+        result.duration_ns =
+            std::max(result.duration_ns, schedule.TotalDuration());
+        NoisySimOptions options;
+        options.seed = seeder.Next();
+        NoisySimulator sim(device, options);
+        const Counts counts = sim.Run(schedule, shots_per_setting);
+        if (mitigate_readout) {
+            const ReadoutMitigator mitigator(
+                {device.ReadoutError(benchmark.bell_left),
+                 device.ReadoutError(benchmark.bell_right)});
+            distributions.push_back(mitigator.Mitigate(counts));
+        } else {
+            distributions.push_back(counts.ToProbabilities());
+        }
+    }
+    const Matrix rho =
+        ReconstructDensityMatrixFromDistributions(distributions);
+    result.error_rate = std::clamp(1.0 - BellFidelity(rho), 0.0, 1.0);
+    return result;
+}
+
+QaoaExperimentResult
+RunCrossEntropyExperiment(const Device& device, Scheduler& scheduler,
+                          const Circuit& circuit, int shots,
+                          uint64_t sim_seed, bool mitigate_readout)
+{
+    QaoaExperimentResult result;
+    const ScheduledCircuit schedule = scheduler.Schedule(circuit);
+    result.duration_ns = schedule.TotalDuration();
+
+    NoisySimOptions options;
+    options.seed = sim_seed;
+    NoisySimulator sim(device, options);
+    const std::vector<double> ideal = sim.IdealProbabilities(schedule);
+    const Counts counts = sim.Run(schedule, shots);
+    std::vector<double> measured;
+    if (mitigate_readout) {
+        const ReadoutMitigator mitigator(MeasuredQubitFlips(device, circuit));
+        measured = mitigator.Mitigate(counts);
+    } else {
+        measured = counts.ToProbabilities();
+    }
+    result.cross_entropy = CrossEntropy(measured, ideal);
+    result.ideal_cross_entropy = IdealCrossEntropy(ideal);
+    return result;
+}
+
+HiddenShiftExperimentResult
+RunHiddenShiftExperiment(const Device& device, Scheduler& scheduler,
+                         const Circuit& circuit, uint64_t expected_outcome,
+                         int shots, uint64_t sim_seed, bool mitigate_readout)
+{
+    HiddenShiftExperimentResult result;
+    const ScheduledCircuit schedule = scheduler.Schedule(circuit);
+    result.duration_ns = schedule.TotalDuration();
+
+    NoisySimOptions options;
+    options.seed = sim_seed;
+    NoisySimulator sim(device, options);
+    const Counts counts = sim.Run(schedule, shots);
+    double success;
+    if (mitigate_readout) {
+        const ReadoutMitigator mitigator(MeasuredQubitFlips(device, circuit));
+        success = mitigator.Mitigate(counts).at(expected_outcome);
+    } else {
+        success = counts.Probability(expected_outcome);
+    }
+    result.error_rate = std::clamp(1.0 - success, 0.0, 1.0);
+    return result;
+}
+
+}  // namespace xtalk

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * End-to-end experiment drivers shared by the benchmark harness, the
+ * examples, and the integration tests. Each driver reproduces one of the
+ * paper's measurement procedures (Section 8.4): schedule a workload with
+ * a given scheduler, execute it on the noisy simulator, apply readout
+ * error mitigation, and compute the paper's metric.
+ */
+#ifndef XTALK_EXPERIMENTS_EXPERIMENTS_H
+#define XTALK_EXPERIMENTS_EXPERIMENTS_H
+
+#include <vector>
+
+#include "characterization/characterizer.h"
+#include "scheduler/scheduler.h"
+#include "sim/noisy_simulator.h"
+#include "workloads/swap_circuits.h"
+
+namespace xtalk {
+
+/**
+ * Run the standard characterization pipeline on a device: build the plan
+ * for @p policy, execute it (RB + SRB on the simulator), and return the
+ * measured error rates. For kHighOnly the high pairs are discovered with
+ * a preliminary bin-packed 1-hop pass, mirroring the paper's periodic
+ * full scan + daily fast path.
+ */
+CrosstalkCharacterization CharacterizeDevice(
+    const Device& device, const RbConfig& config,
+    CharacterizationPolicy policy = CharacterizationPolicy::kOneHopBinPacked,
+    uint64_t seed = 1);
+
+/** Fast RB budget used by benches/tests (override via RbConfig fields). */
+RbConfig BenchRbConfig(uint64_t seed = 99);
+
+/** Result of one SWAP tomography experiment. */
+struct SwapExperimentResult {
+    /** 1 - Bell fidelity after readout mitigation (paper's error rate). */
+    double error_rate = 1.0;
+    /** Schedule makespan of the tomography circuits, ns. */
+    double duration_ns = 0.0;
+};
+
+/**
+ * Schedule + execute the 9-setting tomography of a SWAP benchmark
+ * (paper: 1024 shots per basis setting).
+ */
+SwapExperimentResult RunSwapExperiment(const Device& device,
+                                       Scheduler& scheduler,
+                                       const SwapBenchmark& benchmark,
+                                       int shots_per_setting = 1024,
+                                       uint64_t sim_seed = 1234,
+                                       bool mitigate_readout = true);
+
+/** Result of one QAOA experiment. */
+struct QaoaExperimentResult {
+    /** Cross entropy vs the noise-free distribution (lower is better). */
+    double cross_entropy = 0.0;
+    /** The floor: the ideal distribution's own entropy. */
+    double ideal_cross_entropy = 0.0;
+    double duration_ns = 0.0;
+};
+
+/**
+ * Schedule + execute a measured circuit and compute cross entropy against
+ * its noise-free distribution (paper: 8192 trials).
+ */
+QaoaExperimentResult RunCrossEntropyExperiment(const Device& device,
+                                               Scheduler& scheduler,
+                                               const Circuit& circuit,
+                                               int shots = 8192,
+                                               uint64_t sim_seed = 77,
+                                               bool mitigate_readout = true);
+
+/** Result of one Hidden Shift experiment. */
+struct HiddenShiftExperimentResult {
+    /** Fraction of shots that did not return the hidden shift. */
+    double error_rate = 1.0;
+    double duration_ns = 0.0;
+};
+
+/**
+ * Schedule + execute a Hidden Shift circuit (paper: 8192 trials); the
+ * metric is the miss rate for @p expected_outcome.
+ */
+HiddenShiftExperimentResult RunHiddenShiftExperiment(
+    const Device& device, Scheduler& scheduler, const Circuit& circuit,
+    uint64_t expected_outcome, int shots = 8192, uint64_t sim_seed = 55,
+    bool mitigate_readout = true);
+
+/**
+ * Readout-flip probabilities for the measured qubits of @p circuit in
+ * classical-bit order (used to build a ReadoutMitigator).
+ */
+std::vector<double> MeasuredQubitFlips(const Device& device,
+                                       const Circuit& circuit);
+
+}  // namespace xtalk
+
+#endif  // XTALK_EXPERIMENTS_EXPERIMENTS_H

@@ -1,0 +1,42 @@
+#include "metrics/cross_entropy.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+namespace {
+constexpr double kFloor = 1e-9;
+}
+
+double
+CrossEntropy(const std::vector<double>& measured,
+             const std::vector<double>& ideal)
+{
+    XTALK_REQUIRE(measured.size() == ideal.size(),
+                  "distribution size mismatch: " << measured.size() << " vs "
+                                                 << ideal.size());
+    double h = 0.0;
+    for (size_t x = 0; x < measured.size(); ++x) {
+        if (measured[x] > 0.0) {
+            h -= measured[x] * std::log(std::max(ideal[x], kFloor));
+        }
+    }
+    return h;
+}
+
+double
+CrossEntropy(const Counts& measured, const std::vector<double>& ideal)
+{
+    return CrossEntropy(measured.ToProbabilities(), ideal);
+}
+
+double
+IdealCrossEntropy(const std::vector<double>& ideal)
+{
+    return CrossEntropy(ideal, ideal);
+}
+
+}  // namespace xtalk

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Cross entropy between a measured outcome distribution and the ideal
+ * (noise-free) distribution (paper Section 8.4, QAOA metric): lower is
+ * better, and the floor is the ideal distribution's own entropy.
+ */
+#ifndef XTALK_METRICS_CROSS_ENTROPY_H
+#define XTALK_METRICS_CROSS_ENTROPY_H
+
+#include <vector>
+
+#include "sim/counts.h"
+
+namespace xtalk {
+
+/**
+ * H(q, p) = -sum_x q(x) ln p(x), with p clamped away from zero. @p
+ * measured and @p ideal must have equal length.
+ */
+double CrossEntropy(const std::vector<double>& measured,
+                    const std::vector<double>& ideal);
+
+/** Convenience overload from counts. */
+double CrossEntropy(const Counts& measured, const std::vector<double>& ideal);
+
+/** The floor: H(p, p) = entropy of the ideal distribution. */
+double IdealCrossEntropy(const std::vector<double>& ideal);
+
+}  // namespace xtalk
+
+#endif  // XTALK_METRICS_CROSS_ENTROPY_H

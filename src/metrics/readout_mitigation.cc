@@ -1,0 +1,65 @@
+#include "metrics/readout_mitigation.h"
+
+#include <algorithm>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+ReadoutMitigator::ReadoutMitigator(std::vector<double> flip_probabilities)
+    : flips_(std::move(flip_probabilities))
+{
+    XTALK_REQUIRE(!flips_.empty() && flips_.size() <= 20,
+                  "supported classical widths: 1..20");
+    for (double e : flips_) {
+        XTALK_REQUIRE(e >= 0.0 && e < 0.5,
+                      "flip probability " << e << " outside [0, 0.5)");
+    }
+}
+
+std::vector<double>
+ReadoutMitigator::Mitigate(const Counts& counts) const
+{
+    XTALK_REQUIRE(static_cast<size_t>(counts.num_clbits()) == flips_.size(),
+                  "counts width " << counts.num_clbits() << " != mitigator "
+                                  << flips_.size());
+    return Mitigate(counts.ToProbabilities());
+}
+
+std::vector<double>
+ReadoutMitigator::Mitigate(std::vector<double> probabilities) const
+{
+    const size_t dim = size_t{1} << flips_.size();
+    XTALK_REQUIRE(probabilities.size() == dim, "distribution size mismatch");
+
+    // Apply the inverse confusion matrix along each bit axis:
+    //   M^-1 = 1/(1-2e) [[1-e, -e], [-e, 1-e]].
+    for (size_t bit = 0; bit < flips_.size(); ++bit) {
+        const double e = flips_[bit];
+        const double inv = 1.0 / (1.0 - 2.0 * e);
+        const size_t mask = size_t{1} << bit;
+        for (size_t i = 0; i < dim; ++i) {
+            if (i & mask) {
+                continue;
+            }
+            const double p0 = probabilities[i];
+            const double p1 = probabilities[i | mask];
+            probabilities[i] = inv * ((1.0 - e) * p0 - e * p1);
+            probabilities[i | mask] = inv * ((1.0 - e) * p1 - e * p0);
+        }
+    }
+    // Project back onto the simplex (linear inversion can go negative).
+    double total = 0.0;
+    for (double& p : probabilities) {
+        p = std::max(0.0, p);
+        total += p;
+    }
+    if (total > 0.0) {
+        for (double& p : probabilities) {
+            p /= total;
+        }
+    }
+    return probabilities;
+}
+
+}  // namespace xtalk

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Readout error mitigation (paper Section 8.4: "readout error mitigation
+ * is used to reduce the effect of imperfect hardware readout"): invert
+ * the per-qubit symmetric-flip confusion model, matching Qiskit Ignis's
+ * tensored mitigation. With flip probability e the per-bit confusion
+ * matrix is [[1-e, e], [e, 1-e]]; its inverse is applied along each
+ * classical bit axis, then the result is clamped to the simplex.
+ */
+#ifndef XTALK_METRICS_READOUT_MITIGATION_H
+#define XTALK_METRICS_READOUT_MITIGATION_H
+
+#include <vector>
+
+#include "sim/counts.h"
+
+namespace xtalk {
+
+/** Tensored readout mitigator for up to ~20 classical bits. */
+class ReadoutMitigator {
+  public:
+    /**
+     * @p flip_probabilities, one per classical bit (bit i of outcomes),
+     * each in [0, 0.5).
+     */
+    explicit ReadoutMitigator(std::vector<double> flip_probabilities);
+
+    /** Mitigated probability distribution over all outcomes. */
+    std::vector<double> Mitigate(const Counts& counts) const;
+
+    /** Mitigate a raw distribution (index = packed bits). */
+    std::vector<double> Mitigate(std::vector<double> probabilities) const;
+
+  private:
+    std::vector<double> flips_;
+};
+
+}  // namespace xtalk
+
+#endif  // XTALK_METRICS_READOUT_MITIGATION_H

@@ -1,0 +1,163 @@
+#include "metrics/tomography.h"
+
+#include "common/error.h"
+
+namespace xtalk {
+
+std::vector<std::pair<PauliBasis, PauliBasis>>
+TomographySettings()
+{
+    std::vector<std::pair<PauliBasis, PauliBasis>> settings;
+    for (PauliBasis a : {PauliBasis::kX, PauliBasis::kY, PauliBasis::kZ}) {
+        for (PauliBasis b :
+             {PauliBasis::kX, PauliBasis::kY, PauliBasis::kZ}) {
+            settings.push_back({a, b});
+        }
+    }
+    return settings;
+}
+
+namespace {
+
+/** Rotate @p q so a Z measurement reads out the requested basis. */
+void
+AppendBasisChange(Circuit* circuit, QubitId q, PauliBasis basis)
+{
+    switch (basis) {
+      case PauliBasis::kX:
+        circuit->H(q);
+        break;
+      case PauliBasis::kY:
+        circuit->Sdg(q);
+        circuit->H(q);
+        break;
+      case PauliBasis::kZ:
+        break;
+    }
+}
+
+/** Index of a basis in {X=1, Y=2, Z=3} for the Pauli vector. */
+int
+PauliIndex(PauliBasis basis)
+{
+    switch (basis) {
+      case PauliBasis::kX: return 1;
+      case PauliBasis::kY: return 2;
+      case PauliBasis::kZ: return 3;
+    }
+    XTALK_ASSERT(false, "bad basis");
+}
+
+const Matrix&
+PauliMatrix(int index)
+{
+    static const Matrix kPaulis[4] = {
+        Matrix{{1, 0}, {0, 1}},
+        Matrix{{0, 1}, {1, 0}},
+        Matrix{{0, Complex(0, -1)}, {Complex(0, 1), 0}},
+        Matrix{{1, 0}, {0, -1}},
+    };
+    XTALK_ASSERT(index >= 0 && index < 4, "bad Pauli index");
+    return kPaulis[index];
+}
+
+}  // namespace
+
+std::vector<Circuit>
+TomographyCircuits(const Circuit& base, QubitId qa, QubitId qb)
+{
+    XTALK_REQUIRE(qa != qb, "tomography qubits must differ");
+    std::vector<Circuit> circuits;
+    for (const auto& [basis_a, basis_b] : TomographySettings()) {
+        Circuit c = base;
+        AppendBasisChange(&c, qa, basis_a);
+        AppendBasisChange(&c, qb, basis_b);
+        c.Measure(qa, 0);
+        c.Measure(qb, 1);
+        circuits.push_back(std::move(c));
+    }
+    return circuits;
+}
+
+Matrix
+ReconstructDensityMatrix(const std::vector<Counts>& counts)
+{
+    std::vector<std::vector<double>> distributions;
+    for (const Counts& c : counts) {
+        XTALK_REQUIRE(c.shots() > 0, "tomography setting has no shots");
+        std::vector<double> probs(4, 0.0);
+        for (const auto& [bits, count] : c.histogram()) {
+            XTALK_REQUIRE(bits < 4, "tomography outcome out of range");
+            probs[bits] = static_cast<double>(count) / c.shots();
+        }
+        distributions.push_back(std::move(probs));
+    }
+    return ReconstructDensityMatrixFromDistributions(distributions);
+}
+
+Matrix
+ReconstructDensityMatrixFromDistributions(
+    const std::vector<std::vector<double>>& distributions)
+{
+    XTALK_REQUIRE(distributions.size() == 9,
+                  "tomography needs 9 distributions, got "
+                      << distributions.size());
+    const auto settings = TomographySettings();
+
+    // pauli_expect[i][j] = <sigma_i (x) sigma_j>, i on qa, j on qb, with
+    // index 0 = I. Single-qubit expectations are averaged over the 3
+    // settings measuring that Pauli.
+    double expect[4][4] = {};
+    double weight[4][4] = {};
+    expect[0][0] = 1.0;
+    weight[0][0] = 1.0;
+    for (size_t s = 0; s < settings.size(); ++s) {
+        const int ia = PauliIndex(settings[s].first);
+        const int ib = PauliIndex(settings[s].second);
+        XTALK_REQUIRE(distributions[s].size() == 4,
+                      "each tomography distribution must have 4 outcomes");
+        double e_ab = 0.0, e_a = 0.0, e_b = 0.0;
+        for (uint64_t bits = 0; bits < 4; ++bits) {
+            const double p = distributions[s][bits];
+            const int sign_a = (bits & 1) ? -1 : 1;
+            const int sign_b = (bits & 2) ? -1 : 1;
+            e_ab += sign_a * sign_b * p;
+            e_a += sign_a * p;
+            e_b += sign_b * p;
+        }
+        expect[ia][ib] += e_ab;
+        weight[ia][ib] += 1.0;
+        expect[ia][0] += e_a;
+        weight[ia][0] += 1.0;
+        expect[0][ib] += e_b;
+        weight[0][ib] += 1.0;
+    }
+
+    // rho = 1/4 sum_{ij} <sigma_i sigma_j> sigma_i (x) sigma_j.
+    // Convention: qa is the *low* bit of the density-matrix index, so the
+    // tensor product is built as (qb factor) Kron (qa factor).
+    Matrix rho(4, 4);
+    for (int i = 0; i < 4; ++i) {
+        for (int j = 0; j < 4; ++j) {
+            if (weight[i][j] == 0.0) {
+                continue;
+            }
+            const double mean = expect[i][j] / weight[i][j];
+            rho = rho + PauliMatrix(j).Kron(PauliMatrix(i)) *
+                            Complex(0.25 * mean, 0.0);
+        }
+    }
+    return rho;
+}
+
+double
+BellFidelity(const Matrix& rho)
+{
+    XTALK_REQUIRE(rho.rows() == 4 && rho.cols() == 4,
+                  "expected a two-qubit density matrix");
+    // |phi+> = (|00> + |11>)/sqrt2 -> fidelity = <phi|rho|phi>.
+    const Complex f = 0.5 * (rho(0, 0) + rho(0, 3) + rho(3, 0) + rho(3, 3));
+    return std::max(0.0, f.real());
+}
+
+}  // namespace xtalk

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Two-qubit state tomography (paper Section 8.4): 9 measurement settings
+ * (all pairs of X/Y/Z bases), 1024 shots each in the paper, linear
+ * inversion to a density matrix, and Bell-state fidelity. The SWAP
+ * benchmark's "error rate" is 1 - fidelity with (|00> + |11>)/sqrt(2).
+ */
+#ifndef XTALK_METRICS_TOMOGRAPHY_H
+#define XTALK_METRICS_TOMOGRAPHY_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "common/matrix.h"
+#include "sim/counts.h"
+
+namespace xtalk {
+
+/** Measurement bases in the fixed setting order. */
+enum class PauliBasis { kX, kY, kZ };
+
+/** The 9 (basis_a, basis_b) settings in canonical order XX..ZZ. */
+std::vector<std::pair<PauliBasis, PauliBasis>> TomographySettings();
+
+/**
+ * Produce the 9 tomography circuits for qubits (@p qa, @p qb) of
+ * @p base: each appends the basis-change rotations and measures qa into
+ * classical bit 0 and qb into bit 1.
+ */
+std::vector<Circuit> TomographyCircuits(const Circuit& base, QubitId qa,
+                                        QubitId qb);
+
+/**
+ * Linear-inversion reconstruction from the 9 counts, in the same setting
+ * order as TomographyCircuits. Basis convention: density-matrix index =
+ * bit(qa) + 2 * bit(qb). The result is Hermitian and unit trace but not
+ * necessarily positive (linear inversion); fidelity handles that fine
+ * for benchmarking.
+ */
+Matrix ReconstructDensityMatrix(const std::vector<Counts>& counts);
+
+/**
+ * Same reconstruction from 9 outcome distributions (each of length 4,
+ * indexed by bit(qa) + 2*bit(qb)) — the entry point used after readout
+ * error mitigation.
+ */
+Matrix ReconstructDensityMatrixFromDistributions(
+    const std::vector<std::vector<double>>& distributions);
+
+/** Fidelity <phi+| rho |phi+> with the Bell state (|00>+|11>)/sqrt2. */
+double BellFidelity(const Matrix& rho);
+
+}  // namespace xtalk
+
+#endif  // XTALK_METRICS_TOMOGRAPHY_H

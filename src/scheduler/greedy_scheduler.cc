@@ -1,0 +1,129 @@
+#include "scheduler/greedy_scheduler.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+GreedyXtalkScheduler::GreedyXtalkScheduler(
+    const Device& device, const CrosstalkCharacterization& characterization,
+    GreedySchedulerOptions options)
+    : Scheduler(device),
+      characterization_(&characterization),
+      options_(options)
+{
+    XTALK_REQUIRE(options_.omega >= 0.0 && options_.omega <= 1.0,
+                  "omega outside [0, 1]");
+}
+
+ScheduledCircuit
+GreedyXtalkScheduler::Schedule(const Circuit& circuit)
+{
+    struct Placed {
+        Gate gate;
+        EdgeId edge;
+        double start;
+        double duration;
+    };
+    std::vector<Placed> placed;
+    std::vector<Gate> measures;
+    std::vector<double> ready(circuit.num_qubits(), 0.0);
+
+    auto independent_error = [&](EdgeId e) {
+        if (characterization_->HasIndependentError(e)) {
+            return characterization_->IndependentError(e);
+        }
+        return device_->CxError(e);
+    };
+
+    for (const Gate& g : circuit.gates()) {
+        if (g.IsMeasure()) {
+            measures.push_back(g);
+            continue;
+        }
+        double start = 0.0;
+        for (QubitId q : g.qubits) {
+            start = std::max(start, ready[q]);
+        }
+        const double duration =
+            g.IsBarrier() ? 0.0 : device_->GateDuration(g);
+        EdgeId edge = -1;
+        if (g.IsTwoQubitUnitary()) {
+            edge = device_->topology().FindEdge(g.qubits[0], g.qubits[1]);
+            XTALK_REQUIRE(edge >= 0, "two-qubit gate on uncoupled qubits");
+            // Repeatedly delay past overlapping high-crosstalk partners
+            // while the modeled tradeoff favors serialization.
+            bool moved = true;
+            while (moved) {
+                moved = false;
+                for (const Placed& p : placed) {
+                    if (p.edge < 0 || p.edge == edge) {
+                        continue;
+                    }
+                    const bool overlaps =
+                        start < p.start + p.duration - 1e-9 &&
+                        p.start < start + duration - 1e-9;
+                    if (!overlaps) {
+                        continue;
+                    }
+                    if (!characterization_->IsHighCrosstalk(
+                            edge, p.edge, options_.high_threshold,
+                            options_.high_margin)) {
+                        continue;
+                    }
+                    const double cond =
+                        characterization_->ConditionalError(edge, p.edge);
+                    const double indep = independent_error(edge);
+                    // Crosstalk penalty (log-error increase) vs the
+                    // decoherence cost of pushing this gate later.
+                    const double delay = p.start + p.duration - start;
+                    double decoherence_cost = 0.0;
+                    for (QubitId q : g.qubits) {
+                        decoherence_cost +=
+                            delay / device_->CoherenceTimeNs(q);
+                    }
+                    const double crosstalk_gain =
+                        std::log(cond) - std::log(indep);
+                    if (options_.omega * crosstalk_gain >
+                        (1.0 - options_.omega) * decoherence_cost) {
+                        start = p.start + p.duration;
+                        moved = true;
+                    }
+                }
+            }
+        }
+        if (!g.IsBarrier()) {
+            placed.push_back({g, edge, start, duration});
+        }
+        for (QubitId q : g.qubits) {
+            ready[q] = std::max(ready[q], start + duration);
+        }
+    }
+
+    ScheduledCircuit schedule(circuit.num_qubits());
+    for (const Placed& p : placed) {
+        schedule.Add(p.gate, p.start, p.duration);
+    }
+    if (!measures.empty()) {
+        double readout_start = 0.0;
+        for (const Gate& m : measures) {
+            readout_start = std::max(readout_start, ready[m.qubits[0]]);
+        }
+        if (!device_->traits().simultaneous_readout) {
+            for (const Gate& m : measures) {
+                schedule.Add(m, ready[m.qubits[0]],
+                             device_->ReadoutDuration(m.qubits[0]));
+            }
+        } else {
+            for (const Gate& m : measures) {
+                schedule.Add(m, readout_start,
+                             device_->ReadoutDuration(m.qubits[0]));
+            }
+        }
+    }
+    return schedule;
+}
+
+}  // namespace xtalk

@@ -1,0 +1,45 @@
+/**
+ * @file
+ * GreedySched: a polynomial-time heuristic alternative to the SMT
+ * scheduler, used as an ablation (how much of XtalkSched's benefit needs
+ * an optimal solver?) and as a fallback for very large circuits.
+ *
+ * Forward list scheduling: each gate is placed ASAP, but a two-qubit
+ * gate that would overlap an already-placed high-crosstalk partner is
+ * delayed past it when the modeled crosstalk penalty outweighs the
+ * modeled decoherence cost of the delay — a local, single-pass version
+ * of the SMT objective.
+ */
+#ifndef XTALK_SCHEDULER_GREEDY_SCHEDULER_H
+#define XTALK_SCHEDULER_GREEDY_SCHEDULER_H
+
+#include "characterization/characterizer.h"
+#include "scheduler/scheduler.h"
+
+namespace xtalk {
+
+/** Options mirroring XtalkSchedulerOptions where meaningful. */
+struct GreedySchedulerOptions {
+    double omega = 0.5;
+    double high_threshold = 2.5;
+    double high_margin = 0.015;
+};
+
+/** Greedy crosstalk-aware list scheduler. */
+class GreedyXtalkScheduler : public Scheduler {
+  public:
+    GreedyXtalkScheduler(const Device& device,
+                         const CrosstalkCharacterization& characterization,
+                         GreedySchedulerOptions options = {});
+
+    ScheduledCircuit Schedule(const Circuit& circuit) override;
+    std::string name() const override { return "GreedySched"; }
+
+  private:
+    const CrosstalkCharacterization* characterization_;
+    GreedySchedulerOptions options_;
+};
+
+}  // namespace xtalk
+
+#endif  // XTALK_SCHEDULER_GREEDY_SCHEDULER_H

@@ -1,0 +1,36 @@
+#include "scheduler/omega_tuning.h"
+
+#include "common/error.h"
+
+namespace xtalk {
+
+OmegaSelection
+SelectOmegaByModel(const Device& device,
+                   const CrosstalkCharacterization& characterization,
+                   const Circuit& circuit,
+                   const std::vector<double>& candidates,
+                   const XtalkSchedulerOptions& base)
+{
+    XTALK_REQUIRE(!candidates.empty(), "need at least one candidate omega");
+    OmegaSelection best;
+    bool have_best = false;
+    for (double omega : candidates) {
+        XtalkSchedulerOptions options = base;
+        options.omega = omega;
+        XtalkScheduler scheduler(device, characterization, options);
+        ScheduledCircuit schedule = scheduler.Schedule(circuit);
+        const ScheduleErrorEstimate estimate =
+            EstimateScheduleError(schedule, device, &characterization);
+        best.sweep.push_back({omega, estimate.success_probability});
+        if (!have_best ||
+            estimate.success_probability > best.estimate.success_probability) {
+            best.omega = omega;
+            best.schedule = std::move(schedule);
+            best.estimate = estimate;
+            have_best = true;
+        }
+    }
+    return best;
+}
+
+}  // namespace xtalk

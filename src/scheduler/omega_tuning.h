@@ -1,0 +1,45 @@
+/**
+ * @file
+ * Model-guided selection of the crosstalk weight factor omega.
+ *
+ * The paper leaves omega as a user knob and shows (Figures 8-9) that the
+ * best value depends on the application's crosstalk susceptibility. This
+ * utility automates the choice without spending device time: it solves
+ * the schedule for each candidate omega and scores the results under the
+ * characterized error model (the same model the solver optimizes),
+ * returning the schedule with the highest modeled success probability.
+ */
+#ifndef XTALK_SCHEDULER_OMEGA_TUNING_H
+#define XTALK_SCHEDULER_OMEGA_TUNING_H
+
+#include <vector>
+
+#include "scheduler/analysis.h"
+#include "scheduler/xtalk_scheduler.h"
+
+namespace xtalk {
+
+/** Outcome of an omega sweep. */
+struct OmegaSelection {
+    double omega = 0.5;
+    ScheduledCircuit schedule{1};
+    ScheduleErrorEstimate estimate;
+    /** (omega, modeled success) for every candidate, in sweep order. */
+    std::vector<std::pair<double, double>> sweep;
+};
+
+/**
+ * Solve the schedule for each candidate omega and pick the one with the
+ * highest modeled success probability. @p base supplies every other
+ * scheduler option.
+ */
+OmegaSelection SelectOmegaByModel(
+    const Device& device, const CrosstalkCharacterization& characterization,
+    const Circuit& circuit,
+    const std::vector<double>& candidates = {0.0, 0.05, 0.1, 0.2, 0.35,
+                                             0.5, 0.75, 1.0},
+    const XtalkSchedulerOptions& base = {});
+
+}  // namespace xtalk
+
+#endif  // XTALK_SCHEDULER_OMEGA_TUNING_H

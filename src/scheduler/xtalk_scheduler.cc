@@ -1,0 +1,459 @@
+#include "scheduler/xtalk_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <map>
+#include <numeric>
+#include <set>
+
+#include <z3++.h>
+
+#include "circuit/dag.h"
+#include "common/error.h"
+#include "common/logging.h"
+
+namespace xtalk {
+
+namespace {
+
+/** Convert a Z3 numeral (possibly rational) to double. */
+double
+NumeralToDouble(const z3::expr& e)
+{
+    std::string s = e.get_decimal_string(12);
+    if (!s.empty() && s.back() == '?') {
+        s.pop_back();
+    }
+    return std::stod(s);
+}
+
+/** Exact real constant for a duration/time in ns (0.01 ns resolution). */
+z3::expr
+RealOf(z3::context& ctx, double value)
+{
+    const long long scaled = std::llround(value * 100.0);
+    return ctx.real_val(static_cast<int64_t>(scaled),
+                        static_cast<int64_t>(100));
+}
+
+}  // namespace
+
+XtalkScheduler::XtalkScheduler(
+    const Device& device, const CrosstalkCharacterization& characterization,
+    XtalkSchedulerOptions options)
+    : Scheduler(device),
+      characterization_(&characterization),
+      options_(options)
+{
+    XTALK_REQUIRE(options_.omega >= 0.0 && options_.omega <= 1.0,
+                  "omega " << options_.omega << " outside [0, 1]");
+    XTALK_REQUIRE(options_.high_threshold >= 1.0,
+                  "high_threshold must be >= 1");
+}
+
+ScheduledCircuit
+XtalkScheduler::Schedule(const Circuit& circuit)
+{
+    const auto t_begin = std::chrono::steady_clock::now();
+    const DependencyDag dag(circuit);
+    const int n = circuit.size();
+
+    // Durations and per-gate edge ids (-1 for non-2q gates).
+    std::vector<double> duration(n, 0.0);
+    std::vector<EdgeId> edge_of(n, -1);
+    std::vector<GateId> measures;
+    for (GateId g = 0; g < n; ++g) {
+        const Gate& gate = circuit.gate(g);
+        // Quantize to the solver's 0.01 ns resolution so the emitted
+        // schedule matches the constraint system exactly.
+        duration[g] =
+            gate.IsBarrier()
+                ? 0.0
+                : std::llround(device_->GateDuration(gate) * 100.0) / 100.0;
+        if (gate.IsTwoQubitUnitary()) {
+            edge_of[g] =
+                device_->topology().FindEdge(gate.qubits[0], gate.qubits[1]);
+            XTALK_REQUIRE(edge_of[g] >= 0,
+                          "two-qubit gate on uncoupled qubits: "
+                              << xtalk::ToString(gate));
+        }
+        if (gate.IsMeasure()) {
+            measures.push_back(g);
+        }
+    }
+
+    // Independent error for a coupler: characterized when available,
+    // otherwise the published calibration value.
+    auto independent_error = [&](EdgeId e) {
+        if (characterization_->HasIndependentError(e)) {
+            return characterization_->IndependentError(e);
+        }
+        return device_->CxError(e);
+    };
+
+    // Eligible pairs: DAG-concurrent 2q gates on distinct couplers whose
+    // measured conditional error satisfies the high-crosstalk criterion
+    // in either direction — the paper's pruning of CanOlp to
+    // high-crosstalk partners.
+    std::vector<std::pair<GateId, GateId>> eligible;
+    const std::vector<int> layers = dag.AsapLayers();
+    for (GateId i = 0; i < n; ++i) {
+        if (edge_of[i] < 0) {
+            continue;
+        }
+        for (GateId j = i + 1; j < n; ++j) {
+            if (edge_of[j] < 0 || edge_of[j] == edge_of[i] ||
+                !dag.CanOverlap(i, j)) {
+                continue;
+            }
+            const EdgeId ei = edge_of[i];
+            const EdgeId ej = edge_of[j];
+            if (characterization_->IsHighCrosstalk(ei, ej,
+                                                   options_.high_threshold,
+                                                   options_.high_margin) ||
+                characterization_->IsHighCrosstalk(ej, ei,
+                                                   options_.high_threshold,
+                                                   options_.high_margin)) {
+                eligible.push_back({i, j});
+            }
+        }
+    }
+
+    // Encode only pairs whose ASAP layers are close (deep circuits have
+    // quadratically many eligible pairs, nearly all of which could never
+    // overlap in a sensible schedule), then lazily refine: if the solved
+    // schedule overlaps an un-encoded eligible pair, add it and re-solve.
+    std::set<std::pair<GateId, GateId>> encoded;
+    for (const auto& [i, j] : eligible) {
+        if (options_.max_layer_distance <= 0 ||
+            std::abs(layers[i] - layers[j]) <= options_.max_layer_distance) {
+            encoded.insert({i, j});
+        }
+    }
+
+    stats_ = {};
+    std::vector<double> starts(n, 0.0);
+    for (int round = 0;; ++round) {
+        last_pairs_.assign(encoded.begin(), encoded.end());
+        std::vector<std::vector<GateId>> can_olp(n);
+        for (const auto& [i, j] : last_pairs_) {
+            can_olp[i].push_back(j);
+            can_olp[j].push_back(i);
+        }
+        // Bound the powerset encoding: keep the worst offenders per gate.
+        for (GateId i = 0; options_.use_powerset_encoding && i < n; ++i) {
+            auto& cands = can_olp[i];
+            if (static_cast<int>(cands.size()) >
+                options_.max_overlap_candidates) {
+                std::sort(cands.begin(), cands.end(),
+                          [&](GateId a, GateId b) {
+                              return characterization_->ConditionalError(
+                                         edge_of[i], edge_of[a]) >
+                                     characterization_->ConditionalError(
+                                         edge_of[i], edge_of[b]);
+                          });
+                cands.resize(options_.max_overlap_candidates);
+                std::sort(cands.begin(), cands.end());
+            }
+        }
+        stats_.candidate_pairs = static_cast<int>(last_pairs_.size());
+        stats_.gates_with_candidates = 0;
+        stats_.refinement_rounds = round;
+
+        z3::context ctx;
+        z3::optimize opt(ctx);
+        z3::params params(ctx);
+        params.set("timeout", options_.timeout_ms);
+        opt.set(params);
+
+        // Start-time variables and dependency constraints (constraint 1).
+        std::vector<z3::expr> tau;
+        tau.reserve(n);
+        for (GateId g = 0; g < n; ++g) {
+            tau.push_back(
+                ctx.real_const(("tau" + std::to_string(g)).c_str()));
+            opt.add(tau[g] >= 0);
+        }
+        for (GateId g = 0; g < n; ++g) {
+            for (GateId p : dag.Predecessors(g)) {
+                opt.add(tau[g] >= tau[p] + RealOf(ctx, duration[p]));
+            }
+        }
+
+        // Simultaneous readout (IBMQ trait).
+        if (device_->traits().simultaneous_readout && measures.size() > 1) {
+            for (size_t k = 1; k < measures.size(); ++k) {
+                opt.add(tau[measures[k]] == tau[measures[0]]);
+            }
+        }
+
+        // Overlap indicators (constraint 2; strict interval overlap so
+        // that abutting gates count as serialized, matching the
+        // simulator).
+        std::map<std::pair<GateId, GateId>, z3::expr> overlap;
+        for (const auto& [i, j] : last_pairs_) {
+            z3::expr o = ctx.bool_const(
+                ("o_" + std::to_string(i) + "_" + std::to_string(j))
+                    .c_str());
+            opt.add(o == ((tau[j] < tau[i] + RealOf(ctx, duration[i])) &&
+                          (tau[i] < tau[j] + RealOf(ctx, duration[j]))));
+            overlap.emplace(std::make_pair(i, j), o);
+        }
+        auto overlap_var = [&](GateId i, GateId j) {
+            const auto key = std::minmax(i, j);
+            return overlap.at({key.first, key.second});
+        };
+
+        // No-partial-overlap (constraints 11-13) between candidate pairs.
+        if (device_->traits().no_partial_overlap) {
+            for (const auto& [i, j] : last_pairs_) {
+                const z3::expr di = RealOf(ctx, duration[i]);
+                const z3::expr dj = RealOf(ctx, duration[j]);
+                opt.add((tau[i] + di <= tau[j]) ||
+                        (tau[j] + dj <= tau[i]) ||
+                        ((tau[i] >= tau[j]) &&
+                         (tau[i] + di <= tau[j] + dj)) ||
+                        ((tau[j] >= tau[i]) &&
+                         (tau[j] + dj <= tau[i] + di)));
+            }
+        }
+
+        // Gate-error terms: g.eps = max conditional error over
+        // overlapping aggressors, independent rate otherwise
+        // (constraints 7-8). Two equivalent encodings:
+        //  - the paper's powerset of CanOlp(g), exact by construction
+        //    but exponential in |CanOlp| (capped);
+        //  - lower bounds "logeps >= log E(g|j) when o_gj" plus
+        //    "logeps >= log E(g)": since the objective minimizes
+        //    sum(logeps), the optimum pins logeps to exactly the max of
+        //    the active bounds. Linear in |CanOlp|; the default.
+        z3::expr gate_error_sum = ctx.real_val(0);
+        for (GateId i = 0; i < n; ++i) {
+            const auto& cands = can_olp[i];
+            if (cands.empty()) {
+                continue;
+            }
+            ++stats_.gates_with_candidates;
+            z3::expr logeps =
+                ctx.real_const(("logeps" + std::to_string(i)).c_str());
+            auto log_of = [](double eps) {
+                return std::log(std::clamp(eps, 1e-9, 1.0 - 1e-9));
+            };
+            const double log_independent =
+                log_of(independent_error(edge_of[i]));
+            if (options_.use_powerset_encoding) {
+                const size_t subsets = size_t{1} << cands.size();
+                for (size_t mask = 0; mask < subsets; ++mask) {
+                    z3::expr cond = ctx.bool_val(true);
+                    double worst = independent_error(edge_of[i]);
+                    for (size_t b = 0; b < cands.size(); ++b) {
+                        const GateId j = cands[b];
+                        if (mask & (size_t{1} << b)) {
+                            cond = cond && overlap_var(i, j);
+                            worst = std::max(
+                                worst,
+                                characterization_->ConditionalError(
+                                    edge_of[i], edge_of[j]));
+                        } else {
+                            cond = cond && !overlap_var(i, j);
+                        }
+                    }
+                    opt.add(z3::implies(
+                        cond, logeps == RealOf(ctx, log_of(worst))));
+                }
+            } else {
+                opt.add(logeps >= RealOf(ctx, log_independent));
+                for (GateId j : cands) {
+                    const double cond_err =
+                        characterization_->ConditionalError(edge_of[i],
+                                                            edge_of[j]);
+                    opt.add(z3::implies(
+                        overlap_var(i, j),
+                        logeps >= RealOf(ctx, log_of(cond_err))));
+                }
+            }
+            gate_error_sum = gate_error_sum + logeps;
+        }
+
+        // Decoherence terms (constraints 9-10): first/last gate per qubit
+        // are fixed by program order, so the lifetime is linear in tau.
+        z3::expr decoherence_sum = ctx.real_val(0);
+        for (QubitId q = 0; q < circuit.num_qubits(); ++q) {
+            GateId first = -1, last = -1;
+            for (GateId g = 0; g < n; ++g) {
+                if (circuit.gate(g).IsBarrier()) {
+                    continue;
+                }
+                for (QubitId gq : circuit.gate(g).qubits) {
+                    if (gq == q) {
+                        if (first < 0) {
+                            first = g;
+                        }
+                        last = g;
+                    }
+                }
+            }
+            if (first < 0) {
+                continue;
+            }
+            const z3::expr lifetime =
+                tau[last] + RealOf(ctx, duration[last]) - tau[first];
+            const double t_coh = device_->CoherenceTimeNs(q);
+            decoherence_sum = decoherence_sum + lifetime / RealOf(ctx, t_coh);
+        }
+
+        // Objective (eq. 17, decoherence sign corrected). A tiny floor on
+        // the decoherence coefficient keeps omega = 1 schedules compact:
+        // with a weight of exactly zero the solver may leave arbitrary
+        // gaps, which no real backend would execute.
+        const double decoherence_weight =
+            std::max(1.0 - options_.omega, 1e-4);
+        const z3::expr objective =
+            RealOf(ctx, options_.omega) * gate_error_sum +
+            RealOf(ctx, decoherence_weight) * decoherence_sum;
+        opt.minimize(objective);
+
+        const z3::check_result result = opt.check();
+        XTALK_REQUIRE(result != z3::unsat,
+                      "scheduling constraints are unsatisfiable (bug)");
+        stats_.optimal = (result == z3::sat);
+        if (result != z3::sat) {
+            Warn("XtalkSched: solver returned unknown (timeout?); using "
+                 "best known model");
+        }
+
+        z3::model model = opt.get_model();
+        for (GateId g = 0; g < n; ++g) {
+            starts[g] = NumeralToDouble(model.eval(tau[g], true));
+        }
+
+        // Lazy refinement: add any eligible-but-unencoded pair the model
+        // overlaps, then re-solve. Converges quickly because violations
+        // only occur when the solver shifted chains across the layer
+        // window.
+        std::vector<std::pair<GateId, GateId>> violations;
+        for (const auto& [i, j] : eligible) {
+            if (encoded.count({i, j})) {
+                continue;
+            }
+            const bool overlaps =
+                starts[j] < starts[i] + duration[i] - 1e-9 &&
+                starts[i] < starts[j] + duration[j] - 1e-9;
+            if (overlaps) {
+                violations.push_back({i, j});
+            }
+        }
+        if (violations.empty() ||
+            round >= options_.max_refinement_rounds) {
+            if (!violations.empty()) {
+                Warn("XtalkSched: refinement budget exhausted with " +
+                     std::to_string(violations.size()) +
+                     " unencoded overlaps remaining");
+            }
+            break;
+        }
+        if (round + 1 >= options_.max_refinement_rounds) {
+            // Escalate: pair-at-a-time refinement is thrashing (the
+            // solver keeps finding fresh blind spots); encode the whole
+            // eligible set for the final round.
+            encoded.insert(eligible.begin(), eligible.end());
+        } else {
+            encoded.insert(violations.begin(), violations.end());
+        }
+    }
+
+    // Only lifetime *differences* enter the objective, so the solver may
+    // return an arbitrary global offset; shift the earliest gate to 0.
+    if (n > 0) {
+        const double origin = *std::min_element(starts.begin(), starts.end());
+        for (double& s : starts) {
+            s = std::max(0.0, s - origin);
+        }
+    }
+    ScheduledCircuit schedule(circuit.num_qubits());
+    for (GateId g = 0; g < n; ++g) {
+        if (!circuit.gate(g).IsBarrier()) {
+            schedule.Add(circuit.gate(g), starts[g], duration[g]);
+        }
+    }
+    last_start_times_ = starts;
+
+    stats_.solve_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_begin)
+            .count();
+    return schedule;
+}
+
+Circuit
+XtalkScheduler::ScheduleWithBarriers(const Circuit& circuit,
+                                     ScheduledCircuit* schedule_out)
+{
+    const ScheduledCircuit schedule = Schedule(circuit);
+    if (schedule_out) {
+        *schedule_out = schedule;
+    }
+    return InsertOrderingBarriersForCircuit(circuit, last_start_times_,
+                                            last_pairs_, *device_);
+}
+
+Circuit
+InsertOrderingBarriersForCircuit(
+    const Circuit& circuit, const std::vector<double>& start_ns,
+    const std::vector<std::pair<GateId, GateId>>& candidate_pairs,
+    const Device& device)
+{
+    const int n = circuit.size();
+    XTALK_REQUIRE(static_cast<int>(start_ns.size()) == n,
+                  "start times size mismatch");
+    // Output order: by solver start time, stable on original index.
+    std::vector<GateId> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(), [&](GateId a, GateId b) {
+        return start_ns[a] < start_ns[b];
+    });
+    std::vector<int> position_of(n);
+    for (int pos = 0; pos < n; ++pos) {
+        position_of[order[pos]] = pos;
+    }
+
+    // For every candidate pair the solver serialized, request a barrier
+    // right before the later gate, covering both gates' qubits.
+    std::map<int, std::set<QubitId>> barrier_before;
+    for (const auto& [i, j] : candidate_pairs) {
+        const double di =
+            std::llround(device.GateDuration(circuit.gate(i)) * 100.0) /
+            100.0;
+        const double dj =
+            std::llround(device.GateDuration(circuit.gate(j)) * 100.0) /
+            100.0;
+        const bool overlapping = start_ns[j] < start_ns[i] + di - 1e-9 &&
+                                 start_ns[i] < start_ns[j] + dj - 1e-9;
+        if (overlapping) {
+            continue;  // Solver chose to run them concurrently.
+        }
+        const GateId later = start_ns[i] <= start_ns[j] ? j : i;
+        auto& qubits = barrier_before[position_of[later]];
+        qubits.insert(circuit.gate(i).qubits.begin(),
+                      circuit.gate(i).qubits.end());
+        qubits.insert(circuit.gate(j).qubits.begin(),
+                      circuit.gate(j).qubits.end());
+    }
+
+    Circuit out(circuit.num_qubits());
+    for (int pos = 0; pos < n; ++pos) {
+        const auto it = barrier_before.find(pos);
+        if (it != barrier_before.end()) {
+            out.Barrier(std::vector<QubitId>(it->second.begin(),
+                                             it->second.end()));
+        }
+        const Gate& g = circuit.gate(order[pos]);
+        if (!g.IsBarrier()) {
+            out.Add(g);
+        }
+    }
+    return out;
+}
+
+}  // namespace xtalk

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * XtalkSched: the paper's crosstalk-adaptive instruction scheduler
+ * (Sections 6-7), implemented as an SMT optimization over Z3.
+ *
+ * Per gate g the solver owns a real start time g.tau; durations come
+ * from calibration. Constraints:
+ *  - data dependencies (constraint 1) from the circuit DAG;
+ *  - overlap indicators o_ij (constraint 2) for every candidate pair:
+ *    DAG-concurrent two-qubit gates whose measured conditional error is
+ *    at least `high_threshold` times the independent error;
+ *  - gate-error assignment over the powerset of each gate's overlap
+ *    candidates (constraints 7-8), binding log(g.eps) to the max
+ *    conditional error of the overlapping aggressors;
+ *  - qubit lifetimes (constraint 9): per qubit, first and last gate are
+ *    static (gates on one qubit are totally ordered), so the lifetime is
+ *    linear in their taus;
+ *  - IBMQ traits: no partial overlap between candidate pairs
+ *    (constraints 11-13) and simultaneous readout.
+ *
+ * Objective (eq. 17, with the decoherence sign corrected so that omega=0
+ * reproduces ParSched — see DESIGN.md):
+ *
+ *     min  omega * sum_g log(g.eps) + (1-omega) * sum_q lifetime_q / T_q
+ */
+#ifndef XTALK_SCHEDULER_XTALK_SCHEDULER_H
+#define XTALK_SCHEDULER_XTALK_SCHEDULER_H
+
+#include <utility>
+#include <vector>
+
+#include "characterization/characterizer.h"
+#include "scheduler/scheduler.h"
+
+namespace xtalk {
+
+/** Tuning knobs for XtalkSched. */
+struct XtalkSchedulerOptions {
+    /** Crosstalk weight factor omega in [0, 1] (paper eq. 17). */
+    double omega = 0.5;
+    /**
+     * Conditional/independent ratio above which a gate pair becomes an
+     * overlap candidate in the SMT encoding (pruning of CanOlp).
+     */
+    double high_threshold = 2.5;
+    /**
+     * Absolute conditional-minus-independent margin additionally
+     * required (suppresses RB shot-noise false positives; see
+     * CrosstalkCharacterization::IsHighCrosstalk).
+     */
+    double high_margin = 0.015;
+    /** Z3 timeout per circuit, in milliseconds. */
+    unsigned timeout_ms = 120000;
+    /**
+     * Use the paper's explicit powerset encoding of constraints 7-8
+     * instead of the default (equivalent-at-optimum) lower-bound
+     * encoding; exponential in |CanOlp|, so the candidate cap applies.
+     */
+    bool use_powerset_encoding = false;
+    /** Cap on |CanOlp(g)| when the powerset encoding is active. */
+    int max_overlap_candidates = 5;
+    /**
+     * Only gate pairs whose ASAP layers differ by at most this much
+     * become overlap candidates. Gates far apart in the dependency
+     * structure never overlap in near-optimal schedules, so this prunes
+     * the O(gates^2) candidate set for deep circuits (the "known
+     * optimizations for SMT compilers" the paper cites in Section 9.4);
+     * <= 0 disables the window.
+     */
+    int max_layer_distance = 6;
+    /**
+     * Lazy-refinement budget: after each solve, eligible high-crosstalk
+     * pairs that the model overlaps but the encoding omitted (outside
+     * the layer window) are added and the problem re-solved, up to this
+     * many extra rounds.
+     */
+    int max_refinement_rounds = 4;
+};
+
+/** Solve diagnostics from the last Schedule() call. */
+struct XtalkSchedulerStats {
+    double solve_seconds = 0.0;
+    int candidate_pairs = 0;
+    int gates_with_candidates = 0;
+    int refinement_rounds = 0;
+    bool optimal = false;
+};
+
+/** The crosstalk-adaptive SMT scheduler. */
+class XtalkScheduler : public Scheduler {
+  public:
+    XtalkScheduler(const Device& device,
+                   const CrosstalkCharacterization& characterization,
+                   XtalkSchedulerOptions options = {});
+
+    ScheduledCircuit Schedule(const Circuit& circuit) override;
+    std::string name() const override { return "XtalkSched"; }
+
+    /**
+     * Schedule and post-process into an executable circuit whose barriers
+     * enforce the solver's serialization decisions (paper Section 6's
+     * final step). If @p schedule_out is non-null it receives the timed
+     * schedule.
+     */
+    Circuit ScheduleWithBarriers(const Circuit& circuit,
+                                 ScheduledCircuit* schedule_out = nullptr);
+
+    const XtalkSchedulerStats& stats() const { return stats_; }
+
+    /**
+     * The pruned candidate pair list (gate index pairs) computed for the
+     * last scheduled circuit; exposed for the barrier inserter and tests.
+     */
+    const std::vector<std::pair<GateId, GateId>>& last_candidate_pairs() const
+    {
+        return last_pairs_;
+    }
+
+    /** Start times of the last solve, indexed by original GateId. */
+    const std::vector<double>& last_start_times() const
+    {
+        return last_start_times_;
+    }
+
+  private:
+    const CrosstalkCharacterization* characterization_;
+    XtalkSchedulerOptions options_;
+    XtalkSchedulerStats stats_;
+    std::vector<std::pair<GateId, GateId>> last_pairs_;
+    std::vector<double> last_start_times_;
+};
+
+/**
+ * Insert barriers into @p circuit, re-ordered by the solver start times,
+ * so that every candidate pair the solver serialized stays serialized
+ * when the circuit is re-scheduled by a parallelism-maximizing scheduler
+ * (the paper's post-processing step).
+ */
+Circuit InsertOrderingBarriersForCircuit(
+    const Circuit& circuit, const std::vector<double>& start_ns,
+    const std::vector<std::pair<GateId, GateId>>& candidate_pairs,
+    const Device& device);
+
+}  // namespace xtalk
+
+#endif  // XTALK_SCHEDULER_XTALK_SCHEDULER_H

@@ -1,0 +1,177 @@
+#include "sim/gate_matrices.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+namespace {
+const Complex kI1(0.0, 1.0);
+
+Complex
+ExpI(double theta)
+{
+    return Complex(std::cos(theta), std::sin(theta));
+}
+}  // namespace
+
+Matrix
+MatI()
+{
+    return Matrix{{1, 0}, {0, 1}};
+}
+
+Matrix
+MatX()
+{
+    return Matrix{{0, 1}, {1, 0}};
+}
+
+Matrix
+MatY()
+{
+    return Matrix{{0, -kI1}, {kI1, 0}};
+}
+
+Matrix
+MatZ()
+{
+    return Matrix{{1, 0}, {0, -1}};
+}
+
+Matrix
+MatH()
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    return Matrix{{s, s}, {s, -s}};
+}
+
+Matrix
+MatS()
+{
+    return Matrix{{1, 0}, {0, kI1}};
+}
+
+Matrix
+MatSdg()
+{
+    return Matrix{{1, 0}, {0, -kI1}};
+}
+
+Matrix
+MatT()
+{
+    return Matrix{{1, 0}, {0, ExpI(M_PI / 4)}};
+}
+
+Matrix
+MatTdg()
+{
+    return Matrix{{1, 0}, {0, ExpI(-M_PI / 4)}};
+}
+
+Matrix
+MatSX()
+{
+    // sqrt(X) = 1/2 [[1+i, 1-i], [1-i, 1+i]].
+    const Complex a(0.5, 0.5);
+    const Complex b(0.5, -0.5);
+    return Matrix{{a, b}, {b, a}};
+}
+
+Matrix
+MatRX(double theta)
+{
+    const double c = std::cos(theta / 2);
+    const double s = std::sin(theta / 2);
+    return Matrix{{c, -kI1 * s}, {-kI1 * s, c}};
+}
+
+Matrix
+MatRY(double theta)
+{
+    const double c = std::cos(theta / 2);
+    const double s = std::sin(theta / 2);
+    return Matrix{{c, -s}, {s, c}};
+}
+
+Matrix
+MatRZ(double theta)
+{
+    return Matrix{{ExpI(-theta / 2), 0}, {0, ExpI(theta / 2)}};
+}
+
+Matrix
+MatU1(double lambda)
+{
+    return Matrix{{1, 0}, {0, ExpI(lambda)}};
+}
+
+Matrix
+MatU2(double phi, double lambda)
+{
+    const double s = 1.0 / std::sqrt(2.0);
+    return Matrix{{Complex(s, 0), ExpI(lambda) * -s},
+                  {ExpI(phi) * s, ExpI(phi + lambda) * s}};
+}
+
+Matrix
+MatU3(double theta, double phi, double lambda)
+{
+    const double c = std::cos(theta / 2);
+    const double s = std::sin(theta / 2);
+    return Matrix{{Complex(c, 0), ExpI(lambda) * -s},
+                  {ExpI(phi) * s, ExpI(phi + lambda) * c}};
+}
+
+Matrix
+MatCX()
+{
+    // Control = low bit (qubits[0]), target = high bit (qubits[1]).
+    return Matrix{{1, 0, 0, 0}, {0, 0, 0, 1}, {0, 0, 1, 0}, {0, 1, 0, 0}};
+}
+
+Matrix
+MatCZ()
+{
+    return Matrix{{1, 0, 0, 0}, {0, 1, 0, 0}, {0, 0, 1, 0}, {0, 0, 0, -1}};
+}
+
+Matrix
+MatSwap()
+{
+    return Matrix{{1, 0, 0, 0}, {0, 0, 1, 0}, {0, 1, 0, 0}, {0, 0, 0, 1}};
+}
+
+Matrix
+GateUnitary(const Gate& gate)
+{
+    switch (gate.kind) {
+      case GateKind::kI: return MatI();
+      case GateKind::kX: return MatX();
+      case GateKind::kY: return MatY();
+      case GateKind::kZ: return MatZ();
+      case GateKind::kH: return MatH();
+      case GateKind::kS: return MatS();
+      case GateKind::kSdg: return MatSdg();
+      case GateKind::kT: return MatT();
+      case GateKind::kTdg: return MatTdg();
+      case GateKind::kSX: return MatSX();
+      case GateKind::kRX: return MatRX(gate.params[0]);
+      case GateKind::kRY: return MatRY(gate.params[0]);
+      case GateKind::kRZ: return MatRZ(gate.params[0]);
+      case GateKind::kU1: return MatU1(gate.params[0]);
+      case GateKind::kU2: return MatU2(gate.params[0], gate.params[1]);
+      case GateKind::kU3:
+        return MatU3(gate.params[0], gate.params[1], gate.params[2]);
+      case GateKind::kCX: return MatCX();
+      case GateKind::kCZ: return MatCZ();
+      case GateKind::kSwap: return MatSwap();
+      default:
+        XTALK_REQUIRE(false,
+                      "no unitary for gate: " << xtalk::ToString(gate));
+    }
+}
+
+}  // namespace xtalk

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Unitary matrices for the gate set (little-endian qubit convention:
+ * qubit 0 is the least significant bit of the basis index).
+ */
+#ifndef XTALK_SIM_GATE_MATRICES_H
+#define XTALK_SIM_GATE_MATRICES_H
+
+#include "circuit/gate.h"
+#include "common/matrix.h"
+
+namespace xtalk {
+
+/**
+ * Unitary for a gate: 2x2 for single-qubit kinds, 4x4 for two-qubit
+ * kinds with qubits[0] as the *low* tensor factor. Throws for barriers
+ * and measures.
+ */
+Matrix GateUnitary(const Gate& gate);
+
+/** 2x2 single-qubit unitaries. */
+Matrix MatI();
+Matrix MatX();
+Matrix MatY();
+Matrix MatZ();
+Matrix MatH();
+Matrix MatS();
+Matrix MatSdg();
+Matrix MatT();
+Matrix MatTdg();
+Matrix MatSX();
+Matrix MatRX(double theta);
+Matrix MatRY(double theta);
+Matrix MatRZ(double theta);
+Matrix MatU1(double lambda);
+Matrix MatU2(double phi, double lambda);
+Matrix MatU3(double theta, double phi, double lambda);
+
+/**
+ * 4x4 CNOT with control = qubit index 0 (low bit), target = index 1.
+ */
+Matrix MatCX();
+Matrix MatCZ();
+Matrix MatSwap();
+
+}  // namespace xtalk
+
+#endif  // XTALK_SIM_GATE_MATRICES_H

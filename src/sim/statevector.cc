@@ -1,0 +1,262 @@
+#include "sim/statevector.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "sim/gate_matrices.h"
+
+namespace xtalk {
+
+StateVector::StateVector(int num_qubits) : num_qubits_(num_qubits)
+{
+    XTALK_REQUIRE(num_qubits > 0 && num_qubits <= 26,
+                  "statevector supports 1..26 qubits, got " << num_qubits);
+    amps_.assign(size_t{1} << num_qubits, Complex(0.0, 0.0));
+    amps_[0] = Complex(1.0, 0.0);
+}
+
+void
+StateVector::Reset()
+{
+    std::fill(amps_.begin(), amps_.end(), Complex(0.0, 0.0));
+    amps_[0] = Complex(1.0, 0.0);
+}
+
+void
+StateVector::Apply1Q(int q, const Matrix& u)
+{
+    XTALK_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
+    XTALK_ASSERT(u.rows() == 2 && u.cols() == 2, "expected 2x2 unitary");
+    const size_t stride = size_t{1} << q;
+    const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
+    for (size_t base = 0; base < amps_.size(); base += 2 * stride) {
+        for (size_t offset = 0; offset < stride; ++offset) {
+            const size_t i0 = base + offset;
+            const size_t i1 = i0 + stride;
+            const Complex a0 = amps_[i0];
+            const Complex a1 = amps_[i1];
+            amps_[i0] = u00 * a0 + u01 * a1;
+            amps_[i1] = u10 * a0 + u11 * a1;
+        }
+    }
+}
+
+void
+StateVector::Apply2Q(int q_low, int q_high, const Matrix& u)
+{
+    XTALK_REQUIRE(q_low >= 0 && q_low < num_qubits_ && q_high >= 0 &&
+                      q_high < num_qubits_ && q_low != q_high,
+                  "invalid qubit pair (" << q_low << ", " << q_high << ")");
+    XTALK_ASSERT(u.rows() == 4 && u.cols() == 4, "expected 4x4 unitary");
+    const size_t mask_low = size_t{1} << q_low;
+    const size_t mask_high = size_t{1} << q_high;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        if ((i & mask_low) || (i & mask_high)) {
+            continue;  // Visit each 4-tuple once, at its 00 member.
+        }
+        const size_t i00 = i;
+        const size_t i01 = i | mask_low;   // Local index 1 = low bit set.
+        const size_t i10 = i | mask_high;  // Local index 2 = high bit set.
+        const size_t i11 = i | mask_low | mask_high;
+        const Complex a00 = amps_[i00];
+        const Complex a01 = amps_[i01];
+        const Complex a10 = amps_[i10];
+        const Complex a11 = amps_[i11];
+        amps_[i00] = u(0, 0) * a00 + u(0, 1) * a01 + u(0, 2) * a10 +
+                     u(0, 3) * a11;
+        amps_[i01] = u(1, 0) * a00 + u(1, 1) * a01 + u(1, 2) * a10 +
+                     u(1, 3) * a11;
+        amps_[i10] = u(2, 0) * a00 + u(2, 1) * a01 + u(2, 2) * a10 +
+                     u(2, 3) * a11;
+        amps_[i11] = u(3, 0) * a00 + u(3, 1) * a01 + u(3, 2) * a10 +
+                     u(3, 3) * a11;
+    }
+}
+
+void
+StateVector::ApplyGate(const Gate& gate)
+{
+    if (gate.kind == GateKind::kI || gate.kind == GateKind::kBarrier) {
+        return;
+    }
+    XTALK_REQUIRE(!gate.IsMeasure(),
+                  "measure must go through MeasureQubit/SampleBasis");
+    const Matrix u = GateUnitary(gate);
+    if (gate.qubits.size() == 1) {
+        Apply1Q(gate.qubits[0], u);
+    } else {
+        Apply2Q(gate.qubits[0], gate.qubits[1], u);
+    }
+}
+
+void
+StateVector::ApplyCircuit(const Circuit& circuit)
+{
+    XTALK_REQUIRE(circuit.num_qubits() <= num_qubits_,
+                  "circuit wider than state");
+    for (const Gate& g : circuit.gates()) {
+        if (!g.IsMeasure()) {
+            ApplyGate(g);
+        }
+    }
+}
+
+double
+StateVector::ProbabilityOne(int q) const
+{
+    XTALK_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
+    const size_t mask = size_t{1} << q;
+    double p = 0.0;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        if (i & mask) {
+            p += std::norm(amps_[i]);
+        }
+    }
+    return p;
+}
+
+std::vector<double>
+StateVector::Probabilities() const
+{
+    std::vector<double> probs(amps_.size());
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        probs[i] = std::norm(amps_[i]);
+    }
+    return probs;
+}
+
+bool
+StateVector::MeasureQubit(int q, Rng& rng)
+{
+    const double p1 = ProbabilityOne(q);
+    const bool outcome = rng.Bernoulli(p1);
+    const size_t mask = size_t{1} << q;
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        const bool bit = (i & mask) != 0;
+        if (bit != outcome) {
+            amps_[i] = Complex(0.0, 0.0);
+        }
+    }
+    Renormalize();
+    return outcome;
+}
+
+size_t
+StateVector::SampleBasis(Rng& rng) const
+{
+    double target = rng.Uniform();
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        target -= std::norm(amps_[i]);
+        if (target < 0.0) {
+            return i;
+        }
+    }
+    return amps_.size() - 1;
+}
+
+void
+StateVector::AmplitudeDamp(int q, double gamma, Rng& rng)
+{
+    XTALK_REQUIRE(gamma >= 0.0 && gamma <= 1.0,
+                  "gamma " << gamma << " outside [0, 1]");
+    if (gamma <= 0.0) {
+        return;
+    }
+    const double p_jump = gamma * ProbabilityOne(q);
+    const size_t mask = size_t{1} << q;
+    if (rng.Bernoulli(p_jump)) {
+        // Jump: K1 = sqrt(gamma) |0><1| — the excited component relaxes.
+        for (size_t i = 0; i < amps_.size(); ++i) {
+            if (!(i & mask)) {
+                amps_[i] = amps_[i | mask];  // Move |1> amplitude to |0>.
+            }
+        }
+        for (size_t i = 0; i < amps_.size(); ++i) {
+            if (i & mask) {
+                amps_[i] = Complex(0.0, 0.0);
+            }
+        }
+    } else {
+        // No jump: K0 = |0><0| + sqrt(1-gamma) |1><1|.
+        const double scale = std::sqrt(1.0 - gamma);
+        for (size_t i = 0; i < amps_.size(); ++i) {
+            if (i & mask) {
+                amps_[i] *= scale;
+            }
+        }
+    }
+    Renormalize();
+}
+
+void
+StateVector::Dephase(int q, double p_flip, Rng& rng)
+{
+    XTALK_REQUIRE(p_flip >= 0.0 && p_flip <= 0.5 + 1e-12,
+                  "dephasing probability " << p_flip << " outside [0, 0.5]");
+    if (p_flip > 0.0 && rng.Bernoulli(p_flip)) {
+        Apply1Q(q, MatZ());
+    }
+}
+
+Complex
+StateVector::InnerProduct(const StateVector& other) const
+{
+    XTALK_REQUIRE(num_qubits_ == other.num_qubits_, "state width mismatch");
+    Complex acc(0.0, 0.0);
+    for (size_t i = 0; i < amps_.size(); ++i) {
+        acc += std::conj(amps_[i]) * other.amps_[i];
+    }
+    return acc;
+}
+
+double
+StateVector::Fidelity(const StateVector& other) const
+{
+    return std::norm(InnerProduct(other));
+}
+
+double
+StateVector::Norm() const
+{
+    double ss = 0.0;
+    for (const Complex& a : amps_) {
+        ss += std::norm(a);
+    }
+    return std::sqrt(ss);
+}
+
+void
+StateVector::Renormalize()
+{
+    const double norm = Norm();
+    XTALK_ASSERT(norm > 1e-12, "state collapsed to zero norm");
+    const double inv = 1.0 / norm;
+    for (Complex& a : amps_) {
+        a *= inv;
+    }
+}
+
+Matrix
+CircuitUnitary(const Circuit& circuit)
+{
+    XTALK_REQUIRE(circuit.num_qubits() <= 10,
+                  "CircuitUnitary limited to 10 qubits");
+    const size_t dim = size_t{1} << circuit.num_qubits();
+    Matrix u(dim, dim);
+    for (size_t col = 0; col < dim; ++col) {
+        StateVector sv(circuit.num_qubits());
+        // Prepare basis state |col>.
+        for (int q = 0; q < circuit.num_qubits(); ++q) {
+            if ((col >> q) & 1) {
+                sv.Apply1Q(q, MatX());
+            }
+        }
+        sv.ApplyCircuit(circuit);
+        for (size_t row = 0; row < dim; ++row) {
+            u(row, col) = sv.amplitude(row);
+        }
+    }
+    return u;
+}
+
+}  // namespace xtalk

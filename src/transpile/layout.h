@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Initial qubit placement. The paper invokes "existing passes for
+ * mapping" before scheduling; these are those passes:
+ *
+ *  - TrivialLayout: logical i -> physical i;
+ *  - NoiseAwareLayout: a greedy variability-aware placement in the
+ *    spirit of Murali et al. (ASPLOS 2019, the paper's reference [43]):
+ *    logical qubits are placed in order of their interaction weight onto
+ *    physical qubits that keep interacting pairs adjacent on low-error
+ *    couplers, and optionally away from high-crosstalk couplers.
+ */
+#ifndef XTALK_TRANSPILE_LAYOUT_H
+#define XTALK_TRANSPILE_LAYOUT_H
+
+#include <vector>
+
+#include "characterization/characterizer.h"
+#include "circuit/circuit.h"
+#include "device/device.h"
+
+namespace xtalk {
+
+/** logical i -> physical i. */
+std::vector<QubitId> TrivialLayout(const Circuit& logical);
+
+/** Options for the noise-aware placement. */
+struct NoiseAwareLayoutOptions {
+    /**
+     * Extra per-coupler cost for each high-crosstalk partnership the
+     * coupler participates in (requires characterization; 0 disables).
+     */
+    double crosstalk_penalty_weight = 0.5;
+};
+
+/**
+ * Greedy noise-aware placement: logical qubits are placed in descending
+ * order of two-qubit interaction count; each goes to the free physical
+ * qubit minimizing the summed expected cost to its already-placed
+ * partners (coupler error for adjacent placements, distance-scaled SWAP
+ * cost otherwise, plus the crosstalk penalty when characterization data
+ * is supplied). Returns initial_layout[logical] = physical.
+ *
+ * @p characterization may be null (pure gate-error placement).
+ */
+std::vector<QubitId> NoiseAwareLayout(
+    const Device& device, const Circuit& logical,
+    const CrosstalkCharacterization* characterization = nullptr,
+    const NoiseAwareLayoutOptions& options = {});
+
+}  // namespace xtalk
+
+#endif  // XTALK_TRANSPILE_LAYOUT_H

@@ -1,0 +1,80 @@
+#include "workloads/hidden_shift.h"
+
+#include "common/error.h"
+
+namespace xtalk {
+
+namespace {
+
+/** CZ(a, b) in the CNOT basis, optionally tripled. */
+void
+AppendInteraction(Circuit* circuit, QubitId a, QubitId b, bool redundant)
+{
+    circuit->H(b);
+    const int repetitions = redundant ? 3 : 1;
+    for (int r = 0; r < repetitions; ++r) {
+        circuit->CX(a, b);
+    }
+    circuit->H(b);
+}
+
+/** Oracle (-1)^{f(x)} for f = x0 x1 XOR x2 x3: two parallel CZs. */
+void
+AppendOracle(Circuit* circuit, const std::array<QubitId, 4>& q,
+             bool redundant)
+{
+    AppendInteraction(circuit, q[0], q[1], redundant);
+    AppendInteraction(circuit, q[2], q[3], redundant);
+}
+
+}  // namespace
+
+Circuit
+BuildHiddenShiftCircuit(const Device& device,
+                        const std::array<QubitId, 4>& qubits,
+                        const HiddenShiftOptions& options)
+{
+    const Topology& topo = device.topology();
+    XTALK_REQUIRE(topo.AreConnected(qubits[0], qubits[1]),
+                  "qubits[0] and qubits[1] must be coupled");
+    XTALK_REQUIRE(topo.AreConnected(qubits[2], qubits[3]),
+                  "qubits[2] and qubits[3] must be coupled");
+    XTALK_REQUIRE(options.shift < 16, "shift must be a 4-bit string");
+
+    Circuit circuit(topo.num_qubits());
+    for (QubitId q : qubits) {
+        circuit.H(q);
+    }
+    // Shifted oracle O_g = X^s O_f X^s.
+    for (int i = 0; i < 4; ++i) {
+        if ((options.shift >> i) & 1) {
+            circuit.X(qubits[i]);
+        }
+    }
+    AppendOracle(&circuit, qubits, options.redundant_cnots);
+    for (int i = 0; i < 4; ++i) {
+        if ((options.shift >> i) & 1) {
+            circuit.X(qubits[i]);
+        }
+    }
+    for (QubitId q : qubits) {
+        circuit.H(q);
+    }
+    // Dual oracle (f is self-dual for this Maiorana-McFarland function).
+    AppendOracle(&circuit, qubits, options.redundant_cnots);
+    for (QubitId q : qubits) {
+        circuit.H(q);
+    }
+    for (int i = 0; i < 4; ++i) {
+        circuit.Measure(qubits[i], i);
+    }
+    return circuit;
+}
+
+uint64_t
+HiddenShiftExpectedOutcome(const HiddenShiftOptions& options)
+{
+    return options.shift;
+}
+
+}  // namespace xtalk

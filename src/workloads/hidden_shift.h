@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Hidden Shift benchmark (paper Section 8.3 / Figure 9), following the
+ * standard 4-qubit construction over the bent function
+ * f(x) = x0 x1 XOR x2 x3: the circuit returns the hidden shift string s
+ * deterministically on a perfect machine, so the error rate is the
+ * fraction of shots that fail to read s.
+ *
+ * The oracle layers contain two parallel CZ-style interactions realized
+ * as CNOTs conjugated by Hadamards. The paper's "redundant CNOT" variant
+ * triples each CNOT (the first two cancel), leaving the semantics intact
+ * while tripling the crosstalk exposure.
+ */
+#ifndef XTALK_WORKLOADS_HIDDEN_SHIFT_H
+#define XTALK_WORKLOADS_HIDDEN_SHIFT_H
+
+#include <array>
+
+#include "circuit/circuit.h"
+#include "device/device.h"
+
+namespace xtalk {
+
+/** Options for the Hidden Shift instance. */
+struct HiddenShiftOptions {
+    /** Hidden shift bitstring (bit i applies to qubits[i]). */
+    unsigned shift = 0b1011;
+    /** Triple every CNOT to amplify crosstalk susceptibility. */
+    bool redundant_cnots = false;
+};
+
+/**
+ * Build the benchmark on 4 device qubits; (qubits[0], qubits[1]) and
+ * (qubits[2], qubits[3]) must each be coupled (the two parallel
+ * interactions). Measures qubit i into classical bit i.
+ */
+Circuit BuildHiddenShiftCircuit(const Device& device,
+                                const std::array<QubitId, 4>& qubits,
+                                const HiddenShiftOptions& options = {});
+
+/** The bitstring a perfect execution returns (equals options.shift). */
+uint64_t HiddenShiftExpectedOutcome(const HiddenShiftOptions& options);
+
+}  // namespace xtalk
+
+#endif  // XTALK_WORKLOADS_HIDDEN_SHIFT_H

@@ -1,0 +1,50 @@
+#include "workloads/qaoa.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace xtalk {
+
+Circuit
+BuildQaoaCircuit(const Device& device, const std::vector<QubitId>& chain,
+                 const QaoaOptions& options)
+{
+    const Topology& topo = device.topology();
+    XTALK_REQUIRE(chain.size() >= 2, "QAOA chain needs >= 2 qubits");
+    XTALK_REQUIRE(options.layers >= 1, "QAOA needs >= 1 layer");
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+        XTALK_REQUIRE(topo.AreConnected(chain[i], chain[i + 1]),
+                      "chain qubits " << chain[i] << " and " << chain[i + 1]
+                                      << " are not coupled");
+    }
+
+    Rng rng(options.param_seed);
+    Circuit circuit(topo.num_qubits());
+    for (int layer = 0; layer < options.layers; ++layer) {
+        for (QubitId q : chain) {
+            circuit.RZ(rng.Uniform(0.0, 2.0 * M_PI), q);
+            circuit.RY(rng.Uniform(0.0, M_PI), q);
+        }
+        // CNOT ladder: even-indexed couplers first (parallelizable),
+        // then odd-indexed — the structure that exposes simultaneous
+        // nearest-neighbor CNOTs to crosstalk.
+        for (size_t i = 0; i + 1 < chain.size(); i += 2) {
+            circuit.CX(chain[i], chain[i + 1]);
+        }
+        for (size_t i = 1; i + 1 < chain.size(); i += 2) {
+            circuit.CX(chain[i], chain[i + 1]);
+        }
+    }
+    for (QubitId q : chain) {
+        circuit.RZ(rng.Uniform(0.0, 2.0 * M_PI), q);
+        circuit.RY(rng.Uniform(0.0, M_PI), q);
+    }
+    for (size_t i = 0; i < chain.size(); ++i) {
+        circuit.Measure(chain[i], static_cast<ClbitId>(i));
+    }
+    return circuit;
+}
+
+}  // namespace xtalk

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * QAOA benchmark circuits using the hardware-efficient ansatz (paper
+ * Section 8.3 / Figure 8): 4 qubits, ~43 gates with 9 two-qubit gates —
+ * three entangling layers over a connected chain of device qubits, with
+ * parameterized single-qubit rotations between them.
+ */
+#ifndef XTALK_WORKLOADS_QAOA_H
+#define XTALK_WORKLOADS_QAOA_H
+
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/device.h"
+
+namespace xtalk {
+
+/** Options for the hardware-efficient ansatz. */
+struct QaoaOptions {
+    int layers = 3;          ///< Entangling layers (3 x 3 CX = 9 CNOTs).
+    uint64_t param_seed = 7; ///< Seed for the rotation angles.
+};
+
+/**
+ * Build the ansatz on a connected chain of device qubits (adjacent
+ * elements must be coupled). Each layer applies RZ+RY rotations on every
+ * chain qubit followed by a CNOT ladder along the chain; all chain
+ * qubits are measured into classical bits 0..k-1 (chain order).
+ */
+Circuit BuildQaoaCircuit(const Device& device,
+                         const std::vector<QubitId>& chain,
+                         const QaoaOptions& options = {});
+
+}  // namespace xtalk
+
+#endif  // XTALK_WORKLOADS_QAOA_H

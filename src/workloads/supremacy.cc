@@ -1,0 +1,68 @@
+#include "workloads/supremacy.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+Circuit
+BuildSupremacyCircuit(const Device& device, const SupremacyOptions& options)
+{
+    const Topology& topo = device.topology();
+    XTALK_REQUIRE(options.num_qubits >= 2 &&
+                      options.num_qubits <= topo.num_qubits(),
+                  "num_qubits " << options.num_qubits << " out of range");
+    XTALK_REQUIRE(options.target_gates >= 1, "target_gates must be >= 1");
+
+    // Couplers fully inside the active window.
+    std::vector<EdgeId> usable;
+    for (EdgeId e = 0; e < topo.num_edges(); ++e) {
+        if (topo.edge(e).a < options.num_qubits &&
+            topo.edge(e).b < options.num_qubits) {
+            usable.push_back(e);
+        }
+    }
+    XTALK_REQUIRE(!usable.empty(),
+                  "no couplers inside the first " << options.num_qubits
+                                                  << " qubits");
+
+    Rng rng(options.seed);
+    Circuit circuit(topo.num_qubits());
+    while (circuit.size() < options.target_gates) {
+        // Random 1q layer.
+        for (QubitId q = 0; q < options.num_qubits; ++q) {
+            switch (rng.UniformInt(3)) {
+              case 0:
+                circuit.SX(q);
+                break;
+              case 1:
+                circuit.T(q);
+                break;
+              default:
+                circuit.H(q);
+                break;
+            }
+        }
+        // Random maximal-ish CNOT layer over disjoint couplers.
+        std::vector<EdgeId> shuffled = usable;
+        rng.Shuffle(shuffled);
+        std::set<QubitId> busy;
+        for (EdgeId e : shuffled) {
+            const Edge& edge = topo.edge(e);
+            if (busy.count(edge.a) || busy.count(edge.b)) {
+                continue;
+            }
+            circuit.CX(edge.a, edge.b);
+            busy.insert(edge.a);
+            busy.insert(edge.b);
+        }
+    }
+    for (QubitId q = 0; q < options.num_qubits; ++q) {
+        circuit.Measure(q, q);
+    }
+    return circuit;
+}
+
+}  // namespace xtalk

@@ -1,0 +1,31 @@
+/**
+ * @file
+ * Quantum-supremacy-style random circuits (paper Section 9.4): layers of
+ * random single-qubit gates from {sqrt(X), sqrt(Y)-like, T} interleaved
+ * with CNOT layers over randomly chosen disjoint couplers. Used only for
+ * scheduler scalability studies (6-18 qubits, 100-1000 gates), never
+ * simulated with noise.
+ */
+#ifndef XTALK_WORKLOADS_SUPREMACY_H
+#define XTALK_WORKLOADS_SUPREMACY_H
+
+#include "circuit/circuit.h"
+#include "common/rng.h"
+#include "device/device.h"
+
+namespace xtalk {
+
+/** Options for random supremacy-style circuits. */
+struct SupremacyOptions {
+    int num_qubits = 12;     ///< Uses device qubits [0, num_qubits).
+    int target_gates = 200;  ///< Stop once at least this many gates exist.
+    uint64_t seed = 42;
+};
+
+/** Build the random circuit (measures every used qubit at the end). */
+Circuit BuildSupremacyCircuit(const Device& device,
+                              const SupremacyOptions& options = {});
+
+}  // namespace xtalk
+
+#endif  // XTALK_WORKLOADS_SUPREMACY_H

@@ -1,0 +1,105 @@
+#include "workloads/swap_circuits.h"
+
+#include <algorithm>
+
+#include "circuit/dag.h"
+#include "common/error.h"
+#include "transpile/routing.h"
+
+namespace xtalk {
+
+SwapBenchmark
+BuildSwapBenchmark(const Device& device, QubitId a, QubitId b)
+{
+    const Topology& topo = device.topology();
+    XTALK_REQUIRE(a != b, "endpoints must differ");
+    SwapBenchmark bench;
+    bench.source = a;
+    bench.target = b;
+    bench.path = topo.ShortestPath(a, b);
+    XTALK_REQUIRE(!bench.path.empty(), "endpoints are disconnected");
+    bench.path_hops = static_cast<int>(bench.path.size()) - 1;
+
+    const SwapRoute route = PlanMeetInTheMiddle(topo, a, b);
+    bench.bell_left = route.meet_left;
+    bench.bell_right = route.meet_right;
+
+    Circuit circuit(topo.num_qubits());
+    circuit.H(a);
+    // Left chain then right chain in program order; the DAG exposes their
+    // independence so schedulers may parallelize them.
+    for (const auto& [x, y] : route.left_swaps) {
+        circuit.CX(x, y).CX(y, x).CX(x, y);
+    }
+    for (const auto& [x, y] : route.right_swaps) {
+        circuit.CX(x, y).CX(y, x).CX(x, y);
+    }
+    circuit.CX(route.meet_left, route.meet_right);
+    bench.circuit = std::move(circuit);
+    return bench;
+}
+
+bool
+HasCrosstalkConflict(const Device& device, const SwapBenchmark& benchmark,
+                     const CrosstalkCharacterization& characterization,
+                     double threshold, double margin)
+{
+    const Topology& topo = device.topology();
+    const Circuit& circuit = benchmark.circuit;
+    const DependencyDag dag(circuit);
+    std::vector<EdgeId> edge_of(circuit.size(), -1);
+    for (GateId g = 0; g < circuit.size(); ++g) {
+        const Gate& gate = circuit.gate(g);
+        if (gate.IsTwoQubitUnitary()) {
+            edge_of[g] = topo.FindEdge(gate.qubits[0], gate.qubits[1]);
+        }
+    }
+    for (GateId i = 0; i < circuit.size(); ++i) {
+        if (edge_of[i] < 0) {
+            continue;
+        }
+        for (GateId j = i + 1; j < circuit.size(); ++j) {
+            if (edge_of[j] < 0 || edge_of[j] == edge_of[i] ||
+                !dag.CanOverlap(i, j)) {
+                continue;
+            }
+            for (const auto& [victim, aggressor] :
+                 {std::pair{edge_of[i], edge_of[j]},
+                  std::pair{edge_of[j], edge_of[i]}}) {
+                if (characterization.IsHighCrosstalk(victim, aggressor,
+                                                     threshold, margin)) {
+                    return true;
+                }
+            }
+        }
+    }
+    return false;
+}
+
+std::vector<std::pair<QubitId, QubitId>>
+FindConflictingSwapPairs(const Device& device,
+                         const CrosstalkCharacterization& characterization,
+                         int max_instances, double threshold, double margin)
+{
+    const Topology& topo = device.topology();
+    std::vector<std::pair<QubitId, QubitId>> out;
+    for (QubitId a = 0; a < topo.num_qubits(); ++a) {
+        for (QubitId b = a + 1; b < topo.num_qubits(); ++b) {
+            if (topo.Distance(a, b) < 2) {
+                continue;  // No SWAPs needed: not a SWAP benchmark.
+            }
+            const SwapBenchmark bench = BuildSwapBenchmark(device, a, b);
+            if (HasCrosstalkConflict(device, bench, characterization,
+                                     threshold, margin)) {
+                out.push_back({a, b});
+                if (max_instances > 0 &&
+                    static_cast<int>(out.size()) >= max_instances) {
+                    return out;
+                }
+            }
+        }
+    }
+    return out;
+}
+
+}  // namespace xtalk

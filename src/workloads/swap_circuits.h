@@ -1,0 +1,68 @@
+/**
+ * @file
+ * SWAP-circuit benchmarks (paper Section 8.3): a long-distance CNOT
+ * implemented with meet-in-the-middle SWAP chains, set up to produce a
+ * Bell state whose quality is read out with two-qubit state tomography.
+ * This is the paper's primary workload: SWAP-based communication is the
+ * fundamental operation all programs on nearest-neighbor superconducting
+ * devices rely on.
+ */
+#ifndef XTALK_WORKLOADS_SWAP_CIRCUITS_H
+#define XTALK_WORKLOADS_SWAP_CIRCUITS_H
+
+#include <vector>
+
+#include "characterization/characterizer.h"
+#include "circuit/circuit.h"
+#include "device/device.h"
+
+namespace xtalk {
+
+/** A generated SWAP benchmark instance. */
+struct SwapBenchmark {
+    /** Endpoints requested. */
+    QubitId source = -1;
+    QubitId target = -1;
+    /** Hardware circuit: H + lowered SWAP chains + final CNOT. */
+    Circuit circuit{1};
+    /** Where the Bell pair lives at the end. */
+    QubitId bell_left = -1;
+    QubitId bell_right = -1;
+    /** The routed shortest path, endpoints inclusive. */
+    std::vector<QubitId> path;
+    /** Path length in hops. */
+    int path_hops = 0;
+};
+
+/**
+ * Build the benchmark between two device qubits: H on @p a, then both
+ * endpoints SWAP toward the middle of a shortest path, then CNOT at the
+ * meeting coupler — producing (|00> + |11>)/sqrt(2) on the meeting pair
+ * (the paper's Figure 6 workload). No measurements are appended;
+ * tomography adds them.
+ */
+SwapBenchmark BuildSwapBenchmark(const Device& device, QubitId a, QubitId b);
+
+/**
+ * True if executing this benchmark involves at least one pair of
+ * DAG-concurrent CNOTs whose couplers form a high-crosstalk pair per the
+ * characterization (the paper evaluates only such paths — crosstalk-free
+ * paths schedule identically under ParSched and XtalkSched).
+ */
+bool HasCrosstalkConflict(const Device& device,
+                          const SwapBenchmark& benchmark,
+                          const CrosstalkCharacterization& characterization,
+                          double threshold = 2.5, double margin = 0.015);
+
+/**
+ * Enumerate qubit pairs (at >= 2 hops so at least one SWAP is needed)
+ * whose benchmark has a crosstalk conflict. @p max_instances caps the
+ * result (0 = unlimited).
+ */
+std::vector<std::pair<QubitId, QubitId>> FindConflictingSwapPairs(
+    const Device& device, const CrosstalkCharacterization& characterization,
+    int max_instances = 0, double threshold = 2.5, double margin = 0.015);
+
+}  // namespace xtalk
+
+#endif  // XTALK_WORKLOADS_SWAP_CIRCUITS_H

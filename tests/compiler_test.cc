@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Tests for the end-to-end Compile() facade: semantic preservation
+ * through the pipeline, policy selection, auto-omega behaviour, and
+ * quality ordering between policies on conflicted workloads.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "compiler/compiler.h"
+#include "device/ibmq_devices.h"
+#include "sim/noisy_simulator.h"
+
+namespace xtalk {
+namespace {
+
+CrosstalkCharacterization
+OracleCharacterization(const Device& device)
+{
+    CrosstalkCharacterization c;
+    for (EdgeId e = 0; e < device.topology().num_edges(); ++e) {
+        c.SetIndependentError(e, device.CxError(e));
+    }
+    for (const auto& [pair, factor] : device.ground_truth().entries()) {
+        (void)factor;
+        c.SetConditionalError(
+            pair.first, pair.second,
+            device.ConditionalCxError(pair.first, pair.second));
+    }
+    return c;
+}
+
+/** A 3-qubit GHZ with one long-range CNOT, measured. */
+Circuit
+LogicalWorkload()
+{
+    Circuit c(3);
+    c.H(0).CX(0, 1).CX(0, 2).T(1).CX(1, 2).MeasureAll();
+    return c;
+}
+
+TEST(Compiler, ProducesHardwareCompliantExecutable)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    const CompileResult result =
+        Compile(device, characterization, LogicalWorkload());
+    EXPECT_EQ(result.scheduler_name, "XtalkSched");
+    for (const Gate& g : result.executable.gates()) {
+        if (g.IsTwoQubitUnitary()) {
+            EXPECT_TRUE(device.topology().AreConnected(g.qubits[0],
+                                                       g.qubits[1]));
+        }
+    }
+    EXPECT_EQ(result.executable.CountKind(GateKind::kMeasure), 3);
+    EXPECT_GT(result.estimate.success_probability, 0.0);
+    EXPECT_EQ(result.initial_layout.size(), 3u);
+    EXPECT_EQ(result.final_layout.size(), 3u);
+}
+
+TEST(Compiler, SemanticsPreservedThroughPipeline)
+{
+    // Noise-free execution of the compiled executable must reproduce the
+    // logical circuit's outcome distribution (GHZ: 000 and 111 only,
+    // modulo the final layout's classical wiring which Compile keeps on
+    // logical clbits).
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    Circuit ghz(3);
+    ghz.H(0).CX(0, 1).CX(0, 2).MeasureAll();
+    const CompileResult result =
+        Compile(device, characterization, ghz);
+
+    NoisySimOptions noiseless;
+    noiseless.gate_noise = false;
+    noiseless.decoherence = false;
+    noiseless.readout_noise = false;
+    noiseless.seed = 3;
+    NoisySimulator sim(device, noiseless);
+    const Counts counts = sim.Run(result.schedule, 1000);
+    EXPECT_NEAR(counts.Probability(0b000) + counts.Probability(0b111), 1.0,
+                1e-12);
+    EXPECT_NEAR(counts.Probability(0b000), 0.5, 0.06);
+}
+
+TEST(Compiler, PolicySelectionIsHonored)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    CompilerOptions options;
+    options.scheduler = SchedulerPolicy::kSerial;
+    EXPECT_EQ(Compile(device, characterization, LogicalWorkload(), options)
+                  .scheduler_name,
+              "SerialSched");
+    options.scheduler = SchedulerPolicy::kParallel;
+    EXPECT_EQ(Compile(device, characterization, LogicalWorkload(), options)
+                  .scheduler_name,
+              "ParSched");
+    options.scheduler = SchedulerPolicy::kGreedy;
+    EXPECT_EQ(Compile(device, characterization, LogicalWorkload(), options)
+                  .scheduler_name,
+              "GreedySched");
+}
+
+TEST(Compiler, XtalkNoWorseThanParallelOnModel)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    // Force a conflicted region with a trivial layout on the conflict
+    // qubits: logical pairs map to (10,15) and (11,12).
+    Circuit logical(4);
+    for (int i = 0; i < 3; ++i) {
+        logical.CX(0, 1).CX(2, 3);
+    }
+    logical.MeasureAll();
+    CompilerOptions options;
+    options.layout = LayoutPolicy::kTrivial;  // Overridden below via map.
+    // Use trivial layout onto a hand-picked conflicted region by
+    // remapping the logical circuit onto a 4-qubit window: easier to
+    // drive through the public API with a custom circuit.
+    Circuit mapped(20);
+    mapped.AppendMapped(logical, {10, 15, 11, 12});
+    options.scheduler = SchedulerPolicy::kParallel;
+    const CompileResult parallel =
+        Compile(device, characterization, mapped, options);
+    options.scheduler = SchedulerPolicy::kXtalk;
+    const CompileResult xtalk =
+        Compile(device, characterization, mapped, options);
+    EXPECT_GE(xtalk.estimate.success_probability,
+              parallel.estimate.success_probability - 1e-9);
+    EXPECT_EQ(xtalk.estimate.crosstalk_overlaps, 0);
+}
+
+TEST(Compiler, AutoOmegaPicksFromCandidates)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    Circuit mapped(20);
+    Circuit logical(4);
+    for (int i = 0; i < 3; ++i) {
+        logical.CX(0, 1).CX(2, 3);
+    }
+    logical.MeasureAll();
+    mapped.AppendMapped(logical, {10, 15, 11, 12});
+    CompilerOptions options;
+    options.layout = LayoutPolicy::kTrivial;
+    options.scheduler = SchedulerPolicy::kXtalkAutoOmega;
+    options.omega_candidates = {0.0, 0.3, 0.7};
+    const CompileResult result =
+        Compile(device, characterization, mapped, options);
+    EXPECT_EQ(result.scheduler_name, "XtalkSched(auto)");
+    EXPECT_TRUE(result.omega == 0.0 || result.omega == 0.3 ||
+                result.omega == 0.7);
+    // A conflicted circuit should not pick pure parallelism.
+    EXPECT_GT(result.omega, 0.0);
+}
+
+TEST(Compiler, TrivialLayoutRejectsTooWideCircuit)
+{
+    const Device device = MakeLinearDevice(3, 3);
+    const auto characterization = OracleCharacterization(device);
+    Circuit logical(4);
+    logical.CX(0, 3);
+    EXPECT_THROW(Compile(device, characterization, logical), Error);
+}
+
+}  // namespace
+}  // namespace xtalk

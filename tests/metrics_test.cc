@@ -1,0 +1,233 @@
+/**
+ * @file
+ * Tests for state tomography, cross entropy, and readout mitigation.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+#include "device/ibmq_devices.h"
+#include "metrics/cross_entropy.h"
+#include "metrics/readout_mitigation.h"
+#include "metrics/tomography.h"
+#include "sim/noisy_simulator.h"
+#include "sim/statevector.h"
+
+namespace xtalk {
+namespace {
+
+TEST(Tomography, NineSettingsInCanonicalOrder)
+{
+    const auto settings = TomographySettings();
+    ASSERT_EQ(settings.size(), 9u);
+    EXPECT_EQ(settings[0].first, PauliBasis::kX);
+    EXPECT_EQ(settings[0].second, PauliBasis::kX);
+    EXPECT_EQ(settings[8].first, PauliBasis::kZ);
+    EXPECT_EQ(settings[8].second, PauliBasis::kZ);
+}
+
+TEST(Tomography, CircuitsAppendRotationsAndMeasures)
+{
+    Circuit base(3);
+    base.H(0).CX(0, 2);
+    const auto circuits = TomographyCircuits(base, 0, 2);
+    ASSERT_EQ(circuits.size(), 9u);
+    for (const Circuit& c : circuits) {
+        EXPECT_EQ(c.CountKind(GateKind::kMeasure), 2);
+    }
+    // The ZZ setting adds no rotations.
+    EXPECT_EQ(circuits[8].size(), base.size() + 2);
+}
+
+/** Exact tomography counts for a given 2-qubit state preparer. */
+std::vector<Counts>
+ExactTomographyCounts(const Circuit& prep, QubitId qa, QubitId qb,
+                      int shots_scale = 100000)
+{
+    std::vector<Counts> all;
+    for (const Circuit& c : TomographyCircuits(prep, qa, qb)) {
+        StateVector sv(c.num_qubits());
+        for (const Gate& g : c.gates()) {
+            if (!g.IsMeasure()) {
+                sv.ApplyGate(g);
+            }
+        }
+        Counts counts(2);
+        const auto probs = sv.Probabilities();
+        for (size_t basis = 0; basis < probs.size(); ++basis) {
+            uint64_t bits = 0;
+            if ((basis >> qa) & 1) {
+                bits |= 1;
+            }
+            if ((basis >> qb) & 1) {
+                bits |= 2;
+            }
+            const int n = static_cast<int>(
+                std::round(probs[basis] * shots_scale));
+            for (int k = 0; k < n; ++k) {
+                counts.Record(bits);
+            }
+        }
+        all.push_back(std::move(counts));
+    }
+    return all;
+}
+
+TEST(Tomography, ReconstructsBellStateExactly)
+{
+    Circuit bell(2);
+    bell.H(0).CX(0, 1);
+    const auto counts = ExactTomographyCounts(bell, 0, 1);
+    const Matrix rho = ReconstructDensityMatrix(counts);
+    EXPECT_NEAR(rho.Trace().real(), 1.0, 1e-6);
+    EXPECT_NEAR(BellFidelity(rho), 1.0, 1e-6);
+}
+
+TEST(Tomography, ProductStateHasHalfBellFidelity)
+{
+    Circuit zero(2);  // |00>.
+    zero.I(0);
+    const auto counts = ExactTomographyCounts(zero, 0, 1);
+    const Matrix rho = ReconstructDensityMatrix(counts);
+    EXPECT_NEAR(BellFidelity(rho), 0.5, 1e-6);
+}
+
+TEST(Tomography, OrthogonalStateHasZeroFidelity)
+{
+    Circuit one(2);
+    one.X(0);  // |01>: orthogonal to both |00> and |11>.
+    const auto counts = ExactTomographyCounts(one, 0, 1);
+    const Matrix rho = ReconstructDensityMatrix(counts);
+    EXPECT_NEAR(BellFidelity(rho), 0.0, 1e-6);
+}
+
+TEST(Tomography, NoisySampledBellIsCloseToIdeal)
+{
+    // End-to-end sanity with sampling noise only (noise-free simulator).
+    const Device device = MakeLinearDevice(2, 3);
+    Circuit bell(2);
+    bell.H(0).CX(0, 1);
+    NoisySimOptions noiseless;
+    noiseless.gate_noise = false;
+    noiseless.decoherence = false;
+    noiseless.readout_noise = false;
+    noiseless.seed = 21;
+    NoisySimulator sim(device, noiseless);
+    std::vector<Counts> counts;
+    for (const Circuit& c : TomographyCircuits(bell, 0, 1)) {
+        ScheduledCircuit schedule(2);
+        double t = 0.0;
+        for (const Gate& g : c.gates()) {
+            schedule.Add(g, t, device.GateDuration(g));
+            t += device.GateDuration(g);
+        }
+        counts.push_back(sim.Run(schedule, 2048));
+    }
+    const Matrix rho = ReconstructDensityMatrix(counts);
+    EXPECT_GT(BellFidelity(rho), 0.95);
+}
+
+TEST(Tomography, RejectsWrongSettingCount)
+{
+    std::vector<Counts> counts(5, Counts(2));
+    EXPECT_THROW(ReconstructDensityMatrix(counts), Error);
+}
+
+TEST(CrossEntropy, EqualsEntropyForPerfectMeasurement)
+{
+    const std::vector<double> p{0.5, 0.25, 0.125, 0.125};
+    EXPECT_NEAR(CrossEntropy(p, p), IdealCrossEntropy(p), 1e-12);
+}
+
+TEST(CrossEntropy, IncreasesForMismatchedDistribution)
+{
+    const std::vector<double> ideal{0.7, 0.1, 0.1, 0.1};
+    const std::vector<double> uniform{0.25, 0.25, 0.25, 0.25};
+    EXPECT_GT(CrossEntropy(uniform, ideal), IdealCrossEntropy(ideal));
+}
+
+TEST(CrossEntropy, GibbsInequalityOnRandomDistributions)
+{
+    Rng rng(5);
+    for (int trial = 0; trial < 50; ++trial) {
+        std::vector<double> p(8), q(8);
+        double sp = 0.0, sq = 0.0;
+        for (int i = 0; i < 8; ++i) {
+            p[i] = rng.Uniform() + 0.01;
+            q[i] = rng.Uniform() + 0.01;
+            sp += p[i];
+            sq += q[i];
+        }
+        for (int i = 0; i < 8; ++i) {
+            p[i] /= sp;
+            q[i] /= sq;
+        }
+        EXPECT_GE(CrossEntropy(q, p) + 1e-12, IdealCrossEntropy(q));
+    }
+}
+
+TEST(CrossEntropy, RejectsSizeMismatch)
+{
+    EXPECT_THROW(CrossEntropy(std::vector<double>{1.0},
+                              std::vector<double>{0.5, 0.5}),
+                 Error);
+}
+
+TEST(ReadoutMitigation, RecoversCleanDistribution)
+{
+    // Apply the forward confusion model analytically, then mitigate.
+    const double e0 = 0.06, e1 = 0.03;
+    const std::vector<double> clean{0.5, 0.0, 0.0, 0.5};
+    std::vector<double> corrupted(4, 0.0);
+    for (int out = 0; out < 4; ++out) {
+        for (int in = 0; in < 4; ++in) {
+            const double f0 =
+                ((out ^ in) & 1) ? e0 : 1.0 - e0;
+            const double f1 =
+                ((out ^ in) & 2) ? e1 : 1.0 - e1;
+            corrupted[out] += f0 * f1 * clean[in];
+        }
+    }
+    const ReadoutMitigator mitigator({e0, e1});
+    const auto recovered = mitigator.Mitigate(corrupted);
+    for (int i = 0; i < 4; ++i) {
+        EXPECT_NEAR(recovered[i], clean[i], 1e-9) << "outcome " << i;
+    }
+}
+
+TEST(ReadoutMitigation, ImprovesSampledCounts)
+{
+    const Device device = MakeLinearDevice(2, 3);
+    Circuit c(2);
+    c.X(0).X(1).MeasureAll();
+    NoisySimOptions options;
+    options.gate_noise = false;
+    options.decoherence = false;
+    options.readout_noise = true;
+    options.seed = 9;
+    NoisySimulator sim(device, options);
+    ScheduledCircuit schedule(2);
+    double t = 0.0;
+    for (const Gate& g : c.gates()) {
+        schedule.Add(g, t, device.GateDuration(g));
+        t += device.GateDuration(g);
+    }
+    const Counts counts = sim.Run(schedule, 8192);
+    const double raw = counts.Probability(0b11);
+    const ReadoutMitigator mitigator(
+        {device.ReadoutError(0), device.ReadoutError(1)});
+    const double mitigated = mitigator.Mitigate(counts)[0b11];
+    EXPECT_GT(mitigated, raw);
+    EXPECT_NEAR(mitigated, 1.0, 0.03);
+}
+
+TEST(ReadoutMitigation, RejectsInvalidFlipProbability)
+{
+    EXPECT_THROW(ReadoutMitigator({0.6}), Error);
+    EXPECT_THROW(ReadoutMitigator({-0.1}), Error);
+}
+
+}  // namespace
+}  // namespace xtalk

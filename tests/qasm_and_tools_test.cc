@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the auxiliary library surfaces: OpenQASM export, calibration
+ * reports, and model-guided omega selection.
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "circuit/qasm.h"
+#include "circuit/qasm_parser.h"
+#include "common/error.h"
+#include "device/calibration_report.h"
+#include "device/ibmq_devices.h"
+#include "scheduler/omega_tuning.h"
+#include "sim/statevector.h"
+#include "transpile/routing.h"
+#include "workloads/hidden_shift.h"
+#include "workloads/swap_circuits.h"
+
+namespace xtalk {
+namespace {
+
+CrosstalkCharacterization
+OracleCharacterization(const Device& device)
+{
+    CrosstalkCharacterization c;
+    for (EdgeId e = 0; e < device.topology().num_edges(); ++e) {
+        c.SetIndependentError(e, device.CxError(e));
+    }
+    for (const auto& [pair, factor] : device.ground_truth().entries()) {
+        (void)factor;
+        c.SetConditionalError(
+            pair.first, pair.second,
+            device.ConditionalCxError(pair.first, pair.second));
+    }
+    return c;
+}
+
+TEST(Qasm, EmitsHeaderAndRegisters)
+{
+    Circuit c(3);
+    c.H(0).CX(0, 1).Measure(1, 0);
+    const std::string qasm = ToQasm(c);
+    EXPECT_NE(qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_NE(qasm.find("include \"qelib1.inc\";"), std::string::npos);
+    EXPECT_NE(qasm.find("qreg q[3];"), std::string::npos);
+    EXPECT_NE(qasm.find("creg c[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("h q[0];"), std::string::npos);
+    EXPECT_NE(qasm.find("cx q[0], q[1];"), std::string::npos);
+    EXPECT_NE(qasm.find("measure q[1] -> c[0];"), std::string::npos);
+}
+
+TEST(Qasm, OmitsCregWithoutMeasures)
+{
+    Circuit c(1);
+    c.H(0);
+    EXPECT_EQ(ToQasm(c).find("creg"), std::string::npos);
+}
+
+TEST(Qasm, ParameterizedGatesCarryAngles)
+{
+    Circuit c(1);
+    c.U3(0.5, 0.25, 0.125, 0);
+    const std::string qasm = ToQasm(c);
+    EXPECT_NE(qasm.find("u3(0.5,0.25,0.125) q[0];"), std::string::npos);
+}
+
+TEST(Qasm, BarriersAndSwapsLowered)
+{
+    Circuit c(2);
+    c.Swap(0, 1).Barrier({0, 1});
+    const std::string qasm = ToQasm(c);
+    // Swap -> 3 CNOTs.
+    size_t count = 0, pos = 0;
+    while ((pos = qasm.find("cx ", pos)) != std::string::npos) {
+        ++count;
+        ++pos;
+    }
+    EXPECT_EQ(count, 3u);
+    EXPECT_NE(qasm.find("barrier q[0], q[1];"), std::string::npos);
+}
+
+TEST(QasmParser, ParsesBasicProgram)
+{
+    const Circuit c = ParseQasm(
+        "OPENQASM 2.0;\n"
+        "include \"qelib1.inc\";\n"
+        "qreg q[3];\n"
+        "creg c[2];\n"
+        "h q[0];\n"
+        "cx q[0], q[1];\n"
+        "u3(0.5,0.25,0.125) q[2];\n"
+        "barrier q[0], q[1];\n"
+        "measure q[1] -> c[0];\n");
+    EXPECT_EQ(c.num_qubits(), 3);
+    EXPECT_EQ(c.size(), 5);
+    EXPECT_EQ(c.gate(0).kind, GateKind::kH);
+    EXPECT_EQ(c.gate(1).qubits, (std::vector<QubitId>{0, 1}));
+    EXPECT_DOUBLE_EQ(c.gate(2).params[1], 0.25);
+    EXPECT_EQ(c.gate(3).kind, GateKind::kBarrier);
+    EXPECT_EQ(c.gate(4).cbit, 0);
+}
+
+TEST(QasmParser, PiExpressions)
+{
+    const Circuit c = ParseQasm(
+        "OPENQASM 2.0;\nqreg q[1];\n"
+        "rz(pi) q[0]; rz(-pi) q[0]; rz(pi/2) q[0]; rz(2*pi) q[0];\n"
+        "rz(3*pi/4) q[0]; rz(0.5) q[0];\n");
+    EXPECT_DOUBLE_EQ(c.gate(0).params[0], M_PI);
+    EXPECT_DOUBLE_EQ(c.gate(1).params[0], -M_PI);
+    EXPECT_DOUBLE_EQ(c.gate(2).params[0], M_PI / 2);
+    EXPECT_DOUBLE_EQ(c.gate(3).params[0], 2 * M_PI);
+    EXPECT_DOUBLE_EQ(c.gate(4).params[0], 3 * M_PI / 4);
+    EXPECT_DOUBLE_EQ(c.gate(5).params[0], 0.5);
+}
+
+TEST(QasmParser, RejectsMalformedPrograms)
+{
+    EXPECT_THROW(ParseQasm("qreg q[2];\ncx q[0], q[1];\n"), Error);
+    EXPECT_THROW(ParseQasm("OPENQASM 2.0;\nh q[0];\n"), Error);
+    EXPECT_THROW(
+        ParseQasm("OPENQASM 2.0;\nqreg q[2];\nmagic q[0];\n"), Error);
+    EXPECT_THROW(
+        ParseQasm("OPENQASM 2.0;\nqreg q[2];\ncx q[0], q[7];\n"), Error);
+    EXPECT_THROW(
+        ParseQasm("OPENQASM 2.0;\nqreg q[2];\nmeasure q[0];\n"), Error);
+}
+
+TEST(QasmParser, RoundTripsExporterOutput)
+{
+    Circuit original(4);
+    original.H(0)
+        .CX(0, 1)
+        .T(1)
+        .U2(0.3, 1.1, 2)
+        .RZ(0.7, 3)
+        .Swap(2, 3)
+        .Barrier({0, 1, 2, 3})
+        .SX(1)
+        .MeasureAll();
+    const Circuit parsed = ParseQasm(ToQasm(original));
+    ASSERT_EQ(parsed.num_qubits(), original.num_qubits());
+    // Swap was lowered to 3 CX by the exporter: compare semantics via
+    // unitary equivalence of the non-measure prefix.
+    Circuit original_u(4), parsed_u(4);
+    for (const Gate& g : original.gates()) {
+        if (g.IsUnitary()) {
+            original_u.Add(g);
+        }
+    }
+    for (const Gate& g : parsed.gates()) {
+        if (g.IsUnitary()) {
+            parsed_u.Add(g);
+        }
+    }
+    EXPECT_TRUE(CircuitUnitary(LowerSwaps(original_u))
+                    .EqualsUpToPhase(CircuitUnitary(parsed_u), 1e-9));
+    // Measures preserved with their classical targets.
+    EXPECT_EQ(parsed.CountKind(GateKind::kMeasure), 4);
+}
+
+TEST(CalibrationReport, ListsEveryQubitAndCoupler)
+{
+    const Device device = MakePoughkeepsie();
+    const std::string report = DescribeCalibration(device);
+    EXPECT_NE(report.find(device.name()), std::string::npos);
+    // 20 qubit rows + 23 coupler rows present.
+    EXPECT_NE(report.find("CX18,19"), std::string::npos);
+    EXPECT_NE(report.find("T1(us)"), std::string::npos);
+}
+
+TEST(CalibrationReport, GroundTruthShowsInjectedPairs)
+{
+    const Device device = MakePoughkeepsie();
+    const std::string report = DescribeGroundTruth(device);
+    const bool found =
+        report.find("CX10,15 | CX11,12") != std::string::npos ||
+        report.find("CX11,12 | CX10,15") != std::string::npos;
+    EXPECT_TRUE(found) << report;
+}
+
+TEST(OmegaTuning, PicksCrosstalkAwareOmegaOnConflictedCircuit)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    HiddenShiftOptions options;
+    options.redundant_cnots = true;
+    const Circuit circuit =
+        BuildHiddenShiftCircuit(device, {10, 15, 11, 12}, options);
+    const OmegaSelection selection =
+        SelectOmegaByModel(device, characterization, circuit);
+    ASSERT_EQ(selection.sweep.size(), 8u);
+    // On a crosstalk-heavy circuit, pure parallelism must lose.
+    EXPECT_GT(selection.omega, 0.0);
+    EXPECT_GT(selection.estimate.success_probability,
+              selection.sweep.front().second);
+    EXPECT_EQ(selection.estimate.crosstalk_overlaps, 0);
+}
+
+TEST(OmegaTuning, IndifferentOnCrosstalkFreeCircuit)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    const SwapBenchmark bench = BuildSwapBenchmark(device, 0, 3);
+    Circuit circuit = bench.circuit;
+    circuit.Measure(bench.bell_left, 0).Measure(bench.bell_right, 1);
+    const OmegaSelection selection = SelectOmegaByModel(
+        device, characterization, circuit, {0.0, 0.5, 1.0});
+    // All candidates produce (nearly) the same modeled success.
+    for (const auto& [omega, success] : selection.sweep) {
+        EXPECT_NEAR(success, selection.estimate.success_probability, 0.02)
+            << "omega " << omega;
+    }
+}
+
+TEST(OmegaTuning, RejectsEmptyCandidateList)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    Circuit c(20);
+    c.CX(0, 1);
+    EXPECT_THROW(
+        SelectOmegaByModel(device, characterization, c, {}), Error);
+}
+
+}  // namespace
+}  // namespace xtalk

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Tests for the human-facing surfaces: logging levels, policy names,
+ * ToString renderings, and small accessors not covered elsewhere.
+ */
+#include <gtest/gtest.h>
+
+#include "characterization/characterizer.h"
+#include "circuit/circuit.h"
+#include "circuit/schedule.h"
+#include "clifford/tableau.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "device/ibmq_devices.h"
+#include "sim/counts.h"
+
+namespace xtalk {
+namespace {
+
+TEST(Logging, LevelRoundTrip)
+{
+    const LogLevel before = GetLogLevel();
+    SetLogLevel(LogLevel::kDebug);
+    EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+    // Exercise every emit path at full verbosity (output goes to stderr).
+    Inform("inform message");
+    Warn("warn message");
+    Debug("debug message");
+    SetLogLevel(LogLevel::kQuiet);
+    Warn("suppressed");
+    SetLogLevel(before);
+}
+
+TEST(PolicyNames, AllPoliciesNamed)
+{
+    EXPECT_EQ(PolicyName(CharacterizationPolicy::kAllPairs), "all-pairs");
+    EXPECT_NE(PolicyName(CharacterizationPolicy::kOneHop).find("Opt 1"),
+              std::string::npos);
+    EXPECT_NE(
+        PolicyName(CharacterizationPolicy::kOneHopBinPacked).find("Opt 2"),
+        std::string::npos);
+    EXPECT_NE(PolicyName(CharacterizationPolicy::kHighOnly).find("Opt 3"),
+              std::string::npos);
+}
+
+TEST(Rendering, CircuitToStringListsGates)
+{
+    Circuit c(2);
+    c.H(0).CX(0, 1).Measure(1, 0);
+    const std::string text = c.ToString();
+    EXPECT_NE(text.find("circuit(2 qubits, 3 gates)"), std::string::npos);
+    EXPECT_NE(text.find("h q0"), std::string::npos);
+    EXPECT_NE(text.find("cx q0, q1"), std::string::npos);
+    EXPECT_NE(text.find("measure q1 -> c0"), std::string::npos);
+}
+
+TEST(Rendering, ScheduleToStringShowsIntervals)
+{
+    ScheduledCircuit s(2);
+    s.Add(Gate{GateKind::kH, {0}, {}, -1}, 0.0, 50.0);
+    const std::string text = s.ToString();
+    EXPECT_NE(text.find("duration 50"), std::string::npos);
+    EXPECT_NE(text.find("h q0"), std::string::npos);
+}
+
+TEST(Rendering, TableauToStringShowsPaulis)
+{
+    Tableau t(2);
+    t.ApplyH(0);
+    const std::string text = t.ToString();
+    EXPECT_NE(text.find("destabilizers:"), std::string::npos);
+    EXPECT_NE(text.find("stabilizers:"), std::string::npos);
+    // After H(0), the first destabilizer is +Z on qubit 0.
+    EXPECT_NE(text.find("+ZI"), std::string::npos);
+}
+
+TEST(Rendering, CountsToStringSortsByFrequency)
+{
+    Counts counts(2);
+    counts.Record(0b01);
+    counts.Record(0b10);
+    counts.Record(0b10);
+    const std::string text = counts.ToString();
+    EXPECT_NE(text.find("counts(3 shots)"), std::string::npos);
+    // "10: 2" must precede "01: 1".
+    EXPECT_LT(text.find("10: 2"), text.find("01: 1"));
+}
+
+TEST(Accessors, DeviceSingleQubitAndMeasureErrorPaths)
+{
+    const Device device = MakePoughkeepsie();
+    const Gate h{GateKind::kH, {4}, {}, -1};
+    EXPECT_DOUBLE_EQ(device.GateError(h), device.SqError(4));
+    const Gate u1{GateKind::kU1, {4}, {0.5}, -1};
+    EXPECT_DOUBLE_EQ(device.GateError(u1), 0.0);  // Virtual Z: free.
+    const Gate m{GateKind::kMeasure, {4}, {}, 0};
+    EXPECT_DOUBLE_EQ(device.GateError(m), device.ReadoutError(4));
+    const Gate barrier{GateKind::kBarrier, {0, 1}, {}, -1};
+    EXPECT_DOUBLE_EQ(device.GateError(barrier), 0.0);
+}
+
+TEST(Accessors, RngBoundedUniform)
+{
+    Rng rng(3);
+    for (int i = 0; i < 1000; ++i) {
+        const double x = rng.Uniform(-2.0, 5.0);
+        EXPECT_GE(x, -2.0);
+        EXPECT_LT(x, 5.0);
+    }
+    EXPECT_THROW(rng.Uniform(3.0, 1.0), Error);
+}
+
+TEST(Accessors, PlanCountsAcrossBatches)
+{
+    CharacterizationPlan plan;
+    plan.batches = {{{0, 1}, {2, 3}}, {{4, 5}}};
+    EXPECT_EQ(plan.NumExperiments(), 3);
+    EXPECT_EQ(plan.NumBatches(), 2);
+}
+
+}  // namespace
+}  // namespace xtalk

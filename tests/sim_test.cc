@@ -1,0 +1,350 @@
+/**
+ * @file
+ * Tests for the state-vector core, gate matrices, counts, and the noisy
+ * trajectory simulator (noise toggles, crosstalk-conditional error rates,
+ * decoherence behaviour).
+ */
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuit/circuit.h"
+#include "circuit/schedule.h"
+#include "common/rng.h"
+#include "device/ibmq_devices.h"
+#include "sim/counts.h"
+#include "sim/gate_matrices.h"
+#include "sim/noisy_simulator.h"
+#include "sim/statevector.h"
+
+namespace xtalk {
+namespace {
+
+TEST(GateMatrices, AllFixedGatesAreUnitary)
+{
+    for (const Matrix& m :
+         {MatI(), MatX(), MatY(), MatZ(), MatH(), MatS(), MatSdg(), MatT(),
+          MatTdg(), MatSX(), MatCX(), MatCZ(), MatSwap()}) {
+        EXPECT_TRUE(m.IsUnitary());
+    }
+}
+
+TEST(GateMatrices, ParameterizedGatesAreUnitary)
+{
+    for (double theta : {0.0, 0.3, 1.1, M_PI, 5.0}) {
+        EXPECT_TRUE(MatRX(theta).IsUnitary());
+        EXPECT_TRUE(MatRY(theta).IsUnitary());
+        EXPECT_TRUE(MatRZ(theta).IsUnitary());
+        EXPECT_TRUE(MatU1(theta).IsUnitary());
+        EXPECT_TRUE(MatU2(theta, 0.7).IsUnitary());
+        EXPECT_TRUE(MatU3(theta, 0.7, 1.9).IsUnitary());
+    }
+}
+
+TEST(GateMatrices, U3SpecialCases)
+{
+    // u3(pi, 0, pi) = X and u2(0, pi) = H, standard IBM identities.
+    EXPECT_TRUE(MatU3(M_PI, 0, M_PI).EqualsUpToPhase(MatX(), 1e-9));
+    EXPECT_TRUE(MatU2(0, M_PI).EqualsUpToPhase(MatH(), 1e-9));
+}
+
+TEST(GateMatrices, SXSquaredIsX)
+{
+    EXPECT_TRUE((MatSX() * MatSX()).EqualsUpToPhase(MatX(), 1e-9));
+}
+
+TEST(StateVector, InitializesToZeroState)
+{
+    StateVector sv(3);
+    EXPECT_EQ(sv.dimension(), 8u);
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+    EXPECT_NEAR(sv.Norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, XFlipsQubit)
+{
+    StateVector sv(2);
+    sv.Apply1Q(1, MatX());
+    EXPECT_NEAR(std::abs(sv.amplitude(2)), 1.0, 1e-12);  // |10> = index 2.
+    EXPECT_NEAR(sv.ProbabilityOne(1), 1.0, 1e-12);
+    EXPECT_NEAR(sv.ProbabilityOne(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, BellStateProbabilities)
+{
+    StateVector sv(2);
+    Circuit bell(2);
+    bell.H(0).CX(0, 1);
+    sv.ApplyCircuit(bell);
+    const auto probs = sv.Probabilities();
+    EXPECT_NEAR(probs[0], 0.5, 1e-12);  // |00>
+    EXPECT_NEAR(probs[3], 0.5, 1e-12);  // |11>
+    EXPECT_NEAR(probs[1], 0.0, 1e-12);
+    EXPECT_NEAR(probs[2], 0.0, 1e-12);
+}
+
+TEST(StateVector, CXControlIsFirstQubit)
+{
+    // CX(control=0, target=1) on |01> (qubit0=1) must give |11>.
+    StateVector sv(2);
+    sv.Apply1Q(0, MatX());
+    Gate cx{GateKind::kCX, {0, 1}, {}, -1};
+    sv.ApplyGate(cx);
+    EXPECT_NEAR(std::abs(sv.amplitude(3)), 1.0, 1e-12);
+}
+
+TEST(StateVector, CXTargetUntouchedWhenControlZero)
+{
+    StateVector sv(2);
+    Gate cx{GateKind::kCX, {0, 1}, {}, -1};
+    sv.ApplyGate(cx);
+    EXPECT_NEAR(std::abs(sv.amplitude(0)), 1.0, 1e-12);
+}
+
+TEST(StateVector, SwapGateExchangesQubits)
+{
+    StateVector sv(2);
+    sv.Apply1Q(0, MatX());  // |01>
+    Gate swap{GateKind::kSwap, {0, 1}, {}, -1};
+    sv.ApplyGate(swap);
+    EXPECT_NEAR(std::abs(sv.amplitude(2)), 1.0, 1e-12);  // |10>
+}
+
+TEST(StateVector, MeasureCollapsesState)
+{
+    Rng rng(5);
+    StateVector sv(1);
+    sv.Apply1Q(0, MatH());
+    const bool outcome = sv.MeasureQubit(0, rng);
+    EXPECT_NEAR(sv.ProbabilityOne(0), outcome ? 1.0 : 0.0, 1e-12);
+    EXPECT_NEAR(sv.Norm(), 1.0, 1e-12);
+}
+
+TEST(StateVector, MeasurementStatisticsMatchBorn)
+{
+    Rng rng(7);
+    int ones = 0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+        StateVector sv(1);
+        sv.Apply1Q(0, MatRY(2.0 * std::asin(std::sqrt(0.3))));
+        ones += sv.MeasureQubit(0, rng) ? 1 : 0;
+    }
+    EXPECT_NEAR(static_cast<double>(ones) / trials, 0.3, 0.03);
+}
+
+TEST(StateVector, AmplitudeDampFullGammaResetsToZeroState)
+{
+    Rng rng(11);
+    StateVector sv(1);
+    sv.Apply1Q(0, MatX());
+    sv.AmplitudeDamp(0, 1.0, rng);
+    EXPECT_NEAR(sv.ProbabilityOne(0), 0.0, 1e-12);
+}
+
+TEST(StateVector, AmplitudeDampZeroGammaIsNoop)
+{
+    Rng rng(11);
+    StateVector sv(1);
+    sv.Apply1Q(0, MatH());
+    StateVector ref = sv;
+    sv.AmplitudeDamp(0, 0.0, rng);
+    EXPECT_NEAR(sv.Fidelity(ref), 1.0, 1e-12);
+}
+
+TEST(StateVector, AmplitudeDampStatisticsMatchChannel)
+{
+    // After damping |1> with gamma, P(1) should average 1-gamma.
+    Rng rng(13);
+    const double gamma = 0.4;
+    double p1_sum = 0.0;
+    const int trials = 5000;
+    for (int i = 0; i < trials; ++i) {
+        StateVector sv(1);
+        sv.Apply1Q(0, MatX());
+        sv.AmplitudeDamp(0, gamma, rng);
+        p1_sum += sv.ProbabilityOne(0);
+    }
+    EXPECT_NEAR(p1_sum / trials, 1.0 - gamma, 0.02);
+}
+
+TEST(StateVector, DephasingDestroysCoherenceOnAverage)
+{
+    // |+> dephased at p=0.5 has <X> ~ 0 on average.
+    Rng rng(17);
+    double x_expect = 0.0;
+    const int trials = 4000;
+    for (int i = 0; i < trials; ++i) {
+        StateVector sv(1);
+        sv.Apply1Q(0, MatH());
+        sv.Dephase(0, 0.5, rng);
+        StateVector plus(1);
+        plus.Apply1Q(0, MatH());
+        x_expect += 2.0 * sv.Fidelity(plus) - 1.0;  // <X> = 2|<+|psi>|^2-1.
+    }
+    EXPECT_NEAR(x_expect / trials, 0.0, 0.05);
+}
+
+TEST(CircuitUnitary, HGateMatrix)
+{
+    Circuit c(1);
+    c.H(0);
+    EXPECT_TRUE(CircuitUnitary(c).EqualsUpToPhase(MatH(), 1e-9));
+}
+
+TEST(CircuitUnitary, SwapDecompositionMatchesSwapMatrix)
+{
+    Circuit c(2);
+    c.CX(0, 1).CX(1, 0).CX(0, 1);
+    EXPECT_TRUE(CircuitUnitary(c).EqualsUpToPhase(MatSwap(), 1e-9));
+}
+
+TEST(Counts, RecordAndQuery)
+{
+    Counts counts(2);
+    counts.Record(0b00);
+    counts.Record(0b11);
+    counts.Record(0b11);
+    EXPECT_EQ(counts.shots(), 3);
+    EXPECT_EQ(counts.CountOf(0b11), 2);
+    EXPECT_NEAR(counts.Probability(0b11), 2.0 / 3.0, 1e-12);
+    const auto probs = counts.ToProbabilities();
+    EXPECT_NEAR(probs[0], 1.0 / 3.0, 1e-12);
+    EXPECT_NEAR(probs[3], 2.0 / 3.0, 1e-12);
+}
+
+TEST(Counts, BitsToStringOrdersHighBitFirst)
+{
+    EXPECT_EQ(Counts::BitsToString(0b01, 2), "01");
+    EXPECT_EQ(Counts::BitsToString(0b10, 2), "10");
+}
+
+/** Trivially schedule a circuit ASAP using device durations. */
+ScheduledCircuit
+AsapSchedule(const Circuit& circuit, const Device& device)
+{
+    ScheduledCircuit out(circuit.num_qubits());
+    std::vector<double> ready(circuit.num_qubits(), 0.0);
+    for (const Gate& g : circuit.gates()) {
+        double start = 0.0;
+        for (QubitId q : g.qubits) {
+            start = std::max(start, ready[q]);
+        }
+        const double duration = device.GateDuration(g);
+        out.Add(g, start, duration);
+        for (QubitId q : g.qubits) {
+            ready[q] = start + duration;
+        }
+    }
+    return out;
+}
+
+TEST(NoisySimulator, NoiseFreeBellIsPerfect)
+{
+    const Device device = MakeLinearDevice(2, 3);
+    Circuit bell(2);
+    bell.H(0).CX(0, 1).MeasureAll();
+    NoisySimOptions options;
+    options.gate_noise = false;
+    options.decoherence = false;
+    options.readout_noise = false;
+    NoisySimulator sim(device, options);
+    const Counts counts = sim.Run(AsapSchedule(bell, device), 2000);
+    const double p00 = counts.Probability(0b00);
+    const double p11 = counts.Probability(0b11);
+    EXPECT_NEAR(p00 + p11, 1.0, 1e-12);
+    EXPECT_NEAR(p00, 0.5, 0.05);
+}
+
+TEST(NoisySimulator, ReadoutNoiseFlipsBits)
+{
+    const Device device = MakeLinearDevice(2, 3);
+    Circuit idle(2);
+    idle.MeasureAll();
+    NoisySimOptions options;
+    options.gate_noise = false;
+    options.decoherence = false;
+    options.readout_noise = true;
+    NoisySimulator sim(device, options);
+    const Counts counts = sim.Run(AsapSchedule(idle, device), 4000);
+    // Expect roughly the calibrated readout error rate of flips per qubit.
+    const double p_not00 = 1.0 - counts.Probability(0b00);
+    const double expected =
+        1.0 - (1.0 - device.ReadoutError(0)) * (1.0 - device.ReadoutError(1));
+    EXPECT_NEAR(p_not00, expected, 0.03);
+}
+
+TEST(NoisySimulator, DecoherenceDegradesIdlingExcitedState)
+{
+    const Device device = MakeLinearDevice(2, 3);
+    // Excite qubit 0 then idle it for ~T1 before measuring.
+    Circuit c(2);
+    c.X(0);
+    c.Measure(0, 0);
+    ScheduledCircuit schedule(2);
+    const double t1_ns = device.T1us(0) * 1000.0;
+    schedule.Add(Gate{GateKind::kX, {0}, {}, -1}, 0.0,
+                 device.SqDuration(0));
+    schedule.Add(Gate{GateKind::kMeasure, {0}, {}, 0}, t1_ns, 0.0);
+    NoisySimOptions options;
+    options.gate_noise = false;
+    options.readout_noise = false;
+    options.decoherence = true;
+    NoisySimulator sim(device, options);
+    const Counts counts = sim.Run(schedule, 4000);
+    // After idling ~T1, survival ~ exp(-1) ~ 0.37.
+    EXPECT_NEAR(counts.Probability(0b1), std::exp(-1.0), 0.05);
+}
+
+TEST(NoisySimulator, EffectiveErrorUsesConditionalRateWhenOverlapping)
+{
+    const Device device = MakePoughkeepsie();
+    const Topology& topo = device.topology();
+    // CX10,15 and CX11,12 are a high-crosstalk pair on Poughkeepsie.
+    const EdgeId victim = topo.FindEdge(10, 15);
+    const EdgeId aggressor = topo.FindEdge(11, 12);
+    ASSERT_TRUE(device.IsHighCrosstalkPair(victim, aggressor));
+
+    ScheduledCircuit overlapped(20);
+    overlapped.Add(Gate{GateKind::kCX, {10, 15}, {}, -1}, 0.0, 400.0);
+    overlapped.Add(Gate{GateKind::kCX, {11, 12}, {}, -1}, 0.0, 400.0);
+    ScheduledCircuit serial(20);
+    serial.Add(Gate{GateKind::kCX, {10, 15}, {}, -1}, 0.0, 400.0);
+    serial.Add(Gate{GateKind::kCX, {11, 12}, {}, -1}, 500.0, 400.0);
+
+    NoisySimulator sim(device);
+    const double overlapped_err = sim.EffectiveGateError(overlapped, 0);
+    const double serial_err = sim.EffectiveGateError(serial, 0);
+    EXPECT_GT(overlapped_err, 3.0 * serial_err);
+    EXPECT_NEAR(serial_err, device.CxError(victim), 1e-12);
+    EXPECT_NEAR(overlapped_err,
+                device.ConditionalCxError(victim, aggressor), 1e-12);
+}
+
+TEST(NoisySimulator, IdealProbabilitiesMatchAnalyticBell)
+{
+    const Device device = MakeLinearDevice(2, 3);
+    Circuit bell(2);
+    bell.H(0).CX(0, 1).MeasureAll();
+    NoisySimulator sim(device);
+    const auto probs = sim.IdealProbabilities(AsapSchedule(bell, device));
+    ASSERT_EQ(probs.size(), 4u);
+    EXPECT_NEAR(probs[0], 0.5, 1e-12);
+    EXPECT_NEAR(probs[3], 0.5, 1e-12);
+}
+
+TEST(NoisySimulator, DeterministicForFixedSeed)
+{
+    const Device device = MakeLinearDevice(3, 3);
+    Circuit c(3);
+    c.H(0).CX(0, 1).CX(1, 2).MeasureAll();
+    const auto schedule = AsapSchedule(c, device);
+    NoisySimOptions options;
+    options.seed = 42;
+    Counts a = NoisySimulator(device, options).Run(schedule, 500);
+    Counts b = NoisySimulator(device, options).Run(schedule, 500);
+    EXPECT_EQ(a.histogram(), b.histogram());
+}
+
+}  // namespace
+}  // namespace xtalk

@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Tests for SWAP lowering, meet-in-the-middle route planning, full
+ * circuit routing (semantic equivalence under the final layout), and
+ * noise-aware chain placement.
+ */
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "device/ibmq_devices.h"
+#include "sim/gate_matrices.h"
+#include "sim/statevector.h"
+#include "transpile/routing.h"
+
+namespace xtalk {
+namespace {
+
+TEST(LowerSwaps, ReplacesSwapWithThreeCnots)
+{
+    Circuit c(2);
+    c.Swap(0, 1);
+    const Circuit lowered = LowerSwaps(c);
+    EXPECT_EQ(lowered.size(), 3);
+    EXPECT_EQ(lowered.CountKind(GateKind::kCX), 3);
+    EXPECT_TRUE(CircuitUnitary(lowered).EqualsUpToPhase(MatSwap(), 1e-9));
+}
+
+TEST(MeetInTheMiddle, PaperExamplePath0To13)
+{
+    // Paper: CNOT 0,13 on Poughkeepsie becomes SWAP 0,5; SWAP 5,10;
+    // SWAP 13,12; SWAP 12,11; CNOT 10,11 (both qubits meet in the middle).
+    const Device device = MakePoughkeepsie();
+    const SwapRoute route = PlanMeetInTheMiddle(device.topology(), 0, 13);
+    ASSERT_EQ(route.left_swaps.size(), 2u);
+    ASSERT_EQ(route.right_swaps.size(), 2u);
+    EXPECT_EQ(route.left_swaps[0], (std::pair<QubitId, QubitId>{0, 5}));
+    EXPECT_EQ(route.left_swaps[1], (std::pair<QubitId, QubitId>{5, 10}));
+    EXPECT_EQ(route.right_swaps[0], (std::pair<QubitId, QubitId>{13, 12}));
+    EXPECT_EQ(route.right_swaps[1], (std::pair<QubitId, QubitId>{12, 11}));
+    EXPECT_EQ(route.meet_left, 10);
+    EXPECT_EQ(route.meet_right, 11);
+}
+
+TEST(MeetInTheMiddle, AdjacentQubitsNeedNoSwaps)
+{
+    const Device device = MakePoughkeepsie();
+    const SwapRoute route = PlanMeetInTheMiddle(device.topology(), 5, 6);
+    EXPECT_TRUE(route.left_swaps.empty());
+    EXPECT_TRUE(route.right_swaps.empty());
+    EXPECT_EQ(route.meet_left, 5);
+    EXPECT_EQ(route.meet_right, 6);
+}
+
+TEST(MeetInTheMiddle, EndpointsAlwaysMeetOnACoupler)
+{
+    const Device device = MakeBoeblingen();
+    const Topology& topo = device.topology();
+    for (QubitId a = 0; a < topo.num_qubits(); ++a) {
+        for (QubitId b = a + 1; b < topo.num_qubits(); ++b) {
+            const SwapRoute route = PlanMeetInTheMiddle(topo, a, b);
+            EXPECT_TRUE(topo.AreConnected(route.meet_left,
+                                          route.meet_right))
+                << a << " -> " << b;
+        }
+    }
+}
+
+TEST(RouteCircuit, AdjacentGatesPassThrough)
+{
+    const Device device = MakeLinearDevice(4, 3);
+    Circuit logical(2);
+    logical.H(0).CX(0, 1);
+    const RoutingResult result =
+        RouteCircuit(device, logical, {0, 1});
+    EXPECT_EQ(result.circuit.CountKind(GateKind::kCX), 1);
+    EXPECT_EQ(result.final_layout, result.initial_layout);
+}
+
+TEST(RouteCircuit, InsertsSwapsForDistantCnot)
+{
+    const Device device = MakeLinearDevice(5, 3);
+    Circuit logical(2);
+    logical.CX(0, 1);
+    const RoutingResult result = RouteCircuit(device, logical, {0, 4});
+    // Distance 4 -> 3 SWAPs (9 CX) + the CNOT itself.
+    EXPECT_EQ(result.circuit.CountKind(GateKind::kCX), 10);
+    // Every CNOT must respect connectivity.
+    for (const Gate& g : result.circuit.gates()) {
+        if (g.IsTwoQubitUnitary()) {
+            EXPECT_TRUE(device.topology().AreConnected(g.qubits[0],
+                                                       g.qubits[1]));
+        }
+    }
+}
+
+TEST(RouteCircuit, SemanticsPreservedUnderFinalLayout)
+{
+    // Route a GHZ circuit onto a line; the routed circuit must produce
+    // the same state as the logical one, up to the final permutation.
+    const Device device = MakeLinearDevice(4, 3);
+    Circuit logical(3);
+    logical.H(0).CX(0, 1).CX(0, 2);
+    const RoutingResult routed = RouteCircuit(device, logical, {0, 1, 3});
+
+    StateVector logical_sv(3);
+    logical_sv.ApplyCircuit(logical);
+    StateVector physical_sv(4);
+    physical_sv.ApplyCircuit(routed.circuit);
+
+    // Compare probabilities of logical basis states through the layout.
+    const auto phys_probs = physical_sv.Probabilities();
+    for (size_t basis = 0; basis < 8; ++basis) {
+        double phys_mass = 0.0;
+        for (size_t p = 0; p < phys_probs.size(); ++p) {
+            // Does physical state p correspond to logical basis under the
+            // final layout, with all unused qubits zero?
+            bool match = true;
+            for (int l = 0; l < 3; ++l) {
+                const bool bit = (basis >> l) & 1;
+                if (((p >> routed.final_layout[l]) & 1) != bit) {
+                    match = false;
+                    break;
+                }
+            }
+            if (match) {
+                phys_mass += phys_probs[p];
+            }
+        }
+        StateVector target(3);
+        EXPECT_NEAR(phys_mass,
+                    logical_sv.Probabilities()[basis], 1e-9)
+            << "basis " << basis;
+    }
+}
+
+TEST(RouteCircuit, RejectsNonInjectiveLayout)
+{
+    const Device device = MakeLinearDevice(4, 3);
+    Circuit logical(2);
+    logical.CX(0, 1);
+    EXPECT_THROW(RouteCircuit(device, logical, {1, 1}), Error);
+}
+
+TEST(RouteCircuit, MeasuresFollowTheirLogicalQubit)
+{
+    const Device device = MakeLinearDevice(5, 3);
+    Circuit logical(2);
+    logical.X(0).CX(0, 1).Measure(0, 0).Measure(1, 1);
+    const RoutingResult routed = RouteCircuit(device, logical, {0, 4});
+    // The measure for logical qubit 0 must target final_layout[0].
+    int found = 0;
+    for (const Gate& g : routed.circuit.gates()) {
+        if (g.IsMeasure() && g.cbit == 0) {
+            EXPECT_EQ(g.qubits[0], routed.final_layout[0]);
+            ++found;
+        }
+    }
+    EXPECT_EQ(found, 1);
+}
+
+TEST(BestLinearChain, FindsConnectedChain)
+{
+    const Device device = MakePoughkeepsie();
+    const auto chain = BestLinearChain(device, 4);
+    ASSERT_EQ(chain.size(), 4u);
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+        EXPECT_TRUE(device.topology().AreConnected(chain[i], chain[i + 1]));
+    }
+}
+
+TEST(BestLinearChain, PrefersLowErrorCouplers)
+{
+    const Device device = MakePoughkeepsie();
+    const auto chain = BestLinearChain(device, 3);
+    double cost = 0.0;
+    for (size_t i = 0; i + 1 < chain.size(); ++i) {
+        cost += device.CxError(
+            device.topology().FindEdge(chain[i], chain[i + 1]));
+    }
+    // Must be no worse than a few arbitrary alternatives.
+    const Topology& topo = device.topology();
+    for (QubitId q = 0; q < topo.num_qubits(); ++q) {
+        for (QubitId r : topo.Neighbors(q)) {
+            for (QubitId s : topo.Neighbors(r)) {
+                if (s == q) {
+                    continue;
+                }
+                const double alt =
+                    device.CxError(topo.FindEdge(q, r)) +
+                    device.CxError(topo.FindEdge(r, s));
+                EXPECT_LE(cost, alt + 1e-12);
+            }
+        }
+    }
+}
+
+}  // namespace
+}  // namespace xtalk

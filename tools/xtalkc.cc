@@ -1,0 +1,264 @@
+/**
+ * @file
+ * xtalkc — command-line crosstalk-adaptive compiler.
+ *
+ * Reads an OpenQASM 2.0 circuit, schedules it for a simulated device
+ * with one of the four schedulers, and emits the scheduled circuit
+ * (with ordering barriers for XtalkSched) plus an optional schedule
+ * report and noisy-simulation run.
+ *
+ *   xtalkc --device poughkeepsie --scheduler xtalk --omega 0.5 \
+ *          --characterization xtalk.txt --report --simulate 1024 \
+ *          --output out.qasm in.qasm
+ *
+ * With no --characterization file the device is characterized on the
+ * fly (bin-packed SRB at the fast budget); --save-characterization
+ * persists the result for reuse.
+ */
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <sstream>
+#include <string>
+
+#include "characterization/io.h"
+#include "compiler/compiler.h"
+#include "circuit/qasm.h"
+#include "circuit/qasm_parser.h"
+#include "device/calibration_report.h"
+#include "device/device_io.h"
+#include "device/ibmq_devices.h"
+#include "experiments/experiments.h"
+#include "scheduler/analysis.h"
+#include "scheduler/greedy_scheduler.h"
+#include "scheduler/scheduler.h"
+#include "scheduler/xtalk_scheduler.h"
+
+using namespace xtalk;
+
+namespace {
+
+struct Options {
+    std::string device = "poughkeepsie";
+    std::string device_file;
+    std::string scheduler = "xtalk";
+    std::string layout = "noise-aware";
+    std::string characterization_path;
+    std::string save_characterization_path;
+    std::string output_path;
+    std::string input_path;
+    double omega = 0.5;
+    int simulate_shots = 0;
+    bool report = false;
+    bool help = false;
+};
+
+void
+PrintUsage()
+{
+    std::cout <<
+        "usage: xtalkc [options] <input.qasm>\n"
+        "  --device <name>            poughkeepsie | johannesburg |\n"
+        "                             boeblingen (default poughkeepsie)\n"
+        "  --device-file <file>       load a custom device spec instead\n"
+        "  --scheduler <name>         xtalk | parallel | serial | greedy\n"
+        "  --omega <w>                crosstalk weight factor (default 0.5)\n"
+        "  --characterization <file>  load measured crosstalk data\n"
+        "  --save-characterization <file>  persist (possibly fresh) data\n"
+        "  --output <file>            write the scheduled circuit as QASM\n"
+        "  --report                   print the timed schedule + analysis\n"
+        "  --simulate <shots>         execute on the noisy simulator\n"
+        "  --help\n";
+}
+
+bool
+ParseArgs(int argc, char** argv, Options* options)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char* what) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << what << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--device") {
+            options->device = next("--device");
+        } else if (arg == "--device-file") {
+            options->device_file = next("--device-file");
+        } else if (arg == "--scheduler") {
+            options->scheduler = next("--scheduler");
+        } else if (arg == "--layout") {
+            options->layout = next("--layout");
+        } else if (arg == "--omega") {
+            options->omega = std::stod(next("--omega"));
+        } else if (arg == "--characterization") {
+            options->characterization_path = next("--characterization");
+        } else if (arg == "--save-characterization") {
+            options->save_characterization_path =
+                next("--save-characterization");
+        } else if (arg == "--output") {
+            options->output_path = next("--output");
+        } else if (arg == "--simulate") {
+            options->simulate_shots = std::stoi(next("--simulate"));
+        } else if (arg == "--report") {
+            options->report = true;
+        } else if (arg == "--help" || arg == "-h") {
+            options->help = true;
+        } else if (!arg.empty() && arg[0] == '-') {
+            std::cerr << "error: unknown option " << arg << "\n";
+            return false;
+        } else {
+            options->input_path = arg;
+        }
+    }
+    return true;
+}
+
+Device
+MakeDevice(const std::string& name)
+{
+    if (name == "poughkeepsie") {
+        return MakePoughkeepsie();
+    }
+    if (name == "johannesburg") {
+        return MakeJohannesburg();
+    }
+    if (name == "boeblingen") {
+        return MakeBoeblingen();
+    }
+    std::cerr << "error: unknown device '" << name << "'\n";
+    std::exit(2);
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options options;
+    if (!ParseArgs(argc, argv, &options)) {
+        PrintUsage();
+        return 2;
+    }
+    if (options.help || options.input_path.empty()) {
+        PrintUsage();
+        return options.help ? 0 : 2;
+    }
+
+    try {
+        std::ifstream input(options.input_path);
+        if (!input.good()) {
+            std::cerr << "error: cannot read " << options.input_path << "\n";
+            return 2;
+        }
+        std::ostringstream buffer;
+        buffer << input.rdbuf();
+        const Circuit circuit = ParseQasm(buffer.str());
+
+        const Device device = options.device_file.empty()
+                                  ? MakeDevice(options.device)
+                                  : LoadDeviceSpec(options.device_file);
+        std::cerr << "device: " << device.name() << " ("
+                  << device.num_qubits() << " qubits)\n";
+
+        CrosstalkCharacterization characterization;
+        if (!options.characterization_path.empty()) {
+            std::string measured_on;
+            characterization = LoadCharacterization(
+                options.characterization_path, &measured_on);
+            if (!measured_on.empty() && measured_on != device.name()) {
+                std::cerr << "error: " << options.characterization_path
+                          << " was measured on '" << measured_on
+                          << "', not '" << device.name()
+                          << "' (edge ids are device-specific)\n";
+                return 2;
+            }
+            std::cerr << "loaded characterization from "
+                      << options.characterization_path << "\n";
+        } else if (options.scheduler == "xtalk" ||
+                   options.scheduler == "auto" ||
+                   options.scheduler == "greedy" ||
+                   options.layout == "noise-aware") {
+            std::cerr << "characterizing device (bin-packed SRB)...\n";
+            characterization = CharacterizeDevice(
+                device, BenchRbConfig(),
+                CharacterizationPolicy::kOneHopBinPacked);
+        }
+        if (!options.save_characterization_path.empty()) {
+            SaveCharacterization(options.save_characterization_path,
+                                 characterization, device.name());
+            std::cerr << "saved characterization to "
+                      << options.save_characterization_path << "\n";
+        }
+
+        CompilerOptions compile_options;
+        if (options.layout == "trivial") {
+            compile_options.layout = LayoutPolicy::kTrivial;
+        } else if (options.layout == "noise-aware") {
+            compile_options.layout = LayoutPolicy::kNoiseAware;
+        } else {
+            std::cerr << "error: unknown layout '" << options.layout
+                      << "'\n";
+            return 2;
+        }
+        if (options.scheduler == "xtalk") {
+            compile_options.scheduler = SchedulerPolicy::kXtalk;
+        } else if (options.scheduler == "auto") {
+            compile_options.scheduler = SchedulerPolicy::kXtalkAutoOmega;
+        } else if (options.scheduler == "parallel") {
+            compile_options.scheduler = SchedulerPolicy::kParallel;
+        } else if (options.scheduler == "serial") {
+            compile_options.scheduler = SchedulerPolicy::kSerial;
+        } else if (options.scheduler == "greedy") {
+            compile_options.scheduler = SchedulerPolicy::kGreedy;
+        } else {
+            std::cerr << "error: unknown scheduler '" << options.scheduler
+                      << "'\n";
+            return 2;
+        }
+        compile_options.xtalk.omega = options.omega;
+
+        const CompileResult compiled =
+            Compile(device, characterization, circuit, compile_options);
+        const ScheduledCircuit& schedule = compiled.schedule;
+        const Circuit& output = compiled.executable;
+        std::cerr << compiled.scheduler_name << " (omega "
+                  << compiled.omega << "): duration "
+                  << schedule.TotalDuration() << " ns, modeled success "
+                  << compiled.estimate.success_probability
+                  << ", high-crosstalk overlaps "
+                  << compiled.estimate.crosstalk_overlaps << "\n";
+        std::cerr << "layout:";
+        for (size_t l = 0; l < compiled.initial_layout.size(); ++l) {
+            std::cerr << " " << l << "->" << compiled.initial_layout[l];
+        }
+        std::cerr << "\n";
+
+        if (options.report) {
+            std::cout << schedule.ToString();
+        }
+        if (options.simulate_shots > 0) {
+            NoisySimulator sim(device);
+            const Counts counts = sim.Run(schedule, options.simulate_shots);
+            std::cout << counts.ToString();
+        }
+        if (!options.output_path.empty()) {
+            std::ofstream out(options.output_path);
+            if (!out.good()) {
+                std::cerr << "error: cannot write " << options.output_path
+                          << "\n";
+                return 2;
+            }
+            out << ToQasm(output);
+            std::cerr << "wrote " << options.output_path << "\n";
+        } else if (!options.report && options.simulate_shots == 0) {
+            std::cout << ToQasm(output);
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
