@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig10_characterization_time"
+  "../bench/fig10_characterization_time.pdb"
+  "CMakeFiles/fig10_characterization_time.dir/fig10_characterization_time.cc.o"
+  "CMakeFiles/fig10_characterization_time.dir/fig10_characterization_time.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_characterization_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

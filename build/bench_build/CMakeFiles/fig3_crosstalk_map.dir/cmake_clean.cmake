@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig3_crosstalk_map"
+  "../bench/fig3_crosstalk_map.pdb"
+  "CMakeFiles/fig3_crosstalk_map.dir/fig3_crosstalk_map.cc.o"
+  "CMakeFiles/fig3_crosstalk_map.dir/fig3_crosstalk_map.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_crosstalk_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

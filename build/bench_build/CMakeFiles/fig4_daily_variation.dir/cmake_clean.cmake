@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig4_daily_variation"
+  "../bench/fig4_daily_variation.pdb"
+  "CMakeFiles/fig4_daily_variation.dir/fig4_daily_variation.cc.o"
+  "CMakeFiles/fig4_daily_variation.dir/fig4_daily_variation.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_daily_variation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

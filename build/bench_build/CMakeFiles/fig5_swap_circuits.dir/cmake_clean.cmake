@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig5_swap_circuits"
+  "../bench/fig5_swap_circuits.pdb"
+  "CMakeFiles/fig5_swap_circuits.dir/fig5_swap_circuits.cc.o"
+  "CMakeFiles/fig5_swap_circuits.dir/fig5_swap_circuits.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_swap_circuits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

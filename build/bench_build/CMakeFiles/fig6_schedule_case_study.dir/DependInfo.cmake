@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig6_schedule_case_study.cc" "bench_build/CMakeFiles/fig6_schedule_case_study.dir/fig6_schedule_case_study.cc.o" "gcc" "bench_build/CMakeFiles/fig6_schedule_case_study.dir/fig6_schedule_case_study.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/experiments/CMakeFiles/xtalk_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/xtalk_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/xtalk_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/compiler/CMakeFiles/xtalk_compiler.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/xtalk_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/scheduler/CMakeFiles/xtalk_scheduler.dir/DependInfo.cmake"
+  "/root/repo/build/src/characterization/CMakeFiles/xtalk_characterization.dir/DependInfo.cmake"
+  "/root/repo/build/src/clifford/CMakeFiles/xtalk_clifford.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xtalk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/xtalk_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/xtalk_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig6_schedule_case_study"
+  "../bench/fig6_schedule_case_study.pdb"
+  "CMakeFiles/fig6_schedule_case_study.dir/fig6_schedule_case_study.cc.o"
+  "CMakeFiles/fig6_schedule_case_study.dir/fig6_schedule_case_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_schedule_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

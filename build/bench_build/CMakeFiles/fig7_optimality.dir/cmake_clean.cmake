@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig7_optimality"
+  "../bench/fig7_optimality.pdb"
+  "CMakeFiles/fig7_optimality.dir/fig7_optimality.cc.o"
+  "CMakeFiles/fig7_optimality.dir/fig7_optimality.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig8_qaoa_cross_entropy"
+  "../bench/fig8_qaoa_cross_entropy.pdb"
+  "CMakeFiles/fig8_qaoa_cross_entropy.dir/fig8_qaoa_cross_entropy.cc.o"
+  "CMakeFiles/fig8_qaoa_cross_entropy.dir/fig8_qaoa_cross_entropy.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_qaoa_cross_entropy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

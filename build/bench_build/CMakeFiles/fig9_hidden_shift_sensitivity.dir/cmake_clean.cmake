@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/fig9_hidden_shift_sensitivity"
+  "../bench/fig9_hidden_shift_sensitivity.pdb"
+  "CMakeFiles/fig9_hidden_shift_sensitivity.dir/fig9_hidden_shift_sensitivity.cc.o"
+  "CMakeFiles/fig9_hidden_shift_sensitivity.dir/fig9_hidden_shift_sensitivity.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_hidden_shift_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/sec94_scalability"
+  "../bench/sec94_scalability.pdb"
+  "CMakeFiles/sec94_scalability.dir/sec94_scalability.cc.o"
+  "CMakeFiles/sec94_scalability.dir/sec94_scalability.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sec94_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

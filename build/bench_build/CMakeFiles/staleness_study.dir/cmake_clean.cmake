@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/staleness_study"
+  "../bench/staleness_study.pdb"
+  "CMakeFiles/staleness_study.dir/staleness_study.cc.o"
+  "CMakeFiles/staleness_study.dir/staleness_study.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/staleness_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/characterization_workflow.dir/characterization_workflow.cpp.o"
+  "CMakeFiles/characterization_workflow.dir/characterization_workflow.cpp.o.d"
+  "characterization_workflow"
+  "characterization_workflow.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/characterization_workflow.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/crosstalk_aware_toolchain.dir/crosstalk_aware_toolchain.cpp.o"
+  "CMakeFiles/crosstalk_aware_toolchain.dir/crosstalk_aware_toolchain.cpp.o.d"
+  "crosstalk_aware_toolchain"
+  "crosstalk_aware_toolchain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/crosstalk_aware_toolchain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qaoa_omega_sweep.dir/qaoa_omega_sweep.cpp.o"
+  "CMakeFiles/qaoa_omega_sweep.dir/qaoa_omega_sweep.cpp.o.d"
+  "qaoa_omega_sweep"
+  "qaoa_omega_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qaoa_omega_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/routing_and_scheduling.dir/routing_and_scheduling.cpp.o"
+  "CMakeFiles/routing_and_scheduling.dir/routing_and_scheduling.cpp.o.d"
+  "routing_and_scheduling"
+  "routing_and_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/routing_and_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/characterization/binpack.cc" "src/characterization/CMakeFiles/xtalk_characterization.dir/binpack.cc.o" "gcc" "src/characterization/CMakeFiles/xtalk_characterization.dir/binpack.cc.o.d"
+  "/root/repo/src/characterization/characterizer.cc" "src/characterization/CMakeFiles/xtalk_characterization.dir/characterizer.cc.o" "gcc" "src/characterization/CMakeFiles/xtalk_characterization.dir/characterizer.cc.o.d"
+  "/root/repo/src/characterization/cost_model.cc" "src/characterization/CMakeFiles/xtalk_characterization.dir/cost_model.cc.o" "gcc" "src/characterization/CMakeFiles/xtalk_characterization.dir/cost_model.cc.o.d"
+  "/root/repo/src/characterization/io.cc" "src/characterization/CMakeFiles/xtalk_characterization.dir/io.cc.o" "gcc" "src/characterization/CMakeFiles/xtalk_characterization.dir/io.cc.o.d"
+  "/root/repo/src/characterization/rb.cc" "src/characterization/CMakeFiles/xtalk_characterization.dir/rb.cc.o" "gcc" "src/characterization/CMakeFiles/xtalk_characterization.dir/rb.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xtalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/xtalk_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/clifford/CMakeFiles/xtalk_clifford.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xtalk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

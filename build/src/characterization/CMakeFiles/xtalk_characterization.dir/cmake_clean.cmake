@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_characterization.dir/binpack.cc.o"
+  "CMakeFiles/xtalk_characterization.dir/binpack.cc.o.d"
+  "CMakeFiles/xtalk_characterization.dir/characterizer.cc.o"
+  "CMakeFiles/xtalk_characterization.dir/characterizer.cc.o.d"
+  "CMakeFiles/xtalk_characterization.dir/cost_model.cc.o"
+  "CMakeFiles/xtalk_characterization.dir/cost_model.cc.o.d"
+  "CMakeFiles/xtalk_characterization.dir/io.cc.o"
+  "CMakeFiles/xtalk_characterization.dir/io.cc.o.d"
+  "CMakeFiles/xtalk_characterization.dir/rb.cc.o"
+  "CMakeFiles/xtalk_characterization.dir/rb.cc.o.d"
+  "libxtalk_characterization.a"
+  "libxtalk_characterization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_characterization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_circuit.dir/circuit.cc.o"
+  "CMakeFiles/xtalk_circuit.dir/circuit.cc.o.d"
+  "CMakeFiles/xtalk_circuit.dir/dag.cc.o"
+  "CMakeFiles/xtalk_circuit.dir/dag.cc.o.d"
+  "CMakeFiles/xtalk_circuit.dir/gate.cc.o"
+  "CMakeFiles/xtalk_circuit.dir/gate.cc.o.d"
+  "CMakeFiles/xtalk_circuit.dir/qasm.cc.o"
+  "CMakeFiles/xtalk_circuit.dir/qasm.cc.o.d"
+  "CMakeFiles/xtalk_circuit.dir/qasm_parser.cc.o"
+  "CMakeFiles/xtalk_circuit.dir/qasm_parser.cc.o.d"
+  "CMakeFiles/xtalk_circuit.dir/schedule.cc.o"
+  "CMakeFiles/xtalk_circuit.dir/schedule.cc.o.d"
+  "libxtalk_circuit.a"
+  "libxtalk_circuit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_circuit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

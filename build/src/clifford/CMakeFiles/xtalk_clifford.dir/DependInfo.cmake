@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clifford/group.cc" "src/clifford/CMakeFiles/xtalk_clifford.dir/group.cc.o" "gcc" "src/clifford/CMakeFiles/xtalk_clifford.dir/group.cc.o.d"
+  "/root/repo/src/clifford/tableau.cc" "src/clifford/CMakeFiles/xtalk_clifford.dir/tableau.cc.o" "gcc" "src/clifford/CMakeFiles/xtalk_clifford.dir/tableau.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xtalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/xtalk_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_clifford.dir/group.cc.o"
+  "CMakeFiles/xtalk_clifford.dir/group.cc.o.d"
+  "CMakeFiles/xtalk_clifford.dir/tableau.cc.o"
+  "CMakeFiles/xtalk_clifford.dir/tableau.cc.o.d"
+  "libxtalk_clifford.a"
+  "libxtalk_clifford.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_clifford.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

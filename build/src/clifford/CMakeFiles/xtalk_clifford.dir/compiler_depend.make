@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for xtalk_clifford.
+# This may be replaced when dependencies are built.

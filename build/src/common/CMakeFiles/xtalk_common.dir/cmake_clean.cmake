@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_common.dir/error.cc.o"
+  "CMakeFiles/xtalk_common.dir/error.cc.o.d"
+  "CMakeFiles/xtalk_common.dir/fit.cc.o"
+  "CMakeFiles/xtalk_common.dir/fit.cc.o.d"
+  "CMakeFiles/xtalk_common.dir/logging.cc.o"
+  "CMakeFiles/xtalk_common.dir/logging.cc.o.d"
+  "CMakeFiles/xtalk_common.dir/matrix.cc.o"
+  "CMakeFiles/xtalk_common.dir/matrix.cc.o.d"
+  "CMakeFiles/xtalk_common.dir/rng.cc.o"
+  "CMakeFiles/xtalk_common.dir/rng.cc.o.d"
+  "CMakeFiles/xtalk_common.dir/statistics.cc.o"
+  "CMakeFiles/xtalk_common.dir/statistics.cc.o.d"
+  "libxtalk_common.a"
+  "libxtalk_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

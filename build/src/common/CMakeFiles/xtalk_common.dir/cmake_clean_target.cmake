@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libxtalk_common.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_compiler.dir/compiler.cc.o"
+  "CMakeFiles/xtalk_compiler.dir/compiler.cc.o.d"
+  "libxtalk_compiler.a"
+  "libxtalk_compiler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_compiler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/device/calibration_report.cc" "src/device/CMakeFiles/xtalk_device.dir/calibration_report.cc.o" "gcc" "src/device/CMakeFiles/xtalk_device.dir/calibration_report.cc.o.d"
+  "/root/repo/src/device/crosstalk_model.cc" "src/device/CMakeFiles/xtalk_device.dir/crosstalk_model.cc.o" "gcc" "src/device/CMakeFiles/xtalk_device.dir/crosstalk_model.cc.o.d"
+  "/root/repo/src/device/device.cc" "src/device/CMakeFiles/xtalk_device.dir/device.cc.o" "gcc" "src/device/CMakeFiles/xtalk_device.dir/device.cc.o.d"
+  "/root/repo/src/device/device_io.cc" "src/device/CMakeFiles/xtalk_device.dir/device_io.cc.o" "gcc" "src/device/CMakeFiles/xtalk_device.dir/device_io.cc.o.d"
+  "/root/repo/src/device/ibmq_devices.cc" "src/device/CMakeFiles/xtalk_device.dir/ibmq_devices.cc.o" "gcc" "src/device/CMakeFiles/xtalk_device.dir/ibmq_devices.cc.o.d"
+  "/root/repo/src/device/topology.cc" "src/device/CMakeFiles/xtalk_device.dir/topology.cc.o" "gcc" "src/device/CMakeFiles/xtalk_device.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xtalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/xtalk_circuit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

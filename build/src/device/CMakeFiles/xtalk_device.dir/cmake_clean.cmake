@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_device.dir/calibration_report.cc.o"
+  "CMakeFiles/xtalk_device.dir/calibration_report.cc.o.d"
+  "CMakeFiles/xtalk_device.dir/crosstalk_model.cc.o"
+  "CMakeFiles/xtalk_device.dir/crosstalk_model.cc.o.d"
+  "CMakeFiles/xtalk_device.dir/device.cc.o"
+  "CMakeFiles/xtalk_device.dir/device.cc.o.d"
+  "CMakeFiles/xtalk_device.dir/device_io.cc.o"
+  "CMakeFiles/xtalk_device.dir/device_io.cc.o.d"
+  "CMakeFiles/xtalk_device.dir/ibmq_devices.cc.o"
+  "CMakeFiles/xtalk_device.dir/ibmq_devices.cc.o.d"
+  "CMakeFiles/xtalk_device.dir/topology.cc.o"
+  "CMakeFiles/xtalk_device.dir/topology.cc.o.d"
+  "libxtalk_device.a"
+  "libxtalk_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_experiments.dir/experiments.cc.o"
+  "CMakeFiles/xtalk_experiments.dir/experiments.cc.o.d"
+  "libxtalk_experiments.a"
+  "libxtalk_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

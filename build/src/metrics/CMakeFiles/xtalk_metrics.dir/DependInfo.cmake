@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/cross_entropy.cc" "src/metrics/CMakeFiles/xtalk_metrics.dir/cross_entropy.cc.o" "gcc" "src/metrics/CMakeFiles/xtalk_metrics.dir/cross_entropy.cc.o.d"
+  "/root/repo/src/metrics/readout_mitigation.cc" "src/metrics/CMakeFiles/xtalk_metrics.dir/readout_mitigation.cc.o" "gcc" "src/metrics/CMakeFiles/xtalk_metrics.dir/readout_mitigation.cc.o.d"
+  "/root/repo/src/metrics/tomography.cc" "src/metrics/CMakeFiles/xtalk_metrics.dir/tomography.cc.o" "gcc" "src/metrics/CMakeFiles/xtalk_metrics.dir/tomography.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xtalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/xtalk_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xtalk_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

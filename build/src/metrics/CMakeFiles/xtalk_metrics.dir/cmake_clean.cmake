@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_metrics.dir/cross_entropy.cc.o"
+  "CMakeFiles/xtalk_metrics.dir/cross_entropy.cc.o.d"
+  "CMakeFiles/xtalk_metrics.dir/readout_mitigation.cc.o"
+  "CMakeFiles/xtalk_metrics.dir/readout_mitigation.cc.o.d"
+  "CMakeFiles/xtalk_metrics.dir/tomography.cc.o"
+  "CMakeFiles/xtalk_metrics.dir/tomography.cc.o.d"
+  "libxtalk_metrics.a"
+  "libxtalk_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_scheduler.dir/analysis.cc.o"
+  "CMakeFiles/xtalk_scheduler.dir/analysis.cc.o.d"
+  "CMakeFiles/xtalk_scheduler.dir/greedy_scheduler.cc.o"
+  "CMakeFiles/xtalk_scheduler.dir/greedy_scheduler.cc.o.d"
+  "CMakeFiles/xtalk_scheduler.dir/omega_tuning.cc.o"
+  "CMakeFiles/xtalk_scheduler.dir/omega_tuning.cc.o.d"
+  "CMakeFiles/xtalk_scheduler.dir/scheduler.cc.o"
+  "CMakeFiles/xtalk_scheduler.dir/scheduler.cc.o.d"
+  "CMakeFiles/xtalk_scheduler.dir/xtalk_scheduler.cc.o"
+  "CMakeFiles/xtalk_scheduler.dir/xtalk_scheduler.cc.o.d"
+  "libxtalk_scheduler.a"
+  "libxtalk_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/counts.cc" "src/sim/CMakeFiles/xtalk_sim.dir/counts.cc.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/counts.cc.o.d"
+  "/root/repo/src/sim/density_matrix.cc" "src/sim/CMakeFiles/xtalk_sim.dir/density_matrix.cc.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/density_matrix.cc.o.d"
+  "/root/repo/src/sim/gate_matrices.cc" "src/sim/CMakeFiles/xtalk_sim.dir/gate_matrices.cc.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/gate_matrices.cc.o.d"
+  "/root/repo/src/sim/noisy_simulator.cc" "src/sim/CMakeFiles/xtalk_sim.dir/noisy_simulator.cc.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/noisy_simulator.cc.o.d"
+  "/root/repo/src/sim/stabilizer.cc" "src/sim/CMakeFiles/xtalk_sim.dir/stabilizer.cc.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/stabilizer.cc.o.d"
+  "/root/repo/src/sim/statevector.cc" "src/sim/CMakeFiles/xtalk_sim.dir/statevector.cc.o" "gcc" "src/sim/CMakeFiles/xtalk_sim.dir/statevector.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xtalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/xtalk_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

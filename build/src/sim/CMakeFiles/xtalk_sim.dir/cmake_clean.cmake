@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_sim.dir/counts.cc.o"
+  "CMakeFiles/xtalk_sim.dir/counts.cc.o.d"
+  "CMakeFiles/xtalk_sim.dir/density_matrix.cc.o"
+  "CMakeFiles/xtalk_sim.dir/density_matrix.cc.o.d"
+  "CMakeFiles/xtalk_sim.dir/gate_matrices.cc.o"
+  "CMakeFiles/xtalk_sim.dir/gate_matrices.cc.o.d"
+  "CMakeFiles/xtalk_sim.dir/noisy_simulator.cc.o"
+  "CMakeFiles/xtalk_sim.dir/noisy_simulator.cc.o.d"
+  "CMakeFiles/xtalk_sim.dir/stabilizer.cc.o"
+  "CMakeFiles/xtalk_sim.dir/stabilizer.cc.o.d"
+  "CMakeFiles/xtalk_sim.dir/statevector.cc.o"
+  "CMakeFiles/xtalk_sim.dir/statevector.cc.o.d"
+  "libxtalk_sim.a"
+  "libxtalk_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

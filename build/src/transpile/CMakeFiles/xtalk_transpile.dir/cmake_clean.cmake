@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_transpile.dir/layout.cc.o"
+  "CMakeFiles/xtalk_transpile.dir/layout.cc.o.d"
+  "CMakeFiles/xtalk_transpile.dir/routing.cc.o"
+  "CMakeFiles/xtalk_transpile.dir/routing.cc.o.d"
+  "libxtalk_transpile.a"
+  "libxtalk_transpile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_transpile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

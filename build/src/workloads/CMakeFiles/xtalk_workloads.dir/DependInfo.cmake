@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/hidden_shift.cc" "src/workloads/CMakeFiles/xtalk_workloads.dir/hidden_shift.cc.o" "gcc" "src/workloads/CMakeFiles/xtalk_workloads.dir/hidden_shift.cc.o.d"
+  "/root/repo/src/workloads/qaoa.cc" "src/workloads/CMakeFiles/xtalk_workloads.dir/qaoa.cc.o" "gcc" "src/workloads/CMakeFiles/xtalk_workloads.dir/qaoa.cc.o.d"
+  "/root/repo/src/workloads/supremacy.cc" "src/workloads/CMakeFiles/xtalk_workloads.dir/supremacy.cc.o" "gcc" "src/workloads/CMakeFiles/xtalk_workloads.dir/supremacy.cc.o.d"
+  "/root/repo/src/workloads/swap_circuits.cc" "src/workloads/CMakeFiles/xtalk_workloads.dir/swap_circuits.cc.o" "gcc" "src/workloads/CMakeFiles/xtalk_workloads.dir/swap_circuits.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/xtalk_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/circuit/CMakeFiles/xtalk_circuit.dir/DependInfo.cmake"
+  "/root/repo/build/src/device/CMakeFiles/xtalk_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/characterization/CMakeFiles/xtalk_characterization.dir/DependInfo.cmake"
+  "/root/repo/build/src/transpile/CMakeFiles/xtalk_transpile.dir/DependInfo.cmake"
+  "/root/repo/build/src/clifford/CMakeFiles/xtalk_clifford.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/xtalk_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

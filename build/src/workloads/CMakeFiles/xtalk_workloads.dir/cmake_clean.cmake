@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalk_workloads.dir/hidden_shift.cc.o"
+  "CMakeFiles/xtalk_workloads.dir/hidden_shift.cc.o.d"
+  "CMakeFiles/xtalk_workloads.dir/qaoa.cc.o"
+  "CMakeFiles/xtalk_workloads.dir/qaoa.cc.o.d"
+  "CMakeFiles/xtalk_workloads.dir/supremacy.cc.o"
+  "CMakeFiles/xtalk_workloads.dir/supremacy.cc.o.d"
+  "CMakeFiles/xtalk_workloads.dir/swap_circuits.cc.o"
+  "CMakeFiles/xtalk_workloads.dir/swap_circuits.cc.o.d"
+  "libxtalk_workloads.a"
+  "libxtalk_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalk_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/clifford_test.dir/clifford_test.cc.o"
+  "CMakeFiles/clifford_test.dir/clifford_test.cc.o.d"
+  "clifford_test"
+  "clifford_test.pdb"
+  "clifford_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/clifford_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/device_traits_test.dir/device_traits_test.cc.o"
+  "CMakeFiles/device_traits_test.dir/device_traits_test.cc.o.d"
+  "device_traits_test"
+  "device_traits_test.pdb"
+  "device_traits_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/device_traits_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/qasm_and_tools_test.dir/qasm_and_tools_test.cc.o"
+  "CMakeFiles/qasm_and_tools_test.dir/qasm_and_tools_test.cc.o.d"
+  "qasm_and_tools_test"
+  "qasm_and_tools_test.pdb"
+  "qasm_and_tools_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/qasm_and_tools_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

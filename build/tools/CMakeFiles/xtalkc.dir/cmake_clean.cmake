@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xtalkc.dir/xtalkc.cc.o"
+  "CMakeFiles/xtalkc.dir/xtalkc.cc.o.d"
+  "xtalkc"
+  "xtalkc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xtalkc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
