@@ -7,11 +7,18 @@
  * text. Default budgets keep the whole harness in the minutes range;
  * set XTALK_BENCH_SCALE=<n> to multiply sequence/shot budgets toward
  * paper scale.
+ *
+ * Machine-readable output: set XTALK_BENCH_JSON=<dir> and every table
+ * a binary prints is also captured and dumped to <dir>/<binary>.json
+ * at exit (schema xtalk.bench.v1, see docs/OBSERVABILITY.md). This is
+ * what feeds the BENCH_*.json performance trajectory.
  */
 #ifndef XTALK_BENCH_BENCH_UTIL_H
 #define XTALK_BENCH_BENCH_UTIL_H
 
+#include <cerrno>
 #include <cstdlib>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -20,8 +27,116 @@
 
 #include "characterization/rb.h"
 #include "experiments/experiments.h"
+#include "telemetry/json.h"
 
 namespace xtalk::bench {
+
+/** Directory for JSON table dumps (XTALK_BENCH_JSON), or null. */
+inline const char*
+JsonOutputDir()
+{
+    const char* dir = std::getenv("XTALK_BENCH_JSON");
+    return (dir && *dir) ? dir : nullptr;
+}
+
+namespace internal {
+
+struct RecordedTable {
+    std::string section;
+    std::vector<std::string> headers;
+    std::vector<std::vector<std::string>> rows;
+};
+
+/** Per-process capture of every printed banner/table. */
+struct JsonCapture {
+    std::string current_section;
+    std::vector<RecordedTable> tables;
+    bool dump_registered = false;
+
+    static JsonCapture&
+    Get()
+    {
+        static JsonCapture instance;
+        return instance;
+    }
+};
+
+inline std::string
+ProgramName()
+{
+#ifdef __GLIBC__
+    if (program_invocation_short_name && *program_invocation_short_name) {
+        return program_invocation_short_name;
+    }
+#endif
+    return "bench";
+}
+
+inline void
+DumpJsonCapture()
+{
+    const char* dir = JsonOutputDir();
+    if (!dir) {
+        return;
+    }
+    const JsonCapture& capture = JsonCapture::Get();
+    telemetry::JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String("xtalk.bench.v1");
+    w.Key("binary").String(ProgramName());
+    w.Key("scale").Number(static_cast<int64_t>([] {
+        const char* env = std::getenv("XTALK_BENCH_SCALE");
+        const int scale = env ? std::atoi(env) : 1;
+        return scale >= 1 ? scale : 1;
+    }()));
+    w.Key("tables").BeginArray();
+    for (const RecordedTable& table : capture.tables) {
+        w.BeginObject();
+        w.Key("section").String(table.section);
+        w.Key("headers").BeginArray();
+        for (const std::string& h : table.headers) {
+            w.String(h);
+        }
+        w.EndArray();
+        w.Key("rows").BeginArray();
+        for (const auto& row : table.rows) {
+            w.BeginArray();
+            for (const std::string& cell : row) {
+                w.String(cell);
+            }
+            w.EndArray();
+        }
+        w.EndArray();
+        w.EndObject();
+    }
+    w.EndArray();
+    w.EndObject();
+    const std::string path =
+        std::string(dir) + "/" + ProgramName() + ".json";
+    std::ofstream out(path);
+    if (out.good()) {
+        out << w.str() << "\n";
+    } else {
+        std::cerr << "warn: cannot write bench JSON to " << path << "\n";
+    }
+}
+
+inline void
+RecordTable(const std::vector<std::string>& headers,
+            const std::vector<std::vector<std::string>>& rows)
+{
+    if (!JsonOutputDir()) {
+        return;
+    }
+    JsonCapture& capture = JsonCapture::Get();
+    if (!capture.dump_registered) {
+        capture.dump_registered = true;
+        std::atexit(DumpJsonCapture);
+    }
+    capture.tables.push_back({capture.current_section, headers, rows});
+}
+
+}  // namespace internal
 
 /** Multiplier applied to shot/sequence budgets (XTALK_BENCH_SCALE). */
 inline int
@@ -82,6 +197,7 @@ class Table {
         for (const auto& row : rows_) {
             write_row(row);
         }
+        internal::RecordTable(headers_, rows_);
     }
 
   private:
@@ -105,11 +221,12 @@ class Table {
     std::vector<std::vector<std::string>> rows_;
 };
 
-/** Section banner. */
+/** Section banner. Also names the section for captured JSON tables. */
 inline void
 Banner(const std::string& title)
 {
     std::cout << "\n=== " << title << " ===\n\n";
+    internal::JsonCapture::Get().current_section = title;
 }
 
 }  // namespace xtalk::bench

@@ -7,6 +7,10 @@
  */
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <vector>
+
 #include "characterization/binpack.h"
 #include "characterization/rb.h"
 #include "clifford/group.h"
@@ -227,4 +231,38 @@ BENCHMARK(BM_ParSchedSwapPath);
 }  // namespace
 }  // namespace xtalk
 
-BENCHMARK_MAIN();
+/**
+ * Expanded BENCHMARK_MAIN(): when XTALK_BENCH_JSON=<dir> is set (and no
+ * explicit --benchmark_out was passed), also write google-benchmark's
+ * JSON report to <dir>/micro_benchmarks.json, matching the table dumps
+ * the fig*_ binaries produce via bench_util.h.
+ */
+int
+main(int argc, char** argv)
+{
+    std::vector<char*> args(argv, argv + argc);
+    std::string out_flag;
+    std::string format_flag;
+    const char* json_dir = std::getenv("XTALK_BENCH_JSON");
+    bool has_out = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) {
+            has_out = true;
+        }
+    }
+    if (json_dir && *json_dir && !has_out) {
+        out_flag = std::string("--benchmark_out=") + json_dir +
+                   "/micro_benchmarks.json";
+        format_flag = "--benchmark_out_format=json";
+        args.push_back(out_flag.data());
+        args.push_back(format_flag.data());
+    }
+    int args_count = static_cast<int>(args.size());
+    benchmark::Initialize(&args_count, args.data());
+    if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

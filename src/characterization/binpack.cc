@@ -1,6 +1,8 @@
 #include "characterization/binpack.h"
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace xtalk {
 
@@ -48,6 +50,7 @@ RandomizedFirstFitPack(const Topology& topology, std::vector<GatePair> pairs,
                        int separation_hops, int iterations, Rng& rng)
 {
     XTALK_REQUIRE(iterations >= 1, "need at least one iteration");
+    telemetry::ScopedSpan span("charz.binpack");
     std::vector<ExperimentBin> best;
     for (int i = 0; i < iterations; ++i) {
         rng.Shuffle(pairs);
@@ -55,6 +58,14 @@ RandomizedFirstFitPack(const Topology& topology, std::vector<GatePair> pairs,
         if (best.empty() || bins.size() < best.size()) {
             best = std::move(bins);
         }
+    }
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("charz.binpack.rounds")
+            .Add(static_cast<uint64_t>(iterations));
+        telemetry::GetCounter("charz.binpack.pairs")
+            .Add(static_cast<uint64_t>(pairs.size()));
+        telemetry::GetGauge("charz.binpack.bins")
+            .Set(static_cast<double>(best.size()));
     }
     return best;
 }

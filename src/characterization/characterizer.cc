@@ -3,6 +3,8 @@
 #include <algorithm>
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace xtalk {
 
@@ -172,6 +174,11 @@ CrosstalkCharacterizer::CrosstalkCharacterizer(const Device& device,
 CrosstalkCharacterization
 CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges)
 {
+    telemetry::ScopedSpan span("charz.independent_rb");
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("charz.independent.edges")
+            .Add(static_cast<uint64_t>(edges.size()));
+    }
     CrosstalkCharacterization out;
     RbRunner runner(*device_, config_, sim_options_);
     for (EdgeId edge : edges) {
@@ -187,6 +194,16 @@ CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges)
 CrosstalkCharacterization
 CrosstalkCharacterizer::Run(const CharacterizationPlan& plan)
 {
+    telemetry::ScopedSpan span("charz.run");
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("charz.runs").Add(1);
+        telemetry::GetCounter("charz.plan.batches")
+            .Add(static_cast<uint64_t>(plan.batches.size()));
+        telemetry::GetCounter("charz.plan.experiments")
+            .Add(static_cast<uint64_t>(plan.NumExperiments()));
+        telemetry::SetLabel("charz.policy", PolicyName(plan.policy));
+    }
+
     // Independent RB on every coupler the plan touches.
     std::set<EdgeId> edge_set;
     for (const ExperimentBin& bin : plan.batches) {

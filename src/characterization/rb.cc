@@ -6,6 +6,8 @@
 #include "clifford/tableau.h"
 #include "common/error.h"
 #include "sim/stabilizer.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace xtalk {
 
@@ -125,6 +127,19 @@ std::vector<RbResult>
 RbRunner::MeasureSimultaneous(const std::vector<EdgeId>& edges,
                               bool interleave)
 {
+    telemetry::ScopedSpan span("charz.srb.measure");
+    if (telemetry::Enabled()) {
+        const uint64_t sequences =
+            config_.lengths.size() *
+            static_cast<uint64_t>(config_.sequences_per_length);
+        telemetry::GetCounter("charz.srb.experiments").Add(1);
+        telemetry::GetCounter("charz.srb.couplers")
+            .Add(static_cast<uint64_t>(edges.size()));
+        telemetry::GetCounter("charz.srb.sequences").Add(sequences);
+        telemetry::GetCounter("charz.srb.shots")
+            .Add(sequences * static_cast<uint64_t>(config_.shots));
+    }
+
     // survival[pair][length index] accumulated over sequences.
     std::vector<std::vector<double>> survival(
         edges.size(), std::vector<double>(config_.lengths.size(), 0.0));

@@ -4,6 +4,7 @@
 #include <sstream>
 
 #include "common/error.h"
+#include "telemetry/trace.h"
 
 namespace xtalk {
 
@@ -30,6 +31,7 @@ Params(const Gate& gate)
 std::string
 ToQasm(const Circuit& circuit)
 {
+    telemetry::ScopedSpan span("compile.qasm_emit");
     std::ostringstream oss;
     oss << "OPENQASM 2.0;\n"
         << "include \"qelib1.inc\";\n"

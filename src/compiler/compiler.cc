@@ -1,11 +1,14 @@
 #include "compiler/compiler.h"
 
 #include <memory>
+#include <optional>
 
 #include "common/error.h"
 #include "scheduler/greedy_scheduler.h"
 #include "scheduler/omega_tuning.h"
 #include "scheduler/scheduler.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "transpile/layout.h"
 #include "transpile/routing.h"
 
@@ -16,29 +19,48 @@ Compile(const Device& device,
         const CrosstalkCharacterization& characterization,
         const Circuit& logical, const CompilerOptions& options)
 {
+    telemetry::ScopedSpan total_span("compile.total");
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("compile.invocations").Add(1);
+        telemetry::GetCounter("compile.input_gates")
+            .Add(static_cast<uint64_t>(logical.size()));
+    }
     CompileResult result;
 
     // 1. Placement.
-    switch (options.layout) {
-      case LayoutPolicy::kTrivial:
-        result.initial_layout = TrivialLayout(logical);
-        break;
-      case LayoutPolicy::kNoiseAware: {
-        NoiseAwareLayoutOptions layout_options;
-        layout_options.crosstalk_penalty_weight =
-            options.layout_crosstalk_penalty;
-        result.initial_layout = NoiseAwareLayout(
-            device, logical, &characterization, layout_options);
-        break;
-      }
+    {
+        telemetry::ScopedSpan span("compile.layout");
+        switch (options.layout) {
+          case LayoutPolicy::kTrivial:
+            result.initial_layout = TrivialLayout(logical);
+            break;
+          case LayoutPolicy::kNoiseAware: {
+            NoiseAwareLayoutOptions layout_options;
+            layout_options.crosstalk_penalty_weight =
+                options.layout_crosstalk_penalty;
+            result.initial_layout = NoiseAwareLayout(
+                device, logical, &characterization, layout_options);
+            break;
+          }
+        }
     }
 
     // 2. Routing (SWAP insertion, lowered to CNOTs).
-    const RoutingResult routed =
-        RouteCircuit(device, logical, result.initial_layout);
+    std::optional<RoutingResult> routed_opt;
+    {
+        telemetry::ScopedSpan span("compile.route");
+        routed_opt = RouteCircuit(device, logical, result.initial_layout);
+    }
+    const RoutingResult& routed = *routed_opt;
     result.final_layout = routed.final_layout;
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("compile.routed_gates")
+            .Add(static_cast<uint64_t>(routed.circuit.size()));
+    }
 
     // 3. Scheduling.
+    std::optional<telemetry::ScopedSpan> schedule_span;
+    schedule_span.emplace("compile.schedule");
     switch (options.scheduler) {
       case SchedulerPolicy::kXtalk: {
         XtalkScheduler scheduler(device, characterization, options.xtalk);
@@ -84,8 +106,13 @@ Compile(const Device& device,
       }
     }
 
-    result.estimate = EstimateScheduleError(result.schedule, device,
-                                            &characterization);
+    schedule_span.reset();
+
+    {
+        telemetry::ScopedSpan span("compile.estimate");
+        result.estimate = EstimateScheduleError(result.schedule, device,
+                                                &characterization);
+    }
     return result;
 }
 

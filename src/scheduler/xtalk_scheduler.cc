@@ -12,6 +12,8 @@
 #include "circuit/dag.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace xtalk {
 
@@ -55,6 +57,7 @@ XtalkScheduler::XtalkScheduler(
 ScheduledCircuit
 XtalkScheduler::Schedule(const Circuit& circuit)
 {
+    telemetry::ScopedSpan total_span("sched.xtalk.schedule");
     const auto t_begin = std::chrono::steady_clock::now();
     const DependencyDag dag(circuit);
     const int n = circuit.size();
@@ -167,24 +170,30 @@ XtalkScheduler::Schedule(const Circuit& circuit)
         params.set("timeout", options_.timeout_ms);
         opt.set(params);
 
+        long long num_constraints = 0;
+        auto add = [&](const z3::expr& constraint) {
+            opt.add(constraint);
+            ++num_constraints;
+        };
+
         // Start-time variables and dependency constraints (constraint 1).
         std::vector<z3::expr> tau;
         tau.reserve(n);
         for (GateId g = 0; g < n; ++g) {
             tau.push_back(
                 ctx.real_const(("tau" + std::to_string(g)).c_str()));
-            opt.add(tau[g] >= 0);
+            add(tau[g] >= 0);
         }
         for (GateId g = 0; g < n; ++g) {
             for (GateId p : dag.Predecessors(g)) {
-                opt.add(tau[g] >= tau[p] + RealOf(ctx, duration[p]));
+                add(tau[g] >= tau[p] + RealOf(ctx, duration[p]));
             }
         }
 
         // Simultaneous readout (IBMQ trait).
         if (device_->traits().simultaneous_readout && measures.size() > 1) {
             for (size_t k = 1; k < measures.size(); ++k) {
-                opt.add(tau[measures[k]] == tau[measures[0]]);
+                add(tau[measures[k]] == tau[measures[0]]);
             }
         }
 
@@ -196,7 +205,7 @@ XtalkScheduler::Schedule(const Circuit& circuit)
             z3::expr o = ctx.bool_const(
                 ("o_" + std::to_string(i) + "_" + std::to_string(j))
                     .c_str());
-            opt.add(o == ((tau[j] < tau[i] + RealOf(ctx, duration[i])) &&
+            add(o == ((tau[j] < tau[i] + RealOf(ctx, duration[i])) &&
                           (tau[i] < tau[j] + RealOf(ctx, duration[j]))));
             overlap.emplace(std::make_pair(i, j), o);
         }
@@ -210,7 +219,7 @@ XtalkScheduler::Schedule(const Circuit& circuit)
             for (const auto& [i, j] : last_pairs_) {
                 const z3::expr di = RealOf(ctx, duration[i]);
                 const z3::expr dj = RealOf(ctx, duration[j]);
-                opt.add((tau[i] + di <= tau[j]) ||
+                add((tau[i] + di <= tau[j]) ||
                         (tau[j] + dj <= tau[i]) ||
                         ((tau[i] >= tau[j]) &&
                          (tau[i] + di <= tau[j] + dj)) ||
@@ -259,16 +268,16 @@ XtalkScheduler::Schedule(const Circuit& circuit)
                             cond = cond && !overlap_var(i, j);
                         }
                     }
-                    opt.add(z3::implies(
+                    add(z3::implies(
                         cond, logeps == RealOf(ctx, log_of(worst))));
                 }
             } else {
-                opt.add(logeps >= RealOf(ctx, log_independent));
+                add(logeps >= RealOf(ctx, log_independent));
                 for (GateId j : cands) {
                     const double cond_err =
                         characterization_->ConditionalError(edge_of[i],
                                                             edge_of[j]);
-                    opt.add(z3::implies(
+                    add(z3::implies(
                         overlap_var(i, j),
                         logeps >= RealOf(ctx, log_of(cond_err))));
                 }
@@ -315,6 +324,16 @@ XtalkScheduler::Schedule(const Circuit& circuit)
         opt.minimize(objective);
 
         const z3::check_result result = opt.check();
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("sched.xtalk.solves").Add(1);
+            telemetry::GetCounter("sched.xtalk.constraints")
+                .Add(static_cast<uint64_t>(num_constraints));
+            telemetry::GetCounter("sched.xtalk.candidate_pairs")
+                .Add(static_cast<uint64_t>(last_pairs_.size()));
+            if (result != z3::sat) {
+                telemetry::GetCounter("sched.xtalk.solver_timeouts").Add(1);
+            }
+        }
         XTALK_REQUIRE(result != z3::unsat,
                       "scheduling constraints are unsatisfiable (bug)");
         stats_.optimal = (result == z3::sat);
@@ -383,6 +402,13 @@ XtalkScheduler::Schedule(const Circuit& circuit)
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                       t_begin)
             .count();
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("sched.xtalk.schedules").Add(1);
+        telemetry::GetCounter("sched.xtalk.refinement_rounds")
+            .Add(static_cast<uint64_t>(stats_.refinement_rounds));
+        telemetry::GetHistogram("sched.xtalk.solve_ms")
+            .Record(stats_.solve_seconds * 1e3);
+    }
     return schedule;
 }
 

@@ -7,6 +7,8 @@
 #include "common/error.h"
 #include "sim/gate_matrices.h"
 #include "sim/statevector.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace xtalk {
 
@@ -106,6 +108,15 @@ Counts
 NoisySimulator::Run(const ScheduledCircuit& schedule, int shots)
 {
     XTALK_REQUIRE(shots > 0, "shots must be positive");
+    telemetry::ScopedSpan span("sim.statevector.run");
+    if (telemetry::Enabled()) {
+        telemetry::SetLabel("sim.backend", "statevector");
+        telemetry::GetCounter("sim.statevector.runs").Add(1);
+        telemetry::GetCounter("sim.statevector.shots")
+            .Add(static_cast<uint64_t>(shots));
+        telemetry::GetCounter("sim.shots")
+            .Add(static_cast<uint64_t>(shots));
+    }
     const QubitCompaction compact(schedule);
     const int width = static_cast<int>(compact.device_of_local.size());
     XTALK_REQUIRE(width > 0, "schedule touches no qubits");
@@ -133,6 +144,20 @@ NoisySimulator::Run(const ScheduledCircuit& schedule, int shots)
         p.end_ns = tg.end_ns();
         p.error = EffectiveGateError(schedule, i);
         plan.push_back(std::move(p));
+    }
+    if (telemetry::Enabled()) {
+        uint64_t unitaries = 0, measures = 0;
+        for (const GatePlan& p : plan) {
+            if (p.is_measure) {
+                ++measures;
+            } else if (!p.is_barrier) {
+                ++unitaries;
+            }
+        }
+        telemetry::GetCounter("sim.statevector.gate_applications")
+            .Add(unitaries * static_cast<uint64_t>(shots));
+        telemetry::GetCounter("sim.statevector.measurements")
+            .Add(measures * static_cast<uint64_t>(shots));
     }
 
     // Per-local-qubit decoherence parameters and lifetime starts.

@@ -5,6 +5,8 @@
 #include <map>
 
 #include "common/error.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace xtalk {
 
@@ -277,6 +279,15 @@ Counts
 StabilizerSimulator::Run(const ScheduledCircuit& schedule, int shots)
 {
     XTALK_REQUIRE(shots > 0, "shots must be positive");
+    telemetry::ScopedSpan span("sim.stabilizer.run");
+    if (telemetry::Enabled()) {
+        telemetry::SetLabel("sim.backend", "stabilizer");
+        telemetry::GetCounter("sim.stabilizer.runs").Add(1);
+        telemetry::GetCounter("sim.stabilizer.shots")
+            .Add(static_cast<uint64_t>(shots));
+        telemetry::GetCounter("sim.shots")
+            .Add(static_cast<uint64_t>(shots));
+    }
     // Compact to the touched qubits (mirrors NoisySimulator).
     std::map<QubitId, int> local_of;
     std::vector<QubitId> device_of;
@@ -316,6 +327,16 @@ StabilizerSimulator::Run(const ScheduledCircuit& schedule, int shots)
         p.end_ns = tg.end_ns();
         p.error = reference.EffectiveGateError(schedule, i);
         plan.push_back(std::move(p));
+    }
+    if (telemetry::Enabled()) {
+        uint64_t unitaries = 0;
+        for (const GatePlan& p : plan) {
+            if (!p.is_measure && !p.is_barrier) {
+                ++unitaries;
+            }
+        }
+        telemetry::GetCounter("sim.stabilizer.gate_applications")
+            .Add(unitaries * static_cast<uint64_t>(shots));
     }
 
     std::vector<double> t1_ns(width), tphi_ns(width), first_start(width);

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "sim/gate_matrices.h"
+#include "telemetry/telemetry.h"
 
 namespace xtalk {
 
@@ -27,6 +28,11 @@ StateVector::Apply1Q(int q, const Matrix& u)
 {
     XTALK_REQUIRE(q >= 0 && q < num_qubits_, "qubit out of range");
     XTALK_ASSERT(u.rows() == 2 && u.cols() == 2, "expected 2x2 unitary");
+    if (telemetry::Enabled()) {
+        static telemetry::Counter& gates_1q =
+            telemetry::GetCounter("sim.statevector.kernel.1q");
+        gates_1q.Add(1);
+    }
     const size_t stride = size_t{1} << q;
     const Complex u00 = u(0, 0), u01 = u(0, 1), u10 = u(1, 0), u11 = u(1, 1);
     for (size_t base = 0; base < amps_.size(); base += 2 * stride) {
@@ -48,6 +54,11 @@ StateVector::Apply2Q(int q_low, int q_high, const Matrix& u)
                       q_high < num_qubits_ && q_low != q_high,
                   "invalid qubit pair (" << q_low << ", " << q_high << ")");
     XTALK_ASSERT(u.rows() == 4 && u.cols() == 4, "expected 4x4 unitary");
+    if (telemetry::Enabled()) {
+        static telemetry::Counter& gates_2q =
+            telemetry::GetCounter("sim.statevector.kernel.2q");
+        gates_2q.Add(1);
+    }
     const size_t mask_low = size_t{1} << q_low;
     const size_t mask_high = size_t{1} << q_high;
     for (size_t i = 0; i < amps_.size(); ++i) {

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * Minimal JSON utilities for the telemetry subsystem: a streaming
+ * writer (handles commas, escaping, and non-finite numbers) and a
+ * strict syntax validator used by tests and tool self-checks. Not a
+ * general-purpose JSON library — no DOM, no deserialization beyond
+ * validation.
+ */
+#ifndef XTALK_TELEMETRY_JSON_H
+#define XTALK_TELEMETRY_JSON_H
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace xtalk::telemetry {
+
+/** Escape a string for embedding inside JSON double quotes. */
+std::string JsonEscape(const std::string& text);
+
+/**
+ * Streaming JSON writer. The caller provides structure (Begin/End
+ * calls must balance); the writer tracks when commas are needed.
+ *
+ *   JsonWriter w;
+ *   w.BeginObject().Key("shots").Number(uint64_t{1024}).EndObject();
+ *   w.str();  // {"shots":1024}
+ */
+class JsonWriter {
+  public:
+    JsonWriter& BeginObject();
+    JsonWriter& EndObject();
+    JsonWriter& BeginArray();
+    JsonWriter& EndArray();
+    JsonWriter& Key(const std::string& name);
+    JsonWriter& String(const std::string& value);
+    JsonWriter& Number(double value);  ///< Non-finite values become null.
+    JsonWriter& Number(uint64_t value);
+    JsonWriter& Number(int64_t value);
+    JsonWriter& Bool(bool value);
+    JsonWriter& Null();
+
+    std::string str() const { return out_.str(); }
+
+  private:
+    void Separate();
+
+    std::ostringstream out_;
+    /** One entry per open container: true once it has a member. */
+    std::vector<bool> has_member_;
+    bool after_key_ = false;
+};
+
+/**
+ * Strict recursive-descent JSON syntax check (RFC 8259 grammar, no
+ * extensions). Returns true when @p text is exactly one valid JSON
+ * value; on failure @p error (if non-null) receives a description with
+ * a byte offset.
+ */
+bool ValidateJson(const std::string& text, std::string* error = nullptr);
+
+}  // namespace xtalk::telemetry
+
+#endif  // XTALK_TELEMETRY_JSON_H

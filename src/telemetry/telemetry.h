@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Process-wide metrics registry: named counters, gauges, and
+ * fixed-bucket histograms with lock-free recording and JSON snapshots.
+ *
+ * Design goals, in order:
+ *  1. Hot-path cost. Recording is a relaxed atomic op; instrumentation
+ *     sites cache the metric reference in a function-local static so
+ *     the name lookup happens once. The whole subsystem is gated on
+ *     Enabled() — a single relaxed atomic load — so a disabled build
+ *     pays one predictable branch per site.
+ *  2. Stable addresses. Metric objects are never destroyed once
+ *     created; Registry::Reset() zeroes values but keeps the objects,
+ *     so cached references stay valid across test resets.
+ *  3. Machine-readable output. StatsJson() serializes every metric;
+ *     see docs/OBSERVABILITY.md for the schema and naming conventions
+ *     (`<area>.<noun>[.<unit>]`, e.g. `charz.srb.shots`,
+ *     `span.compile.layout.ms`).
+ *
+ * Enablement: SetEnabled(true) programmatically, or environment
+ * variable XTALK_TELEMETRY=1 (read once at process start). Tracing
+ * (see trace.h) is gated separately.
+ */
+#ifndef XTALK_TELEMETRY_TELEMETRY_H
+#define XTALK_TELEMETRY_TELEMETRY_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace xtalk::telemetry {
+
+namespace internal {
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/** True when telemetry recording is on (relaxed load; hot-path safe). */
+inline bool
+Enabled()
+{
+    return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/** Turn metric recording on or off at runtime. */
+void SetEnabled(bool enabled);
+
+/** Monotonically increasing event count. */
+class Counter {
+  public:
+    void
+    Add(uint64_t n = 1)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+
+    uint64_t
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void
+    Reset()
+    {
+        value_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<uint64_t> value_{0};
+};
+
+/** Last-write-wins instantaneous value. */
+class Gauge {
+  public:
+    void
+    Set(double v)
+    {
+        value_.store(v, std::memory_order_relaxed);
+    }
+
+    double
+    value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+
+    void
+    Reset()
+    {
+        value_.store(0.0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<double> value_{0.0};
+};
+
+/**
+ * Fixed-bucket histogram. Bucket i counts values <= bounds[i] (and
+ * greater than bounds[i-1]); one implicit overflow bucket catches the
+ * rest. Recording is wait-free (relaxed atomics per bucket plus
+ * CAS loops for min/max). Percentiles are estimated by linear
+ * interpolation within the winning bucket.
+ */
+class Histogram {
+  public:
+    /** @p upper_bounds must be non-empty and strictly ascending. */
+    explicit Histogram(std::vector<double> upper_bounds);
+
+    void Record(double value);
+
+    uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+    double sum() const { return sum_.load(std::memory_order_relaxed); }
+    double Mean() const;
+    /** Smallest / largest recorded value (0 when empty). */
+    double RecordedMin() const;
+    double RecordedMax() const;
+    const std::vector<double>& bounds() const { return bounds_; }
+    /** Bucket occupancy, bounds().size() + 1 entries (last = overflow). */
+    std::vector<uint64_t> BucketCounts() const;
+    /** Interpolated percentile estimate, @p p in [0, 100]. */
+    double Percentile(double p) const;
+
+    void Reset();
+
+  private:
+    std::vector<double> bounds_;
+    std::vector<std::atomic<uint64_t>> buckets_;
+    std::atomic<uint64_t> count_{0};
+    std::atomic<double> sum_{0.0};
+    std::atomic<double> min_;
+    std::atomic<double> max_;
+};
+
+/**
+ * The process-wide metric registry. Lookup is mutex-protected (do it
+ * once per site and cache the reference); recording on the returned
+ * objects is lock-free.
+ */
+class Registry {
+  public:
+    static Registry& Global();
+
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    /**
+     * Find-or-create a histogram. @p upper_bounds applies on creation
+     * only (empty = DefaultTimeBucketsMs()); later callers get the
+     * existing instance regardless of the bounds they pass.
+     */
+    Histogram& histogram(const std::string& name,
+                         const std::vector<double>& upper_bounds = {});
+
+    /** Free-form string label, e.g. backend or device tags. */
+    void SetLabel(const std::string& key, const std::string& value);
+
+    /**
+     * Serialize every metric:
+     * {"counters":{...},"gauges":{...},"histograms":{name:
+     *  {"count","sum","mean","min","max","p50","p90","p99",
+     *   "bounds":[...],"buckets":[...]}},"labels":{...}}
+     */
+    std::string ToJson() const;
+
+    /** Zero all values and drop labels; metric objects survive. */
+    void Reset();
+
+  private:
+    Registry() = default;
+    struct Impl;
+    Impl& impl() const;
+};
+
+/** Shorthands for Registry::Global(). */
+Counter& GetCounter(const std::string& name);
+Gauge& GetGauge(const std::string& name);
+Histogram& GetHistogram(const std::string& name,
+                        const std::vector<double>& upper_bounds = {});
+void SetLabel(const std::string& key, const std::string& value);
+
+/**
+ * Default duration buckets in milliseconds: 1us to ~2min in roughly
+ * 3x steps. Suits everything from a single gate application to a full
+ * characterization run.
+ */
+const std::vector<double>& DefaultTimeBucketsMs();
+
+/**
+ * Full machine-readable snapshot:
+ * {"schema":"xtalk.stats.v1","enabled":...,<Registry::ToJson()
+ * members>}. This is the payload behind `xtalkc --stats-json`.
+ */
+std::string StatsJson();
+
+/** Write StatsJson() to @p path. False (with @p error set) on I/O failure. */
+bool WriteStatsJson(const std::string& path, std::string* error = nullptr);
+
+}  // namespace xtalk::telemetry
+
+#endif  // XTALK_TELEMETRY_TELEMETRY_H

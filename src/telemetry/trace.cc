@@ -1,0 +1,229 @@
+#include "telemetry/trace.h"
+
+#include <cstdlib>
+#include <fstream>
+#include <mutex>
+
+#include "telemetry/json.h"
+
+namespace xtalk::telemetry {
+
+namespace internal {
+std::atomic<bool> g_tracing{false};
+}  // namespace internal
+
+namespace {
+
+struct EnvInit {
+    EnvInit()
+    {
+        if (const char* env = std::getenv("XTALK_TRACE")) {
+            if (std::string(env) != "0") {
+                internal::g_tracing.store(true);
+                // Tracing without metrics makes no sense: spans check
+                // Enabled() first.
+                SetEnabled(true);
+            }
+        }
+    }
+};
+const EnvInit g_env_init;
+
+std::chrono::steady_clock::time_point
+TraceEpoch()
+{
+    static const auto epoch = std::chrono::steady_clock::now();
+    return epoch;
+}
+
+thread_local uint32_t t_depth = 0;
+
+}  // namespace
+
+void
+SetTracingEnabled(bool enabled)
+{
+    internal::g_tracing.store(enabled);
+}
+
+struct TraceBuffer::Impl {
+    mutable std::mutex mu;
+    std::vector<TraceEvent> events;
+    size_t capacity = 1 << 16;
+    uint64_t dropped = 0;
+};
+
+TraceBuffer::Impl&
+TraceBuffer::impl() const
+{
+    static Impl instance;
+    return instance;
+}
+
+TraceBuffer&
+TraceBuffer::Global()
+{
+    static TraceBuffer instance;
+    return instance;
+}
+
+void
+TraceBuffer::Append(TraceEvent event)
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    if (im.events.size() >= im.capacity) {
+        ++im.dropped;
+        return;
+    }
+    im.events.push_back(std::move(event));
+}
+
+std::vector<TraceEvent>
+TraceBuffer::Snapshot() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    return im.events;
+}
+
+uint64_t
+TraceBuffer::dropped() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    return im.dropped;
+}
+
+size_t
+TraceBuffer::capacity() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    return im.capacity;
+}
+
+void
+TraceBuffer::SetCapacity(size_t capacity)
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.capacity = capacity;
+    if (im.events.size() > capacity) {
+        im.events.resize(capacity);
+    }
+}
+
+void
+TraceBuffer::Clear()
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    im.events.clear();
+    im.dropped = 0;
+}
+
+uint32_t
+CurrentTraceTid()
+{
+    static std::atomic<uint32_t> next{1};
+    thread_local const uint32_t tid = next.fetch_add(1);
+    return tid;
+}
+
+double
+TraceNowUs()
+{
+    return std::chrono::duration<double, std::micro>(
+               std::chrono::steady_clock::now() - TraceEpoch())
+        .count();
+}
+
+ScopedSpan::ScopedSpan(const char* name, const char* category)
+    : name_(name), category_(category), active_(Enabled())
+{
+    if (!active_) {
+        return;
+    }
+    depth_ = t_depth++;
+    // Pin the epoch before the first start timestamp so ts_us >= 0.
+    TraceEpoch();
+    start_ = std::chrono::steady_clock::now();
+    start_us_ = std::chrono::duration<double, std::micro>(start_ -
+                                                          TraceEpoch())
+                    .count();
+}
+
+ScopedSpan::~ScopedSpan()
+{
+    if (!active_) {
+        return;
+    }
+    const auto end = std::chrono::steady_clock::now();
+    --t_depth;
+    const double dur_ms =
+        std::chrono::duration<double, std::milli>(end - start_).count();
+    GetHistogram("span." + std::string(name_) + ".ms").Record(dur_ms);
+    if (TracingEnabled()) {
+        TraceEvent event;
+        event.name = name_;
+        event.category = category_;
+        event.ts_us = start_us_;
+        event.dur_us = dur_ms * 1000.0;
+        event.tid = CurrentTraceTid();
+        event.depth = depth_;
+        TraceBuffer::Global().Append(std::move(event));
+    }
+}
+
+std::string
+TraceJson()
+{
+    const std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("displayTimeUnit").String("ms");
+    w.Key("traceEvents").BeginArray();
+    for (const TraceEvent& e : events) {
+        w.BeginObject();
+        w.Key("name").String(e.name);
+        w.Key("cat").String(e.category);
+        w.Key("ph").String("X");
+        w.Key("pid").Number(uint64_t{1});
+        w.Key("tid").Number(static_cast<uint64_t>(e.tid));
+        w.Key("ts").Number(e.ts_us);
+        w.Key("dur").Number(e.dur_us);
+        w.EndObject();
+    }
+    w.EndArray();
+    w.Key("otherData").BeginObject();
+    w.Key("schema").String("xtalk.trace.v1");
+    w.Key("dropped")
+        .Number(static_cast<uint64_t>(TraceBuffer::Global().dropped()));
+    w.EndObject();
+    w.EndObject();
+    return w.str();
+}
+
+bool
+WriteTraceJson(const std::string& path, std::string* error)
+{
+    std::ofstream out(path);
+    if (!out.good()) {
+        if (error) {
+            *error = "cannot open " + path + " for writing";
+        }
+        return false;
+    }
+    out << TraceJson() << "\n";
+    out.flush();
+    if (!out.good()) {
+        if (error) {
+            *error = "write to " + path + " failed";
+        }
+        return false;
+    }
+    return true;
+}
+
+}  // namespace xtalk::telemetry

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * RAII scoped-timer spans and a bounded in-memory trace buffer
+ * exported as Chrome trace_event JSON (load the file in
+ * chrome://tracing or https://ui.perfetto.dev).
+ *
+ * Every completed span records its wall time into the histogram
+ * `span.<name>.ms` (metrics side, see telemetry.h). When tracing is
+ * additionally enabled — SetTracingEnabled(true) or XTALK_TRACE=1 —
+ * the span also appends a complete ("ph":"X") event to the global
+ * TraceBuffer. The buffer is bounded; once full, new events are
+ * counted as dropped rather than grown without limit.
+ *
+ * Disabled cost: a ScopedSpan constructed while telemetry is off reads
+ * one atomic flag and does nothing else (no clock call, no
+ * allocation).
+ */
+#ifndef XTALK_TELEMETRY_TRACE_H
+#define XTALK_TELEMETRY_TRACE_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "telemetry/telemetry.h"
+
+namespace xtalk::telemetry {
+
+namespace internal {
+extern std::atomic<bool> g_tracing;
+}  // namespace internal
+
+/** True when spans also append to the trace buffer. */
+inline bool
+TracingEnabled()
+{
+    return internal::g_tracing.load(std::memory_order_relaxed);
+}
+
+/** Turn trace-buffer capture on or off (implies nothing about Enabled). */
+void SetTracingEnabled(bool enabled);
+
+/** One completed span, timestamps relative to the process trace epoch. */
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    double ts_us = 0.0;   ///< Start, microseconds since trace epoch.
+    double dur_us = 0.0;  ///< Duration in microseconds.
+    uint32_t tid = 0;     ///< Telemetry thread id (1-based, stable).
+    uint32_t depth = 0;   ///< Span nesting depth at open (0 = top level).
+};
+
+/** Bounded global event sink. Appends are mutex-protected (spans are
+ *  coarse-grained; contention is not a concern at pass granularity). */
+class TraceBuffer {
+  public:
+    static TraceBuffer& Global();
+
+    void Append(TraceEvent event);
+    std::vector<TraceEvent> Snapshot() const;
+    /** Events discarded because the buffer was full. */
+    uint64_t dropped() const;
+    size_t capacity() const;
+    /** Shrinking below the current size discards the tail. */
+    void SetCapacity(size_t capacity);
+    void Clear();
+
+  private:
+    TraceBuffer() = default;
+    struct Impl;
+    Impl& impl() const;
+};
+
+/** Telemetry thread id of the calling thread (1-based, stable). */
+uint32_t CurrentTraceTid();
+
+/** Microseconds since the process trace epoch (first telemetry use). */
+double TraceNowUs();
+
+/**
+ * RAII span: times the enclosing scope. Usage:
+ *
+ *   {
+ *       telemetry::ScopedSpan span("compile.layout");
+ *       ...work...
+ *   }  // records span.compile.layout.ms (+ trace event when tracing)
+ *
+ * The name must outlive the span (string literals in practice).
+ */
+class ScopedSpan {
+  public:
+    explicit ScopedSpan(const char* name, const char* category = "xtalk");
+    ~ScopedSpan();
+
+    ScopedSpan(const ScopedSpan&) = delete;
+    ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+    /** False when telemetry was disabled at construction. */
+    bool active() const { return active_; }
+
+  private:
+    const char* name_;
+    const char* category_;
+    std::chrono::steady_clock::time_point start_;
+    double start_us_ = 0.0;
+    uint32_t depth_ = 0;
+    bool active_;
+};
+
+/** Serialize the buffer in Chrome trace_event JSON (object form). */
+std::string TraceJson();
+
+/** Write TraceJson() to @p path. False (with @p error set) on failure. */
+bool WriteTraceJson(const std::string& path, std::string* error = nullptr);
+
+}  // namespace xtalk::telemetry
+
+#endif  // XTALK_TELEMETRY_TRACE_H

@@ -1,0 +1,321 @@
+/**
+ * @file
+ * Tests for the telemetry subsystem: counters/gauges/histograms in the
+ * global registry (including under thread contention), scoped spans and
+ * the trace buffer, JSON writer/validator, and the disabled-mode
+ * zero-recording guarantee.
+ */
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "telemetry/json.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace xtalk::telemetry {
+namespace {
+
+/** Every test starts from a clean, enabled registry and empty buffer. */
+class TelemetryTest : public ::testing::Test {
+  protected:
+    void
+    SetUp() override
+    {
+        SetEnabled(true);
+        SetTracingEnabled(false);
+        Registry::Global().Reset();
+        TraceBuffer::Global().Clear();
+    }
+
+    void
+    TearDown() override
+    {
+        SetEnabled(false);
+        SetTracingEnabled(false);
+        Registry::Global().Reset();
+        TraceBuffer::Global().Clear();
+    }
+};
+
+TEST_F(TelemetryTest, CounterCountsAndResets)
+{
+    Counter& c = GetCounter("test.counter");
+    EXPECT_EQ(c.value(), 0u);
+    c.Add();
+    c.Add(41);
+    EXPECT_EQ(c.value(), 42u);
+    Registry::Global().Reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(TelemetryTest, RegistryReturnsSameObjectForSameName)
+{
+    Counter& a = GetCounter("test.same");
+    Counter& b = GetCounter("test.same");
+    EXPECT_EQ(&a, &b);
+    // Reset zeroes but never destroys: cached references stay valid.
+    Registry::Global().Reset();
+    a.Add(3);
+    EXPECT_EQ(GetCounter("test.same").value(), 3u);
+}
+
+TEST_F(TelemetryTest, ConcurrentCounterIncrementsAreLossless)
+{
+    Counter& c = GetCounter("test.concurrent");
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 20000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i) {
+                c.Add();
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(c.value(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST_F(TelemetryTest, GaugeIsLastWriteWins)
+{
+    Gauge& g = GetGauge("test.gauge");
+    g.Set(1.5);
+    g.Set(-2.25);
+    EXPECT_DOUBLE_EQ(g.value(), -2.25);
+    Registry::Global().Reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(TelemetryTest, HistogramBucketBoundariesAreInclusiveUpper)
+{
+    Histogram& h = GetHistogram("test.hist", {1.0, 10.0, 100.0});
+    // Bucket i counts values <= bounds[i]; one overflow bucket after.
+    h.Record(0.5);    // bucket 0
+    h.Record(1.0);    // bucket 0 (inclusive upper bound)
+    h.Record(1.0001); // bucket 1
+    h.Record(10.0);   // bucket 1
+    h.Record(99.0);   // bucket 2
+    h.Record(1e6);    // overflow
+    const std::vector<uint64_t> buckets = h.BucketCounts();
+    ASSERT_EQ(buckets.size(), 4u);
+    EXPECT_EQ(buckets[0], 2u);
+    EXPECT_EQ(buckets[1], 2u);
+    EXPECT_EQ(buckets[2], 1u);
+    EXPECT_EQ(buckets[3], 1u);
+    EXPECT_EQ(h.count(), 6u);
+    EXPECT_DOUBLE_EQ(h.RecordedMin(), 0.5);
+    EXPECT_DOUBLE_EQ(h.RecordedMax(), 1e6);
+    EXPECT_NEAR(h.Mean(), (0.5 + 1.0 + 1.0001 + 10.0 + 99.0 + 1e6) / 6.0,
+                1e-6);
+}
+
+TEST_F(TelemetryTest, HistogramPercentilesInterpolate)
+{
+    Histogram& h = GetHistogram("test.pctl", {10.0, 20.0, 30.0});
+    for (int i = 1; i <= 100; ++i) {
+        h.Record(static_cast<double>(i % 30) + 0.5);
+    }
+    // All mass is below 30: p100 within the third bucket, p0 in the first.
+    EXPECT_LE(h.Percentile(100.0), 30.0);
+    EXPECT_LE(h.Percentile(0.0), 10.0);
+    EXPECT_LE(h.Percentile(50.0), h.Percentile(90.0));
+    EXPECT_LE(h.Percentile(90.0), h.Percentile(99.0));
+}
+
+TEST_F(TelemetryTest, HistogramConcurrentRecordKeepsTotalCount)
+{
+    Histogram& h = GetHistogram("test.hist.mt", {0.25, 0.5, 0.75});
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&h, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                h.Record(static_cast<double>((i + t) % 100) / 100.0);
+            }
+        });
+    }
+    for (std::thread& t : threads) {
+        t.join();
+    }
+    EXPECT_EQ(h.count(), uint64_t{kThreads} * kPerThread);
+    uint64_t bucket_total = 0;
+    for (uint64_t b : h.BucketCounts()) {
+        bucket_total += b;
+    }
+    EXPECT_EQ(bucket_total, h.count());
+}
+
+TEST_F(TelemetryTest, DisabledModeRecordsNothing)
+{
+    SetEnabled(false);
+    EXPECT_FALSE(Enabled());
+    {
+        ScopedSpan span("test.disabled");
+        EXPECT_FALSE(span.active());
+    }
+    // The span histogram must not even exist in the snapshot.
+    const std::string json = StatsJson();
+    EXPECT_EQ(json.find("span.test.disabled.ms"), std::string::npos);
+    EXPECT_TRUE(TraceBuffer::Global().Snapshot().empty());
+}
+
+TEST_F(TelemetryTest, ScopedSpanRecordsDurationHistogram)
+{
+    {
+        ScopedSpan span("test.span");
+        EXPECT_TRUE(span.active());
+    }
+    Histogram& h = GetHistogram("span.test.span.ms");
+    EXPECT_EQ(h.count(), 1u);
+    EXPECT_GE(h.RecordedMax(), 0.0);
+}
+
+TEST_F(TelemetryTest, NestedSpansLandInTraceBufferWithDepth)
+{
+    SetTracingEnabled(true);
+    {
+        ScopedSpan outer("test.outer");
+        {
+            ScopedSpan inner("test.inner");
+        }
+    }
+    const std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    // Inner closes first, so it is appended first.
+    EXPECT_EQ(events[0].name, "test.inner");
+    EXPECT_EQ(events[1].name, "test.outer");
+    EXPECT_EQ(events[0].depth, 1u);
+    EXPECT_EQ(events[1].depth, 0u);
+    EXPECT_EQ(events[0].tid, events[1].tid);
+    // Inner is contained in outer's interval.
+    EXPECT_GE(events[0].ts_us, events[1].ts_us);
+    EXPECT_LE(events[0].ts_us + events[0].dur_us,
+              events[1].ts_us + events[1].dur_us + 1.0);
+}
+
+TEST_F(TelemetryTest, TraceBufferIsBoundedAndCountsDrops)
+{
+    SetTracingEnabled(true);
+    TraceBuffer::Global().SetCapacity(4);
+    for (int i = 0; i < 10; ++i) {
+        ScopedSpan span("test.bounded");
+    }
+    EXPECT_EQ(TraceBuffer::Global().Snapshot().size(), 4u);
+    EXPECT_EQ(TraceBuffer::Global().dropped(), 6u);
+    TraceBuffer::Global().SetCapacity(1u << 16);
+    TraceBuffer::Global().Clear();
+    EXPECT_EQ(TraceBuffer::Global().dropped(), 0u);
+}
+
+TEST_F(TelemetryTest, StatsJsonIsValidAndCarriesMetrics)
+{
+    GetCounter("test.json.counter").Add(7);
+    GetGauge("test.json.gauge").Set(2.5);
+    GetHistogram("test.json.hist", {1.0, 2.0}).Record(1.5);
+    SetLabel("test.label", "va\"lue");  // Exercise escaping.
+    const std::string json = StatsJson();
+    std::string error;
+    EXPECT_TRUE(ValidateJson(json, &error)) << error;
+    EXPECT_NE(json.find("\"xtalk.stats.v1\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.counter\":7"), std::string::npos);
+    EXPECT_NE(json.find("\"test.json.hist\""), std::string::npos);
+    EXPECT_NE(json.find("va\\\"lue"), std::string::npos);
+}
+
+TEST_F(TelemetryTest, TraceJsonIsValidChromeTraceShape)
+{
+    SetTracingEnabled(true);
+    {
+        ScopedSpan span("test.chrome", "unit-test");
+    }
+    const std::string json = TraceJson();
+    std::string error;
+    EXPECT_TRUE(ValidateJson(json, &error)) << error;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+    EXPECT_NE(json.find("\"test.chrome\""), std::string::npos);
+    EXPECT_NE(json.find("\"unit-test\""), std::string::npos);
+}
+
+TEST_F(TelemetryTest, WriteStatsJsonRoundTripsThroughDisk)
+{
+    GetCounter("test.disk").Add(1);
+    const std::string path = ::testing::TempDir() + "/telemetry_stats.json";
+    std::string error;
+    ASSERT_TRUE(WriteStatsJson(path, &error)) << error;
+    std::ifstream in(path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    EXPECT_TRUE(ValidateJson(buffer.str(), &error)) << error;
+    EXPECT_NE(buffer.str().find("test.disk"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST_F(TelemetryTest, WriteStatsJsonReportsIoFailure)
+{
+    std::string error;
+    EXPECT_FALSE(WriteStatsJson("/nonexistent-dir/x/y.json", &error));
+    EXPECT_FALSE(error.empty());
+}
+
+TEST(JsonWriter, HandlesNestingEscapingAndNonFinite)
+{
+    JsonWriter w;
+    w.BeginObject()
+        .Key("s")
+        .String("a\"b\\c\n\t\x01")
+        .Key("arr")
+        .BeginArray()
+        .Number(uint64_t{18446744073709551615ull})
+        .Number(int64_t{-5})
+        .Number(1.5)
+        .Number(std::numeric_limits<double>::infinity())
+        .Bool(true)
+        .Null()
+        .EndArray()
+        .Key("empty")
+        .BeginObject()
+        .EndObject()
+        .EndObject();
+    const std::string json = w.str();
+    std::string error;
+    EXPECT_TRUE(ValidateJson(json, &error)) << error << "\n" << json;
+    // Non-finite doubles degrade to null rather than invalid tokens.
+    EXPECT_NE(json.find("1.5,null,true,null"), std::string::npos) << json;
+    EXPECT_NE(json.find("18446744073709551615"), std::string::npos);
+    EXPECT_NE(json.find("\\u0001"), std::string::npos);
+}
+
+TEST(ValidateJson, AcceptsValidDocuments)
+{
+    for (const char* doc :
+         {"{}", "[]", "null", "true", "-0.5e+3", "\"\\u00e9\"",
+          R"({"a":[1,2,{"b":null}],"c":"d"})", "[[[[]]]]"}) {
+        std::string error;
+        EXPECT_TRUE(ValidateJson(doc, &error)) << doc << ": " << error;
+    }
+}
+
+TEST(ValidateJson, RejectsMalformedDocuments)
+{
+    for (const char* doc :
+         {"", "{", "}", "[1,]", "{\"a\":}", "{'a':1}", "01", "+1",
+          "\"unterminated", "nul", "[1 2]", "{\"a\":1,}", "\x01",
+          "{\"a\":1}extra"}) {
+        EXPECT_FALSE(ValidateJson(doc)) << "accepted: " << doc;
+    }
+}
+
+}  // namespace
+}  // namespace xtalk::telemetry

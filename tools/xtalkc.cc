@@ -14,14 +14,22 @@
  * With no --characterization file the device is characterized on the
  * fly (bin-packed SRB at the fast budget); --save-characterization
  * persists the result for reuse.
+ *
+ * Observability (see docs/OBSERVABILITY.md): --stats-json dumps the
+ * telemetry metric registry, --trace-json dumps a Chrome trace_event
+ * file viewable in chrome://tracing or Perfetto, --log-level controls
+ * stderr verbosity.
  */
+#include <cstdlib>
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 
 #include "characterization/io.h"
+#include "common/logging.h"
 #include "compiler/compiler.h"
 #include "circuit/qasm.h"
 #include "circuit/qasm_parser.h"
@@ -33,6 +41,8 @@
 #include "scheduler/greedy_scheduler.h"
 #include "scheduler/scheduler.h"
 #include "scheduler/xtalk_scheduler.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 using namespace xtalk;
 
@@ -47,6 +57,9 @@ struct Options {
     std::string save_characterization_path;
     std::string output_path;
     std::string input_path;
+    std::string stats_json_path;
+    std::string trace_json_path;
+    std::string log_level;
     double omega = 0.5;
     int simulate_shots = 0;
     bool report = false;
@@ -68,6 +81,10 @@ PrintUsage()
         "  --output <file>            write the scheduled circuit as QASM\n"
         "  --report                   print the timed schedule + analysis\n"
         "  --simulate <shots>         execute on the noisy simulator\n"
+        "  --stats-json <file>        dump telemetry metrics as JSON\n"
+        "  --trace-json <file>        dump a Chrome trace_event JSON file\n"
+        "                             (chrome://tracing / Perfetto)\n"
+        "  --log-level <level>        quiet | warn | info | debug\n"
         "  --help\n";
 }
 
@@ -102,6 +119,12 @@ ParseArgs(int argc, char** argv, Options* options)
             options->output_path = next("--output");
         } else if (arg == "--simulate") {
             options->simulate_shots = std::stoi(next("--simulate"));
+        } else if (arg == "--stats-json") {
+            options->stats_json_path = next("--stats-json");
+        } else if (arg == "--trace-json") {
+            options->trace_json_path = next("--trace-json");
+        } else if (arg == "--log-level") {
+            options->log_level = next("--log-level");
         } else if (arg == "--report") {
             options->report = true;
         } else if (arg == "--help" || arg == "-h") {
@@ -114,6 +137,31 @@ ParseArgs(int argc, char** argv, Options* options)
         }
     }
     return true;
+}
+
+/** Dump --stats-json / --trace-json files; true when all writes landed. */
+bool
+WriteTelemetryOutputs(const Options& options)
+{
+    bool ok = true;
+    std::string error;
+    if (!options.stats_json_path.empty()) {
+        if (telemetry::WriteStatsJson(options.stats_json_path, &error)) {
+            Inform("wrote telemetry stats to " + options.stats_json_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
+    if (!options.trace_json_path.empty()) {
+        if (telemetry::WriteTraceJson(options.trace_json_path, &error)) {
+            Inform("wrote trace to " + options.trace_json_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
+    return ok;
 }
 
 Device
@@ -147,6 +195,32 @@ main(int argc, char** argv)
         return options.help ? 0 : 2;
     }
 
+    // Logging: default to info so the tool narrates its pipeline; the
+    // env (XTALK_LOG_LEVEL) or --log-level can override either way.
+    if (std::getenv("XTALK_LOG_LEVEL") == nullptr) {
+        SetLogLevel(LogLevel::kInform);
+    }
+    if (!options.log_level.empty()) {
+        LogLevel level;
+        if (!ParseLogLevel(options.log_level, &level)) {
+            std::cerr << "error: unknown log level '" << options.log_level
+                      << "'\n";
+            return 2;
+        }
+        SetLogLevel(level);
+        // Debug runs get monotonic timestamps for free.
+        if (level == LogLevel::kDebug) {
+            SetLogTimestamps(true);
+        }
+    }
+    if (!options.stats_json_path.empty() ||
+        !options.trace_json_path.empty()) {
+        telemetry::SetEnabled(true);
+    }
+    if (!options.trace_json_path.empty()) {
+        telemetry::SetTracingEnabled(true);
+    }
+
     try {
         std::ifstream input(options.input_path);
         if (!input.good()) {
@@ -155,13 +229,19 @@ main(int argc, char** argv)
         }
         std::ostringstream buffer;
         buffer << input.rdbuf();
-        const Circuit circuit = ParseQasm(buffer.str());
+        std::optional<Circuit> parsed;
+        {
+            telemetry::ScopedSpan span("tool.parse_qasm");
+            parsed = ParseQasm(buffer.str());
+        }
+        const Circuit& circuit = *parsed;
 
         const Device device = options.device_file.empty()
                                   ? MakeDevice(options.device)
                                   : LoadDeviceSpec(options.device_file);
-        std::cerr << "device: " << device.name() << " ("
-                  << device.num_qubits() << " qubits)\n";
+        Inform("device: " + device.name() + " (" +
+               std::to_string(device.num_qubits()) + " qubits)");
+        telemetry::SetLabel("tool.device", device.name());
 
         CrosstalkCharacterization characterization;
         if (!options.characterization_path.empty()) {
@@ -175,13 +255,14 @@ main(int argc, char** argv)
                           << "' (edge ids are device-specific)\n";
                 return 2;
             }
-            std::cerr << "loaded characterization from "
-                      << options.characterization_path << "\n";
+            Inform("loaded characterization from " +
+                   options.characterization_path);
         } else if (options.scheduler == "xtalk" ||
                    options.scheduler == "auto" ||
                    options.scheduler == "greedy" ||
                    options.layout == "noise-aware") {
-            std::cerr << "characterizing device (bin-packed SRB)...\n";
+            Inform("characterizing device (bin-packed SRB)...");
+            telemetry::ScopedSpan span("tool.characterize");
             characterization = CharacterizeDevice(
                 device, BenchRbConfig(),
                 CharacterizationPolicy::kOneHopBinPacked);
@@ -189,8 +270,8 @@ main(int argc, char** argv)
         if (!options.save_characterization_path.empty()) {
             SaveCharacterization(options.save_characterization_path,
                                  characterization, device.name());
-            std::cerr << "saved characterization to "
-                      << options.save_characterization_path << "\n";
+            Inform("saved characterization to " +
+                   options.save_characterization_path);
         }
 
         CompilerOptions compile_options;
@@ -224,22 +305,29 @@ main(int argc, char** argv)
             Compile(device, characterization, circuit, compile_options);
         const ScheduledCircuit& schedule = compiled.schedule;
         const Circuit& output = compiled.executable;
-        std::cerr << compiled.scheduler_name << " (omega "
-                  << compiled.omega << "): duration "
-                  << schedule.TotalDuration() << " ns, modeled success "
-                  << compiled.estimate.success_probability
-                  << ", high-crosstalk overlaps "
-                  << compiled.estimate.crosstalk_overlaps << "\n";
-        std::cerr << "layout:";
-        for (size_t l = 0; l < compiled.initial_layout.size(); ++l) {
-            std::cerr << " " << l << "->" << compiled.initial_layout[l];
+        {
+            std::ostringstream oss;
+            oss << compiled.scheduler_name << " (omega " << compiled.omega
+                << "): duration " << schedule.TotalDuration()
+                << " ns, modeled success "
+                << compiled.estimate.success_probability
+                << ", high-crosstalk overlaps "
+                << compiled.estimate.crosstalk_overlaps;
+            Inform(oss.str());
+            std::ostringstream layout;
+            layout << "layout:";
+            for (size_t l = 0; l < compiled.initial_layout.size(); ++l) {
+                layout << " " << l << "->" << compiled.initial_layout[l];
+            }
+            Inform(layout.str());
         }
-        std::cerr << "\n";
+        telemetry::SetLabel("tool.scheduler", compiled.scheduler_name);
 
         if (options.report) {
             std::cout << schedule.ToString();
         }
         if (options.simulate_shots > 0) {
+            telemetry::ScopedSpan span("tool.simulate");
             NoisySimulator sim(device);
             const Counts counts = sim.Run(schedule, options.simulate_shots);
             std::cout << counts.ToString();
@@ -252,13 +340,15 @@ main(int argc, char** argv)
                 return 2;
             }
             out << ToQasm(output);
-            std::cerr << "wrote " << options.output_path << "\n";
+            Inform("wrote " + options.output_path);
         } else if (!options.report && options.simulate_shots == 0) {
             std::cout << ToQasm(output);
         }
-        return 0;
+        return WriteTelemetryOutputs(options) ? 0 : 1;
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
+        // Best-effort dump: partial metrics still help debug the failure.
+        WriteTelemetryOutputs(options);
         return 1;
     }
 }
