@@ -128,7 +128,7 @@ main()
                 NoisySimulator sim(device, options);
                 const auto schedule = parallel.Schedule(tomo[8]);
                 const auto ideal = sim.IdealProbabilities(schedule);
-                const Counts counts = sim.Run(schedule, shots);
+                const Counts counts = sim.Run(schedule, RunSpec{shots});
                 const auto measured = counts.ToProbabilities();
                 double tv = 0.0;
                 for (size_t i = 0; i < ideal.size(); ++i) {
@@ -183,7 +183,7 @@ main()
             sim_options.seed = 99;
             NoisySimulator sim(device, sim_options);
             const auto ideal = sim.IdealProbabilities(out.schedule);
-            const Counts counts = sim.Run(out.schedule, shots);
+            const Counts counts = sim.Run(out.schedule, RunSpec{shots});
             table.Row(policy.name, out.estimate.success_probability,
                       CrossEntropy(counts, ideal),
                       out.schedule.TotalDuration());

@@ -7,6 +7,7 @@
  * crosstalk-free regions of the device; the theoretical ideal is the
  * noise-free distribution's own entropy.
  */
+#include <deque>
 #include <iostream>
 
 #include "bench_util.h"
@@ -51,17 +52,35 @@ main()
     }
     Table table(headers);
 
+    // The whole omega x region grid is one Executor batch: scheduling
+    // stays serial (Z3), the 36 simulations fan out across the pool.
+    // Deques keep the borrowed scheduler/circuit addresses stable.
+    std::deque<Circuit> circuits;
+    std::deque<XtalkScheduler> schedulers;
+    std::vector<ExperimentJob> jobs;
+    for (double omega : omegas) {
+        for (size_t r = 0; r < regions.size(); ++r) {
+            circuits.push_back(BuildQaoaCircuit(device, regions[r]));
+            XtalkSchedulerOptions options;
+            options.omega = omega;
+            schedulers.emplace_back(device, characterization, options);
+            ExperimentJob job;
+            job.scheduler = &schedulers.back();
+            job.circuit = &circuits.back();
+            job.shots = shots;
+            job.sim_seed = 1000 + r;
+            jobs.push_back(job);
+        }
+    }
+    const auto grid = RunCrossEntropyExperiments(device, jobs);
+
     double theoretical_ideal = 0.0;
     std::vector<std::vector<double>> series(regions.size());
+    size_t point = 0;
     for (double omega : omegas) {
         std::vector<double> row;
         for (size_t r = 0; r < regions.size(); ++r) {
-            const Circuit circuit = BuildQaoaCircuit(device, regions[r]);
-            XtalkSchedulerOptions options;
-            options.omega = omega;
-            XtalkScheduler scheduler(device, characterization, options);
-            const auto result = RunCrossEntropyExperiment(
-                device, scheduler, circuit, shots, 1000 + r);
+            const auto& result = grid[point++];
             row.push_back(result.cross_entropy);
             series[r].push_back(result.cross_entropy);
             theoretical_ideal = result.ideal_cross_entropy;
@@ -70,16 +89,26 @@ main()
     }
     table.Print();
 
-    // Crosstalk-free band: same ansatz on clean regions.
+    // Crosstalk-free band: same ansatz on clean regions, one batch.
     const std::vector<std::vector<QubitId>> clean_regions{
         {0, 1, 2, 3}, {1, 2, 3, 4}, {16, 17, 18, 19}, {6, 7, 8, 9}};
-    std::vector<double> clean;
+    std::deque<Circuit> clean_circuits;
+    std::deque<XtalkScheduler> clean_schedulers;
+    std::vector<ExperimentJob> clean_jobs;
     for (size_t r = 0; r < clean_regions.size(); ++r) {
-        const Circuit circuit = BuildQaoaCircuit(device, clean_regions[r]);
-        XtalkScheduler scheduler(device, characterization);
-        clean.push_back(RunCrossEntropyExperiment(device, scheduler, circuit,
-                                                  shots, 2000 + r)
-                            .cross_entropy);
+        clean_circuits.push_back(BuildQaoaCircuit(device, clean_regions[r]));
+        clean_schedulers.emplace_back(device, characterization);
+        ExperimentJob job;
+        job.scheduler = &clean_schedulers.back();
+        job.circuit = &clean_circuits.back();
+        job.shots = shots;
+        job.sim_seed = 2000 + r;
+        clean_jobs.push_back(job);
+    }
+    std::vector<double> clean;
+    for (const auto& result :
+         RunCrossEntropyExperiments(device, clean_jobs)) {
+        clean.push_back(result.cross_entropy);
     }
     std::cout << "\nPoughkeepsie ideal (crosstalk-free regions): "
               << Mean(clean) << " +- " << StdDev(clean)

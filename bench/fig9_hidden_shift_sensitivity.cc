@@ -7,6 +7,7 @@
  * benchmark only benefits at omega = 1, while the redundant-CNOT variant
  * (3x the crosstalk exposure) improves for any omega in [0.2, 0.5].
  */
+#include <deque>
 #include <iostream>
 
 #include "bench_util.h"
@@ -46,23 +47,40 @@ RunVariant(const Device& device,
     }
     Table table(headers);
 
-    std::vector<double> base_error(instances.size(), 0.0);
-    std::vector<double> best_error(instances.size(), 1.0);
+    // One Executor batch for the whole omega x instance grid; deques
+    // keep the borrowed scheduler/circuit addresses stable.
+    std::deque<Circuit> circuits;
+    std::deque<XtalkScheduler> schedulers;
+    std::vector<ExperimentJob> jobs;
     for (double omega : omegas) {
-        std::vector<double> row;
         for (size_t i = 0; i < instances.size(); ++i) {
             HiddenShiftOptions options;
             options.shift = 0b1011;
             options.redundant_cnots = redundant;
-            const Circuit circuit =
-                BuildHiddenShiftCircuit(device, instances[i], options);
+            circuits.push_back(
+                BuildHiddenShiftCircuit(device, instances[i], options));
             XtalkSchedulerOptions sched_options;
             sched_options.omega = omega;
-            XtalkScheduler scheduler(device, characterization,
-                                     sched_options);
-            const auto result = RunHiddenShiftExperiment(
-                device, scheduler, circuit,
-                HiddenShiftExpectedOutcome(options), shots, 300 + i);
+            schedulers.emplace_back(device, characterization,
+                                    sched_options);
+            ExperimentJob job;
+            job.scheduler = &schedulers.back();
+            job.circuit = &circuits.back();
+            job.shots = shots;
+            job.sim_seed = 300 + i;
+            job.expected_outcome = HiddenShiftExpectedOutcome(options);
+            jobs.push_back(job);
+        }
+    }
+    const auto grid = RunHiddenShiftExperiments(device, jobs);
+
+    std::vector<double> base_error(instances.size(), 0.0);
+    std::vector<double> best_error(instances.size(), 1.0);
+    size_t point = 0;
+    for (double omega : omegas) {
+        std::vector<double> row;
+        for (size_t i = 0; i < instances.size(); ++i) {
+            const auto& result = grid[point++];
             row.push_back(result.error_rate);
             if (omega == 0.0) {
                 base_error[i] = result.error_rate;

@@ -13,6 +13,7 @@
 
 #include "characterization/binpack.h"
 #include "characterization/rb.h"
+#include "runtime/executor.h"
 #include "clifford/group.h"
 #include "clifford/tableau.h"
 #include "device/ibmq_devices.h"
@@ -68,7 +69,7 @@ BM_NoisyTrajectoryShot(benchmark::State& state)
     const ScheduledCircuit schedule = scheduler.Schedule(circuit);
     NoisySimulator sim(device);
     for (auto _ : state) {
-        benchmark::DoNotOptimize(sim.Run(schedule, 1));
+        benchmark::DoNotOptimize(sim.Run(schedule, RunSpec{1}));
     }
     state.SetItemsProcessed(state.iterations());
 }
@@ -92,17 +93,49 @@ BM_StabilizerShotVsStatevector(benchmark::State& state)
     if (state.range(0) == 0) {
         NoisySimulator sim(device, options);
         for (auto _ : state) {
-            benchmark::DoNotOptimize(sim.Run(schedule, 8));
+            benchmark::DoNotOptimize(sim.Run(schedule, RunSpec{8}));
         }
     } else {
         StabilizerSimulator sim(device, options);
         for (auto _ : state) {
-            benchmark::DoNotOptimize(sim.Run(schedule, 8));
+            benchmark::DoNotOptimize(sim.Run(schedule, RunSpec{8}));
         }
     }
     state.SetItemsProcessed(state.iterations() * 8);
 }
 BENCHMARK(BM_StabilizerShotVsStatevector)->Arg(0)->Arg(1);
+
+void
+BM_ExecutorBatch(benchmark::State& state)
+{
+    // 16 SRB-style jobs x 32 shots as one Executor batch; the arg is the
+    // worker count (1 = serial baseline). Counts are identical across
+    // args — only wall time changes.
+    const Device device = MakePoughkeepsie();
+    RbRunner runner(device, RbConfig{});
+    Rng rng(5);
+    const EdgeId e1 = device.topology().FindEdge(0, 1);
+    const EdgeId e2 = device.topology().FindEdge(2, 3);
+    const ScheduledCircuit schedule =
+        runner.BuildSrbSchedule({e1, e2}, 12, rng);
+    runtime::ExecutorOptions exec;
+    exec.num_threads = static_cast<int>(state.range(0));
+    runtime::Executor executor(device, exec);
+    for (auto _ : state) {
+        runtime::ExecutionRequest request;
+        for (int j = 0; j < 16; ++j) {
+            runtime::ExecutionJob job;
+            job.schedule = schedule;
+            job.seed = DeriveSeed(11, j);
+            job.spec = RunSpec{32, std::nullopt, 1};
+            request.jobs.push_back(std::move(job));
+        }
+        benchmark::DoNotOptimize(executor.Submit(std::move(request)));
+    }
+    state.SetItemsProcessed(state.iterations() * 16 * 32);
+}
+BENCHMARK(BM_ExecutorBatch)->Arg(1)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void
 BM_TableauCxApply(benchmark::State& state)

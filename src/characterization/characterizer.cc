@@ -1,6 +1,7 @@
 #include "characterization/characterizer.h"
 
 #include <algorithm>
+#include <functional>
 
 #include "common/error.h"
 #include "telemetry/telemetry.h"
@@ -37,8 +38,7 @@ CharacterizationPlan::NumExperiments() const
 CharacterizationPlan
 BuildCharacterizationPlan(const Topology& topology,
                           CharacterizationPolicy policy, Rng& rng,
-                          const std::vector<GatePair>& known_high_pairs,
-                          int separation_hops, int packing_iterations)
+                          const PlanOptions& options)
 {
     CharacterizationPlan plan;
     plan.policy = policy;
@@ -57,17 +57,17 @@ BuildCharacterizationPlan(const Topology& topology,
       }
       case CharacterizationPolicy::kOneHopBinPacked: {
         plan.batches = RandomizedFirstFitPack(
-            topology, topology.EdgePairsAtDistance(1), separation_hops,
-            packing_iterations, rng);
+            topology, topology.EdgePairsAtDistance(1),
+            options.separation_hops, options.packing_iterations, rng);
         break;
       }
       case CharacterizationPolicy::kHighOnly: {
-        XTALK_REQUIRE(!known_high_pairs.empty(),
+        XTALK_REQUIRE(!options.known_high_pairs.empty(),
                       "kHighOnly needs the previously discovered "
                       "high-crosstalk pair set");
-        plan.batches =
-            RandomizedFirstFitPack(topology, known_high_pairs,
-                                   separation_hops, packing_iterations, rng);
+        plan.batches = RandomizedFirstFitPack(
+            topology, options.known_high_pairs, options.separation_hops,
+            options.packing_iterations, rng);
         break;
       }
     }
@@ -164,12 +164,57 @@ CrosstalkCharacterization::Merge(const CrosstalkCharacterization& other)
     }
 }
 
-CrosstalkCharacterizer::CrosstalkCharacterizer(const Device& device,
-                                               RbConfig config,
-                                               NoisySimOptions sim_options)
-    : device_(&device), config_(std::move(config)), sim_options_(sim_options)
+CrosstalkCharacterizer::CrosstalkCharacterizer(
+    const Device& device, RbConfig config, NoisySimOptions sim_options,
+    runtime::ExecutorOptions exec_options)
+    : device_(&device),
+      config_(std::move(config)),
+      sim_options_(sim_options),
+      exec_options_(exec_options)
 {
 }
+
+namespace {
+
+/**
+ * Prepare one SRB experiment per entry of @p groups on @p runner, run
+ * every circuit job of every experiment as ONE Executor batch, and
+ * hand each experiment's result slice to @p consume. Preparation stays
+ * serial (it owns the runner's generator); only simulation fans out.
+ */
+void
+RunExperimentBatch(
+    RbRunner& runner, const std::vector<std::vector<EdgeId>>& groups,
+    const std::function<void(size_t, const std::vector<RbResult>&)>& consume)
+{
+    std::vector<SrbExperiment> experiments;
+    experiments.reserve(groups.size());
+    runtime::ExecutionRequest request;
+    for (const std::vector<EdgeId>& edges : groups) {
+        SrbExperiment experiment = runner.PrepareSimultaneous(edges);
+        for (runtime::ExecutionJob& job : experiment.jobs) {
+            request.jobs.push_back(std::move(job));
+        }
+        experiment.jobs.clear();
+        experiments.push_back(std::move(experiment));
+    }
+    const std::vector<runtime::ExecutionResult> results =
+        runner.executor().Submit(std::move(request));
+
+    // Every experiment contributes the same number of jobs.
+    XTALK_ASSERT(groups.empty() || results.size() % groups.size() == 0,
+                 "uneven result slices");
+    const size_t jobs_per_experiment =
+        groups.empty() ? 0 : results.size() / groups.size();
+    for (size_t i = 0; i < experiments.size(); ++i) {
+        const auto begin = results.begin() + i * jobs_per_experiment;
+        const std::vector<runtime::ExecutionResult> slice(
+            begin, begin + jobs_per_experiment);
+        consume(i, runner.ReduceSimultaneous(experiments[i], slice));
+    }
+}
+
+}  // namespace
 
 CrosstalkCharacterization
 CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges)
@@ -180,14 +225,21 @@ CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges)
             .Add(static_cast<uint64_t>(edges.size()));
     }
     CrosstalkCharacterization out;
-    RbRunner runner(*device_, config_, sim_options_);
+    RbRunner runner(*device_, config_, sim_options_, exec_options_);
+    std::vector<std::vector<EdgeId>> groups;
+    groups.reserve(edges.size());
     for (EdgeId edge : edges) {
-        const RbResult result = runner.MeasureIndependent(edge);
-        if (result.ok) {
-            out.SetIndependentError(edge,
-                                    std::clamp(result.cnot_error, 0.0, 1.0));
-        }
+        groups.push_back({edge});
     }
+    RunExperimentBatch(
+        runner, groups,
+        [&](size_t i, const std::vector<RbResult>& results) {
+            const RbResult& result = results.front();
+            if (result.ok) {
+                out.SetIndependentError(
+                    edges[i], std::clamp(result.cnot_error, 0.0, 1.0));
+            }
+        });
     return out;
 }
 
@@ -221,12 +273,19 @@ CrosstalkCharacterizer::Run(const CharacterizationPlan& plan)
     // packed pairs are >= 2 hops apart, and every noise channel in the
     // model is local to a pair — so each pair is simulated as its own
     // 4-qubit SRB, which is distribution-identical and exponentially
-    // cheaper than the joint statevector.
-    RbRunner runner(*device_, config_, sim_options_);
+    // cheaper than the joint statevector. All pairs of all bins fan out
+    // as one Executor batch.
+    RbRunner runner(*device_, config_, sim_options_, exec_options_);
+    std::vector<std::vector<EdgeId>> groups;
     for (const ExperimentBin& bin : plan.batches) {
         for (const GatePair& pair : bin) {
-            const std::vector<RbResult> results =
-                runner.MeasureSimultaneous({pair.first, pair.second});
+            groups.push_back({pair.first, pair.second});
+        }
+    }
+    RunExperimentBatch(
+        runner, groups,
+        [&](size_t i, const std::vector<RbResult>& results) {
+            const GatePair pair{groups[i][0], groups[i][1]};
             for (const RbResult& r : results) {
                 if (!r.ok) {
                     continue;
@@ -236,8 +295,7 @@ CrosstalkCharacterizer::Run(const CharacterizationPlan& plan)
                 out.SetConditionalError(r.edge, partner,
                                         std::clamp(r.cnot_error, 0.0, 1.0));
             }
-        }
-    }
+        });
     return out;
 }
 

@@ -50,14 +50,38 @@ struct CharacterizationPlan {
     int NumBatches() const { return static_cast<int>(batches.size()); }
 };
 
-/**
- * Build a plan for the given policy. @p known_high_pairs is required for
- * kHighOnly (it is the stable set discovered by an earlier full pass).
- */
-CharacterizationPlan BuildCharacterizationPlan(
-    const Topology& topology, CharacterizationPolicy policy, Rng& rng,
-    const std::vector<GatePair>& known_high_pairs = {},
-    int separation_hops = 2, int packing_iterations = 20);
+/** Self-describing knobs for BuildCharacterizationPlan. */
+struct PlanOptions {
+    /**
+     * Required for kHighOnly: the stable high-crosstalk set discovered
+     * by an earlier full pass.
+     */
+    std::vector<GatePair> known_high_pairs;
+    /** Minimum hop separation between pairs packed into one bin. */
+    int separation_hops = 2;
+    /** Restarts of the randomized first-fit packing. */
+    int packing_iterations = 20;
+};
+
+/** Build a plan for the given policy. */
+CharacterizationPlan BuildCharacterizationPlan(const Topology& topology,
+                                               CharacterizationPolicy policy,
+                                               Rng& rng,
+                                               const PlanOptions& options = {});
+
+/** @deprecated Pass a PlanOptions struct instead of positional knobs. */
+[[deprecated("pass PlanOptions instead of trailing positional "
+             "arguments")]] inline CharacterizationPlan
+BuildCharacterizationPlan(const Topology& topology,
+                          CharacterizationPolicy policy, Rng& rng,
+                          const std::vector<GatePair>& known_high_pairs,
+                          int separation_hops = 2,
+                          int packing_iterations = 20)
+{
+    return BuildCharacterizationPlan(
+        topology, policy, rng,
+        PlanOptions{known_high_pairs, separation_hops, packing_iterations});
+}
 
 /** Measured error rates: the compiler-facing characterization output. */
 class CrosstalkCharacterization {
@@ -125,17 +149,27 @@ class CrosstalkCharacterization {
 /** Executes characterization plans on the simulated device. */
 class CrosstalkCharacterizer {
   public:
+    /**
+     * @p exec_options sizes the parallel runtime the plan executes on
+     * (default: the shared process pool). Results are bit-identical
+     * for any thread count — every (S)RB circuit job carries its own
+     * deterministic seed.
+     */
     CrosstalkCharacterizer(const Device& device, RbConfig config,
-                           NoisySimOptions sim_options = {});
+                           NoisySimOptions sim_options = {},
+                           runtime::ExecutorOptions exec_options = {});
 
     /**
      * Run the plan: first independent RB on every coupler appearing in
      * it, then one SRB per gate pair (batches run "in parallel" — i.e.
      * the pairs of a batch are characterized within the same schedule).
+     * All SRB circuit jobs of the plan round are submitted to the
+     * Executor as one batch, so wall time scales down with the worker
+     * count.
      */
     CrosstalkCharacterization Run(const CharacterizationPlan& plan);
 
-    /** Independent RB on an explicit set of couplers. */
+    /** Independent RB on an explicit set of couplers (one batch). */
     CrosstalkCharacterization MeasureIndependent(
         const std::vector<EdgeId>& edges);
 
@@ -143,6 +177,7 @@ class CrosstalkCharacterizer {
     const Device* device_;
     RbConfig config_;
     NoisySimOptions sim_options_;
+    runtime::ExecutorOptions exec_options_;
 };
 
 }  // namespace xtalk

@@ -5,7 +5,6 @@
 #include "clifford/group.h"
 #include "clifford/tableau.h"
 #include "common/error.h"
-#include "sim/stabilizer.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -19,10 +18,12 @@ RbConfig::TotalExecutions() const
 }
 
 RbRunner::RbRunner(const Device& device, RbConfig config,
-                   NoisySimOptions sim_options)
+                   NoisySimOptions sim_options,
+                   runtime::ExecutorOptions exec_options)
     : device_(&device),
       config_(std::move(config)),
       sim_options_(sim_options),
+      executor_(device, exec_options),
       rng_(config_.seed)
 {
     XTALK_REQUIRE(config_.lengths.size() >= 3,
@@ -123,11 +124,10 @@ RbRunner::BuildSrbSchedule(const std::vector<EdgeId>& edges,
     return schedule;
 }
 
-std::vector<RbResult>
-RbRunner::MeasureSimultaneous(const std::vector<EdgeId>& edges,
+SrbExperiment
+RbRunner::PrepareSimultaneous(const std::vector<EdgeId>& edges,
                               bool interleave)
 {
-    telemetry::ScopedSpan span("charz.srb.measure");
     if (telemetry::Enabled()) {
         const uint64_t sequences =
             config_.lengths.size() *
@@ -140,24 +140,50 @@ RbRunner::MeasureSimultaneous(const std::vector<EdgeId>& edges,
             .Add(sequences * static_cast<uint64_t>(config_.shots));
     }
 
+    SrbExperiment experiment;
+    experiment.edges = edges;
+    experiment.jobs.reserve(config_.lengths.size() *
+                            config_.sequences_per_length);
+    // Same rng_ consumption order as the historical serial loop
+    // (schedule, then seed, per sequence), so batched execution is
+    // bit-identical to the old one-sim-at-a-time path.
+    for (size_t li = 0; li < config_.lengths.size(); ++li) {
+        for (int s = 0; s < config_.sequences_per_length; ++s) {
+            runtime::ExecutionJob job;
+            job.schedule = BuildSrbSchedule(edges, config_.lengths[li],
+                                            rng_, interleave);
+            job.seed = rng_.Next();
+            job.spec = RunSpec{config_.shots, std::nullopt, 1};
+            job.backend = config_.use_stabilizer_backend
+                              ? runtime::SimBackend::kStabilizer
+                              : runtime::SimBackend::kStatevector;
+            job.noise = sim_options_;
+            experiment.jobs.push_back(std::move(job));
+        }
+    }
+    return experiment;
+}
+
+std::vector<RbResult>
+RbRunner::ReduceSimultaneous(
+    const SrbExperiment& experiment,
+    const std::vector<runtime::ExecutionResult>& results) const
+{
+    const std::vector<EdgeId>& edges = experiment.edges;
+    const size_t expected_jobs =
+        config_.lengths.size() *
+        static_cast<size_t>(config_.sequences_per_length);
+    XTALK_REQUIRE(results.size() == expected_jobs,
+                  "expected " << expected_jobs << " job results, got "
+                              << results.size());
+
     // survival[pair][length index] accumulated over sequences.
     std::vector<std::vector<double>> survival(
         edges.size(), std::vector<double>(config_.lengths.size(), 0.0));
-
+    size_t job_index = 0;
     for (size_t li = 0; li < config_.lengths.size(); ++li) {
         for (int s = 0; s < config_.sequences_per_length; ++s) {
-            const ScheduledCircuit schedule = BuildSrbSchedule(
-                edges, config_.lengths[li], rng_, interleave);
-            NoisySimOptions options = sim_options_;
-            options.seed = rng_.Next();
-            Counts counts;
-            if (config_.use_stabilizer_backend) {
-                StabilizerSimulator sim(*device_, options);
-                counts = sim.Run(schedule, config_.shots);
-            } else {
-                NoisySimulator sim(*device_, options);
-                counts = sim.Run(schedule, config_.shots);
-            }
+            const Counts& counts = results[job_index++].counts;
             for (size_t pair_index = 0; pair_index < edges.size();
                  ++pair_index) {
                 // Survival = both of this pair's bits read 0.
@@ -174,7 +200,7 @@ RbRunner::MeasureSimultaneous(const std::vector<EdgeId>& edges,
         }
     }
 
-    std::vector<RbResult> results;
+    std::vector<RbResult> out;
     for (size_t pair_index = 0; pair_index < edges.size(); ++pair_index) {
         RbResult result;
         result.edge = edges[pair_index];
@@ -191,9 +217,21 @@ RbRunner::MeasureSimultaneous(const std::vector<EdgeId>& edges,
             result.cnot_error = result.error_per_clifford / 1.5;
             result.ok = true;
         }
-        results.push_back(std::move(result));
+        out.push_back(std::move(result));
     }
-    return results;
+    return out;
+}
+
+std::vector<RbResult>
+RbRunner::MeasureSimultaneous(const std::vector<EdgeId>& edges,
+                              bool interleave)
+{
+    telemetry::ScopedSpan span("charz.srb.measure");
+    SrbExperiment experiment = PrepareSimultaneous(edges, interleave);
+    runtime::ExecutionRequest request;
+    request.jobs = std::move(experiment.jobs);
+    return ReduceSimultaneous(experiment,
+                              executor_.Submit(std::move(request)));
 }
 
 RbResult

@@ -24,6 +24,7 @@
 #include "common/fit.h"
 #include "common/rng.h"
 #include "device/device.h"
+#include "runtime/executor.h"
 #include "sim/noisy_simulator.h"
 
 namespace xtalk {
@@ -73,11 +74,29 @@ struct InterleavedRbResult {
     bool ok = false;
 };
 
+/**
+ * One SRB experiment prepared for the Executor but not yet run: the
+ * circuit jobs (lengths-major, sequences-minor, matching the serial
+ * execution order) plus the metadata needed to reduce the per-job
+ * Counts into per-coupler RbResults. Sequence generation stays serial
+ * and deterministic; only the embarrassingly parallel simulation is
+ * deferred, so batching whole plans changes nothing numerically.
+ */
+struct SrbExperiment {
+    std::vector<EdgeId> edges;
+    std::vector<runtime::ExecutionJob> jobs;
+};
+
 /** Drives RB/SRB experiments against the noisy simulator. */
 class RbRunner {
   public:
+    /**
+     * @p exec_options controls the parallel runtime used to execute
+     * the (S)RB circuit jobs; the default shares the process pool.
+     */
     RbRunner(const Device& device, RbConfig config,
-             NoisySimOptions sim_options = {});
+             NoisySimOptions sim_options = {},
+             runtime::ExecutorOptions exec_options = {});
 
     /** Independent two-qubit RB on one coupler: estimates E(g). */
     RbResult MeasureIndependent(EdgeId edge);
@@ -99,6 +118,28 @@ class RbRunner {
         const std::vector<EdgeId>& edges, bool interleave = false);
 
     /**
+     * Build the full job set of one SRB experiment (consumes this
+     * runner's generator exactly as the serial path would). Callers
+     * that batch several experiments — e.g. the characterizer running
+     * a whole plan round — prepare them all, submit the combined jobs
+     * as one Executor batch, and reduce each experiment's slice.
+     */
+    SrbExperiment PrepareSimultaneous(const std::vector<EdgeId>& edges,
+                                      bool interleave = false);
+
+    /**
+     * Fit per-coupler decays from the executed jobs of @p experiment.
+     * @p results must be the ExecutionResults for experiment.jobs, in
+     * order.
+     */
+    std::vector<RbResult> ReduceSimultaneous(
+        const SrbExperiment& experiment,
+        const std::vector<runtime::ExecutionResult>& results) const;
+
+    /** The parallel runtime this runner executes jobs on. */
+    runtime::Executor& executor() { return executor_; }
+
+    /**
      * Build one (S)RB schedule: for each coupler an independent random
      * m-Clifford sequence plus its inverse, ASAP-scheduled with gates on
      * different couplers free to overlap. When @p interleave is true the
@@ -113,6 +154,7 @@ class RbRunner {
     const Device* device_;
     RbConfig config_;
     NoisySimOptions sim_options_;
+    runtime::Executor executor_;
     Rng rng_;
 };
 

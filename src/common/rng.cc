@@ -27,7 +27,18 @@ Rotl(uint64_t x, int k)
 
 }  // namespace
 
-Rng::Rng(uint64_t seed)
+uint64_t
+DeriveSeed(uint64_t base, uint64_t index)
+{
+    // Offset by (index + 1) golden-ratio increments, then apply the
+    // splitmix64 finalizer so DeriveSeed(base, 0) != base.
+    uint64_t x = base + (index + 1) * 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+Rng::Rng(uint64_t seed) : seed_(seed)
 {
     uint64_t s = seed;
     for (auto& word : state_) {
@@ -131,6 +142,12 @@ Rng
 Rng::Fork()
 {
     return Rng(Next() ^ 0xd1b54a32d192ed03ull);
+}
+
+Rng
+Rng::ForkAt(uint64_t index) const
+{
+    return Rng(DeriveSeed(seed_, index));
 }
 
 }  // namespace xtalk

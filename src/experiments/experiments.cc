@@ -23,10 +23,11 @@ BenchRbConfig(uint64_t seed)
 
 CrosstalkCharacterization
 CharacterizeDevice(const Device& device, const RbConfig& config,
-                   CharacterizationPolicy policy, uint64_t seed)
+                   CharacterizationPolicy policy, uint64_t seed,
+                   runtime::ExecutorOptions exec_options)
 {
     Rng rng(seed);
-    CrosstalkCharacterizer characterizer(device, config);
+    CrosstalkCharacterizer characterizer(device, config, {}, exec_options);
     if (policy == CharacterizationPolicy::kHighOnly) {
         // Periodic full scan discovers the stable high-crosstalk set;
         // the daily fast path then re-measures only those pairs.
@@ -39,7 +40,8 @@ CharacterizeDevice(const Device& device, const RbConfig& config,
             return full;
         }
         const auto daily_plan = BuildCharacterizationPlan(
-            device.topology(), CharacterizationPolicy::kHighOnly, rng, high);
+            device.topology(), CharacterizationPolicy::kHighOnly, rng,
+            PlanOptions{.known_high_pairs = high});
         CrosstalkCharacterization merged = full;
         merged.Merge(characterizer.Run(daily_plan));
         return merged;
@@ -69,23 +71,33 @@ RunSwapExperiment(const Device& device, Scheduler& scheduler,
     SwapExperimentResult result;
     const std::vector<Circuit> tomo = TomographyCircuits(
         benchmark.circuit, benchmark.bell_left, benchmark.bell_right);
-    std::vector<std::vector<double>> distributions;
+
+    // All nine tomography settings execute as one batch; seeds draw
+    // from the seeder in setting order, exactly as the serial loop did.
     Rng seeder(sim_seed);
+    runtime::ExecutionRequest request;
     for (const Circuit& circuit : tomo) {
-        const ScheduledCircuit schedule = scheduler.Schedule(circuit);
+        runtime::ExecutionJob job;
+        job.schedule = scheduler.Schedule(circuit);
         result.duration_ns =
-            std::max(result.duration_ns, schedule.TotalDuration());
-        NoisySimOptions options;
-        options.seed = seeder.Next();
-        NoisySimulator sim(device, options);
-        const Counts counts = sim.Run(schedule, shots_per_setting);
+            std::max(result.duration_ns, job.schedule.TotalDuration());
+        job.seed = seeder.Next();
+        job.spec = RunSpec{shots_per_setting, std::nullopt, 1};
+        request.jobs.push_back(std::move(job));
+    }
+    runtime::Executor executor(device);
+    const std::vector<runtime::ExecutionResult> executed =
+        executor.Submit(std::move(request));
+
+    std::vector<std::vector<double>> distributions;
+    for (const runtime::ExecutionResult& r : executed) {
         if (mitigate_readout) {
             const ReadoutMitigator mitigator(
                 {device.ReadoutError(benchmark.bell_left),
                  device.ReadoutError(benchmark.bell_right)});
-            distributions.push_back(mitigator.Mitigate(counts));
+            distributions.push_back(mitigator.Mitigate(r.counts));
         } else {
-            distributions.push_back(counts.ToProbabilities());
+            distributions.push_back(r.counts.ToProbabilities());
         }
     }
     const Matrix rho =
@@ -94,30 +106,122 @@ RunSwapExperiment(const Device& device, Scheduler& scheduler,
     return result;
 }
 
+namespace {
+
+/**
+ * Shared fan-out for the batched sweep drivers: schedule every job
+ * serially, execute all of them as one batch, return (schedule
+ * duration, counts) per job in job order.
+ */
+struct ExecutedPoint {
+    double duration_ns = 0.0;
+    Counts counts;
+};
+
+std::vector<ExecutedPoint>
+ExecuteSweep(const Device& device, const std::vector<ExperimentJob>& jobs,
+             const runtime::ExecutorOptions& exec_options,
+             std::vector<ScheduledCircuit>* schedules = nullptr)
+{
+    runtime::ExecutionRequest request;
+    std::vector<double> durations;
+    for (const ExperimentJob& job : jobs) {
+        XTALK_REQUIRE(job.scheduler != nullptr && job.circuit != nullptr,
+                      "ExperimentJob needs a scheduler and a circuit");
+        runtime::ExecutionJob exec_job;
+        exec_job.schedule = job.scheduler->Schedule(*job.circuit);
+        durations.push_back(exec_job.schedule.TotalDuration());
+        if (schedules != nullptr) {
+            schedules->push_back(exec_job.schedule);
+        }
+        exec_job.seed = job.sim_seed;
+        exec_job.spec = RunSpec{job.shots, std::nullopt, 1};
+        request.jobs.push_back(std::move(exec_job));
+    }
+    runtime::Executor executor(device, exec_options);
+    const std::vector<runtime::ExecutionResult> executed =
+        executor.Submit(std::move(request));
+
+    std::vector<ExecutedPoint> out(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        out[i].duration_ns = durations[i];
+        out[i].counts = executed[i].counts;
+    }
+    return out;
+}
+
+}  // namespace
+
+std::vector<QaoaExperimentResult>
+RunCrossEntropyExperiments(const Device& device,
+                           const std::vector<ExperimentJob>& jobs,
+                           runtime::ExecutorOptions exec_options)
+{
+    std::vector<ScheduledCircuit> schedules;
+    const std::vector<ExecutedPoint> executed =
+        ExecuteSweep(device, jobs, exec_options, &schedules);
+
+    std::vector<QaoaExperimentResult> results(jobs.size());
+    NoisySimulator reference(device);
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        QaoaExperimentResult& result = results[i];
+        result.duration_ns = executed[i].duration_ns;
+        const std::vector<double> ideal =
+            reference.IdealProbabilities(schedules[i]);
+        std::vector<double> measured;
+        if (jobs[i].mitigate_readout) {
+            const ReadoutMitigator mitigator(
+                MeasuredQubitFlips(device, *jobs[i].circuit));
+            measured = mitigator.Mitigate(executed[i].counts);
+        } else {
+            measured = executed[i].counts.ToProbabilities();
+        }
+        result.cross_entropy = CrossEntropy(measured, ideal);
+        result.ideal_cross_entropy = IdealCrossEntropy(ideal);
+    }
+    return results;
+}
+
+std::vector<HiddenShiftExperimentResult>
+RunHiddenShiftExperiments(const Device& device,
+                          const std::vector<ExperimentJob>& jobs,
+                          runtime::ExecutorOptions exec_options)
+{
+    const std::vector<ExecutedPoint> executed =
+        ExecuteSweep(device, jobs, exec_options);
+
+    std::vector<HiddenShiftExperimentResult> results(jobs.size());
+    for (size_t i = 0; i < jobs.size(); ++i) {
+        HiddenShiftExperimentResult& result = results[i];
+        result.duration_ns = executed[i].duration_ns;
+        double success;
+        if (jobs[i].mitigate_readout) {
+            const ReadoutMitigator mitigator(
+                MeasuredQubitFlips(device, *jobs[i].circuit));
+            success =
+                mitigator.Mitigate(executed[i].counts)
+                    .at(jobs[i].expected_outcome);
+        } else {
+            success =
+                executed[i].counts.Probability(jobs[i].expected_outcome);
+        }
+        result.error_rate = std::clamp(1.0 - success, 0.0, 1.0);
+    }
+    return results;
+}
+
 QaoaExperimentResult
 RunCrossEntropyExperiment(const Device& device, Scheduler& scheduler,
                           const Circuit& circuit, int shots,
                           uint64_t sim_seed, bool mitigate_readout)
 {
-    QaoaExperimentResult result;
-    const ScheduledCircuit schedule = scheduler.Schedule(circuit);
-    result.duration_ns = schedule.TotalDuration();
-
-    NoisySimOptions options;
-    options.seed = sim_seed;
-    NoisySimulator sim(device, options);
-    const std::vector<double> ideal = sim.IdealProbabilities(schedule);
-    const Counts counts = sim.Run(schedule, shots);
-    std::vector<double> measured;
-    if (mitigate_readout) {
-        const ReadoutMitigator mitigator(MeasuredQubitFlips(device, circuit));
-        measured = mitigator.Mitigate(counts);
-    } else {
-        measured = counts.ToProbabilities();
-    }
-    result.cross_entropy = CrossEntropy(measured, ideal);
-    result.ideal_cross_entropy = IdealCrossEntropy(ideal);
-    return result;
+    ExperimentJob job;
+    job.scheduler = &scheduler;
+    job.circuit = &circuit;
+    job.shots = shots;
+    job.sim_seed = sim_seed;
+    job.mitigate_readout = mitigate_readout;
+    return RunCrossEntropyExperiments(device, {job}).front();
 }
 
 HiddenShiftExperimentResult
@@ -125,23 +229,14 @@ RunHiddenShiftExperiment(const Device& device, Scheduler& scheduler,
                          const Circuit& circuit, uint64_t expected_outcome,
                          int shots, uint64_t sim_seed, bool mitigate_readout)
 {
-    HiddenShiftExperimentResult result;
-    const ScheduledCircuit schedule = scheduler.Schedule(circuit);
-    result.duration_ns = schedule.TotalDuration();
-
-    NoisySimOptions options;
-    options.seed = sim_seed;
-    NoisySimulator sim(device, options);
-    const Counts counts = sim.Run(schedule, shots);
-    double success;
-    if (mitigate_readout) {
-        const ReadoutMitigator mitigator(MeasuredQubitFlips(device, circuit));
-        success = mitigator.Mitigate(counts).at(expected_outcome);
-    } else {
-        success = counts.Probability(expected_outcome);
-    }
-    result.error_rate = std::clamp(1.0 - success, 0.0, 1.0);
-    return result;
+    ExperimentJob job;
+    job.scheduler = &scheduler;
+    job.circuit = &circuit;
+    job.shots = shots;
+    job.sim_seed = sim_seed;
+    job.mitigate_readout = mitigate_readout;
+    job.expected_outcome = expected_outcome;
+    return RunHiddenShiftExperiments(device, {job}).front();
 }
 
 }  // namespace xtalk

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "characterization/characterizer.h"
+#include "runtime/executor.h"
 #include "scheduler/scheduler.h"
 #include "sim/noisy_simulator.h"
 #include "workloads/swap_circuits.h"
@@ -23,12 +24,13 @@ namespace xtalk {
  * for @p policy, execute it (RB + SRB on the simulator), and return the
  * measured error rates. For kHighOnly the high pairs are discovered with
  * a preliminary bin-packed 1-hop pass, mirroring the paper's periodic
- * full scan + daily fast path.
+ * full scan + daily fast path. @p exec_options sizes the parallel
+ * runtime (results are identical for any thread count).
  */
 CrosstalkCharacterization CharacterizeDevice(
     const Device& device, const RbConfig& config,
     CharacterizationPolicy policy = CharacterizationPolicy::kOneHopBinPacked,
-    uint64_t seed = 1);
+    uint64_t seed = 1, runtime::ExecutorOptions exec_options = {});
 
 /** Fast RB budget used by benches/tests (override via RbConfig fields). */
 RbConfig BenchRbConfig(uint64_t seed = 99);
@@ -87,6 +89,37 @@ HiddenShiftExperimentResult RunHiddenShiftExperiment(
     const Device& device, Scheduler& scheduler, const Circuit& circuit,
     uint64_t expected_outcome, int shots = 8192, uint64_t sim_seed = 55,
     bool mitigate_readout = true);
+
+/**
+ * One grid point of a batched experiment sweep. The scheduler and
+ * circuit are borrowed, not owned; scheduling happens serially inside
+ * the batched drivers (the SMT solver is not reentrant), only the
+ * Monte-Carlo execution fans out across the thread pool.
+ */
+struct ExperimentJob {
+    Scheduler* scheduler = nullptr;
+    const Circuit* circuit = nullptr;
+    int shots = 8192;
+    uint64_t sim_seed = 0;
+    bool mitigate_readout = true;
+    /** Hidden-shift sweeps only: the bitstring counted as success. */
+    uint64_t expected_outcome = 0;
+};
+
+/**
+ * Batched RunCrossEntropyExperiment over a whole omega/circuit grid:
+ * every point's simulation runs as one Executor batch. Point i equals
+ * RunCrossEntropyExperiment(device, *jobs[i].scheduler, ...) exactly —
+ * for any thread count.
+ */
+std::vector<QaoaExperimentResult> RunCrossEntropyExperiments(
+    const Device& device, const std::vector<ExperimentJob>& jobs,
+    runtime::ExecutorOptions exec_options = {});
+
+/** Batched RunHiddenShiftExperiment (see RunCrossEntropyExperiments). */
+std::vector<HiddenShiftExperimentResult> RunHiddenShiftExperiments(
+    const Device& device, const std::vector<ExperimentJob>& jobs,
+    runtime::ExecutorOptions exec_options = {});
 
 /**
  * Readout-flip probabilities for the measured qubits of @p circuit in

@@ -1,0 +1,162 @@
+#include "runtime/executor.h"
+
+#include <chrono>
+#include <exception>
+
+#include "common/error.h"
+#include "sim/stabilizer.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace xtalk::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double
+MsSince(Clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(Clock::now() - start)
+        .count();
+}
+
+/** Run one shot chunk on a fresh, chunk-seeded simulator. */
+Counts
+RunChunk(const Device& device, const ExecutionJob& job, uint64_t chunk_seed,
+         int chunk_shots)
+{
+    NoisySimOptions noise = job.noise;
+    noise.seed = chunk_seed;
+    const RunSpec chunk_spec{chunk_shots, std::nullopt, 1};
+    if (job.backend == SimBackend::kStabilizer) {
+        StabilizerSimulator sim(device, noise);
+        return sim.Run(job.schedule, chunk_spec);
+    }
+    NoisySimulator sim(device, noise);
+    return sim.Run(job.schedule, chunk_spec);
+}
+
+}  // namespace
+
+std::vector<int>
+Executor::ChunkShots(const RunSpec& spec, const ExecutorOptions& options)
+{
+    XTALK_REQUIRE(spec.shots > 0, "shots must be positive");
+    XTALK_REQUIRE(spec.max_parallel_chunks >= 1,
+                  "max_parallel_chunks must be >= 1, got "
+                      << spec.max_parallel_chunks);
+    const int min_chunk = std::max(1, options.min_shots_per_chunk);
+    int chunks = std::min(spec.max_parallel_chunks,
+                          (spec.shots + min_chunk - 1) / min_chunk);
+    chunks = std::max(1, chunks);
+    std::vector<int> plan(chunks, spec.shots / chunks);
+    for (int c = 0; c < spec.shots % chunks; ++c) {
+        ++plan[c];
+    }
+    return plan;
+}
+
+Executor::Executor(const Device& device, ExecutorOptions options)
+    : device_(&device), options_(options)
+{
+    XTALK_REQUIRE(options_.num_threads >= 0,
+                  "num_threads must be >= 0, got " << options_.num_threads);
+    pool_ = options_.num_threads == 0
+                ? ThreadPool::Shared()
+                : std::make_shared<ThreadPool>(options_.num_threads);
+}
+
+std::vector<ExecutionResult>
+Executor::Submit(ExecutionRequest request)
+{
+    telemetry::ScopedSpan span("runtime.executor.submit");
+    const size_t num_jobs = request.jobs.size();
+    std::vector<ExecutionResult> results(num_jobs);
+    if (num_jobs == 0) {
+        return results;
+    }
+
+    struct ChunkOutcome {
+        Counts counts;
+        double sim_ms = 0.0;
+        double done_ms = 0.0;  ///< Completion time since dispatch.
+    };
+    const Clock::time_point dispatch = Clock::now();
+
+    // Fan out every chunk of every job, then join in deterministic
+    // (job, chunk) order.
+    std::vector<std::vector<int>> plans(num_jobs);
+    std::vector<std::vector<std::future<ChunkOutcome>>> futures(num_jobs);
+    uint64_t total_shots = 0, total_chunks = 0;
+    for (size_t j = 0; j < num_jobs; ++j) {
+        const ExecutionJob& job = request.jobs[j];
+        plans[j] = ChunkShots(job.spec, options_);
+        const int chunks = static_cast<int>(plans[j].size());
+        total_chunks += chunks;
+        total_shots += static_cast<uint64_t>(job.spec.shots);
+        futures[j].reserve(chunks);
+        for (int c = 0; c < chunks; ++c) {
+            // A one-chunk job keeps the job seed so it is bit-identical
+            // to a direct serial simulator run with that seed.
+            const uint64_t chunk_seed =
+                chunks == 1 ? job.seed : DeriveSeed(job.seed, c);
+            const int chunk_shots = plans[j][c];
+            futures[j].push_back(pool_->Submit(
+                [this, &job, chunk_seed, chunk_shots, dispatch] {
+                    const Clock::time_point start = Clock::now();
+                    ChunkOutcome outcome;
+                    outcome.counts = RunChunk(*device_, job, chunk_seed,
+                                              chunk_shots);
+                    outcome.sim_ms = MsSince(start);
+                    outcome.done_ms = MsSince(dispatch);
+                    return outcome;
+                }));
+        }
+    }
+
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("runtime.executor.batches").Add(1);
+        telemetry::GetCounter("runtime.executor.jobs").Add(num_jobs);
+        telemetry::GetCounter("runtime.executor.chunks").Add(total_chunks);
+        telemetry::GetCounter("runtime.executor.shots").Add(total_shots);
+    }
+
+    // Join everything before rethrowing so no future outlives its job
+    // (the lambdas capture `request.jobs` by reference).
+    std::exception_ptr first_error;
+    for (size_t j = 0; j < num_jobs; ++j) {
+        ExecutionResult& result = results[j];
+        result.chunks = static_cast<int>(futures[j].size());
+        for (auto& future : futures[j]) {
+            try {
+                ChunkOutcome outcome = future.get();
+                result.counts.Merge(outcome.counts);
+                result.sim_ms += outcome.sim_ms;
+                result.wall_ms = std::max(result.wall_ms, outcome.done_ms);
+                if (telemetry::Enabled()) {
+                    telemetry::GetHistogram("runtime.executor.chunk.ms")
+                        .Record(outcome.sim_ms);
+                }
+            } catch (...) {
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
+            }
+        }
+    }
+    if (first_error) {
+        std::rethrow_exception(first_error);
+    }
+    return results;
+}
+
+ExecutionResult
+Executor::Run(ExecutionJob job)
+{
+    ExecutionRequest request;
+    request.jobs.push_back(std::move(job));
+    return std::move(Submit(std::move(request)).front());
+}
+
+}  // namespace xtalk::runtime

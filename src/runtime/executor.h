@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Executor: the single entry point for running scheduled circuits.
+ *
+ * Everything that executes circuits — the crosstalk characterizer's
+ * RB/SRB batches, the experiment drivers' tomography and grid sweeps,
+ * and `xtalkc --simulate` — submits ExecutionRequests here instead of
+ * driving a simulator directly. A request is a batch of independent
+ * jobs {ScheduledCircuit, RunSpec, backend}; the executor parallelizes
+ * at two levels on a fixed-size ThreadPool:
+ *
+ *  1. across the jobs of a batch, and
+ *  2. across shot chunks *within* a job, when the job's RunSpec allows
+ *     more than one chunk.
+ *
+ * Determinism: the chunk plan is a pure function of the RunSpec, and
+ * chunk c of a job draws from Rng(DeriveSeed(job seed, c)) (chunk 0 of
+ * a single-chunk job keeps the job seed itself, so a one-chunk job is
+ * bit-identical to a direct serial NoisySimulator run). Chunk counts
+ * are merged in index order, and histogram merging is commutative —
+ * so a request returns bit-identical ExecutionResults for ANY thread
+ * count, including 1. See docs/PARALLELISM.md.
+ *
+ * Concurrency contract: jobs only touch their own simulator instance
+ * plus the shared const Device, so they need no locking. Submit()
+ * blocks until the whole batch completes and must not be called from a
+ * pool worker thread (the blocked worker could deadlock the queue).
+ */
+#ifndef XTALK_RUNTIME_EXECUTOR_H
+#define XTALK_RUNTIME_EXECUTOR_H
+
+#include <memory>
+#include <vector>
+
+#include "circuit/schedule.h"
+#include "device/device.h"
+#include "runtime/thread_pool.h"
+#include "sim/counts.h"
+#include "sim/noisy_simulator.h"
+
+namespace xtalk::runtime {
+
+/** Which trajectory engine executes a job. */
+enum class SimBackend {
+    kStatevector,  ///< NoisySimulator (any gate set).
+    kStabilizer,   ///< StabilizerSimulator (Clifford-only, much faster).
+};
+
+/** One independent circuit execution within a batch. */
+struct ExecutionJob {
+    ScheduledCircuit schedule{1};
+    /** Shot budget, chunk-parallelism bound; seed_override ignored
+     *  (seeding always comes from `seed`). */
+    RunSpec spec;
+    /** Base seed; chunk streams derive from it via DeriveSeed. */
+    uint64_t seed = 0x5EED;
+    SimBackend backend = SimBackend::kStatevector;
+    /** Noise toggles (the seed field inside is ignored). */
+    NoisySimOptions noise;
+};
+
+/** A batch of independent jobs submitted together. */
+struct ExecutionRequest {
+    std::vector<ExecutionJob> jobs;
+};
+
+/** Outcome + timing of one job. */
+struct ExecutionResult {
+    Counts counts;
+    /** Wall time from batch dispatch to this job's last chunk, ms. */
+    double wall_ms = 0.0;
+    /** Sum of the job's chunk simulation times, ms (CPU-ish time). */
+    double sim_ms = 0.0;
+    /** Shot chunks the job was split into. */
+    int chunks = 1;
+};
+
+/** Executor tuning knobs. */
+struct ExecutorOptions {
+    /**
+     * Worker threads: 0 = share the process-wide pool sized by
+     * ThreadPool::DefaultThreadCount(); > 0 = private pool of exactly
+     * that many workers.
+     */
+    int num_threads = 0;
+    /**
+     * Never split a job into chunks smaller than this many shots
+     * (tiny chunks waste their per-chunk simulator setup). Does not
+     * affect determinism: the bound is applied before the chunk plan
+     * is fixed, identically for every thread count.
+     */
+    int min_shots_per_chunk = 64;
+};
+
+/** Parallel circuit-execution facade bound to one device. */
+class Executor {
+  public:
+    explicit Executor(const Device& device, ExecutorOptions options = {});
+
+    /**
+     * Execute every job of the request and return results in job
+     * order. Blocks until the batch completes; rethrows the first job
+     * exception after the batch drains.
+     */
+    std::vector<ExecutionResult> Submit(ExecutionRequest request);
+
+    /** Single-job convenience wrapper over Submit(). */
+    ExecutionResult Run(ExecutionJob job);
+
+    const Device& device() const { return *device_; }
+    int num_threads() const { return pool_->num_threads(); }
+    ThreadPool& pool() { return *pool_; }
+
+    /**
+     * Chunk plan for @p spec under @p options: per-chunk shot counts,
+     * deterministic in the spec alone. Exposed for tests.
+     */
+    static std::vector<int> ChunkShots(const RunSpec& spec,
+                                       const ExecutorOptions& options);
+
+  private:
+    const Device* device_;
+    ExecutorOptions options_;
+    std::shared_ptr<ThreadPool> pool_;
+};
+
+}  // namespace xtalk::runtime
+
+#endif  // XTALK_RUNTIME_EXECUTOR_H

@@ -1,0 +1,180 @@
+#include "runtime/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/error.h"
+#include "telemetry/telemetry.h"
+
+namespace xtalk::runtime {
+
+namespace {
+
+std::atomic<int> g_default_threads_override{0};
+
+int
+HardwareThreads()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+/** Parse XTALK_THREADS; 0 / unset / garbage all mean "no preference". */
+int
+EnvThreads()
+{
+    const char* env = std::getenv("XTALK_THREADS");
+    if (env == nullptr || *env == '\0') {
+        return 0;
+    }
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end == env || *end != '\0' || parsed <= 0 || parsed > 4096) {
+        return 0;
+    }
+    return static_cast<int>(parsed);
+}
+
+/** Gauge refresh shared by enqueue/dequeue sites. */
+void
+PublishPoolGauges(size_t queue_depth, int busy_workers)
+{
+    telemetry::GetGauge("runtime.pool.queue_depth")
+        .Set(static_cast<double>(queue_depth));
+    telemetry::GetGauge("runtime.pool.busy_workers")
+        .Set(static_cast<double>(busy_workers));
+}
+
+}  // namespace
+
+int
+ThreadPool::DefaultThreadCount()
+{
+    const int override = g_default_threads_override.load();
+    if (override > 0) {
+        return override;
+    }
+    const int env = EnvThreads();
+    if (env > 0) {
+        return env;
+    }
+    return HardwareThreads();
+}
+
+void
+ThreadPool::SetDefaultThreadCount(int num_threads)
+{
+    XTALK_REQUIRE(num_threads >= 0,
+                  "thread count must be >= 0, got " << num_threads);
+    g_default_threads_override.store(num_threads);
+}
+
+std::shared_ptr<ThreadPool>
+ThreadPool::Shared()
+{
+    static std::shared_ptr<ThreadPool> pool =
+        std::make_shared<ThreadPool>(DefaultThreadCount());
+    return pool;
+}
+
+ThreadPool::ThreadPool(int num_threads)
+{
+    XTALK_REQUIRE(num_threads >= 0,
+                  "thread count must be >= 0, got " << num_threads);
+    if (num_threads == 0) {
+        num_threads = DefaultThreadCount();
+    }
+    if (telemetry::Enabled()) {
+        telemetry::GetGauge("runtime.pool.threads")
+            .Set(static_cast<double>(num_threads));
+    }
+    workers_.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+    }
+}
+
+ThreadPool::~ThreadPool()
+{
+    Shutdown();
+}
+
+void
+ThreadPool::Enqueue(std::function<void()> job)
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        XTALK_REQUIRE(!shutdown_, "ThreadPool::Submit after Shutdown");
+        queue_.push_back(std::move(job));
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("runtime.pool.jobs").Add(1);
+            PublishPoolGauges(queue_.size(), busy_workers_);
+        }
+    }
+    work_available_.notify_one();
+}
+
+void
+ThreadPool::WorkerLoop()
+{
+    for (;;) {
+        std::function<void()> job;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            work_available_.wait(
+                lock, [this] { return shutdown_ || !queue_.empty(); });
+            if (queue_.empty()) {
+                return;  // Shutdown with a drained queue.
+            }
+            job = std::move(queue_.front());
+            queue_.pop_front();
+            ++busy_workers_;
+            if (telemetry::Enabled()) {
+                PublishPoolGauges(queue_.size(), busy_workers_);
+            }
+        }
+        job();  // Exceptions land in the job's promise, not here.
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            --busy_workers_;
+            if (telemetry::Enabled()) {
+                PublishPoolGauges(queue_.size(), busy_workers_);
+            }
+        }
+    }
+}
+
+void
+ThreadPool::Shutdown()
+{
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (shutdown_) {
+            return;
+        }
+        shutdown_ = true;
+    }
+    work_available_.notify_all();
+    for (std::thread& worker : workers_) {
+        if (worker.joinable()) {
+            worker.join();
+        }
+    }
+}
+
+size_t
+ThreadPool::QueueDepth() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return queue_.size();
+}
+
+int
+ThreadPool::BusyWorkers() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return busy_workers_;
+}
+
+}  // namespace xtalk::runtime

@@ -14,6 +14,16 @@ Counts::Record(uint64_t bits)
     ++shots_;
 }
 
+void
+Counts::Merge(const Counts& other)
+{
+    num_clbits_ = std::max(num_clbits_, other.num_clbits_);
+    shots_ += other.shots_;
+    for (const auto& [bits, count] : other.histogram_) {
+        histogram_[bits] += count;
+    }
+}
+
 int
 Counts::CountOf(uint64_t bits) const
 {

@@ -26,6 +26,13 @@ class Counts {
     /** Record one shot's outcome. */
     void Record(uint64_t bits);
 
+    /**
+     * Add another histogram's shots into this one (used to combine the
+     * per-chunk results of a parallel run). Histogram addition is
+     * commutative, so merge order never affects the result.
+     */
+    void Merge(const Counts& other);
+
     /** Count for a specific outcome (0 if unseen). */
     int CountOf(uint64_t bits) const;
 

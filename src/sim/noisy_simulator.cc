@@ -105,9 +105,13 @@ NoisySimulator::EffectiveGateError(const ScheduledCircuit& schedule,
 }
 
 Counts
-NoisySimulator::Run(const ScheduledCircuit& schedule, int shots)
+NoisySimulator::Run(const ScheduledCircuit& schedule, const RunSpec& spec)
 {
+    const int shots = spec.shots;
     XTALK_REQUIRE(shots > 0, "shots must be positive");
+    if (spec.seed_override) {
+        rng_ = Rng(*spec.seed_override);
+    }
     telemetry::ScopedSpan span("sim.statevector.run");
     if (telemetry::Enabled()) {
         telemetry::SetLabel("sim.backend", "statevector");

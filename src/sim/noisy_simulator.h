@@ -22,6 +22,8 @@
 #ifndef XTALK_SIM_NOISY_SIMULATOR_H
 #define XTALK_SIM_NOISY_SIMULATOR_H
 
+#include <optional>
+
 #include "circuit/schedule.h"
 #include "common/rng.h"
 #include "device/device.h"
@@ -38,13 +40,54 @@ struct NoisySimOptions {
     uint64_t seed = 0x5EED;
 };
 
+/**
+ * How to execute one circuit: the simulators interpret `shots` and
+ * `seed_override`; `max_parallel_chunks` is honored by the parallel
+ * runtime::Executor, which splits the shot budget into up to that many
+ * independently seeded chunks (the serial engines run every shot in one
+ * stream and ignore it). See docs/PARALLELISM.md.
+ */
+struct RunSpec {
+    RunSpec() = default;
+    RunSpec(int shots_,
+            std::optional<uint64_t> seed_override_ = std::nullopt,
+            int max_parallel_chunks_ = 1)
+        : shots(shots_),
+          seed_override(seed_override_),
+          max_parallel_chunks(max_parallel_chunks_)
+    {
+    }
+
+    int shots = 1024;
+    /**
+     * Reseed the simulator's generator before running; absent = keep
+     * drawing from the stream where the previous run left off.
+     */
+    std::optional<uint64_t> seed_override;
+    /**
+     * Upper bound on shot-chunk parallelism for this run. Part of the
+     * spec — not of the executor — because the chunk plan determines
+     * the random streams: the same spec gives bit-identical Counts at
+     * any thread count.
+     */
+    int max_parallel_chunks = 1;
+};
+
 /** Trajectory simulator bound to one device. */
 class NoisySimulator {
   public:
     explicit NoisySimulator(const Device& device, NoisySimOptions options = {});
 
-    /** Run @p shots stochastic trajectories and histogram the outcomes. */
-    Counts Run(const ScheduledCircuit& schedule, int shots);
+    /** Run @p spec.shots stochastic trajectories and histogram the
+     *  outcomes (serially; see runtime::Executor for the parallel path). */
+    Counts Run(const ScheduledCircuit& schedule, const RunSpec& spec);
+
+    /** @deprecated Use Run(schedule, RunSpec{shots}). */
+    [[deprecated("use Run(schedule, RunSpec) instead")]] inline Counts
+    Run(const ScheduledCircuit& schedule, int shots)
+    {
+        return Run(schedule, RunSpec(shots));
+    }
 
     /**
      * Noise-free outcome distribution of the schedule's measured bits

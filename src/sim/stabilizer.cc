@@ -276,9 +276,14 @@ StabilizerSimulator::StabilizerSimulator(const Device& device,
 }
 
 Counts
-StabilizerSimulator::Run(const ScheduledCircuit& schedule, int shots)
+StabilizerSimulator::Run(const ScheduledCircuit& schedule,
+                         const RunSpec& spec)
 {
+    const int shots = spec.shots;
     XTALK_REQUIRE(shots > 0, "shots must be positive");
+    if (spec.seed_override) {
+        rng_ = Rng(*spec.seed_override);
+    }
     telemetry::ScopedSpan span("sim.stabilizer.run");
     if (telemetry::Enabled()) {
         telemetry::SetLabel("sim.backend", "stabilizer");

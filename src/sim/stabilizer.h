@@ -103,10 +103,17 @@ class StabilizerSimulator {
                                  NoisySimOptions options = {});
 
     /**
-     * Run @p shots trajectories. Throws if the schedule contains
+     * Run @p spec.shots trajectories. Throws if the schedule contains
      * non-Clifford gates.
      */
-    Counts Run(const ScheduledCircuit& schedule, int shots);
+    Counts Run(const ScheduledCircuit& schedule, const RunSpec& spec);
+
+    /** @deprecated Use Run(schedule, RunSpec{shots}). */
+    [[deprecated("use Run(schedule, RunSpec) instead")]] inline Counts
+    Run(const ScheduledCircuit& schedule, int shots)
+    {
+        return Run(schedule, RunSpec{shots, std::nullopt, 1});
+    }
 
   private:
     const Device* device_;

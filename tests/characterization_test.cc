@@ -56,7 +56,7 @@ TEST(RbRunner, SrbScheduleReturnsToGroundStateNoiselessly)
     noiseless.decoherence = false;
     noiseless.readout_noise = false;
     NoisySimulator sim(device, noiseless);
-    const Counts counts = sim.Run(schedule, 64);
+    const Counts counts = sim.Run(schedule, RunSpec{64});
     EXPECT_EQ(counts.CountOf(0), 64)
         << "RB inverse must restore |0000> without noise";
 }
@@ -294,7 +294,8 @@ TEST(CostModel, OptimizationsReduceTimeMonotonically)
     // Use the device ground truth as the "previously discovered" set.
     std::vector<GatePair> high = device.ground_truth().HighCrosstalkPairs();
     const auto high_only = BuildCharacterizationPlan(
-        topo, CharacterizationPolicy::kHighOnly, rng, high);
+        topo, CharacterizationPolicy::kHighOnly, rng,
+        PlanOptions{.known_high_pairs = high});
 
     CharacterizationCostModel model;
     const RbConfig config = PaperScaleRbConfig();

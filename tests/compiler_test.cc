@@ -77,7 +77,7 @@ TEST(Compiler, SemanticsPreservedThroughPipeline)
     noiseless.readout_noise = false;
     noiseless.seed = 3;
     NoisySimulator sim(device, noiseless);
-    const Counts counts = sim.Run(result.schedule, 1000);
+    const Counts counts = sim.Run(result.schedule, RunSpec{1000});
     EXPECT_NEAR(counts.Probability(0b000) + counts.Probability(0b111), 1.0,
                 1e-12);
     EXPECT_NEAR(counts.Probability(0b000), 0.5, 0.06);

@@ -123,7 +123,7 @@ TEST(Tomography, NoisySampledBellIsCloseToIdeal)
             schedule.Add(g, t, device.GateDuration(g));
             t += device.GateDuration(g);
         }
-        counts.push_back(sim.Run(schedule, 2048));
+        counts.push_back(sim.Run(schedule, RunSpec{2048}));
     }
     const Matrix rho = ReconstructDensityMatrix(counts);
     EXPECT_GT(BellFidelity(rho), 0.95);
@@ -214,7 +214,7 @@ TEST(ReadoutMitigation, ImprovesSampledCounts)
         schedule.Add(g, t, device.GateDuration(g));
         t += device.GateDuration(g);
     }
-    const Counts counts = sim.Run(schedule, 8192);
+    const Counts counts = sim.Run(schedule, RunSpec{8192});
     const double raw = counts.Probability(0b11);
     const ReadoutMitigator mitigator(
         {device.ReadoutError(0), device.ReadoutError(1)});

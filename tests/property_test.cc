@@ -299,7 +299,7 @@ TEST_P(NoiseMonotonicity, MoreNoiseSourcesNeverImproveFidelity)
         options.seed = 99;
         NoisySimulator sim(device, options);
         const auto ideal = sim.IdealProbabilities(schedule);
-        const Counts counts = sim.Run(schedule, 1024);
+        const Counts counts = sim.Run(schedule, RunSpec{1024});
         // Total-variation agreement with the noise-free distribution.
         double tv = 0.0;
         const auto measured = counts.ToProbabilities();

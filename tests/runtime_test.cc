@@ -1,0 +1,279 @@
+/**
+ * @file
+ * Tests for the parallel runtime (src/runtime): ThreadPool lifecycle and
+ * exception behaviour, Executor chunk planning, and — the load-bearing
+ * property — bit-identical results at any thread count, both for a
+ * chunked noisy-QAOA run and for a full bin-packed characterization.
+ * Also covers the counter-based Rng::ForkAt() scheme the runtime's
+ * seed derivation builds on.
+ */
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "characterization/characterizer.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "device/ibmq_devices.h"
+#include "experiments/experiments.h"
+#include "runtime/executor.h"
+#include "runtime/thread_pool.h"
+#include "scheduler/scheduler.h"
+#include "sim/noisy_simulator.h"
+#include "workloads/qaoa.h"
+
+namespace xtalk {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedWork)
+{
+    runtime::ThreadPool pool(4);
+    std::atomic<int> sum{0};
+    std::vector<std::future<void>> futures;
+    for (int i = 0; i < 64; ++i) {
+        futures.push_back(pool.Submit([&sum, i] { sum += i; }));
+    }
+    for (auto& f : futures) {
+        f.get();
+    }
+    EXPECT_EQ(sum.load(), 64 * 63 / 2);
+}
+
+TEST(ThreadPool, SubmitAfterShutdownThrows)
+{
+    runtime::ThreadPool pool(2);
+    pool.Shutdown();
+    EXPECT_THROW(pool.Submit([] {}), Error);
+}
+
+TEST(ThreadPool, ShutdownDrainsQueuedWork)
+{
+    std::atomic<int> ran{0};
+    {
+        runtime::ThreadPool pool(1);
+        std::vector<std::future<void>> futures;
+        for (int i = 0; i < 32; ++i) {
+            futures.push_back(pool.Submit([&ran] { ++ran; }));
+        }
+        pool.Shutdown();
+        for (auto& f : futures) {
+            f.get();  // Must not block forever or throw broken_promise.
+        }
+    }
+    EXPECT_EQ(ran.load(), 32);
+}
+
+TEST(ThreadPool, ExceptionPropagatesThroughFuture)
+{
+    runtime::ThreadPool pool(2);
+    auto future = pool.Submit(
+        []() -> int { throw std::runtime_error("worker boom"); });
+    EXPECT_THROW(future.get(), std::runtime_error);
+    // The pool must survive a throwing job.
+    EXPECT_EQ(pool.Submit([] { return 7; }).get(), 7);
+}
+
+TEST(ThreadPool, EnvAndOverridePrecedence)
+{
+    // --threads-style override wins over everything and is restorable.
+    const int before = runtime::ThreadPool::DefaultThreadCount();
+    runtime::ThreadPool::SetDefaultThreadCount(3);
+    EXPECT_EQ(runtime::ThreadPool::DefaultThreadCount(), 3);
+    runtime::ThreadPool::SetDefaultThreadCount(0);  // Back to automatic.
+    EXPECT_EQ(runtime::ThreadPool::DefaultThreadCount(), before);
+    EXPECT_GE(before, 1);
+}
+
+TEST(Executor, ChunkPlanIsDeterministicAndCoversShots)
+{
+    runtime::ExecutorOptions options;
+    options.min_shots_per_chunk = 64;
+
+    // Small jobs stay in one chunk.
+    RunSpec small{10, std::nullopt, 8};
+    EXPECT_EQ(runtime::Executor::ChunkShots(small, options),
+              std::vector<int>{10});
+
+    // Large jobs split into at most max_parallel_chunks pieces that sum
+    // to the budget and differ by at most one shot.
+    RunSpec large{1000, std::nullopt, 8};
+    const std::vector<int> chunks =
+        runtime::Executor::ChunkShots(large, options);
+    EXPECT_EQ(chunks.size(), 8u);
+    EXPECT_EQ(std::accumulate(chunks.begin(), chunks.end(), 0), 1000);
+    const auto [lo, hi] = std::minmax_element(chunks.begin(), chunks.end());
+    EXPECT_LE(*hi - *lo, 1);
+
+    // min_shots_per_chunk bounds the split even when more chunks are
+    // allowed.
+    RunSpec medium{130, std::nullopt, 8};
+    EXPECT_EQ(runtime::Executor::ChunkShots(medium, options).size(), 3u);
+}
+
+TEST(Executor, SingleChunkJobMatchesDirectSimulatorRun)
+{
+    // chunks == 1 must reproduce the historical serial path bit for bit:
+    // the job seed is used directly, not routed through DeriveSeed.
+    const Device device = MakeLinearDevice(4, 3, /*with_crosstalk=*/true);
+    Circuit circuit(4);
+    circuit.H(0).CX(0, 1).CX(1, 2).CX(2, 3).MeasureAll();
+    const ScheduledCircuit schedule = AsapSchedule(circuit, device);
+
+    NoisySimOptions options;
+    options.seed = 321;
+    NoisySimulator sim(device, options);
+    const Counts direct = sim.Run(schedule, RunSpec{500});
+
+    runtime::Executor executor(device);
+    runtime::ExecutionJob job;
+    job.schedule = schedule;
+    job.seed = 321;
+    job.spec = RunSpec{500, std::nullopt, 1};
+    const runtime::ExecutionResult result = executor.Run(std::move(job));
+    EXPECT_EQ(result.chunks, 1);
+    EXPECT_EQ(result.counts.histogram(), direct.histogram());
+}
+
+TEST(Executor, ChunkedQaoaRunIsIdenticalAcrossThreadCounts)
+{
+    const Device device = MakePoughkeepsie();
+    const Circuit circuit = BuildQaoaCircuit(device, {0, 1, 2, 3});
+    ParallelScheduler scheduler(device);
+    const ScheduledCircuit schedule = scheduler.Schedule(circuit);
+
+    auto run_at = [&](int threads) {
+        runtime::ExecutorOptions exec;
+        exec.num_threads = threads;
+        runtime::Executor executor(device, exec);
+        runtime::ExecutionJob job;
+        job.schedule = schedule;
+        job.seed = 1234;
+        job.spec = RunSpec{2048, std::nullopt, 8};
+        return executor.Run(std::move(job));
+    };
+    const runtime::ExecutionResult at1 = run_at(1);
+    const runtime::ExecutionResult at2 = run_at(2);
+    const runtime::ExecutionResult at8 = run_at(8);
+    EXPECT_GT(at1.chunks, 1);
+    EXPECT_EQ(at1.counts.histogram(), at2.counts.histogram());
+    EXPECT_EQ(at1.counts.histogram(), at8.counts.histogram());
+    EXPECT_EQ(at1.counts.shots(), 2048);
+}
+
+TEST(Executor, ExceptionInOneJobPropagatesAfterDrain)
+{
+    // A stabilizer-backend job on a non-Clifford circuit throws inside a
+    // worker; Submit must rethrow it to the caller.
+    const Device device = MakeLinearDevice(2, 3);
+    Circuit circuit(2);
+    circuit.T(0).MeasureAll();
+    const ScheduledCircuit schedule = AsapSchedule(circuit, device);
+
+    runtime::Executor executor(device);
+    runtime::ExecutionRequest request;
+    runtime::ExecutionJob job;
+    job.schedule = schedule;
+    job.spec = RunSpec{16, std::nullopt, 1};
+    job.backend = runtime::SimBackend::kStabilizer;
+    request.jobs.push_back(std::move(job));
+    EXPECT_THROW(executor.Submit(std::move(request)), Error);
+}
+
+TEST(Determinism, BinPackedCharacterizationIdenticalAcrossThreadCounts)
+{
+    const Device device = MakeLinearDevice(6, 3, /*with_crosstalk=*/true);
+    RbConfig config = BenchRbConfig(5);
+    config.sequences_per_length = 3;
+    config.shots = 96;
+
+    auto characterize_at = [&](int threads) {
+        Rng rng(17);
+        const auto plan = BuildCharacterizationPlan(
+            device.topology(), CharacterizationPolicy::kOneHopBinPacked,
+            rng);
+        runtime::ExecutorOptions exec;
+        exec.num_threads = threads;
+        CrosstalkCharacterizer characterizer(device, config, {}, exec);
+        return characterizer.Run(plan);
+    };
+    const auto at1 = characterize_at(1);
+    const auto at2 = characterize_at(2);
+    const auto at8 = characterize_at(8);
+    ASSERT_FALSE(at1.conditional_entries().empty());
+    EXPECT_EQ(at1.conditional_entries(), at2.conditional_entries());
+    EXPECT_EQ(at1.conditional_entries(), at8.conditional_entries());
+    EXPECT_EQ(at1.independent_entries(), at2.independent_entries());
+    EXPECT_EQ(at1.independent_entries(), at8.independent_entries());
+}
+
+TEST(RngForkAt, IndependentOfParentConsumption)
+{
+    Rng parent(42);
+    const Rng before = parent.ForkAt(3);
+    for (int i = 0; i < 100; ++i) {
+        parent.Next();
+    }
+    Rng after = parent.ForkAt(3);
+    Rng copy = before;
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(copy.Next(), after.Next());
+    }
+}
+
+TEST(RngForkAt, DistinctIndicesGiveDistinctSeeds)
+{
+    EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(1, 1));
+    EXPECT_NE(DeriveSeed(1, 0), DeriveSeed(2, 0));
+    // Deterministic: same (base, index) always maps to the same seed.
+    EXPECT_EQ(DeriveSeed(99, 7), DeriveSeed(99, 7));
+}
+
+TEST(RngForkAt, SiblingStreamsAreStatisticallyIndependent)
+{
+    // Pairwise Pearson correlation between sibling streams must be
+    // consistent with independence (|r| ~ O(1/sqrt(N))).
+    constexpr int kStreams = 6;
+    constexpr int kSamples = 4096;
+    Rng parent(2024);
+    std::vector<std::vector<double>> streams;
+    for (int s = 0; s < kStreams; ++s) {
+        Rng child = parent.ForkAt(static_cast<uint64_t>(s));
+        std::vector<double> samples(kSamples);
+        for (double& x : samples) {
+            x = child.Uniform();
+        }
+        streams.push_back(std::move(samples));
+    }
+    for (int a = 0; a < kStreams; ++a) {
+        for (int b = a + 1; b < kStreams; ++b) {
+            double mean_a = 0.0;
+            double mean_b = 0.0;
+            for (int i = 0; i < kSamples; ++i) {
+                mean_a += streams[a][i];
+                mean_b += streams[b][i];
+            }
+            mean_a /= kSamples;
+            mean_b /= kSamples;
+            double cov = 0.0;
+            double var_a = 0.0;
+            double var_b = 0.0;
+            for (int i = 0; i < kSamples; ++i) {
+                const double da = streams[a][i] - mean_a;
+                const double db = streams[b][i] - mean_b;
+                cov += da * db;
+                var_a += da * da;
+                var_b += db * db;
+            }
+            const double r = cov / std::sqrt(var_a * var_b);
+            EXPECT_LT(std::abs(r), 0.05)
+                << "streams " << a << " and " << b << " correlate";
+        }
+    }
+}
+
+}  // namespace
+}  // namespace xtalk

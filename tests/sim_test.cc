@@ -249,7 +249,7 @@ TEST(NoisySimulator, NoiseFreeBellIsPerfect)
     options.decoherence = false;
     options.readout_noise = false;
     NoisySimulator sim(device, options);
-    const Counts counts = sim.Run(AsapSchedule(bell, device), 2000);
+    const Counts counts = sim.Run(AsapSchedule(bell, device), RunSpec{2000});
     const double p00 = counts.Probability(0b00);
     const double p11 = counts.Probability(0b11);
     EXPECT_NEAR(p00 + p11, 1.0, 1e-12);
@@ -266,7 +266,7 @@ TEST(NoisySimulator, ReadoutNoiseFlipsBits)
     options.decoherence = false;
     options.readout_noise = true;
     NoisySimulator sim(device, options);
-    const Counts counts = sim.Run(AsapSchedule(idle, device), 4000);
+    const Counts counts = sim.Run(AsapSchedule(idle, device), RunSpec{4000});
     // Expect roughly the calibrated readout error rate of flips per qubit.
     const double p_not00 = 1.0 - counts.Probability(0b00);
     const double expected =
@@ -291,7 +291,7 @@ TEST(NoisySimulator, DecoherenceDegradesIdlingExcitedState)
     options.readout_noise = false;
     options.decoherence = true;
     NoisySimulator sim(device, options);
-    const Counts counts = sim.Run(schedule, 4000);
+    const Counts counts = sim.Run(schedule, RunSpec{4000});
     // After idling ~T1, survival ~ exp(-1) ~ 0.37.
     EXPECT_NEAR(counts.Probability(0b1), std::exp(-1.0), 0.05);
 }
@@ -341,8 +341,8 @@ TEST(NoisySimulator, DeterministicForFixedSeed)
     const auto schedule = AsapSchedule(c, device);
     NoisySimOptions options;
     options.seed = 42;
-    Counts a = NoisySimulator(device, options).Run(schedule, 500);
-    Counts b = NoisySimulator(device, options).Run(schedule, 500);
+    Counts a = NoisySimulator(device, options).Run(schedule, RunSpec{500});
+    Counts b = NoisySimulator(device, options).Run(schedule, RunSpec{500});
     EXPECT_EQ(a.histogram(), b.histogram());
 }
 

@@ -130,7 +130,7 @@ TEST(StabilizerSimulator, NoiseFreeBellMatchesStateVectorEngine)
     noiseless.readout_noise = false;
     noiseless.seed = 5;
     StabilizerSimulator sim(device, noiseless);
-    const Counts counts = sim.Run(schedule, 2000);
+    const Counts counts = sim.Run(schedule, RunSpec{2000});
     EXPECT_NEAR(counts.Probability(0b00), 0.5, 0.05);
     EXPECT_NEAR(counts.Probability(0b00) + counts.Probability(0b11), 1.0,
                 1e-12);
@@ -151,8 +151,8 @@ TEST(StabilizerSimulator, AgreesWithTrajectoryEngineUnderFullNoise)
     options.seed = 21;
     NoisySimulator trajectory(device, options);
     StabilizerSimulator stabilizer(device, options);
-    const auto p_traj = trajectory.Run(schedule, 6000).ToProbabilities();
-    const auto p_stab = stabilizer.Run(schedule, 6000).ToProbabilities();
+    const auto p_traj = trajectory.Run(schedule, RunSpec{6000}).ToProbabilities();
+    const auto p_stab = stabilizer.Run(schedule, RunSpec{6000}).ToProbabilities();
     double tv = 0.0;
     for (size_t i = 0; i < p_traj.size(); ++i) {
         tv += std::abs(p_traj[i] - p_stab[i]);
@@ -167,7 +167,7 @@ TEST(StabilizerSimulator, RejectsNonCliffordSchedules)
     c.T(0).MeasureAll();
     ParallelScheduler scheduler(device);
     StabilizerSimulator sim(device);
-    EXPECT_THROW(sim.Run(scheduler.Schedule(c), 10), Error);
+    EXPECT_THROW(sim.Run(scheduler.Schedule(c), RunSpec{10}), Error);
 }
 
 TEST(StabilizerBackend, RbEstimatesMatchStateVectorBackend)

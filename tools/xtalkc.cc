@@ -37,6 +37,8 @@
 #include "device/device_io.h"
 #include "device/ibmq_devices.h"
 #include "experiments/experiments.h"
+#include "runtime/executor.h"
+#include "runtime/thread_pool.h"
 #include "scheduler/analysis.h"
 #include "scheduler/greedy_scheduler.h"
 #include "scheduler/scheduler.h"
@@ -62,6 +64,7 @@ struct Options {
     std::string log_level;
     double omega = 0.5;
     int simulate_shots = 0;
+    int threads = 0;
     bool report = false;
     bool help = false;
 };
@@ -81,6 +84,9 @@ PrintUsage()
         "  --output <file>            write the scheduled circuit as QASM\n"
         "  --report                   print the timed schedule + analysis\n"
         "  --simulate <shots>         execute on the noisy simulator\n"
+        "  --threads <n>              worker threads for simulation\n"
+        "                             (overrides XTALK_THREADS; default:\n"
+        "                             all hardware threads)\n"
         "  --stats-json <file>        dump telemetry metrics as JSON\n"
         "  --trace-json <file>        dump a Chrome trace_event JSON file\n"
         "                             (chrome://tracing / Perfetto)\n"
@@ -119,6 +125,12 @@ ParseArgs(int argc, char** argv, Options* options)
             options->output_path = next("--output");
         } else if (arg == "--simulate") {
             options->simulate_shots = std::stoi(next("--simulate"));
+        } else if (arg == "--threads") {
+            options->threads = std::stoi(next("--threads"));
+            if (options->threads <= 0) {
+                std::cerr << "error: --threads needs a positive count\n";
+                return false;
+            }
         } else if (arg == "--stats-json") {
             options->stats_json_path = next("--stats-json");
         } else if (arg == "--trace-json") {
@@ -219,6 +231,11 @@ main(int argc, char** argv)
     }
     if (!options.trace_json_path.empty()) {
         telemetry::SetTracingEnabled(true);
+    }
+    if (options.threads > 0) {
+        // Must happen before the first pool use anywhere in the pipeline
+        // (characterization, simulation) — the shared pool is sized once.
+        runtime::ThreadPool::SetDefaultThreadCount(options.threads);
     }
 
     try {
@@ -328,9 +345,16 @@ main(int argc, char** argv)
         }
         if (options.simulate_shots > 0) {
             telemetry::ScopedSpan span("tool.simulate");
-            NoisySimulator sim(device);
-            const Counts counts = sim.Run(schedule, options.simulate_shots);
-            std::cout << counts.ToString();
+            runtime::Executor executor(device);
+            runtime::ExecutionJob job;
+            job.schedule = schedule;
+            // Fixed chunk bound, NOT the thread count: the chunk plan
+            // picks the random streams, so tying it to --threads would
+            // make the histogram depend on the worker count.
+            job.spec = RunSpec{options.simulate_shots, std::nullopt, 16};
+            const runtime::ExecutionResult result =
+                executor.Run(std::move(job));
+            std::cout << result.counts.ToString();
         }
         if (!options.output_path.empty()) {
             std::ofstream out(options.output_path);
