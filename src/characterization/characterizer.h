@@ -69,20 +69,6 @@ CharacterizationPlan BuildCharacterizationPlan(const Topology& topology,
                                                Rng& rng,
                                                const PlanOptions& options = {});
 
-/** @deprecated Pass a PlanOptions struct instead of positional knobs. */
-[[deprecated("pass PlanOptions instead of trailing positional "
-             "arguments")]] inline CharacterizationPlan
-BuildCharacterizationPlan(const Topology& topology,
-                          CharacterizationPolicy policy, Rng& rng,
-                          const std::vector<GatePair>& known_high_pairs,
-                          int separation_hops = 2,
-                          int packing_iterations = 20)
-{
-    return BuildCharacterizationPlan(
-        topology, policy, rng,
-        PlanOptions{known_high_pairs, separation_hops, packing_iterations});
-}
-
 /** Measured error rates: the compiler-facing characterization output. */
 class CrosstalkCharacterization {
   public:

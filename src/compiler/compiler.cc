@@ -1,16 +1,9 @@
 #include "compiler/compiler.h"
 
-#include <memory>
-#include <optional>
-
-#include "common/error.h"
-#include "scheduler/greedy_scheduler.h"
-#include "scheduler/omega_tuning.h"
-#include "scheduler/scheduler.h"
+#include "compiler/pass.h"
+#include "compiler/pass_manager.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
-#include "transpile/layout.h"
-#include "transpile/routing.h"
 
 namespace xtalk {
 
@@ -25,95 +18,12 @@ Compile(const Device& device,
         telemetry::GetCounter("compile.input_gates")
             .Add(static_cast<uint64_t>(logical.size()));
     }
-    CompileResult result;
-
-    // 1. Placement.
-    {
-        telemetry::ScopedSpan span("compile.layout");
-        switch (options.layout) {
-          case LayoutPolicy::kTrivial:
-            result.initial_layout = TrivialLayout(logical);
-            break;
-          case LayoutPolicy::kNoiseAware: {
-            NoiseAwareLayoutOptions layout_options;
-            layout_options.crosstalk_penalty_weight =
-                options.layout_crosstalk_penalty;
-            result.initial_layout = NoiseAwareLayout(
-                device, logical, &characterization, layout_options);
-            break;
-          }
-        }
-    }
-
-    // 2. Routing (SWAP insertion, lowered to CNOTs).
-    std::optional<RoutingResult> routed_opt;
-    {
-        telemetry::ScopedSpan span("compile.route");
-        routed_opt = RouteCircuit(device, logical, result.initial_layout);
-    }
-    const RoutingResult& routed = *routed_opt;
-    result.final_layout = routed.final_layout;
-    if (telemetry::Enabled()) {
-        telemetry::GetCounter("compile.routed_gates")
-            .Add(static_cast<uint64_t>(routed.circuit.size()));
-    }
-
-    // 3. Scheduling.
-    std::optional<telemetry::ScopedSpan> schedule_span;
-    schedule_span.emplace("compile.schedule");
-    switch (options.scheduler) {
-      case SchedulerPolicy::kXtalk: {
-        XtalkScheduler scheduler(device, characterization, options.xtalk);
-        result.executable =
-            scheduler.ScheduleWithBarriers(routed.circuit,
-                                           &result.schedule);
-        result.omega = options.xtalk.omega;
-        result.scheduler_name = scheduler.name();
-        break;
-      }
-      case SchedulerPolicy::kXtalkAutoOmega: {
-        const OmegaSelection selection =
-            SelectOmegaByModel(device, characterization, routed.circuit,
-                               options.omega_candidates, options.xtalk);
-        // Re-run at the winning omega to obtain the barriered circuit.
-        XtalkSchedulerOptions tuned = options.xtalk;
-        tuned.omega = selection.omega;
-        XtalkScheduler scheduler(device, characterization, tuned);
-        result.executable =
-            scheduler.ScheduleWithBarriers(routed.circuit,
-                                           &result.schedule);
-        result.omega = selection.omega;
-        result.scheduler_name = "XtalkSched(auto)";
-        break;
-      }
-      case SchedulerPolicy::kSerial:
-      case SchedulerPolicy::kParallel:
-      case SchedulerPolicy::kGreedy: {
-        std::unique_ptr<Scheduler> scheduler;
-        if (options.scheduler == SchedulerPolicy::kSerial) {
-            scheduler = std::make_unique<SerialScheduler>(device);
-        } else if (options.scheduler == SchedulerPolicy::kParallel) {
-            scheduler = std::make_unique<ParallelScheduler>(device);
-        } else {
-            scheduler = std::make_unique<GreedyXtalkScheduler>(
-                device, characterization);
-        }
-        result.schedule = scheduler->Schedule(routed.circuit);
-        result.executable = result.schedule.ToCircuit();
-        result.omega = options.xtalk.omega;
-        result.scheduler_name = scheduler->name();
-        break;
-      }
-    }
-
-    schedule_span.reset();
-
-    {
-        telemetry::ScopedSpan span("compile.estimate");
-        result.estimate = EstimateScheduleError(result.schedule, device,
-                                                &characterization);
-    }
-    return result;
+    CompilationState state(device, characterization, logical, options);
+    PassManagerOptions manager_options;
+    manager_options.verify =
+        options.verify_passes || VerifyPassesRequestedByEnv();
+    MakeDefaultPipeline(manager_options).Run(state);
+    return state.ToResult();
 }
 
 }  // namespace xtalk

@@ -10,6 +10,12 @@
  *   CompileResult out = Compile(device, characterization, logical,
  *                               options);
  *   // out.executable is ready to run; out.schedule carries timing.
+ *
+ * Compile() is a thin wrapper over the pass-manager pipeline (pass.h /
+ * pass_manager.h / passes.h): layout -> route -> schedule ->
+ * lower-barriers -> estimate, with optional inter-pass verification
+ * (CompilerOptions::verify_passes or XTALK_VERIFY_PASSES=1). Custom
+ * pipelines are built by name; see docs/ARCHITECTURE.md.
  */
 #ifndef XTALK_COMPILER_COMPILER_H
 #define XTALK_COMPILER_COMPILER_H
@@ -56,6 +62,13 @@ struct CompilerOptions {
      * partnerships (kNoiseAware only).
      */
     double layout_crosstalk_penalty = 0.5;
+    /**
+     * Run the inter-pass verification passes (connectivity legality,
+     * per-qubit order and gate-multiset preservation, simultaneous-
+     * readout constraint) after every transform pass. Also enabled
+     * process-wide by the environment variable XTALK_VERIFY_PASSES=1.
+     */
+    bool verify_passes = false;
 };
 
 /** Everything the pipeline produces. */
@@ -70,10 +83,16 @@ struct CompileResult {
     std::vector<QubitId> final_layout;
     /** Modeled quality under the characterized error model. */
     ScheduleErrorEstimate estimate;
-    /** Omega actually used (relevant for auto selection). */
-    double omega = 0.5;
+    /**
+     * Omega actually used. Present only when an omega-using scheduler
+     * ran (XtalkSched, XtalkSched(auto), GreedySched); SerialSched and
+     * ParSched results carry no omega.
+     */
+    std::optional<double> omega;
     /** Scheduler that produced the schedule ("XtalkSched", ...). */
     std::string scheduler_name;
+    /** One-line notes from each pipeline pass, in execution order. */
+    std::vector<std::string> pass_diagnostics;
 };
 
 /**

@@ -1,0 +1,60 @@
+#include "compiler/pass.h"
+
+#include "common/error.h"
+
+namespace xtalk {
+
+CompilationState::CompilationState(
+    const Device& device, const CrosstalkCharacterization& characterization,
+    Circuit logical_circuit, CompilerOptions compile_options)
+    : options(std::move(compile_options)),
+      logical(std::move(logical_circuit)),
+      device_(&device),
+      characterization_(&characterization)
+{
+}
+
+const Circuit&
+CompilationState::ScheduleSource() const
+{
+    return routed ? *routed : logical;
+}
+
+std::optional<Circuit>
+CompilationState::LatestHardwareCircuit() const
+{
+    if (executable) {
+        return executable;
+    }
+    if (schedule) {
+        return schedule->ToCircuit();
+    }
+    if (routed) {
+        return routed;
+    }
+    return std::nullopt;
+}
+
+CompileResult
+CompilationState::ToResult() const
+{
+    XTALK_REQUIRE(schedule.has_value(),
+                  "pipeline produced no schedule; add a schedule pass");
+    XTALK_REQUIRE(executable.has_value(),
+                  "pipeline produced no executable; add a lower-barriers "
+                  "pass after the schedule pass");
+    CompileResult result;
+    result.executable = *executable;
+    result.schedule = *schedule;
+    result.initial_layout = initial_layout;
+    result.final_layout = final_layout;
+    if (estimate) {
+        result.estimate = *estimate;
+    }
+    result.omega = omega;
+    result.scheduler_name = scheduler_name;
+    result.pass_diagnostics = diagnostics;
+    return result;
+}
+
+}  // namespace xtalk

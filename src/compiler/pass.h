@@ -1,0 +1,144 @@
+/**
+ * @file
+ * The pass abstraction behind the compile toolflow (paper Figure 2):
+ * every stage — placement, SWAP routing, crosstalk-adaptive scheduling,
+ * barrier lowering, quality estimation, and the inter-pass verifiers —
+ * is a Pass mutating one shared CompilationState. A PassManager (see
+ * pass_manager.h) runs a named sequence; Compile() in compiler.h is now
+ * a thin wrapper over the default pipeline.
+ */
+#ifndef XTALK_COMPILER_PASS_H
+#define XTALK_COMPILER_PASS_H
+
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "compiler/compiler.h"
+
+namespace xtalk {
+
+/**
+ * Serialization decisions of an SMT scheduling pass, kept so a later
+ * BarrierLoweringPass can enforce them with ordering barriers (the
+ * paper Section 6 post-processing step).
+ */
+struct SolverOrderingArtifacts {
+    /** Solver start time per gate of the scheduled source circuit. */
+    std::vector<double> start_ns;
+    /** Candidate pairs the solver decided about (gate index pairs). */
+    std::vector<std::pair<GateId, GateId>> candidate_pairs;
+};
+
+/**
+ * Everything the pipeline reads and writes. Inputs (device,
+ * characterization, logical circuit, options) are fixed at
+ * construction; each product slot starts empty and is filled by the
+ * pass that owns it. Passes validate their own preconditions and throw
+ * xtalk::Error when a required product is missing.
+ */
+struct CompilationState {
+    CompilationState(const Device& device,
+                     const CrosstalkCharacterization& characterization,
+                     Circuit logical_circuit,
+                     CompilerOptions compile_options = {});
+
+    const Device& device() const { return *device_; }
+    const CrosstalkCharacterization& characterization() const
+    {
+        return *characterization_;
+    }
+
+    /** Pipeline configuration (policies and scheduler knobs). */
+    CompilerOptions options;
+
+    /** The input program. */
+    Circuit logical;
+
+    // -- Products, in pipeline order --------------------------------------
+
+    /** initial_layout[logical] = physical; set by a layout pass. */
+    std::vector<QubitId> initial_layout;
+    /** final_layout[logical] = physical after routing SWAPs. */
+    std::vector<QubitId> final_layout;
+    /** Hardware-compliant circuit (SWAPs lowered); set by routing. */
+    std::optional<Circuit> routed;
+    /** Timed schedule; set by a schedule pass. */
+    std::optional<ScheduledCircuit> schedule;
+    /** Barriered executable; set by the barrier-lowering pass. */
+    std::optional<Circuit> executable;
+    /** Modeled schedule quality; set by the estimate pass. */
+    std::optional<ScheduleErrorEstimate> estimate;
+
+    /** Omega actually used, when an omega-using scheduler ran. */
+    std::optional<double> omega;
+    /** Name of the scheduler that produced the schedule. */
+    std::string scheduler_name;
+    /** SMT ordering decisions for barrier lowering (XtalkSched only). */
+    std::optional<SolverOrderingArtifacts> ordering;
+
+    /** One-line notes appended by passes ("<pass>: <note>"). */
+    std::vector<std::string> diagnostics;
+
+    /** The circuit a schedule pass consumes: routed if present,
+     *  otherwise the logical input. */
+    const Circuit& ScheduleSource() const;
+
+    /**
+     * The most hardware-shaped circuit produced so far: executable,
+     * else the schedule's gate sequence (rebuilt), else routed; null
+     * before any of them exists. Used by verification.
+     */
+    std::optional<Circuit> LatestHardwareCircuit() const;
+
+    /**
+     * Package the products as a CompileResult. Requires a schedule and
+     * an executable (throws xtalk::Error otherwise — the pipeline was
+     * missing a schedule or lowering pass).
+     */
+    CompileResult ToResult() const;
+
+  private:
+    const Device* device_;
+    const CrosstalkCharacterization* characterization_;
+};
+
+/**
+ * One unit of compilation work. Transform passes fill product slots in
+ * the state; verification passes (is_verification() == true) read the
+ * state and throw xtalk::Error with a diagnostic when an invariant is
+ * violated, writing nothing.
+ */
+class Pass {
+  public:
+    virtual ~Pass() = default;
+
+    /** Stable identifier used by the registry and telemetry
+     *  (`compiler.pass.<name>.duration_us`). */
+    virtual std::string name() const = 0;
+
+    /** One-line human description for `xtalkc --list-passes`. */
+    virtual std::string description() const = 0;
+
+    /** True for invariant-checking passes (run under --verify-passes). */
+    virtual bool is_verification() const { return false; }
+
+    /**
+     * Verification passes only: true when the state carries enough
+     * products for this check to be meaningful. Inapplicable verifiers
+     * are skipped by the pass manager's auto-verify sweep.
+     */
+    virtual bool Applicable(const CompilationState& state) const
+    {
+        (void)state;
+        return true;
+    }
+
+    /** Execute against the state. Throws xtalk::Error on failure. */
+    virtual void Run(CompilationState& state) = 0;
+};
+
+}  // namespace xtalk
+
+#endif  // XTALK_COMPILER_PASS_H

@@ -1,0 +1,323 @@
+#include "compiler/passes.h"
+
+#include <memory>
+#include <sstream>
+
+#include "common/error.h"
+#include "compiler/pass_manager.h"
+#include "compiler/verification.h"
+#include "scheduler/greedy_scheduler.h"
+#include "scheduler/omega_tuning.h"
+#include "scheduler/scheduler.h"
+#include "scheduler/xtalk_scheduler.h"
+#include "telemetry/telemetry.h"
+#include "transpile/layout.h"
+#include "transpile/routing.h"
+
+namespace xtalk {
+
+namespace {
+
+const char*
+LayoutPolicyName(LayoutPolicy policy)
+{
+    switch (policy) {
+      case LayoutPolicy::kTrivial:
+        return "trivial";
+      case LayoutPolicy::kNoiseAware:
+        return "noise-aware";
+    }
+    return "?";
+}
+
+}  // namespace
+
+// -- LayoutPass ------------------------------------------------------------
+
+std::string
+LayoutPass::name() const
+{
+    if (!forced_) {
+        return "layout";
+    }
+    return std::string("layout:") + LayoutPolicyName(*forced_);
+}
+
+std::string
+LayoutPass::description() const
+{
+    if (!forced_) {
+        return "initial placement with the policy from CompilerOptions";
+    }
+    if (*forced_ == LayoutPolicy::kTrivial) {
+        return "trivial placement: logical i -> physical i";
+    }
+    return "greedy noise/crosstalk-aware placement";
+}
+
+void
+LayoutPass::Run(CompilationState& state)
+{
+    const LayoutPolicy policy = forced_.value_or(state.options.layout);
+    switch (policy) {
+      case LayoutPolicy::kTrivial:
+        state.initial_layout = TrivialLayout(state.logical);
+        break;
+      case LayoutPolicy::kNoiseAware: {
+        NoiseAwareLayoutOptions layout_options;
+        layout_options.crosstalk_penalty_weight =
+            state.options.layout_crosstalk_penalty;
+        state.initial_layout =
+            NoiseAwareLayout(state.device(), state.logical,
+                             &state.characterization(), layout_options);
+        break;
+      }
+    }
+    std::ostringstream note;
+    note << name() << ": placed " << state.initial_layout.size()
+         << " logical qubits (" << LayoutPolicyName(policy) << ")";
+    state.diagnostics.push_back(note.str());
+}
+
+// -- RoutingPass -----------------------------------------------------------
+
+std::string
+RoutingPass::description() const
+{
+    return "meet-in-the-middle SWAP routing onto the device topology";
+}
+
+void
+RoutingPass::Run(CompilationState& state)
+{
+    XTALK_REQUIRE(!state.initial_layout.empty(),
+                  "route requires an initial layout; run a layout pass "
+                  "first");
+    RoutingResult routed =
+        RouteCircuit(state.device(), state.logical, state.initial_layout);
+    state.final_layout = routed.final_layout;
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("compile.routed_gates")
+            .Add(static_cast<uint64_t>(routed.circuit.size()));
+    }
+    std::ostringstream note;
+    note << "route: " << state.logical.size() << " logical gates -> "
+         << routed.circuit.size() << " hardware gates";
+    state.diagnostics.push_back(note.str());
+    state.routed = std::move(routed.circuit);
+}
+
+// -- SchedulePass ----------------------------------------------------------
+
+std::string
+SchedulePass::name() const
+{
+    if (!forced_) {
+        return "schedule";
+    }
+    switch (*forced_) {
+      case SchedulerPolicy::kSerial:
+        return "schedule:serial";
+      case SchedulerPolicy::kParallel:
+        return "schedule:parallel";
+      case SchedulerPolicy::kGreedy:
+        return "schedule:greedy";
+      case SchedulerPolicy::kXtalk:
+        return "schedule:xtalk";
+      case SchedulerPolicy::kXtalkAutoOmega:
+        return "schedule:auto";
+    }
+    return "schedule:?";
+}
+
+std::string
+SchedulePass::description() const
+{
+    if (!forced_) {
+        return "scheduling with the policy from CompilerOptions";
+    }
+    switch (*forced_) {
+      case SchedulerPolicy::kSerial:
+        return "SerialSched: one gate per time slot";
+      case SchedulerPolicy::kParallel:
+        return "ParSched: maximal-parallelism ALAP baseline";
+      case SchedulerPolicy::kGreedy:
+        return "GreedySched: polynomial crosstalk-aware list scheduling";
+      case SchedulerPolicy::kXtalk:
+        return "XtalkSched: crosstalk-adaptive SMT scheduling";
+      case SchedulerPolicy::kXtalkAutoOmega:
+        return "XtalkSched with model-guided omega selection";
+    }
+    return "?";
+}
+
+void
+SchedulePass::Run(CompilationState& state)
+{
+    const SchedulerPolicy policy = forced_.value_or(state.options.scheduler);
+    const Circuit& source = state.ScheduleSource();
+    switch (policy) {
+      case SchedulerPolicy::kXtalk: {
+        XtalkScheduler scheduler(state.device(), state.characterization(),
+                                 state.options.xtalk);
+        state.schedule = scheduler.Schedule(source);
+        state.ordering =
+            SolverOrderingArtifacts{scheduler.last_start_times(),
+                                    scheduler.last_candidate_pairs()};
+        state.omega = state.options.xtalk.omega;
+        state.scheduler_name = scheduler.name();
+        break;
+      }
+      case SchedulerPolicy::kXtalkAutoOmega: {
+        const OmegaSelection selection = SelectOmegaByModel(
+            state.device(), state.characterization(), source,
+            state.options.omega_candidates, state.options.xtalk);
+        // Re-run at the winning omega to obtain the ordering artifacts.
+        XtalkSchedulerOptions tuned = state.options.xtalk;
+        tuned.omega = selection.omega;
+        XtalkScheduler scheduler(state.device(), state.characterization(),
+                                 tuned);
+        state.schedule = scheduler.Schedule(source);
+        state.ordering =
+            SolverOrderingArtifacts{scheduler.last_start_times(),
+                                    scheduler.last_candidate_pairs()};
+        state.omega = selection.omega;
+        state.scheduler_name = "XtalkSched(auto)";
+        break;
+      }
+      case SchedulerPolicy::kSerial:
+      case SchedulerPolicy::kParallel:
+      case SchedulerPolicy::kGreedy: {
+        std::unique_ptr<Scheduler> scheduler;
+        if (policy == SchedulerPolicy::kSerial) {
+            scheduler = std::make_unique<SerialScheduler>(state.device());
+        } else if (policy == SchedulerPolicy::kParallel) {
+            scheduler = std::make_unique<ParallelScheduler>(state.device());
+        } else {
+            // GreedySched shares XtalkSched's knobs (defaults coincide
+            // with GreedySchedulerOptions, so the default pipeline is
+            // unchanged; a user-set omega now actually reaches it).
+            GreedySchedulerOptions greedy_options;
+            greedy_options.omega = state.options.xtalk.omega;
+            greedy_options.high_threshold =
+                state.options.xtalk.high_threshold;
+            greedy_options.high_margin = state.options.xtalk.high_margin;
+            scheduler = std::make_unique<GreedyXtalkScheduler>(
+                state.device(), state.characterization(), greedy_options);
+            state.omega = greedy_options.omega;
+        }
+        state.schedule = scheduler->Schedule(source);
+        state.ordering.reset();
+        state.scheduler_name = scheduler->name();
+        break;
+      }
+    }
+    std::ostringstream note;
+    note << name() << ": " << state.scheduler_name << " makespan "
+         << state.schedule->TotalDuration() << " ns";
+    if (state.omega) {
+        note << ", omega " << *state.omega;
+    }
+    state.diagnostics.push_back(note.str());
+}
+
+// -- BarrierLoweringPass ---------------------------------------------------
+
+std::string
+BarrierLoweringPass::description() const
+{
+    return "lower the schedule to a barriered executable circuit";
+}
+
+void
+BarrierLoweringPass::Run(CompilationState& state)
+{
+    XTALK_REQUIRE(state.schedule.has_value(),
+                  "lower-barriers requires a schedule; run a schedule "
+                  "pass first");
+    if (state.ordering) {
+        state.executable = InsertOrderingBarriersForCircuit(
+            state.ScheduleSource(), state.ordering->start_ns,
+            state.ordering->candidate_pairs, state.device());
+    } else {
+        state.executable = state.schedule->ToCircuit();
+    }
+    std::ostringstream note;
+    note << "lower-barriers: executable has " << state.executable->size()
+         << " gates ("
+         << state.executable->CountKind(GateKind::kBarrier)
+         << " barriers)";
+    state.diagnostics.push_back(note.str());
+}
+
+// -- EstimatePass ----------------------------------------------------------
+
+std::string
+EstimatePass::description() const
+{
+    return "modeled schedule quality under the characterized error model";
+}
+
+void
+EstimatePass::Run(CompilationState& state)
+{
+    XTALK_REQUIRE(state.schedule.has_value(),
+                  "estimate requires a schedule; run a schedule pass "
+                  "first");
+    state.estimate = EstimateScheduleError(*state.schedule, state.device(),
+                                           &state.characterization());
+    std::ostringstream note;
+    note << "estimate: modeled success "
+         << state.estimate->success_probability << ", high-crosstalk "
+         << "overlaps " << state.estimate->crosstalk_overlaps;
+    state.diagnostics.push_back(note.str());
+}
+
+// -- Built-in registration -------------------------------------------------
+
+namespace detail {
+
+void
+RegisterBuiltinPasses()
+{
+    auto add = [](std::function<std::unique_ptr<Pass>()> factory) {
+        const std::unique_ptr<Pass> prototype = factory();
+        RegisterPass(PassInfo{prototype->name(), prototype->description(),
+                              prototype->is_verification()},
+                     std::move(factory));
+    };
+    add([] { return std::make_unique<LayoutPass>(); });
+    add([] { return std::make_unique<LayoutPass>(LayoutPolicy::kTrivial); });
+    add([] {
+        return std::make_unique<LayoutPass>(LayoutPolicy::kNoiseAware);
+    });
+    add([] { return std::make_unique<RoutingPass>(); });
+    add([] { return std::make_unique<SchedulePass>(); });
+    add([] {
+        return std::make_unique<SchedulePass>(SchedulerPolicy::kSerial);
+    });
+    add([] {
+        return std::make_unique<SchedulePass>(SchedulerPolicy::kParallel);
+    });
+    add([] {
+        return std::make_unique<SchedulePass>(SchedulerPolicy::kGreedy);
+    });
+    add([] {
+        return std::make_unique<SchedulePass>(SchedulerPolicy::kXtalk);
+    });
+    add([] {
+        return std::make_unique<SchedulePass>(
+            SchedulerPolicy::kXtalkAutoOmega);
+    });
+    add([] { return std::make_unique<BarrierLoweringPass>(); });
+    add([] { return std::make_unique<EstimatePass>(); });
+    add([] { return std::make_unique<VerifyLayoutPass>(); });
+    add([] { return std::make_unique<VerifyConnectivityPass>(); });
+    add([] { return std::make_unique<VerifyOrderPass>(); });
+    add([] { return std::make_unique<VerifyReadoutPass>(); });
+    add([] { return std::make_unique<VerifyExecutablePass>(); });
+}
+
+}  // namespace detail
+
+}  // namespace xtalk

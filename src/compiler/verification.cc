@@ -1,0 +1,352 @@
+#include "compiler/verification.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <sstream>
+
+#include "common/error.h"
+
+namespace xtalk {
+
+namespace {
+
+constexpr double kTimeTolNs = 1e-6;
+
+/**
+ * Exact identity key for a gate: kind, operands, parameter bit
+ * patterns, classical bit. Equal keys iff Gate::operator== holds.
+ */
+std::string
+GateKey(const Gate& gate)
+{
+    std::ostringstream key;
+    key << static_cast<int>(gate.kind);
+    for (QubitId q : gate.qubits) {
+        key << " q" << q;
+    }
+    for (double p : gate.params) {
+        uint64_t bits = 0;
+        std::memcpy(&bits, &p, sizeof(bits));
+        key << " p" << bits;
+    }
+    key << " c" << gate.cbit;
+    return key.str();
+}
+
+/** Non-barrier gate multiset as key -> count. */
+template <typename GateRange, typename Extract>
+std::map<std::string, int>
+NonBarrierMultiset(const GateRange& range, Extract extract)
+{
+    std::map<std::string, int> multiset;
+    for (const auto& element : range) {
+        const Gate& gate = extract(element);
+        if (!gate.IsBarrier()) {
+            ++multiset[GateKey(gate)];
+        }
+    }
+    return multiset;
+}
+
+/**
+ * Compare two non-barrier multisets; on mismatch throw an Error naming
+ * the first differing gate.
+ */
+void
+RequireSameMultiset(const std::map<std::string, int>& source,
+                    const std::map<std::string, int>& product,
+                    const char* source_label, const char* product_label)
+{
+    for (const auto& [key, count] : source) {
+        const auto it = product.find(key);
+        const int have = it == product.end() ? 0 : it->second;
+        XTALK_REQUIRE(have == count,
+                      "gate multiset not preserved: gate [" << key << "] "
+                          << "appears " << count << "x in the "
+                          << source_label << " but " << have << "x in the "
+                          << product_label);
+    }
+    for (const auto& [key, count] : product) {
+        XTALK_REQUIRE(source.count(key) != 0,
+                      "gate multiset not preserved: gate [" << key << "] "
+                          << "appears " << count << "x in the "
+                          << product_label << " but never in the "
+                          << source_label);
+    }
+}
+
+/** Per-qubit sequences of non-barrier gate keys, in the given order. */
+template <typename GateRange, typename Extract>
+std::vector<std::vector<std::string>>
+PerQubitSequences(int num_qubits, const GateRange& range, Extract extract)
+{
+    std::vector<std::vector<std::string>> sequences(num_qubits);
+    for (const auto& element : range) {
+        const Gate& gate = extract(element);
+        if (gate.IsBarrier()) {
+            continue;
+        }
+        for (QubitId q : gate.qubits) {
+            sequences[q].push_back(GateKey(gate));
+        }
+    }
+    return sequences;
+}
+
+void
+RequireSamePerQubitOrder(
+    const std::vector<std::vector<std::string>>& source,
+    const std::vector<std::vector<std::string>>& product,
+    const char* product_label)
+{
+    const size_t n = std::min(source.size(), product.size());
+    for (size_t q = 0; q < n; ++q) {
+        XTALK_REQUIRE(source[q].size() == product[q].size(),
+                      "per-qubit program order not preserved: qubit "
+                          << q << " has " << source[q].size()
+                          << " gates in the source but "
+                          << product[q].size() << " in the "
+                          << product_label);
+        for (size_t i = 0; i < source[q].size(); ++i) {
+            XTALK_REQUIRE(source[q][i] == product[q][i],
+                          "per-qubit program order not preserved on qubit "
+                              << q << ": position " << i << " is ["
+                              << source[q][i] << "] in the source but ["
+                              << product[q][i] << "] in the "
+                              << product_label);
+        }
+    }
+}
+
+}  // namespace
+
+// -- VerifyLayoutPass ------------------------------------------------------
+
+std::string
+VerifyLayoutPass::description() const
+{
+    return "layout is injective and within the device register";
+}
+
+bool
+VerifyLayoutPass::Applicable(const CompilationState& state) const
+{
+    return !state.initial_layout.empty();
+}
+
+void
+VerifyLayoutPass::Run(CompilationState& state)
+{
+    const int device_qubits = state.device().num_qubits();
+    XTALK_REQUIRE(static_cast<int>(state.initial_layout.size()) ==
+                      state.logical.num_qubits(),
+                  "layout maps " << state.initial_layout.size()
+                                 << " qubits but the logical circuit has "
+                                 << state.logical.num_qubits());
+    std::vector<bool> used(device_qubits, false);
+    for (size_t l = 0; l < state.initial_layout.size(); ++l) {
+        const QubitId p = state.initial_layout[l];
+        XTALK_REQUIRE(p >= 0 && p < device_qubits,
+                      "layout places logical qubit " << l
+                          << " on physical qubit " << p
+                          << ", outside the device's " << device_qubits
+                          << "-qubit register");
+        XTALK_REQUIRE(!used[p], "layout is not injective: physical qubit "
+                                    << p << " is used twice");
+        used[p] = true;
+    }
+}
+
+// -- VerifyConnectivityPass ------------------------------------------------
+
+std::string
+VerifyConnectivityPass::description() const
+{
+    return "every two-qubit gate acts on a coupled physical pair";
+}
+
+bool
+VerifyConnectivityPass::Applicable(const CompilationState& state) const
+{
+    return state.routed || state.schedule || state.executable;
+}
+
+void
+VerifyConnectivityPass::Run(CompilationState& state)
+{
+    const std::optional<Circuit> circuit = state.LatestHardwareCircuit();
+    XTALK_REQUIRE(circuit.has_value(),
+                  "verify-connectivity requires a routed, scheduled, or "
+                  "lowered circuit");
+    const Topology& topology = state.device().topology();
+    for (GateId g = 0; g < circuit->size(); ++g) {
+        const Gate& gate = circuit->gate(g);
+        for (QubitId q : gate.qubits) {
+            XTALK_REQUIRE(q >= 0 && q < topology.num_qubits(),
+                          "gate " << g << " (" << ToString(gate)
+                                  << ") touches qubit " << q
+                                  << ", outside the device register");
+        }
+        if (gate.IsTwoQubitUnitary()) {
+            XTALK_REQUIRE(
+                topology.AreConnected(gate.qubits[0], gate.qubits[1]),
+                "gate " << g << " (" << ToString(gate)
+                        << ") acts on uncoupled qubits — the circuit was "
+                        << "not routed for this device");
+        }
+    }
+}
+
+// -- VerifyOrderPass -------------------------------------------------------
+
+std::string
+VerifyOrderPass::description() const
+{
+    return "schedule preserves per-qubit order, gate multiset, and "
+           "dependency-feasible start times";
+}
+
+bool
+VerifyOrderPass::Applicable(const CompilationState& state) const
+{
+    return state.schedule.has_value();
+}
+
+void
+VerifyOrderPass::Run(CompilationState& state)
+{
+    const Circuit& source = state.ScheduleSource();
+    const ScheduledCircuit& schedule = *state.schedule;
+    XTALK_REQUIRE(schedule.num_qubits() == source.num_qubits(),
+                  "schedule register width " << schedule.num_qubits()
+                      << " differs from its source circuit's "
+                      << source.num_qubits());
+
+    const auto from_gate = [](const Gate& g) -> const Gate& { return g; };
+    const auto from_timed = [](const TimedGate& t) -> const Gate& {
+        return t.gate;
+    };
+    RequireSameMultiset(NonBarrierMultiset(source.gates(), from_gate),
+                        NonBarrierMultiset(schedule.gates(), from_timed),
+                        "source circuit", "schedule");
+    RequireSamePerQubitOrder(
+        PerQubitSequences(source.num_qubits(), source.gates(), from_gate),
+        PerQubitSequences(schedule.num_qubits(), schedule.gates(),
+                          from_timed),
+        "schedule");
+
+    // Per-qubit timing feasibility: successive gates on a qubit must not
+    // overlap (schedule.gates() is start-time sorted, ties in program
+    // order, so stored order per qubit is execution order).
+    std::vector<double> busy_until(schedule.num_qubits(), 0.0);
+    std::vector<int> last_index(schedule.num_qubits(), -1);
+    const auto& timed = schedule.gates();
+    for (size_t i = 0; i < timed.size(); ++i) {
+        if (timed[i].gate.IsBarrier()) {
+            continue;
+        }
+        for (QubitId q : timed[i].gate.qubits) {
+            XTALK_REQUIRE(
+                timed[i].start_ns + kTimeTolNs >= busy_until[q],
+                "dependency order violated on qubit "
+                    << q << ": gate " << i << " ("
+                    << ToString(timed[i].gate) << ") starts at "
+                    << timed[i].start_ns << " ns while gate "
+                    << last_index[q] << " is busy until " << busy_until[q]
+                    << " ns");
+            busy_until[q] = timed[i].end_ns();
+            last_index[q] = static_cast<int>(i);
+        }
+    }
+}
+
+// -- VerifyReadoutPass -----------------------------------------------------
+
+std::string
+VerifyReadoutPass::description() const
+{
+    return "all readouts start simultaneously when the device requires it";
+}
+
+bool
+VerifyReadoutPass::Applicable(const CompilationState& state) const
+{
+    return state.schedule.has_value() &&
+           state.device().traits().simultaneous_readout;
+}
+
+void
+VerifyReadoutPass::Run(CompilationState& state)
+{
+    double first_start = -1.0;
+    int first_index = -1;
+    const auto& timed = state.schedule->gates();
+    for (size_t i = 0; i < timed.size(); ++i) {
+        if (!timed[i].gate.IsMeasure()) {
+            continue;
+        }
+        if (first_index < 0) {
+            first_start = timed[i].start_ns;
+            first_index = static_cast<int>(i);
+            continue;
+        }
+        XTALK_REQUIRE(std::abs(timed[i].start_ns - first_start) <=
+                          kTimeTolNs,
+                      "simultaneous-readout constraint violated: measure "
+                          << "gate " << i << " starts at "
+                          << timed[i].start_ns << " ns but measure gate "
+                          << first_index << " starts at " << first_start
+                          << " ns");
+    }
+}
+
+// -- VerifyExecutablePass --------------------------------------------------
+
+std::string
+VerifyExecutablePass::description() const
+{
+    return "executable preserves the schedule's gates and per-qubit order";
+}
+
+bool
+VerifyExecutablePass::Applicable(const CompilationState& state) const
+{
+    return state.executable.has_value() && state.schedule.has_value();
+}
+
+void
+VerifyExecutablePass::Run(CompilationState& state)
+{
+    const ScheduledCircuit& schedule = *state.schedule;
+    const Circuit& executable = *state.executable;
+    const auto from_gate = [](const Gate& g) -> const Gate& { return g; };
+    const auto from_timed = [](const TimedGate& t) -> const Gate& {
+        return t.gate;
+    };
+    RequireSameMultiset(NonBarrierMultiset(schedule.gates(), from_timed),
+                        NonBarrierMultiset(executable.gates(), from_gate),
+                        "schedule", "executable");
+    RequireSamePerQubitOrder(
+        PerQubitSequences(schedule.num_qubits(), schedule.gates(),
+                          from_timed),
+        PerQubitSequences(executable.num_qubits(), executable.gates(),
+                          from_gate),
+        "executable");
+}
+
+std::vector<std::unique_ptr<Pass>>
+MakeVerificationPasses()
+{
+    std::vector<std::unique_ptr<Pass>> passes;
+    passes.push_back(std::make_unique<VerifyLayoutPass>());
+    passes.push_back(std::make_unique<VerifyConnectivityPass>());
+    passes.push_back(std::make_unique<VerifyOrderPass>());
+    passes.push_back(std::make_unique<VerifyReadoutPass>());
+    passes.push_back(std::make_unique<VerifyExecutablePass>());
+    return passes;
+}
+
+}  // namespace xtalk

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Inter-pass verification: invariant checks that run between transform
+ * passes (PassManagerOptions::verify / `xtalkc --verify-passes` /
+ * XTALK_VERIFY_PASSES=1) or standalone via `--passes`.
+ *
+ * Registered names:
+ *   verify-layout        layout is injective and within the device
+ *   verify-connectivity  every 2q gate acts on a coupled pair
+ *   verify-order         schedule preserves per-qubit program order,
+ *                        the non-barrier gate multiset, and per-qubit
+ *                        timing feasibility w.r.t. its source circuit
+ *   verify-readout       simultaneous-readout trait holds
+ *   verify-executable    executable preserves the schedule's gates and
+ *                        per-qubit order
+ *
+ * Each check is applicable only once the state carries the products it
+ * inspects (Pass::Applicable); the pass manager's auto-verify sweep
+ * skips inapplicable ones.
+ */
+#ifndef XTALK_COMPILER_VERIFICATION_H
+#define XTALK_COMPILER_VERIFICATION_H
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "compiler/pass.h"
+
+namespace xtalk {
+
+/** Common base: marks the pass as verification-only. */
+class VerificationPass : public Pass {
+  public:
+    bool is_verification() const override { return true; }
+};
+
+/** initial_layout covers the logical register injectively. */
+class VerifyLayoutPass : public VerificationPass {
+  public:
+    std::string name() const override { return "verify-layout"; }
+    std::string description() const override;
+    bool Applicable(const CompilationState& state) const override;
+    void Run(CompilationState& state) override;
+};
+
+/** Every two-qubit unitary of the latest hardware circuit acts on a
+ *  coupled physical pair (connectivity legality after routing). */
+class VerifyConnectivityPass : public VerificationPass {
+  public:
+    std::string name() const override { return "verify-connectivity"; }
+    std::string description() const override;
+    bool Applicable(const CompilationState& state) const override;
+    void Run(CompilationState& state) override;
+};
+
+/** The schedule preserves its source circuit's per-qubit program order
+ *  and non-barrier gate multiset, and start times respect per-qubit
+ *  dependencies. */
+class VerifyOrderPass : public VerificationPass {
+  public:
+    std::string name() const override { return "verify-order"; }
+    std::string description() const override;
+    bool Applicable(const CompilationState& state) const override;
+    void Run(CompilationState& state) override;
+};
+
+/** All measurements start simultaneously when the device requires it. */
+class VerifyReadoutPass : public VerificationPass {
+  public:
+    std::string name() const override { return "verify-readout"; }
+    std::string description() const override;
+    bool Applicable(const CompilationState& state) const override;
+    void Run(CompilationState& state) override;
+};
+
+/** The executable carries exactly the schedule's non-barrier gates in
+ *  the same per-qubit order (barriers may be added, nothing else). */
+class VerifyExecutablePass : public VerificationPass {
+  public:
+    std::string name() const override { return "verify-executable"; }
+    std::string description() const override;
+    bool Applicable(const CompilationState& state) const override;
+    void Run(CompilationState& state) override;
+};
+
+/** Fresh instances of every verification pass, in sweep order. */
+std::vector<std::unique_ptr<Pass>> MakeVerificationPasses();
+
+}  // namespace xtalk
+
+#endif  // XTALK_COMPILER_VERIFICATION_H

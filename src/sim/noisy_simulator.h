@@ -82,13 +82,6 @@ class NoisySimulator {
      *  outcomes (serially; see runtime::Executor for the parallel path). */
     Counts Run(const ScheduledCircuit& schedule, const RunSpec& spec);
 
-    /** @deprecated Use Run(schedule, RunSpec{shots}). */
-    [[deprecated("use Run(schedule, RunSpec) instead")]] inline Counts
-    Run(const ScheduledCircuit& schedule, int shots)
-    {
-        return Run(schedule, RunSpec(shots));
-    }
-
     /**
      * Noise-free outcome distribution of the schedule's measured bits
      * (single state-vector pass; independent of gate timing).

@@ -108,13 +108,6 @@ class StabilizerSimulator {
      */
     Counts Run(const ScheduledCircuit& schedule, const RunSpec& spec);
 
-    /** @deprecated Use Run(schedule, RunSpec{shots}). */
-    [[deprecated("use Run(schedule, RunSpec) instead")]] inline Counts
-    Run(const ScheduledCircuit& schedule, int shots)
-    {
-        return Run(schedule, RunSpec{shots, std::nullopt, 1});
-    }
-
   private:
     const Device* device_;
     NoisySimOptions options_;

@@ -149,10 +149,37 @@ TEST(Compiler, AutoOmegaPicksFromCandidates)
     const CompileResult result =
         Compile(device, characterization, mapped, options);
     EXPECT_EQ(result.scheduler_name, "XtalkSched(auto)");
-    EXPECT_TRUE(result.omega == 0.0 || result.omega == 0.3 ||
-                result.omega == 0.7);
+    ASSERT_TRUE(result.omega.has_value());
+    EXPECT_TRUE(*result.omega == 0.0 || *result.omega == 0.3 ||
+                *result.omega == 0.7);
     // A conflicted circuit should not pick pure parallelism.
-    EXPECT_GT(result.omega, 0.0);
+    EXPECT_GT(*result.omega, 0.0);
+}
+
+TEST(Compiler, OmegaReportedOnlyByOmegaSchedulers)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    CompilerOptions options;
+    options.scheduler = SchedulerPolicy::kSerial;
+    EXPECT_FALSE(Compile(device, characterization, LogicalWorkload(),
+                         options)
+                     .omega.has_value());
+    options.scheduler = SchedulerPolicy::kParallel;
+    EXPECT_FALSE(Compile(device, characterization, LogicalWorkload(),
+                         options)
+                     .omega.has_value());
+    options.scheduler = SchedulerPolicy::kXtalk;
+    options.xtalk.omega = 0.25;
+    const CompileResult xtalk =
+        Compile(device, characterization, LogicalWorkload(), options);
+    ASSERT_TRUE(xtalk.omega.has_value());
+    EXPECT_EQ(*xtalk.omega, 0.25);
+    options.scheduler = SchedulerPolicy::kGreedy;
+    const CompileResult greedy =
+        Compile(device, characterization, LogicalWorkload(), options);
+    ASSERT_TRUE(greedy.omega.has_value());
+    EXPECT_EQ(*greedy.omega, 0.25);
 }
 
 TEST(Compiler, TrivialLayoutRejectsTooWideCircuit)

@@ -9,16 +9,21 @@
  *  - simulator physicality (normalization, monotone degradation with
  *    added noise);
  *  - RB inverse property for random sequence lengths;
- *  - bin-packing feasibility across devices and separations.
+ *  - bin-packing feasibility across devices and separations;
+ *  - pass-pipeline preservation: the fully verified compile pipeline
+ *    keeps per-qubit program order and the non-SWAP gate multiset on
+ *    every paper device, deterministically.
  */
 #include <gtest/gtest.h>
 
 #include <set>
+#include <sstream>
 
 #include "characterization/binpack.h"
 #include "clifford/group.h"
 #include "clifford/tableau.h"
 #include "common/rng.h"
+#include "compiler/compiler.h"
 #include "device/ibmq_devices.h"
 #include "scheduler/analysis.h"
 #include "scheduler/greedy_scheduler.h"
@@ -443,6 +448,91 @@ TEST_P(BarrierRoundTripSweep, BarrieredCircuitPreservesSerializationUnderParSche
 
 INSTANTIATE_TEST_SUITE_P(Seeds, BarrierRoundTripSweep,
                          ::testing::Range(0, 6));
+
+/** Order-insensitive identity of a gate (kind, operands, params, cbit). */
+std::string
+GateSig(const Gate& gate)
+{
+    std::ostringstream sig;
+    sig << static_cast<int>(gate.kind);
+    for (QubitId q : gate.qubits) {
+        sig << " q" << q;
+    }
+    for (double p : gate.params) {
+        sig << " p" << p;
+    }
+    sig << " c" << gate.cbit;
+    return sig.str();
+}
+
+class PipelineSweep
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(PipelineSweep, VerifiedPipelinePreservesProgramOnEveryDevice)
+{
+    // Property (pass-manager refactor): for random device-compliant
+    // circuits on all three paper devices, the full pipeline — with
+    // every inter-pass verification enabled — terminates successfully,
+    // and its executable preserves the per-qubit program order and the
+    // non-SWAP gate multiset of the input (trivial layout on a
+    // compliant circuit routes zero SWAPs, so the check is exact).
+    const auto [device_index, seed] = GetParam();
+    const Device device = MakePaperDevices()[device_index];
+    const auto characterization = OracleCharacterization(device);
+    Rng rng(9000 + 131 * device_index + seed);
+    const Circuit circuit = RandomDeviceCircuit(device, 20, rng);
+
+    CompilerOptions options;
+    options.layout = LayoutPolicy::kTrivial;
+    // Cycle the policies so the sweep covers every scheduler.
+    constexpr SchedulerPolicy kPolicies[] = {
+        SchedulerPolicy::kSerial, SchedulerPolicy::kParallel,
+        SchedulerPolicy::kGreedy, SchedulerPolicy::kXtalk};
+    options.scheduler = kPolicies[seed % 4];
+    options.verify_passes = true;
+    const CompileResult result =
+        Compile(device, characterization, circuit, options);
+
+    std::multiset<std::string> expected;
+    std::vector<std::vector<std::string>> expected_order(
+        device.num_qubits());
+    for (const Gate& g : circuit.gates()) {
+        if (g.IsBarrier() || g.kind == GateKind::kSwap) {
+            continue;
+        }
+        expected.insert(GateSig(g));
+        for (QubitId q : g.qubits) {
+            expected_order[q].push_back(GateSig(g));
+        }
+    }
+    std::multiset<std::string> produced;
+    std::vector<std::vector<std::string>> produced_order(
+        device.num_qubits());
+    for (const Gate& g : result.executable.gates()) {
+        if (g.IsBarrier() || g.kind == GateKind::kSwap) {
+            continue;
+        }
+        produced.insert(GateSig(g));
+        for (QubitId q : g.qubits) {
+            produced_order[q].push_back(GateSig(g));
+        }
+    }
+    EXPECT_EQ(produced, expected);
+    for (int q = 0; q < device.num_qubits(); ++q) {
+        EXPECT_EQ(produced_order[q], expected_order[q]) << "qubit " << q;
+    }
+
+    // Fixed inputs are deterministic: a second compile is bit-identical.
+    const CompileResult again =
+        Compile(device, characterization, circuit, options);
+    EXPECT_EQ(ToQasm(again.executable), ToQasm(result.executable));
+    EXPECT_EQ(again.schedule.ToString(), result.schedule.ToString());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DevicesAndSeeds, PipelineSweep,
+    ::testing::Combine(::testing::Values(0, 1, 2),
+                       ::testing::Range(0, 4)));
 
 }  // namespace
 }  // namespace xtalk

@@ -13,6 +13,10 @@
 #include <sstream>
 #include <string>
 
+#ifdef __unix__
+#include <sys/wait.h>
+#endif
+
 #include "circuit/qasm.h"
 #include "circuit/qasm_parser.h"
 #include "common/error.h"
@@ -261,13 +265,18 @@ TEST(XtalkcCli, StatsAndTraceJsonOutputsAreValid)
     EXPECT_NE(stats.find("\"xtalk.stats.v1\""), std::string::npos);
     EXPECT_NE(stats.find("\"compile.invocations\":1"), std::string::npos);
     EXPECT_NE(stats.find("\"sim.shots\":8"), std::string::npos);
-    EXPECT_NE(stats.find("span.compile.layout.ms"), std::string::npos);
-    EXPECT_NE(stats.find("span.compile.schedule.ms"), std::string::npos);
+    EXPECT_NE(stats.find("compiler.pass.layout.duration_us"),
+              std::string::npos);
+    EXPECT_NE(stats.find("compiler.pass.schedule.duration_us"),
+              std::string::npos);
+    EXPECT_NE(stats.find("compiler.pass.lower-barriers.duration_us"),
+              std::string::npos);
 
     const std::string trace = SlurpFile(trace_path);
     EXPECT_TRUE(telemetry::ValidateJson(trace, &error)) << error;
     EXPECT_NE(trace.find("\"traceEvents\""), std::string::npos);
     EXPECT_NE(trace.find("compile.total"), std::string::npos);
+    EXPECT_NE(trace.find("compiler.pass.schedule"), std::string::npos);
 
     std::remove(qasm_path.c_str());
     std::remove(stats_path.c_str());
@@ -281,6 +290,101 @@ TEST(XtalkcCli, RejectsUnknownLogLevel)
                                 " > /dev/null 2>&1";
     const int status = std::system(command.c_str());
     EXPECT_NE(status, 0);
+}
+
+/** Exit code of a std::system status, or -1 on abnormal termination. */
+int
+ExitCode(int status)
+{
+#ifdef WIFEXITED
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+#else
+    return status;
+#endif
+}
+
+TEST(XtalkcCli, ListPassesNamesEveryRegisteredPass)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string out_path = dir + "/xtalkc_list_passes.txt";
+    const std::string command = std::string(XTALK_XTALKC_BIN) +
+                                " --list-passes > " + out_path +
+                                " 2>/dev/null";
+    ASSERT_EQ(ExitCode(std::system(command.c_str())), 0) << command;
+    const std::string out = SlurpFile(out_path);
+    for (const char* name :
+         {"layout", "layout:trivial", "layout:noise-aware", "route",
+          "schedule", "schedule:serial", "schedule:parallel",
+          "schedule:greedy", "schedule:xtalk", "schedule:auto",
+          "lower-barriers", "estimate", "verify-layout",
+          "verify-connectivity", "verify-order", "verify-readout",
+          "verify-executable"}) {
+        EXPECT_NE(out.find(name), std::string::npos) << name;
+    }
+    std::remove(out_path.c_str());
+}
+
+std::string
+WriteNonAdjacentQasm(const std::string& path)
+{
+    std::ofstream qasm(path);
+    qasm << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+         << "qreg q[4];\ncreg c[2];\n"
+         << "h q[0];\ncx q[0], q[3];\n"
+         << "measure q[0] -> c[0];\nmeasure q[3] -> c[1];\n";
+    return path;
+}
+
+TEST(XtalkcCli, CustomPipelineWithVerificationSucceeds)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string qasm_path =
+        WriteNonAdjacentQasm(dir + "/xtalkc_pipeline_in.qasm");
+    const std::string command =
+        std::string(XTALK_XTALKC_BIN) +
+        " --scheduler serial --layout trivial"
+        " --passes layout,route,schedule,lower-barriers --verify-passes"
+        " --log-level quiet " + qasm_path + " > /dev/null 2>&1";
+    EXPECT_EQ(ExitCode(std::system(command.c_str())), 0) << command;
+    std::remove(qasm_path.c_str());
+}
+
+TEST(XtalkcCli, BrokenOrderingFailsNamingTheOffendingPass)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string qasm_path =
+        WriteNonAdjacentQasm(dir + "/xtalkc_broken_in.qasm");
+    const std::string err_path = dir + "/xtalkc_broken_err.txt";
+    // Scheduling before routing: the non-adjacent CX must be rejected
+    // with a diagnostic naming the schedule pass, exit code 2.
+    const std::string command = std::string(XTALK_XTALKC_BIN) +
+                                " --scheduler serial --layout trivial"
+                                " --passes layout,schedule"
+                                " --log-level quiet " + qasm_path +
+                                " > /dev/null 2> " + err_path;
+    EXPECT_EQ(ExitCode(std::system(command.c_str())), 2) << command;
+    const std::string err = SlurpFile(err_path);
+    EXPECT_NE(err.find("pass 'schedule'"), std::string::npos) << err;
+    EXPECT_NE(err.find("uncoupled"), std::string::npos) << err;
+    std::remove(qasm_path.c_str());
+    std::remove(err_path.c_str());
+}
+
+TEST(XtalkcCli, UnknownPassNameExitsWithUsageError)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string qasm_path =
+        WriteNonAdjacentQasm(dir + "/xtalkc_unknown_pass.qasm");
+    const std::string err_path = dir + "/xtalkc_unknown_pass_err.txt";
+    const std::string command = std::string(XTALK_XTALKC_BIN) +
+                                " --passes layout,bogus"
+                                " --log-level quiet " + qasm_path +
+                                " > /dev/null 2> " + err_path;
+    EXPECT_EQ(ExitCode(std::system(command.c_str())), 2) << command;
+    const std::string err = SlurpFile(err_path);
+    EXPECT_NE(err.find("unknown pass 'bogus'"), std::string::npos) << err;
+    std::remove(qasm_path.c_str());
+    std::remove(err_path.c_str());
 }
 
 #endif  // XTALK_XTALKC_BIN

@@ -2,14 +2,20 @@
  * @file
  * xtalkc — command-line crosstalk-adaptive compiler.
  *
- * Reads an OpenQASM 2.0 circuit, schedules it for a simulated device
- * with one of the four schedulers, and emits the scheduled circuit
+ * Reads an OpenQASM 2.0 circuit, runs it through the pass-manager
+ * pipeline (default: layout -> route -> schedule -> lower-barriers ->
+ * estimate) for a simulated device, and emits the scheduled circuit
  * (with ordering barriers for XtalkSched) plus an optional schedule
  * report and noisy-simulation run.
  *
  *   xtalkc --device poughkeepsie --scheduler xtalk --omega 0.5 \
  *          --characterization xtalk.txt --report --simulate 1024 \
  *          --output out.qasm in.qasm
+ *
+ * Pass-level control (see docs/ARCHITECTURE.md): --list-passes prints
+ * the registry, --passes a,b,c runs a custom pipeline, and
+ * --verify-passes (or XTALK_VERIFY_PASSES=1) runs the inter-pass
+ * invariant checks after every transform.
  *
  * With no --characterization file the device is characterized on the
  * fly (bin-packed SRB at the fast budget); --save-characterization
@@ -19,6 +25,10 @@
  * telemetry metric registry, --trace-json dumps a Chrome trace_event
  * file viewable in chrome://tracing or Perfetto, --log-level controls
  * stderr verbosity.
+ *
+ * Exit codes: 0 success, 1 I/O or telemetry-write failure, 2 invalid
+ * usage or input (xtalk::Error), 3 internal invariant violation
+ * (xtalk::InternalError — a bug; please report it).
  */
 #include <cstdlib>
 #include <fstream>
@@ -27,10 +37,14 @@
 #include <optional>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "characterization/io.h"
+#include "common/error.h"
 #include "common/logging.h"
 #include "compiler/compiler.h"
+#include "compiler/pass.h"
+#include "compiler/pass_manager.h"
 #include "circuit/qasm.h"
 #include "circuit/qasm_parser.h"
 #include "device/calibration_report.h"
@@ -62,10 +76,13 @@ struct Options {
     std::string stats_json_path;
     std::string trace_json_path;
     std::string log_level;
+    std::string passes;
     double omega = 0.5;
     int simulate_shots = 0;
     int threads = 0;
     bool report = false;
+    bool list_passes = false;
+    bool verify_passes = false;
     bool help = false;
 };
 
@@ -79,6 +96,11 @@ PrintUsage()
         "  --device-file <file>       load a custom device spec instead\n"
         "  --scheduler <name>         xtalk | parallel | serial | greedy\n"
         "  --omega <w>                crosstalk weight factor (default 0.5)\n"
+        "  --passes <a,b,c>           run a custom pass pipeline instead\n"
+        "                             of the default (see --list-passes)\n"
+        "  --list-passes              print the pass registry and exit\n"
+        "  --verify-passes            run inter-pass verification after\n"
+        "                             every transform pass\n"
         "  --characterization <file>  load measured crosstalk data\n"
         "  --save-characterization <file>  persist (possibly fresh) data\n"
         "  --output <file>            write the scheduled circuit as QASM\n"
@@ -116,6 +138,12 @@ ParseArgs(int argc, char** argv, Options* options)
             options->layout = next("--layout");
         } else if (arg == "--omega") {
             options->omega = std::stod(next("--omega"));
+        } else if (arg == "--passes") {
+            options->passes = next("--passes");
+        } else if (arg == "--list-passes") {
+            options->list_passes = true;
+        } else if (arg == "--verify-passes") {
+            options->verify_passes = true;
         } else if (arg == "--characterization") {
             options->characterization_path = next("--characterization");
         } else if (arg == "--save-characterization") {
@@ -188,8 +216,223 @@ MakeDevice(const std::string& name)
     if (name == "boeblingen") {
         return MakeBoeblingen();
     }
-    std::cerr << "error: unknown device '" << name << "'\n";
-    std::exit(2);
+    XTALK_REQUIRE(false, "unknown device '" << name << "'");
+}
+
+std::vector<std::string>
+SplitCommaList(const std::string& list)
+{
+    std::vector<std::string> parts;
+    std::stringstream stream(list);
+    std::string part;
+    while (std::getline(stream, part, ',')) {
+        if (!part.empty()) {
+            parts.push_back(part);
+        }
+    }
+    return parts;
+}
+
+/** True when some requested pass consumes measured crosstalk data. */
+bool
+NeedsCharacterization(const Options& options)
+{
+    const bool charz_scheduler = options.scheduler == "xtalk" ||
+                                 options.scheduler == "auto" ||
+                                 options.scheduler == "greedy";
+    const bool charz_layout = options.layout == "noise-aware";
+    if (options.passes.empty()) {
+        return charz_scheduler || charz_layout;
+    }
+    for (const std::string& name : SplitCommaList(options.passes)) {
+        if (name == "layout" && charz_layout) {
+            return true;
+        }
+        if (name == "schedule" && charz_scheduler) {
+            return true;
+        }
+        if (name == "layout:noise-aware" || name == "schedule:xtalk" ||
+            name == "schedule:auto" || name == "schedule:greedy") {
+            return true;
+        }
+    }
+    return false;
+}
+
+CompilerOptions
+MakeCompilerOptions(const Options& options)
+{
+    CompilerOptions compile_options;
+    if (options.layout == "trivial") {
+        compile_options.layout = LayoutPolicy::kTrivial;
+    } else if (options.layout == "noise-aware") {
+        compile_options.layout = LayoutPolicy::kNoiseAware;
+    } else {
+        XTALK_REQUIRE(false, "unknown layout '" << options.layout << "'");
+    }
+    if (options.scheduler == "xtalk") {
+        compile_options.scheduler = SchedulerPolicy::kXtalk;
+    } else if (options.scheduler == "auto") {
+        compile_options.scheduler = SchedulerPolicy::kXtalkAutoOmega;
+    } else if (options.scheduler == "parallel") {
+        compile_options.scheduler = SchedulerPolicy::kParallel;
+    } else if (options.scheduler == "serial") {
+        compile_options.scheduler = SchedulerPolicy::kSerial;
+    } else if (options.scheduler == "greedy") {
+        compile_options.scheduler = SchedulerPolicy::kGreedy;
+    } else {
+        XTALK_REQUIRE(false,
+                      "unknown scheduler '" << options.scheduler << "'");
+    }
+    compile_options.xtalk.omega = options.omega;
+    compile_options.verify_passes = options.verify_passes;
+    return compile_options;
+}
+
+int
+RunTool(const Options& options)
+{
+    std::ifstream input(options.input_path);
+    XTALK_REQUIRE(input.good(), "cannot read " << options.input_path);
+    std::ostringstream buffer;
+    buffer << input.rdbuf();
+    std::optional<Circuit> parsed;
+    {
+        telemetry::ScopedSpan span("tool.parse_qasm");
+        parsed = ParseQasm(buffer.str());
+    }
+    const Circuit& circuit = *parsed;
+
+    const Device device = options.device_file.empty()
+                              ? MakeDevice(options.device)
+                              : LoadDeviceSpec(options.device_file);
+    Inform("device: " + device.name() + " (" +
+           std::to_string(device.num_qubits()) + " qubits)");
+    telemetry::SetLabel("tool.device", device.name());
+
+    // Build the pipeline before characterizing so a typo in --passes
+    // fails fast: the default Figure 2 toolflow, or the comma-separated
+    // pass names from --passes.
+    PassManagerOptions manager_options;
+    manager_options.verify =
+        options.verify_passes || VerifyPassesRequestedByEnv();
+    PassManager pipeline(manager_options);
+    if (options.passes.empty()) {
+        pipeline = MakeDefaultPipeline(manager_options);
+    } else {
+        for (const std::string& name : SplitCommaList(options.passes)) {
+            pipeline.AddPass(name);
+        }
+        XTALK_REQUIRE(pipeline.size() > 0, "--passes names no passes");
+    }
+
+    CrosstalkCharacterization characterization;
+    if (!options.characterization_path.empty()) {
+        std::string measured_on;
+        characterization = LoadCharacterization(
+            options.characterization_path, &measured_on);
+        XTALK_REQUIRE(measured_on.empty() || measured_on == device.name(),
+                      options.characterization_path << " was measured on '"
+                          << measured_on << "', not '" << device.name()
+                          << "' (edge ids are device-specific)");
+        Inform("loaded characterization from " +
+               options.characterization_path);
+    } else if (NeedsCharacterization(options)) {
+        Inform("characterizing device (bin-packed SRB)...");
+        telemetry::ScopedSpan span("tool.characterize");
+        characterization = CharacterizeDevice(
+            device, BenchRbConfig(),
+            CharacterizationPolicy::kOneHopBinPacked);
+    }
+    if (!options.save_characterization_path.empty()) {
+        SaveCharacterization(options.save_characterization_path,
+                             characterization, device.name());
+        Inform("saved characterization to " +
+               options.save_characterization_path);
+    }
+
+    CompilationState state(device, characterization, circuit,
+                           MakeCompilerOptions(options));
+    {
+        telemetry::ScopedSpan span("compile.total");
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("compile.invocations").Add(1);
+            telemetry::GetCounter("compile.input_gates")
+                .Add(static_cast<uint64_t>(circuit.size()));
+        }
+        pipeline.Run(state);
+    }
+    for (const std::string& note : state.diagnostics) {
+        Inform(note);
+    }
+
+    if (state.schedule) {
+        std::ostringstream oss;
+        oss << state.scheduler_name;
+        if (state.omega) {
+            oss << " (omega " << *state.omega << ")";
+        }
+        oss << ": duration " << state.schedule->TotalDuration() << " ns";
+        if (state.estimate) {
+            oss << ", modeled success "
+                << state.estimate->success_probability
+                << ", high-crosstalk overlaps "
+                << state.estimate->crosstalk_overlaps;
+        }
+        Inform(oss.str());
+        telemetry::SetLabel("tool.scheduler", state.scheduler_name);
+    }
+    if (!state.initial_layout.empty()) {
+        std::ostringstream layout;
+        layout << "layout:";
+        for (size_t l = 0; l < state.initial_layout.size(); ++l) {
+            layout << " " << l << "->" << state.initial_layout[l];
+        }
+        Inform(layout.str());
+    }
+
+    if (options.report) {
+        XTALK_REQUIRE(state.schedule.has_value(),
+                      "--report needs a schedule; the pipeline ran no "
+                      "schedule pass");
+        std::cout << state.schedule->ToString();
+    }
+    if (options.simulate_shots > 0) {
+        XTALK_REQUIRE(state.schedule.has_value(),
+                      "--simulate needs a schedule; the pipeline ran no "
+                      "schedule pass");
+        telemetry::ScopedSpan span("tool.simulate");
+        runtime::Executor executor(device);
+        runtime::ExecutionJob job;
+        job.schedule = *state.schedule;
+        // Fixed chunk bound, NOT the thread count: the chunk plan
+        // picks the random streams, so tying it to --threads would
+        // make the histogram depend on the worker count.
+        job.spec = RunSpec{options.simulate_shots, std::nullopt, 16};
+        const runtime::ExecutionResult result =
+            executor.Run(std::move(job));
+        std::cout << result.counts.ToString();
+    }
+
+    // The emitted circuit: the barriered executable, or the schedule's
+    // gate order when the pipeline stopped before barrier lowering.
+    std::optional<Circuit> emitted = state.executable;
+    if (!emitted && state.schedule) {
+        emitted = state.schedule->ToCircuit();
+    }
+    if (!options.output_path.empty()) {
+        XTALK_REQUIRE(emitted.has_value(),
+                      "--output needs a compiled circuit; the pipeline "
+                      "ran no schedule pass");
+        std::ofstream out(options.output_path);
+        XTALK_REQUIRE(out.good(),
+                      "cannot write " << options.output_path);
+        out << ToQasm(*emitted);
+        Inform("wrote " + options.output_path);
+    } else if (!options.report && options.simulate_shots == 0 && emitted) {
+        std::cout << ToQasm(*emitted);
+    }
+    return WriteTelemetryOutputs(options) ? 0 : 1;
 }
 
 }  // namespace
@@ -201,6 +444,19 @@ main(int argc, char** argv)
     if (!ParseArgs(argc, argv, &options)) {
         PrintUsage();
         return 2;
+    }
+    if (options.list_passes) {
+        for (const PassInfo& info : RegisteredPasses()) {
+            std::ostringstream line;
+            line << info.name;
+            for (size_t pad = info.name.size(); pad < 22; ++pad) {
+                line << ' ';
+            }
+            line << (info.verification ? " [verify] " : "           ")
+                 << info.description;
+            std::cout << line.str() << "\n";
+        }
+        return 0;
     }
     if (options.help || options.input_path.empty()) {
         PrintUsage();
@@ -239,139 +495,19 @@ main(int argc, char** argv)
     }
 
     try {
-        std::ifstream input(options.input_path);
-        if (!input.good()) {
-            std::cerr << "error: cannot read " << options.input_path << "\n";
-            return 2;
-        }
-        std::ostringstream buffer;
-        buffer << input.rdbuf();
-        std::optional<Circuit> parsed;
-        {
-            telemetry::ScopedSpan span("tool.parse_qasm");
-            parsed = ParseQasm(buffer.str());
-        }
-        const Circuit& circuit = *parsed;
-
-        const Device device = options.device_file.empty()
-                                  ? MakeDevice(options.device)
-                                  : LoadDeviceSpec(options.device_file);
-        Inform("device: " + device.name() + " (" +
-               std::to_string(device.num_qubits()) + " qubits)");
-        telemetry::SetLabel("tool.device", device.name());
-
-        CrosstalkCharacterization characterization;
-        if (!options.characterization_path.empty()) {
-            std::string measured_on;
-            characterization = LoadCharacterization(
-                options.characterization_path, &measured_on);
-            if (!measured_on.empty() && measured_on != device.name()) {
-                std::cerr << "error: " << options.characterization_path
-                          << " was measured on '" << measured_on
-                          << "', not '" << device.name()
-                          << "' (edge ids are device-specific)\n";
-                return 2;
-            }
-            Inform("loaded characterization from " +
-                   options.characterization_path);
-        } else if (options.scheduler == "xtalk" ||
-                   options.scheduler == "auto" ||
-                   options.scheduler == "greedy" ||
-                   options.layout == "noise-aware") {
-            Inform("characterizing device (bin-packed SRB)...");
-            telemetry::ScopedSpan span("tool.characterize");
-            characterization = CharacterizeDevice(
-                device, BenchRbConfig(),
-                CharacterizationPolicy::kOneHopBinPacked);
-        }
-        if (!options.save_characterization_path.empty()) {
-            SaveCharacterization(options.save_characterization_path,
-                                 characterization, device.name());
-            Inform("saved characterization to " +
-                   options.save_characterization_path);
-        }
-
-        CompilerOptions compile_options;
-        if (options.layout == "trivial") {
-            compile_options.layout = LayoutPolicy::kTrivial;
-        } else if (options.layout == "noise-aware") {
-            compile_options.layout = LayoutPolicy::kNoiseAware;
-        } else {
-            std::cerr << "error: unknown layout '" << options.layout
-                      << "'\n";
-            return 2;
-        }
-        if (options.scheduler == "xtalk") {
-            compile_options.scheduler = SchedulerPolicy::kXtalk;
-        } else if (options.scheduler == "auto") {
-            compile_options.scheduler = SchedulerPolicy::kXtalkAutoOmega;
-        } else if (options.scheduler == "parallel") {
-            compile_options.scheduler = SchedulerPolicy::kParallel;
-        } else if (options.scheduler == "serial") {
-            compile_options.scheduler = SchedulerPolicy::kSerial;
-        } else if (options.scheduler == "greedy") {
-            compile_options.scheduler = SchedulerPolicy::kGreedy;
-        } else {
-            std::cerr << "error: unknown scheduler '" << options.scheduler
-                      << "'\n";
-            return 2;
-        }
-        compile_options.xtalk.omega = options.omega;
-
-        const CompileResult compiled =
-            Compile(device, characterization, circuit, compile_options);
-        const ScheduledCircuit& schedule = compiled.schedule;
-        const Circuit& output = compiled.executable;
-        {
-            std::ostringstream oss;
-            oss << compiled.scheduler_name << " (omega " << compiled.omega
-                << "): duration " << schedule.TotalDuration()
-                << " ns, modeled success "
-                << compiled.estimate.success_probability
-                << ", high-crosstalk overlaps "
-                << compiled.estimate.crosstalk_overlaps;
-            Inform(oss.str());
-            std::ostringstream layout;
-            layout << "layout:";
-            for (size_t l = 0; l < compiled.initial_layout.size(); ++l) {
-                layout << " " << l << "->" << compiled.initial_layout[l];
-            }
-            Inform(layout.str());
-        }
-        telemetry::SetLabel("tool.scheduler", compiled.scheduler_name);
-
-        if (options.report) {
-            std::cout << schedule.ToString();
-        }
-        if (options.simulate_shots > 0) {
-            telemetry::ScopedSpan span("tool.simulate");
-            runtime::Executor executor(device);
-            runtime::ExecutionJob job;
-            job.schedule = schedule;
-            // Fixed chunk bound, NOT the thread count: the chunk plan
-            // picks the random streams, so tying it to --threads would
-            // make the histogram depend on the worker count.
-            job.spec = RunSpec{options.simulate_shots, std::nullopt, 16};
-            const runtime::ExecutionResult result =
-                executor.Run(std::move(job));
-            std::cout << result.counts.ToString();
-        }
-        if (!options.output_path.empty()) {
-            std::ofstream out(options.output_path);
-            if (!out.good()) {
-                std::cerr << "error: cannot write " << options.output_path
-                          << "\n";
-                return 2;
-            }
-            out << ToQasm(output);
-            Inform("wrote " + options.output_path);
-        } else if (!options.report && options.simulate_shots == 0) {
-            std::cout << ToQasm(output);
-        }
-        return WriteTelemetryOutputs(options) ? 0 : 1;
-    } catch (const std::exception& e) {
+        return RunTool(options);
+    } catch (const InternalError& e) {
+        std::cerr << "internal error: " << e.what() << "\n"
+                  << "this is a bug in xtalk; please report it\n";
+        WriteTelemetryOutputs(options);
+        return 3;
+    } catch (const Error& e) {
         std::cerr << "error: " << e.what() << "\n";
         // Best-effort dump: partial metrics still help debug the failure.
+        WriteTelemetryOutputs(options);
+        return 2;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
         WriteTelemetryOutputs(options);
         return 1;
     }
