@@ -1,9 +1,13 @@
 #include "characterization/characterizer.h"
 
 #include <algorithm>
+#include <chrono>
 #include <functional>
+#include <sstream>
+#include <thread>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -166,47 +170,155 @@ CrosstalkCharacterization::Merge(const CrosstalkCharacterization& other)
 
 CrosstalkCharacterizer::CrosstalkCharacterizer(
     const Device& device, RbConfig config, NoisySimOptions sim_options,
-    runtime::ExecutorOptions exec_options)
+    runtime::ExecutorOptions exec_options, CharacterizerOptions options)
     : device_(&device),
       config_(std::move(config)),
       sim_options_(sim_options),
-      exec_options_(exec_options)
+      exec_options_(exec_options),
+      options_(std::move(options))
 {
 }
 
 namespace {
 
+/** Fault-injection site tag carried by every characterization job. */
+constexpr const char* kSrbRunSite = "srb.run";
+
 /**
  * Prepare one SRB experiment per entry of @p groups on @p runner, run
  * every circuit job of every experiment as ONE Executor batch, and
- * hand each experiment's result slice to @p consume. Preparation stays
- * serial (it owns the runner's generator); only simulation fans out.
+ * hand each experiment's result slice to @p consume — in group order,
+ * so the happy path is bit-identical to a serial run. Preparation
+ * stays serial (it owns the runner's generator); only simulation fans
+ * out.
+ *
+ * Resilience: job errors are captured per job instead of aborting the
+ * batch. An experiment with any failed job is resubmitted with its
+ * *identical* jobs (same seeds — a successful retry reproduces the
+ * failure-free result exactly) up to @p retry.max_attempts total
+ * tries, with BackoffDelayMs() between rounds. Experiments still
+ * failing are skipped; their group indices land in @p quarantined.
  */
 void
 RunExperimentBatch(
     RbRunner& runner, const std::vector<std::vector<EdgeId>>& groups,
+    const RetryPolicy& retry, CharacterizationRunReport* report,
+    std::vector<size_t>* quarantined,
     const std::function<void(size_t, const std::vector<RbResult>&)>& consume)
 {
     std::vector<SrbExperiment> experiments;
     experiments.reserve(groups.size());
     runtime::ExecutionRequest request;
+    request.capture_job_errors = true;
     for (const std::vector<EdgeId>& edges : groups) {
         SrbExperiment experiment = runner.PrepareSimultaneous(edges);
         for (runtime::ExecutionJob& job : experiment.jobs) {
-            request.jobs.push_back(std::move(job));
+            job.fault_site = kSrbRunSite;
+            request.jobs.push_back(job);  // Copy: kept for retries.
         }
-        experiment.jobs.clear();
         experiments.push_back(std::move(experiment));
     }
-    const std::vector<runtime::ExecutionResult> results =
+    const size_t jobs_per_experiment =
+        groups.empty() ? 0 : request.jobs.size() / groups.size();
+    XTALK_ASSERT(groups.empty() ||
+                     request.jobs.size() % groups.size() == 0,
+                 "uneven result slices");
+
+    std::vector<runtime::ExecutionResult> results =
         runner.executor().Submit(std::move(request));
 
-    // Every experiment contributes the same number of jobs.
-    XTALK_ASSERT(groups.empty() || results.size() % groups.size() == 0,
-                 "uneven result slices");
-    const size_t jobs_per_experiment =
-        groups.empty() ? 0 : results.size() / groups.size();
+    auto failed_experiments = [&] {
+        std::vector<size_t> failed;
+        for (size_t i = 0; i < experiments.size(); ++i) {
+            for (size_t k = 0; k < jobs_per_experiment; ++k) {
+                if (!results[i * jobs_per_experiment + k].ok) {
+                    failed.push_back(i);
+                    break;
+                }
+            }
+        }
+        return failed;
+    };
+    auto count_failed_jobs = [&](const std::vector<size_t>& failed) {
+        int n = 0;
+        for (size_t i : failed) {
+            for (size_t k = 0; k < jobs_per_experiment; ++k) {
+                if (!results[i * jobs_per_experiment + k].ok) {
+                    ++n;
+                }
+            }
+        }
+        return n;
+    };
+
+    // Bounded retry: resubmit every failed experiment's identical jobs
+    // as one batch per round. Backoff jitter derives from the runner
+    // config via the first failed job's seed — deterministic, and it
+    // only shapes sleep times, never results.
+    std::vector<size_t> failed = failed_experiments();
+    std::set<size_t> ever_failed(failed.begin(), failed.end());
+    if (report) {
+        report->failed_jobs += count_failed_jobs(failed);
+    }
+    Rng backoff_rng(DeriveSeed(0xbacc0ff5eedull,
+                               failed.empty() ? 0 : failed.front()));
+    for (int attempt = 1;
+         !failed.empty() && attempt < retry.max_attempts; ++attempt) {
+        const double delay_ms = BackoffDelayMs(retry, attempt, backoff_rng);
+        if (delay_ms > 0.0) {
+            std::this_thread::sleep_for(
+                std::chrono::duration<double, std::milli>(delay_ms));
+        }
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("retry.attempts").Add(failed.size());
+        }
+        runtime::ExecutionRequest retry_request;
+        retry_request.capture_job_errors = true;
+        for (size_t i : failed) {
+            for (const runtime::ExecutionJob& job : experiments[i].jobs) {
+                runtime::ExecutionJob copy = job;
+                copy.fault_site = kSrbRunSite;
+                retry_request.jobs.push_back(std::move(copy));
+            }
+        }
+        const std::vector<runtime::ExecutionResult> retry_results =
+            runner.executor().Submit(std::move(retry_request));
+        for (size_t f = 0; f < failed.size(); ++f) {
+            const size_t i = failed[f];
+            for (size_t k = 0; k < jobs_per_experiment; ++k) {
+                results[i * jobs_per_experiment + k] =
+                    retry_results[f * jobs_per_experiment + k];
+            }
+        }
+        failed = failed_experiments();
+        if (report) {
+            ++report->retry_rounds;
+            report->failed_jobs += count_failed_jobs(failed);
+        }
+    }
+    const std::set<size_t> quarantine_set(failed.begin(), failed.end());
+    if (report) {
+        for (size_t i : ever_failed) {
+            if (quarantine_set.count(i) == 0) {
+                ++report->retried_experiments;
+            }
+        }
+    }
+    if (!failed.empty()) {
+        std::ostringstream msg;
+        msg << "characterization: quarantining " << failed.size()
+            << " experiment(s) after " << retry.max_attempts
+            << " attempt(s)";
+        Warn(msg.str());
+    }
+
     for (size_t i = 0; i < experiments.size(); ++i) {
+        if (quarantine_set.count(i) > 0) {
+            if (quarantined) {
+                quarantined->push_back(i);
+            }
+            continue;
+        }
         const auto begin = results.begin() + i * jobs_per_experiment;
         const std::vector<runtime::ExecutionResult> slice(
             begin, begin + jobs_per_experiment);
@@ -217,7 +329,8 @@ RunExperimentBatch(
 }  // namespace
 
 CrosstalkCharacterization
-CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges)
+CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges,
+                                           CharacterizationRunReport* report)
 {
     telemetry::ScopedSpan span("charz.independent_rb");
     if (telemetry::Enabled()) {
@@ -231,8 +344,9 @@ CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges)
     for (EdgeId edge : edges) {
         groups.push_back({edge});
     }
+    std::vector<size_t> quarantined;
     RunExperimentBatch(
-        runner, groups,
+        runner, groups, options_.retry, report, &quarantined,
         [&](size_t i, const std::vector<RbResult>& results) {
             const RbResult& result = results.front();
             if (result.ok) {
@@ -240,11 +354,23 @@ CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges)
                     edges[i], std::clamp(result.cnot_error, 0.0, 1.0));
             }
         });
+    if (!quarantined.empty()) {
+        if (report) {
+            for (size_t i : quarantined) {
+                report->quarantined_edges.push_back(edges[i]);
+            }
+        }
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("characterize.quarantined_edges")
+                .Add(quarantined.size());
+        }
+    }
     return out;
 }
 
 CrosstalkCharacterization
-CrosstalkCharacterizer::Run(const CharacterizationPlan& plan)
+CrosstalkCharacterizer::Run(const CharacterizationPlan& plan,
+                            CharacterizationRunReport* report)
 {
     telemetry::ScopedSpan span("charz.run");
     if (telemetry::Enabled()) {
@@ -265,7 +391,7 @@ CrosstalkCharacterizer::Run(const CharacterizationPlan& plan)
         }
     }
     CrosstalkCharacterization out = MeasureIndependent(
-        std::vector<EdgeId>(edge_set.begin(), edge_set.end()));
+        std::vector<EdgeId>(edge_set.begin(), edge_set.end()), report);
 
     // One SRB per batch: on hardware, all couplers of a batch run
     // simultaneously in one job (which is what the cost model charges).
@@ -282,8 +408,9 @@ CrosstalkCharacterizer::Run(const CharacterizationPlan& plan)
             groups.push_back({pair.first, pair.second});
         }
     }
+    std::vector<size_t> quarantined;
     RunExperimentBatch(
-        runner, groups,
+        runner, groups, options_.retry, report, &quarantined,
         [&](size_t i, const std::vector<RbResult>& results) {
             const GatePair pair{groups[i][0], groups[i][1]};
             for (const RbResult& r : results) {
@@ -296,6 +423,18 @@ CrosstalkCharacterizer::Run(const CharacterizationPlan& plan)
                                         std::clamp(r.cnot_error, 0.0, 1.0));
             }
         });
+    if (!quarantined.empty()) {
+        if (report) {
+            for (size_t i : quarantined) {
+                report->quarantined_pairs.push_back(
+                    {groups[i][0], groups[i][1]});
+            }
+        }
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("characterize.quarantined_pairs")
+                .Add(quarantined.size());
+        }
+    }
     return out;
 }
 

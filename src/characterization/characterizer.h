@@ -27,6 +27,7 @@
 
 #include "characterization/binpack.h"
 #include "characterization/rb.h"
+#include "common/retry.h"
 
 namespace xtalk {
 
@@ -132,6 +133,44 @@ class CrosstalkCharacterization {
     std::map<GatePair, double> conditional_;
 };
 
+/** Resilience knobs for CrosstalkCharacterizer. */
+struct CharacterizerOptions {
+    /**
+     * Bounded retry for failed (S)RB experiment jobs. A failed
+     * experiment is resubmitted with *identical* jobs (same seeds), so
+     * a retry that succeeds is bit-identical to a run that never
+     * failed. base_delay_ms defaults to 0 — the simulator backend has
+     * no transient congestion worth waiting out; raise it for real
+     * hardware queues.
+     */
+    RetryPolicy retry;
+};
+
+/**
+ * What a characterization run survived: experiments that needed
+ * retries and the pairs/couplers dropped after the retry budget was
+ * exhausted (the sweep continues without them instead of aborting —
+ * the scheduler simply sees no measurement for a quarantined pair).
+ */
+struct CharacterizationRunReport {
+    /** Couplers whose independent RB never succeeded. */
+    std::vector<EdgeId> quarantined_edges;
+    /** SRB gate pairs dropped after exhausting retries. */
+    std::vector<GatePair> quarantined_pairs;
+    /** Experiments that failed at least once but eventually succeeded. */
+    int retried_experiments = 0;
+    /** Extra batch rounds run beyond the first. */
+    int retry_rounds = 0;
+    /** Individual job failures observed across all attempts. */
+    int failed_jobs = 0;
+
+    bool clean() const
+    {
+        return quarantined_edges.empty() && quarantined_pairs.empty() &&
+               retried_experiments == 0;
+    }
+};
+
 /** Executes characterization plans on the simulated device. */
 class CrosstalkCharacterizer {
   public:
@@ -139,11 +178,13 @@ class CrosstalkCharacterizer {
      * @p exec_options sizes the parallel runtime the plan executes on
      * (default: the shared process pool). Results are bit-identical
      * for any thread count — every (S)RB circuit job carries its own
-     * deterministic seed.
+     * deterministic seed. @p options bounds the retry/quarantine
+     * behaviour under job failures (see CharacterizerOptions).
      */
     CrosstalkCharacterizer(const Device& device, RbConfig config,
                            NoisySimOptions sim_options = {},
-                           runtime::ExecutorOptions exec_options = {});
+                           runtime::ExecutorOptions exec_options = {},
+                           CharacterizerOptions options = {});
 
     /**
      * Run the plan: first independent RB on every coupler appearing in
@@ -152,18 +193,27 @@ class CrosstalkCharacterizer {
      * All SRB circuit jobs of the plan round are submitted to the
      * Executor as one batch, so wall time scales down with the worker
      * count.
+     *
+     * Failure semantics: a failed experiment (e.g. an injected
+     * `srb.run` fault) is retried per CharacterizerOptions::retry and
+     * quarantined — dropped from the result, recorded in @p report —
+     * when the budget runs out. The sweep itself always completes.
      */
-    CrosstalkCharacterization Run(const CharacterizationPlan& plan);
+    CrosstalkCharacterization Run(const CharacterizationPlan& plan,
+                                  CharacterizationRunReport* report =
+                                      nullptr);
 
     /** Independent RB on an explicit set of couplers (one batch). */
     CrosstalkCharacterization MeasureIndependent(
-        const std::vector<EdgeId>& edges);
+        const std::vector<EdgeId>& edges,
+        CharacterizationRunReport* report = nullptr);
 
   private:
     const Device* device_;
     RbConfig config_;
     NoisySimOptions sim_options_;
     runtime::ExecutorOptions exec_options_;
+    CharacterizerOptions options_;
 };
 
 }  // namespace xtalk

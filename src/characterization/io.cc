@@ -1,12 +1,35 @@
 #include "characterization/io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 
 #include "common/error.h"
+#include "faults/faults.h"
 
 namespace xtalk {
+
+namespace {
+
+/**
+ * Validate one parsed error rate: finite and within [0, 1]. Malformed
+ * files should fail with the offending field, pair, and line — not a
+ * generic "bad error rate" deep inside the data model.
+ */
+void
+CheckErrorRate(double value, const char* field, const std::string& subject,
+               int line_number, const std::string& line)
+{
+    XTALK_REQUIRE(std::isfinite(value),
+                  "non-finite " << field << " for " << subject << " on line "
+                                << line_number << ": " << line);
+    XTALK_REQUIRE(value >= 0.0 && value <= 1.0,
+                  field << " for " << subject << " out of [0, 1] on line "
+                        << line_number << ": " << line);
+}
+
+}  // namespace
 
 std::string
 SerializeCharacterization(const CrosstalkCharacterization& data,
@@ -60,6 +83,8 @@ ParseCharacterization(const std::string& text,
             XTALK_REQUIRE(!fields.fail() && edge >= 0,
                           "malformed independent entry on line "
                               << line_number << ": " << line);
+            CheckErrorRate(error, "independent error",
+                           "edge " + std::to_string(edge), line_number, line);
             out.SetIndependentError(edge, error);
         } else if (kind == "conditional") {
             int victim = -1, aggressor = -1;
@@ -68,6 +93,10 @@ ParseCharacterization(const std::string& text,
             XTALK_REQUIRE(!fields.fail() && victim >= 0 && aggressor >= 0,
                           "malformed conditional entry on line "
                               << line_number << ": " << line);
+            CheckErrorRate(error, "conditional error",
+                           "pair (" + std::to_string(victim) + ", " +
+                               std::to_string(aggressor) + ")",
+                           line_number, line);
             out.SetConditionalError(victim, aggressor, error);
         } else {
             XTALK_REQUIRE(false, "unknown record '" << kind << "' on line "
@@ -82,6 +111,7 @@ SaveCharacterization(const std::string& path,
                      const CrosstalkCharacterization& data,
                      const std::string& device_name)
 {
+    faults::MaybeInject("io.save");
     std::ofstream file(path);
     XTALK_REQUIRE(file.good(), "cannot open " << path << " for writing");
     file << SerializeCharacterization(data, device_name);
@@ -91,6 +121,7 @@ SaveCharacterization(const std::string& path,
 CrosstalkCharacterization
 LoadCharacterization(const std::string& path, std::string* device_name_out)
 {
+    faults::MaybeInject("io.load");
     std::ifstream file(path);
     XTALK_REQUIRE(file.good(), "cannot open " << path << " for reading");
     std::ostringstream buffer;

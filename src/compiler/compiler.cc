@@ -7,6 +7,20 @@
 
 namespace xtalk {
 
+const char*
+DegradationName(SchedulerDegradation degradation)
+{
+    switch (degradation) {
+      case SchedulerDegradation::kNone:
+        return "none";
+      case SchedulerDegradation::kGreedy:
+        return "greedy";
+      case SchedulerDegradation::kParallel:
+        return "parallel";
+    }
+    return "?";
+}
+
 CompileResult
 Compile(const Device& device,
         const CrosstalkCharacterization& characterization,

@@ -48,6 +48,20 @@ enum class SchedulerPolicy {
     kXtalkAutoOmega,  ///< XtalkSched with model-guided omega selection.
 };
 
+/**
+ * How far the scheduler degraded from the requested SMT policy when the
+ * solver failed (timeout with no model, injected fault): the compile
+ * still succeeds, on the chain xtalk -> greedy -> parallel.
+ */
+enum class SchedulerDegradation {
+    kNone,      ///< The requested scheduler ran.
+    kGreedy,    ///< SMT failed; GreedySched produced the schedule.
+    kParallel,  ///< SMT and greedy failed; ParSched produced it.
+};
+
+/** Stable lowercase name ("none", "greedy", "parallel") for reports. */
+const char* DegradationName(SchedulerDegradation degradation);
+
 /** Pipeline configuration. */
 struct CompilerOptions {
     LayoutPolicy layout = LayoutPolicy::kNoiseAware;
@@ -69,6 +83,14 @@ struct CompilerOptions {
      * process-wide by the environment variable XTALK_VERIFY_PASSES=1.
      */
     bool verify_passes = false;
+    /**
+     * Degrade gracefully when the SMT scheduler fails (SolverFailure or
+     * an injected transient fault): fall back to GreedySched, then to
+     * ParSched, recording the level in CompileResult::degradation.
+     * false = such failures propagate out of Compile(). InternalError
+     * always propagates regardless — bugs are never degraded around.
+     */
+    bool scheduler_fallback = true;
 };
 
 /** Everything the pipeline produces. */
@@ -91,6 +113,10 @@ struct CompileResult {
     std::optional<double> omega;
     /** Scheduler that produced the schedule ("XtalkSched", ...). */
     std::string scheduler_name;
+    /** How far the scheduler degraded from the requested policy. */
+    SchedulerDegradation degradation = SchedulerDegradation::kNone;
+    /** Why it degraded ("" when degradation == kNone). */
+    std::string degradation_reason;
     /** One-line notes from each pipeline pass, in execution order. */
     std::vector<std::string> pass_diagnostics;
 };

@@ -53,6 +53,8 @@ CompilationState::ToResult() const
     }
     result.omega = omega;
     result.scheduler_name = scheduler_name;
+    result.degradation = degradation;
+    result.degradation_reason = degradation_reason;
     result.pass_diagnostics = diagnostics;
     return result;
 }

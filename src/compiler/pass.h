@@ -75,6 +75,10 @@ struct CompilationState {
     std::optional<double> omega;
     /** Name of the scheduler that produced the schedule. */
     std::string scheduler_name;
+    /** How far the schedule pass degraded from the requested policy. */
+    SchedulerDegradation degradation = SchedulerDegradation::kNone;
+    /** Why it degraded ("" when degradation == kNone). */
+    std::string degradation_reason;
     /** SMT ordering decisions for barrier lowering (XtalkSched only). */
     std::optional<SolverOrderingArtifacts> ordering;
 

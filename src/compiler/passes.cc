@@ -1,11 +1,14 @@
 #include "compiler/passes.h"
 
+#include <functional>
 #include <memory>
 #include <sstream>
 
 #include "common/error.h"
+#include "common/logging.h"
 #include "compiler/pass_manager.h"
 #include "compiler/verification.h"
+#include "faults/faults.h"
 #include "scheduler/greedy_scheduler.h"
 #include "scheduler/omega_tuning.h"
 #include "scheduler/scheduler.h"
@@ -28,6 +31,81 @@ LayoutPolicyName(LayoutPolicy policy)
         return "noise-aware";
     }
     return "?";
+}
+
+/** GreedySched configured from the pipeline's XtalkSched knobs. */
+GreedySchedulerOptions
+GreedyOptionsFrom(const CompilationState& state)
+{
+    GreedySchedulerOptions greedy_options;
+    greedy_options.omega = state.options.xtalk.omega;
+    greedy_options.high_threshold = state.options.xtalk.high_threshold;
+    greedy_options.high_margin = state.options.xtalk.high_margin;
+    return greedy_options;
+}
+
+/**
+ * Run the SMT scheduling closure with the degradation chain
+ * xtalk -> greedy -> parallel. Only recoverable failures degrade:
+ * SolverFailure (budget/timeout with no model, solver error) and
+ * injected transient faults. InternalError — including kind=internal
+ * injected faults — always propagates: bugs are never degraded around.
+ */
+void
+RunSmtWithFallback(CompilationState& state, const Circuit& source,
+                   const std::function<void()>& run_primary)
+{
+    if (!state.options.scheduler_fallback) {
+        run_primary();
+        return;
+    }
+    std::string reason;
+    try {
+        run_primary();
+        return;
+    } catch (const SolverFailure& e) {
+        reason = e.what();
+    } catch (const faults::InjectedFault& e) {
+        reason = e.what();
+    }
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("sched.xtalk.fallbacks").Add(1);
+    }
+    Warn("schedule: XtalkSched failed (" + reason +
+         "); degrading to GreedySched");
+    try {
+        // Fault point for exercising the second hop of the chain.
+        faults::MaybeInject("sched.greedy");
+        GreedyXtalkScheduler scheduler(state.device(),
+                                       state.characterization(),
+                                       GreedyOptionsFrom(state));
+        state.schedule = scheduler.Schedule(source);
+        state.ordering.reset();
+        state.omega = GreedyOptionsFrom(state).omega;
+        state.scheduler_name = scheduler.name();
+        state.degradation = SchedulerDegradation::kGreedy;
+    } catch (const SolverFailure& e) {
+        reason += std::string("; GreedySched failed: ") + e.what();
+    } catch (const faults::InjectedFault& e) {
+        reason += std::string("; GreedySched failed: ") + e.what();
+    }
+    if (state.degradation != SchedulerDegradation::kGreedy) {
+        Warn("schedule: GreedySched failed too; degrading to ParSched");
+        ParallelScheduler scheduler(state.device());
+        state.schedule = scheduler.Schedule(source);
+        state.ordering.reset();
+        state.omega.reset();
+        state.scheduler_name = scheduler.name();
+        state.degradation = SchedulerDegradation::kParallel;
+    }
+    state.degradation_reason = reason;
+    if (telemetry::Enabled()) {
+        telemetry::SetLabel("sched.degradation",
+                            DegradationName(state.degradation));
+    }
+    state.diagnostics.push_back(
+        std::string("schedule: degraded to ") +
+        DegradationName(state.degradation) + " (" + reason + ")");
 }
 
 }  // namespace
@@ -158,31 +236,36 @@ SchedulePass::Run(CompilationState& state)
     const Circuit& source = state.ScheduleSource();
     switch (policy) {
       case SchedulerPolicy::kXtalk: {
-        XtalkScheduler scheduler(state.device(), state.characterization(),
-                                 state.options.xtalk);
-        state.schedule = scheduler.Schedule(source);
-        state.ordering =
-            SolverOrderingArtifacts{scheduler.last_start_times(),
-                                    scheduler.last_candidate_pairs()};
-        state.omega = state.options.xtalk.omega;
-        state.scheduler_name = scheduler.name();
+        RunSmtWithFallback(state, source, [&] {
+            XtalkScheduler scheduler(state.device(),
+                                     state.characterization(),
+                                     state.options.xtalk);
+            state.schedule = scheduler.Schedule(source);
+            state.ordering =
+                SolverOrderingArtifacts{scheduler.last_start_times(),
+                                        scheduler.last_candidate_pairs()};
+            state.omega = state.options.xtalk.omega;
+            state.scheduler_name = scheduler.name();
+        });
         break;
       }
       case SchedulerPolicy::kXtalkAutoOmega: {
-        const OmegaSelection selection = SelectOmegaByModel(
-            state.device(), state.characterization(), source,
-            state.options.omega_candidates, state.options.xtalk);
-        // Re-run at the winning omega to obtain the ordering artifacts.
-        XtalkSchedulerOptions tuned = state.options.xtalk;
-        tuned.omega = selection.omega;
-        XtalkScheduler scheduler(state.device(), state.characterization(),
-                                 tuned);
-        state.schedule = scheduler.Schedule(source);
-        state.ordering =
-            SolverOrderingArtifacts{scheduler.last_start_times(),
-                                    scheduler.last_candidate_pairs()};
-        state.omega = selection.omega;
-        state.scheduler_name = "XtalkSched(auto)";
+        RunSmtWithFallback(state, source, [&] {
+            const OmegaSelection selection = SelectOmegaByModel(
+                state.device(), state.characterization(), source,
+                state.options.omega_candidates, state.options.xtalk);
+            // Re-run at the winning omega for the ordering artifacts.
+            XtalkSchedulerOptions tuned = state.options.xtalk;
+            tuned.omega = selection.omega;
+            XtalkScheduler scheduler(state.device(),
+                                     state.characterization(), tuned);
+            state.schedule = scheduler.Schedule(source);
+            state.ordering =
+                SolverOrderingArtifacts{scheduler.last_start_times(),
+                                        scheduler.last_candidate_pairs()};
+            state.omega = selection.omega;
+            state.scheduler_name = "XtalkSched(auto)";
+        });
         break;
       }
       case SchedulerPolicy::kSerial:

@@ -1,5 +1,6 @@
 #include "device/device_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -35,7 +36,34 @@ Need(const std::map<std::string, double>& kv, const std::string& key,
     XTALK_REQUIRE(it != kv.end(),
                   "line " << line_number << ": missing field '" << key
                           << "'");
+    XTALK_REQUIRE(std::isfinite(it->second),
+                  "line " << line_number << ": field '" << key
+                          << "' is not finite");
     return it->second;
+}
+
+/** A strictly positive physical duration/time constant (ns or us). */
+double
+NeedPositive(const std::map<std::string, double>& kv, const std::string& key,
+             int line_number)
+{
+    const double value = Need(kv, key, line_number);
+    XTALK_REQUIRE(value > 0.0, "line " << line_number << ": field '" << key
+                                       << "' must be positive, got "
+                                       << value);
+    return value;
+}
+
+/** An error probability: must land in [0, 1]. */
+double
+NeedErrorRate(const std::map<std::string, double>& kv,
+              const std::string& key, int line_number)
+{
+    const double value = Need(kv, key, line_number);
+    XTALK_REQUIRE(value >= 0.0 && value <= 1.0,
+                  "line " << line_number << ": field '" << key
+                          << "' must be in [0, 1], got " << value);
+    return value;
 }
 
 }  // namespace
@@ -93,12 +121,13 @@ ParseDeviceSpec(const std::string& text, uint64_t drift_seed)
                           "line " << line_number << ": bad qubit id");
             const auto kv = ParseKeyValues(fields, line_number);
             QubitCalibration cal;
-            cal.t1_us = Need(kv, "t1_us", line_number);
-            cal.t2_us = Need(kv, "t2_us", line_number);
-            cal.readout_error = Need(kv, "readout_err", line_number);
-            cal.sq_error = Need(kv, "sq_err", line_number);
-            cal.sq_duration_ns = Need(kv, "sq_ns", line_number);
-            cal.readout_duration_ns = Need(kv, "readout_ns", line_number);
+            cal.t1_us = NeedPositive(kv, "t1_us", line_number);
+            cal.t2_us = NeedPositive(kv, "t2_us", line_number);
+            cal.readout_error = NeedErrorRate(kv, "readout_err", line_number);
+            cal.sq_error = NeedErrorRate(kv, "sq_err", line_number);
+            cal.sq_duration_ns = NeedPositive(kv, "sq_ns", line_number);
+            cal.readout_duration_ns =
+                NeedPositive(kv, "readout_ns", line_number);
             qubits.at(id) = cal;
         } else if (kind == "edge") {
             int a, b;
@@ -107,8 +136,8 @@ ParseDeviceSpec(const std::string& text, uint64_t drift_seed)
             const auto kv = ParseKeyValues(fields, line_number);
             edges.push_back({a, b});
             EdgeCalibration cal;
-            cal.cx_error = Need(kv, "cx_err", line_number);
-            cal.cx_duration_ns = Need(kv, "cx_ns", line_number);
+            cal.cx_error = NeedErrorRate(kv, "cx_err", line_number);
+            cal.cx_duration_ns = NeedPositive(kv, "cx_ns", line_number);
             edge_cal.push_back(cal);
         } else if (kind == "crosstalk") {
             XtalkLine x;
@@ -118,6 +147,11 @@ ParseDeviceSpec(const std::string& text, uint64_t drift_seed)
                 "line " << line_number << ": crosstalk needs 4 qubits");
             const auto kv = ParseKeyValues(fields, line_number);
             x.factor = Need(kv, "factor", line_number);
+            XTALK_REQUIRE(x.factor >= 1.0,
+                          "line " << line_number
+                                  << ": crosstalk factor must be >= 1 (it "
+                                     "scales the victim's error), got "
+                                  << x.factor);
             crosstalk.push_back(x);
         } else {
             XTALK_REQUIRE(false, "line " << line_number

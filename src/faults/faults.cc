@@ -1,0 +1,394 @@
+#include "faults/faults.h"
+
+#include <cstdlib>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/rng.h"
+#include "telemetry/telemetry.h"
+
+namespace xtalk::faults {
+
+namespace {
+
+/** FNV-1a, so a site name maps to a stable 64-bit stream selector. */
+uint64_t
+HashSite(const std::string& site)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : site) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    return h;
+}
+
+/** Mutable per-rule state alongside the immutable rule. */
+struct RuleState {
+    FaultRule rule;
+    uint64_t site_hash = 0;
+    std::atomic<uint64_t> calls{0};
+    std::atomic<uint64_t> fires{0};
+    /** Per-identity attempt counts for identity-keyed probability draws. */
+    std::unordered_map<uint64_t, uint64_t> attempts;
+    std::mutex attempts_mutex;
+};
+
+struct RegistryState {
+    std::mutex mutex;
+    FaultPlan plan;
+    std::map<std::string, std::unique_ptr<RuleState>> rules;
+    bool installed = false;  ///< An explicit/env plan install happened.
+};
+
+RegistryState&
+State()
+{
+    static RegistryState* state = new RegistryState();
+    return *state;
+}
+
+/** Read XTALK_FAULTS once, unless InstallPlan() already ran. */
+void
+EnsureEnvLoaded()
+{
+    static std::once_flag once;
+    std::call_once(once, [] {
+        {
+            std::lock_guard<std::mutex> lock(State().mutex);
+            if (State().installed) {
+                return;
+            }
+        }
+        const char* env = std::getenv("XTALK_FAULTS");
+        if (env != nullptr && env[0] != '\0') {
+            InstallPlan(FaultPlan::Parse(env));
+        }
+    });
+}
+
+double
+ParseDouble(const std::string& text, const std::string& what)
+{
+    try {
+        size_t consumed = 0;
+        const double value = std::stod(text, &consumed);
+        XTALK_REQUIRE(consumed == text.size(),
+                      "fault plan: bad " << what << " '" << text << "'");
+        return value;
+    } catch (const Error&) {
+        throw;
+    } catch (const std::exception&) {
+        XTALK_REQUIRE(false, "fault plan: bad " << what << " '" << text
+                                                << "'");
+    }
+}
+
+uint64_t
+ParseUint(const std::string& text, const std::string& what)
+{
+    try {
+        size_t consumed = 0;
+        const unsigned long long value = std::stoull(text, &consumed);
+        XTALK_REQUIRE(consumed == text.size() && text[0] != '-',
+                      "fault plan: bad " << what << " '" << text << "'");
+        return value;
+    } catch (const Error&) {
+        throw;
+    } catch (const std::exception&) {
+        XTALK_REQUIRE(false, "fault plan: bad " << what << " '" << text
+                                                << "'");
+    }
+}
+
+/** The deterministic Bernoulli draw behind `p=` triggers. */
+bool
+FireByProbability(uint64_t plan_seed, uint64_t site_hash, uint64_t key,
+                  double probability)
+{
+    Rng rng(DeriveSeed(DeriveSeed(plan_seed, site_hash), key));
+    return rng.Uniform() < probability;
+}
+
+[[noreturn]] void
+Fire(RuleState& rs, uint64_t call)
+{
+    rs.fires.fetch_add(1, std::memory_order_relaxed);
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("faults.injected." + rs.rule.site).Add(1);
+    }
+    std::ostringstream detail;
+    detail << "injected fault at site '" << rs.rule.site << "' (call "
+           << call << ")";
+    if (rs.rule.kind == FaultKind::kInternal) {
+        throw InternalError(detail.str() + " [kind=internal]");
+    }
+    throw InjectedFault(rs.rule.site, call, detail.str());
+}
+
+void
+Inject(RuleState& rs, uint64_t plan_seed, const uint64_t* identity)
+{
+    const uint64_t call = rs.calls.fetch_add(1, std::memory_order_relaxed)
+                          + 1;  // 1-based
+    bool fire = false;
+    if (rs.rule.nth > 0 && call == rs.rule.nth) {
+        fire = true;
+    }
+    if (!fire && rs.rule.probability > 0.0) {
+        uint64_t key;
+        if (identity) {
+            uint64_t attempt;
+            {
+                std::lock_guard<std::mutex> lock(rs.attempts_mutex);
+                attempt = ++rs.attempts[*identity];
+            }
+            key = DeriveSeed(*identity, attempt);
+        } else {
+            key = call;
+        }
+        fire = FireByProbability(plan_seed, rs.site_hash, key,
+                                 rs.rule.probability);
+    }
+    if (!fire) {
+        return;
+    }
+    if (rs.rule.limit > 0 &&
+        rs.fires.load(std::memory_order_relaxed) >= rs.rule.limit) {
+        return;  // Budget spent; the site stays healthy from here on.
+    }
+    Fire(rs, call);
+}
+
+void
+MaybeInjectImpl(const char* site, const uint64_t* identity)
+{
+    // One guarded static check per call: load XTALK_FAULTS before the
+    // fast-path test, or an env-only plan would never activate.
+    EnsureEnvLoaded();
+    if (!Active()) {
+        return;
+    }
+    RuleState* rs = nullptr;
+    uint64_t plan_seed = 0;
+    {
+        std::lock_guard<std::mutex> lock(State().mutex);
+        const auto it = State().rules.find(site);
+        if (it == State().rules.end()) {
+            return;
+        }
+        rs = it->second.get();
+        plan_seed = State().plan.seed;
+    }
+    Inject(*rs, plan_seed, identity);
+}
+
+}  // namespace
+
+namespace internal {
+std::atomic<bool> g_active{false};
+}  // namespace internal
+
+InjectedFault::InjectedFault(const std::string& site, uint64_t call,
+                             const std::string& detail)
+    : Error(detail), site_(site)
+{
+    (void)call;
+}
+
+FaultPlan
+FaultPlan::Parse(const std::string& text)
+{
+    FaultPlan plan;
+    std::stringstream items(text);
+    std::string item;
+    while (std::getline(items, item, ';')) {
+        // Trim surrounding whitespace.
+        const size_t begin = item.find_first_not_of(" \t");
+        if (begin == std::string::npos) {
+            continue;
+        }
+        item = item.substr(begin, item.find_last_not_of(" \t") - begin + 1);
+        if (item.rfind("seed=", 0) == 0) {
+            plan.seed = ParseUint(item.substr(5), "seed");
+            continue;
+        }
+        const size_t colon = item.find(':');
+        XTALK_REQUIRE(colon != std::string::npos && colon > 0,
+                      "fault plan: rule '"
+                          << item << "' is not of the form site:trigger");
+        FaultRule rule;
+        rule.site = item.substr(0, colon);
+        std::stringstream triggers(item.substr(colon + 1));
+        std::string trigger;
+        bool any = false;
+        while (std::getline(triggers, trigger, ',')) {
+            const size_t eq = trigger.find('=');
+            XTALK_REQUIRE(eq != std::string::npos,
+                          "fault plan: trigger '" << trigger
+                                                  << "' has no '='");
+            const std::string key = trigger.substr(0, eq);
+            const std::string value = trigger.substr(eq + 1);
+            if (key == "p") {
+                rule.probability = ParseDouble(value, "probability");
+                XTALK_REQUIRE(rule.probability >= 0.0 &&
+                                  rule.probability <= 1.0,
+                              "fault plan: probability "
+                                  << rule.probability
+                                  << " outside [0, 1] for site '"
+                                  << rule.site << "'");
+            } else if (key == "n") {
+                rule.nth = ParseUint(value, "call number");
+                XTALK_REQUIRE(rule.nth > 0,
+                              "fault plan: n= wants a 1-based call number");
+            } else if (key == "limit") {
+                rule.limit = ParseUint(value, "fire limit");
+            } else if (key == "kind") {
+                if (value == "error") {
+                    rule.kind = FaultKind::kError;
+                } else if (value == "internal") {
+                    rule.kind = FaultKind::kInternal;
+                } else {
+                    XTALK_REQUIRE(false, "fault plan: unknown kind '"
+                                             << value
+                                             << "' (error | internal)");
+                }
+            } else {
+                XTALK_REQUIRE(false, "fault plan: unknown trigger key '"
+                                         << key
+                                         << "' (p | n | limit | kind)");
+            }
+            any = true;
+        }
+        XTALK_REQUIRE(any && (rule.probability > 0.0 || rule.nth > 0),
+                      "fault plan: rule for site '"
+                          << rule.site
+                          << "' needs a p= or n= trigger");
+        plan.rules.push_back(std::move(rule));
+    }
+    return plan;
+}
+
+std::string
+FaultPlan::ToString() const
+{
+    std::ostringstream oss;
+    for (const FaultRule& rule : rules) {
+        oss << rule.site << ":";
+        bool first = true;
+        auto sep = [&] {
+            if (!first) {
+                oss << ",";
+            }
+            first = false;
+        };
+        if (rule.probability > 0.0) {
+            sep();
+            oss << "p=" << rule.probability;
+        }
+        if (rule.nth > 0) {
+            sep();
+            oss << "n=" << rule.nth;
+        }
+        if (rule.limit > 0) {
+            sep();
+            oss << "limit=" << rule.limit;
+        }
+        if (rule.kind == FaultKind::kInternal) {
+            sep();
+            oss << "kind=internal";
+        }
+        oss << ";";
+    }
+    oss << "seed=" << seed;
+    return oss.str();
+}
+
+void
+InstallPlan(FaultPlan plan)
+{
+    std::lock_guard<std::mutex> lock(State().mutex);
+    State().rules.clear();
+    for (const FaultRule& rule : plan.rules) {
+        auto rs = std::make_unique<RuleState>();
+        rs->rule = rule;
+        rs->site_hash = HashSite(rule.site);
+        // Last rule for a site wins, matching "later overrides earlier".
+        State().rules[rule.site] = std::move(rs);
+    }
+    State().plan = std::move(plan);
+    State().installed = true;
+    internal::g_active.store(!State().rules.empty(),
+                             std::memory_order_relaxed);
+}
+
+void
+ClearPlan()
+{
+    std::lock_guard<std::mutex> lock(State().mutex);
+    State().rules.clear();
+    State().plan = FaultPlan{};
+    State().installed = true;  // An explicit clear also beats the env.
+    internal::g_active.store(false, std::memory_order_relaxed);
+}
+
+std::string
+ActivePlanString()
+{
+    EnsureEnvLoaded();
+    std::lock_guard<std::mutex> lock(State().mutex);
+    if (State().rules.empty()) {
+        return "";
+    }
+    return State().plan.ToString();
+}
+
+void
+MaybeInject(const char* site)
+{
+    MaybeInjectImpl(site, nullptr);
+}
+
+void
+MaybeInject(const char* site, uint64_t identity)
+{
+    MaybeInjectImpl(site, &identity);
+}
+
+uint64_t
+InjectedCount(const std::string& site)
+{
+    EnsureEnvLoaded();
+    std::lock_guard<std::mutex> lock(State().mutex);
+    const auto it = State().rules.find(site);
+    if (it == State().rules.end()) {
+        return 0;
+    }
+    return it->second->fires.load(std::memory_order_relaxed);
+}
+
+ScopedFaultPlan::ScopedFaultPlan(const std::string& plan_text)
+    : ScopedFaultPlan(FaultPlan::Parse(plan_text))
+{
+}
+
+ScopedFaultPlan::ScopedFaultPlan(FaultPlan plan)
+{
+    previous_ = ActivePlanString();
+    had_previous_ = !previous_.empty();
+    InstallPlan(std::move(plan));
+}
+
+ScopedFaultPlan::~ScopedFaultPlan()
+{
+    if (had_previous_) {
+        InstallPlan(FaultPlan::Parse(previous_));
+    } else {
+        ClearPlan();
+    }
+}
+
+}  // namespace xtalk::faults

@@ -1,0 +1,164 @@
+/**
+ * @file
+ * Deterministic fault injection for resilience testing.
+ *
+ * The production pipeline — characterize, schedule, execute — has to
+ * survive transient failures (a lost SRB job, a solver timeout, a
+ * flaky calibration read). This module makes those failures
+ * *injectable* so the recovery paths can be exercised in tests and CI
+ * instead of trusted on faith.
+ *
+ * A FaultPlan is a list of rules keyed by *site* name. Sites are
+ * string constants compiled into the code (`executor.chunk`,
+ * `srb.run`, `io.load`, `io.save`, `smt.solve`, `sched.greedy`); each
+ * site calls MaybeInject() at the point where a real failure would
+ * surface, and an armed rule makes that call throw. With no plan
+ * installed every site is a single relaxed atomic load — the subsystem
+ * is fully inert in production.
+ *
+ * Plan grammar (XTALK_FAULTS environment variable or `xtalkc --faults`):
+ *
+ *     plan    := item (';' item)*
+ *     item    := 'seed=' uint64 | rule
+ *     rule    := site ':' trigger (',' trigger)*
+ *     trigger := 'p=' probability     fire with probability p per call
+ *              | 'n=' call-number     fire exactly on the nth call (1-based)
+ *              | 'limit=' max-fires   stop firing after this many fires
+ *              | 'kind=' 'error' | 'internal'
+ *
+ * Example: `srb.run:p=0.1;smt.solve:n=1;seed=7`.
+ *
+ * Determinism: probability decisions never consult a global RNG.
+ * For calls that carry an identity key (e.g. the executor passes the
+ * chunk seed) the decision is a pure function of (plan seed, site,
+ * identity, per-identity attempt number) — independent of thread
+ * interleaving and call order, so parallel runs stay reproducible and
+ * a *retry* of the same work item gets a fresh, independent draw.
+ * Calls without an identity use the site's global call counter.
+ *
+ * `kind=internal` makes the fault throw xtalk::InternalError instead
+ * of InjectedFault, simulating a library bug: recovery layers must NOT
+ * absorb it (degradation chains catch InjectedFault, not
+ * InternalError), which is exactly what the exit-code-3 CI smoke
+ * asserts. See docs/RESILIENCE.md.
+ */
+#ifndef XTALK_FAULTS_FAULTS_H
+#define XTALK_FAULTS_FAULTS_H
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+
+namespace xtalk::faults {
+
+/** Thrown by an armed fault site (a simulated *transient* failure). */
+class InjectedFault : public Error {
+  public:
+    InjectedFault(const std::string& site, uint64_t call,
+                  const std::string& detail);
+
+    const std::string& site() const { return site_; }
+
+  private:
+    std::string site_;
+};
+
+/** What an armed rule throws. */
+enum class FaultKind {
+    kError,     ///< InjectedFault (transient; recovery layers may absorb).
+    kInternal,  ///< xtalk::InternalError (simulated bug; must propagate).
+};
+
+/** One trigger rule for one site. */
+struct FaultRule {
+    std::string site;
+    /** Fire with this probability per call (deterministic draw). */
+    double probability = 0.0;
+    /** Fire exactly on this 1-based call number (0 = disabled). */
+    uint64_t nth = 0;
+    /** Stop firing after this many fires (0 = unlimited). */
+    uint64_t limit = 0;
+    FaultKind kind = FaultKind::kError;
+};
+
+/** A parsed fault plan: the seed plus the per-site rules. */
+struct FaultPlan {
+    uint64_t seed = 0xFA11;
+    std::vector<FaultRule> rules;
+
+    bool empty() const { return rules.empty(); }
+
+    /** Parse the grammar above; throws xtalk::Error on malformed input. */
+    static FaultPlan Parse(const std::string& text);
+
+    /** Round-trippable textual form (parseable by Parse()). */
+    std::string ToString() const;
+};
+
+namespace internal {
+extern std::atomic<bool> g_active;
+}  // namespace internal
+
+/**
+ * True when a fault plan is installed. A relaxed atomic load, so
+ * fault points cost one predictable branch when injection is off.
+ * The XTALK_FAULTS environment variable is read (once) on the first
+ * call to any registry function; an explicit InstallPlan() beforehand
+ * takes precedence over the environment.
+ */
+inline bool
+Active()
+{
+    return internal::g_active.load(std::memory_order_relaxed);
+}
+
+/** Install @p plan, replacing any active plan and resetting counters. */
+void InstallPlan(FaultPlan plan);
+
+/** Remove the active plan (all sites become inert). */
+void ClearPlan();
+
+/** The active plan's textual form ("" when none). */
+std::string ActivePlanString();
+
+/**
+ * Fault point without a stable identity: the rule's global call
+ * counter drives both `n=` and `p=` triggers. Throws InjectedFault or
+ * InternalError when the site's rule fires; otherwise returns.
+ */
+void MaybeInject(const char* site);
+
+/**
+ * Fault point with a stable identity key (e.g. a job or chunk seed).
+ * `p=` decisions are a pure function of (plan seed, site, identity,
+ * attempt), where attempt counts prior calls with the same identity —
+ * deterministic under any thread interleaving, and a retry of the
+ * same work item draws independently. `n=` still uses the global call
+ * counter.
+ */
+void MaybeInject(const char* site, uint64_t identity);
+
+/** Fires of @p site since the plan was installed (0 when inert). */
+uint64_t InjectedCount(const std::string& site);
+
+/** RAII plan installer for tests: restores the previous plan on exit. */
+class ScopedFaultPlan {
+  public:
+    explicit ScopedFaultPlan(const std::string& plan_text);
+    explicit ScopedFaultPlan(FaultPlan plan);
+    ~ScopedFaultPlan();
+
+    ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+    ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+
+  private:
+    std::string previous_;
+    bool had_previous_ = false;
+};
+
+}  // namespace xtalk::faults
+
+#endif  // XTALK_FAULTS_FAULTS_H

@@ -4,6 +4,7 @@
 #include <exception>
 
 #include "common/error.h"
+#include "faults/faults.h"
 #include "sim/stabilizer.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
@@ -24,8 +25,15 @@ MsSince(Clock::time_point start)
 /** Run one shot chunk on a fresh, chunk-seeded simulator. */
 Counts
 RunChunk(const Device& device, const ExecutionJob& job, uint64_t chunk_seed,
-         int chunk_shots)
+         int chunk_shots, bool first_chunk)
 {
+    // Identity-keyed fault points: decisions depend on the chunk/job
+    // seed, never on thread interleaving, so injected failures are
+    // reproducible at any worker count (see faults/faults.h).
+    if (first_chunk && !job.fault_site.empty()) {
+        faults::MaybeInject(job.fault_site.c_str(), job.seed);
+    }
+    faults::MaybeInject("executor.chunk", chunk_seed);
     NoisySimOptions noise = job.noise;
     noise.seed = chunk_seed;
     const RunSpec chunk_spec{chunk_shots, std::nullopt, 1};
@@ -103,11 +111,11 @@ Executor::Submit(ExecutionRequest request)
                 chunks == 1 ? job.seed : DeriveSeed(job.seed, c);
             const int chunk_shots = plans[j][c];
             futures[j].push_back(pool_->Submit(
-                [this, &job, chunk_seed, chunk_shots, dispatch] {
+                [this, &job, chunk_seed, chunk_shots, dispatch, c] {
                     const Clock::time_point start = Clock::now();
                     ChunkOutcome outcome;
                     outcome.counts = RunChunk(*device_, job, chunk_seed,
-                                              chunk_shots);
+                                              chunk_shots, c == 0);
                     outcome.sim_ms = MsSince(start);
                     outcome.done_ms = MsSince(dispatch);
                     return outcome;
@@ -123,8 +131,12 @@ Executor::Submit(ExecutionRequest request)
     }
 
     // Join everything before rethrowing so no future outlives its job
-    // (the lambdas capture `request.jobs` by reference).
+    // (the lambdas capture `request.jobs` by reference). In capture
+    // mode failures stay per-job: the result is marked !ok and the
+    // batch returns normally so the caller can retry or quarantine.
     std::exception_ptr first_error;
+    std::exception_ptr internal_error;
+    uint64_t failed_jobs = 0;
     for (size_t j = 0; j < num_jobs; ++j) {
         ExecutionResult& result = results[j];
         result.chunks = static_cast<int>(futures[j].size());
@@ -138,14 +150,41 @@ Executor::Submit(ExecutionRequest request)
                     telemetry::GetHistogram("runtime.executor.chunk.ms")
                         .Record(outcome.sim_ms);
                 }
+            } catch (const std::exception& e) {
+                if (result.ok) {
+                    result.ok = false;
+                    result.error = e.what();
+                    ++failed_jobs;
+                }
+                if (!internal_error &&
+                    dynamic_cast<const InternalError*>(&e) != nullptr) {
+                    internal_error = std::current_exception();
+                }
+                if (!first_error) {
+                    first_error = std::current_exception();
+                }
             } catch (...) {
+                if (result.ok) {
+                    result.ok = false;
+                    result.error = "unknown error";
+                    ++failed_jobs;
+                }
                 if (!first_error) {
                     first_error = std::current_exception();
                 }
             }
         }
     }
-    if (first_error) {
+    if (failed_jobs > 0 && telemetry::Enabled()) {
+        telemetry::GetCounter("runtime.executor.job_failures")
+            .Add(failed_jobs);
+    }
+    // Invariant violations are bugs, never captured data: they
+    // propagate even in capture mode so no recovery layer masks them.
+    if (internal_error) {
+        std::rethrow_exception(internal_error);
+    }
+    if (first_error && !request.capture_job_errors) {
         std::rethrow_exception(first_error);
     }
     return results;

@@ -57,16 +57,35 @@ struct ExecutionJob {
     SimBackend backend = SimBackend::kStatevector;
     /** Noise toggles (the seed field inside is ignored). */
     NoisySimOptions noise;
+    /**
+     * Fault-injection site checked once per job (identity = the job
+     * seed; see faults/faults.h). Empty = no per-job site. Producers
+     * that own a recovery path set this — e.g. the characterizer tags
+     * its SRB jobs "srb.run" so injected failures flow through its
+     * retry/quarantine machinery.
+     */
+    std::string fault_site;
 };
 
 /** A batch of independent jobs submitted together. */
 struct ExecutionRequest {
     std::vector<ExecutionJob> jobs;
+    /**
+     * false (default): the first job exception is rethrown after the
+     * batch drains — all-or-nothing semantics. true: per-job failures
+     * are captured in ExecutionResult::ok/error and Submit() returns
+     * normally, so the caller can retry or quarantine individual jobs.
+     */
+    bool capture_job_errors = false;
 };
 
 /** Outcome + timing of one job. */
 struct ExecutionResult {
     Counts counts;
+    /** False when the job failed (capture_job_errors mode only). */
+    bool ok = true;
+    /** First failure message of the job ("" when ok). */
+    std::string error;
     /** Wall time from batch dispatch to this job's last chunk, ms. */
     double wall_ms = 0.0;
     /** Sum of the job's chunk simulation times, ms (CPU-ish time). */

@@ -12,12 +12,21 @@
 #include "circuit/dag.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "faults/faults.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
 namespace xtalk {
 
 namespace {
+
+double
+MsSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 /** Convert a Z3 numeral (possibly rational) to double. */
 double
@@ -137,7 +146,32 @@ XtalkScheduler::Schedule(const Circuit& circuit)
 
     stats_ = {};
     std::vector<double> starts(n, 0.0);
+    bool have_model = false;
     for (int round = 0;; ++round) {
+        // Overall wall-clock budget across refinement rounds. Out of
+        // budget with a model in hand: stop refining and ship it. Out
+        // of budget with nothing: SolverFailure, so the compiler can
+        // degrade to a non-SMT scheduler.
+        unsigned effective_timeout_ms = options_.timeout_ms;
+        if (options_.total_budget_ms > 0) {
+            const double remaining_ms =
+                options_.total_budget_ms - MsSince(t_begin);
+            if (remaining_ms <= 0.0) {
+                if (have_model) {
+                    Warn("XtalkSched: total budget exhausted after round " +
+                         std::to_string(round) +
+                         "; using best known model");
+                    break;
+                }
+                throw SolverFailure(
+                    "XtalkSched: total budget of " +
+                    std::to_string(options_.total_budget_ms) +
+                    " ms expired before any model was found");
+            }
+            effective_timeout_ms = std::min<unsigned>(
+                effective_timeout_ms,
+                static_cast<unsigned>(std::max(1.0, remaining_ms)));
+        }
         last_pairs_.assign(encoded.begin(), encoded.end());
         std::vector<std::vector<GateId>> can_olp(n);
         for (const auto& [i, j] : last_pairs_) {
@@ -167,7 +201,7 @@ XtalkScheduler::Schedule(const Circuit& circuit)
         z3::context ctx;
         z3::optimize opt(ctx);
         z3::params params(ctx);
-        params.set("timeout", options_.timeout_ms);
+        params.set("timeout", effective_timeout_ms);
         opt.set(params);
 
         long long num_constraints = 0;
@@ -323,29 +357,59 @@ XtalkScheduler::Schedule(const Circuit& circuit)
             RealOf(ctx, decoherence_weight) * decoherence_sum;
         opt.minimize(objective);
 
-        const z3::check_result result = opt.check();
-        if (telemetry::Enabled()) {
-            telemetry::GetCounter("sched.xtalk.solves").Add(1);
-            telemetry::GetCounter("sched.xtalk.constraints")
-                .Add(static_cast<uint64_t>(num_constraints));
-            telemetry::GetCounter("sched.xtalk.candidate_pairs")
-                .Add(static_cast<uint64_t>(last_pairs_.size()));
-            if (result != z3::sat) {
-                telemetry::GetCounter("sched.xtalk.solver_timeouts").Add(1);
+        // Solve. Z3's exception type must not escape this translation
+        // unit, and a modelless outcome must not abort a caller that
+        // can degrade — both translate to SolverFailure (or, when an
+        // earlier round already produced a model, to using that model).
+        faults::MaybeInject("smt.solve");
+        try {
+            const z3::check_result result = opt.check();
+            if (telemetry::Enabled()) {
+                telemetry::GetCounter("sched.xtalk.solves").Add(1);
+                telemetry::GetCounter("sched.xtalk.constraints")
+                    .Add(static_cast<uint64_t>(num_constraints));
+                telemetry::GetCounter("sched.xtalk.candidate_pairs")
+                    .Add(static_cast<uint64_t>(last_pairs_.size()));
+                if (result != z3::sat) {
+                    telemetry::GetCounter("sched.xtalk.solver_timeouts")
+                        .Add(1);
+                }
             }
-        }
-        XTALK_REQUIRE(result != z3::unsat,
-                      "scheduling constraints are unsatisfiable (bug)");
-        stats_.optimal = (result == z3::sat);
-        if (result != z3::sat) {
-            Warn("XtalkSched: solver returned unknown (timeout?); using "
-                 "best known model");
-        }
+            XTALK_REQUIRE(result != z3::unsat,
+                          "scheduling constraints are unsatisfiable (bug)");
+            stats_.optimal = (result == z3::sat);
+            if (result != z3::sat) {
+                // `unknown` means the search was cut off: any candidate
+                // model z3 holds is NOT guaranteed to satisfy even the
+                // hard constraints, so it must never become a schedule.
+                // Fall back to the last sat round's model, or report
+                // SolverFailure so the compiler can degrade.
+                if (have_model) {
+                    Warn("XtalkSched: solver returned unknown (timeout?); "
+                         "using the last satisfiable model");
+                    break;
+                }
+                throw SolverFailure(
+                    "XtalkSched: solver returned unknown (timeout?) "
+                    "before any satisfiable model was found");
+            }
 
-        z3::model model = opt.get_model();
-        for (GateId g = 0; g < n; ++g) {
-            starts[g] = NumeralToDouble(model.eval(tau[g], true));
+            z3::model model = opt.get_model();
+            for (GateId g = 0; g < n; ++g) {
+                starts[g] = NumeralToDouble(model.eval(tau[g], true));
+            }
+        } catch (const z3::exception& e) {
+            if (have_model) {
+                Warn(std::string("XtalkSched: solver failed in refinement "
+                                 "round (") +
+                     e.msg() + "); using best known model");
+                break;
+            }
+            throw SolverFailure(
+                std::string("XtalkSched: solver produced no model: ") +
+                e.msg());
         }
+        have_model = true;
 
         // Lazy refinement: add any eligible-but-unencoded pair the model
         // overlaps, then re-solve. Converges quickly because violations

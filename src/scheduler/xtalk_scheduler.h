@@ -30,9 +30,24 @@
 #include <vector>
 
 #include "characterization/characterizer.h"
+#include "common/error.h"
 #include "scheduler/scheduler.h"
 
 namespace xtalk {
+
+/**
+ * The SMT layer failed to produce any usable model: the per-solve
+ * timeout or the total budget expired before a model existed, or the
+ * underlying solver threw. Deliberately a *user-facing* Error (the
+ * budget is configuration, not a bug) and a distinct type so the
+ * compiler can catch it and degrade to a non-SMT scheduler while
+ * letting genuine InternalErrors propagate. Z3's own exception type
+ * never escapes this translation unit.
+ */
+class SolverFailure : public Error {
+  public:
+    using Error::Error;
+};
 
 /** Tuning knobs for XtalkSched. */
 struct XtalkSchedulerOptions {
@@ -49,8 +64,17 @@ struct XtalkSchedulerOptions {
      * CrosstalkCharacterization::IsHighCrosstalk).
      */
     double high_margin = 0.015;
-    /** Z3 timeout per circuit, in milliseconds. */
+    /** Z3 timeout per solve call, in milliseconds. */
     unsigned timeout_ms = 120000;
+    /**
+     * Wall-clock budget for one Schedule() call across ALL refinement
+     * rounds, in milliseconds; 0 = no overall budget (each round still
+     * honours timeout_ms). When the budget runs out mid-refinement the
+     * best model so far is used; when it runs out before any model
+     * exists, Schedule() throws SolverFailure so the caller can degrade
+     * to a cheaper scheduler.
+     */
+    unsigned total_budget_ms = 0;
     /**
      * Use the paper's explicit powerset encoding of constraints 7-8
      * instead of the default (equivalent-at-optimum) lower-bound

@@ -17,6 +17,7 @@
 #include "characterization/rb.h"
 #include "common/error.h"
 #include "device/ibmq_devices.h"
+#include "faults/faults.h"
 
 namespace xtalk {
 namespace {
@@ -266,6 +267,92 @@ TEST(Characterizer, DiscoversInjectedHighCrosstalkPair)
               2.0 * result.IndependentError(victim));
     const auto high = result.HighCrosstalkPairs(2.0);
     EXPECT_FALSE(high.empty());
+}
+
+TEST(CharacterizerResilience, RetriedExperimentIsBitIdenticalToFaultFree)
+{
+    const Device device = MakePoughkeepsie();
+    const EdgeId e1 = device.topology().FindEdge(0, 1);
+    const EdgeId e2 = device.topology().FindEdge(2, 3);
+
+    CrosstalkCharacterizer baseline(device, FastRbConfig(41));
+    const auto clean = baseline.MeasureIndependent({e1, e2});
+
+    // Exactly one job fails once; the experiment is resubmitted with
+    // identical seeds, so the retried run must be bit-identical.
+    faults::ScopedFaultPlan scoped("srb.run:n=1");
+    CharacterizationRunReport report;
+    CrosstalkCharacterizer characterizer(device, FastRbConfig(41));
+    const auto retried =
+        characterizer.MeasureIndependent({e1, e2}, &report);
+
+    EXPECT_EQ(report.retried_experiments, 1);
+    EXPECT_GE(report.failed_jobs, 1);
+    EXPECT_GE(report.retry_rounds, 1);
+    EXPECT_TRUE(report.quarantined_edges.empty());
+    EXPECT_EQ(retried.independent_entries(), clean.independent_entries());
+}
+
+TEST(CharacterizerResilience, PersistentFaultQuarantinesButCompletes)
+{
+    const Device device = MakePoughkeepsie();
+    const Topology& topo = device.topology();
+    const EdgeId victim = topo.FindEdge(10, 15);
+    const EdgeId aggressor = topo.FindEdge(11, 12);
+    CharacterizationPlan plan;
+    plan.policy = CharacterizationPolicy::kOneHop;
+    plan.batches = {{{victim, aggressor}}};
+
+    faults::ScopedFaultPlan scoped("srb.run:p=1");
+    CharacterizationRunReport report;
+    CrosstalkCharacterizer characterizer(device, FastRbConfig(23));
+    const auto result = characterizer.Run(plan, &report);
+
+    // Every attempt of every experiment failed: nothing measured,
+    // everything quarantined, and the sweep still returned normally.
+    EXPECT_TRUE(result.independent_entries().empty());
+    EXPECT_TRUE(result.conditional_entries().empty());
+    EXPECT_FALSE(report.clean());
+    ASSERT_EQ(report.quarantined_edges.size(), 2u);
+    ASSERT_EQ(report.quarantined_pairs.size(), 1u);
+    EXPECT_EQ(report.quarantined_pairs[0], (GatePair{victim, aggressor}));
+    EXPECT_GT(report.failed_jobs, 0);
+}
+
+TEST(CharacterizerResilience, TenPercentFaultSweepCompletes)
+{
+    // The issue's acceptance scenario: a 10% per-job fault rate. Each
+    // planned measurement must end up either measured or explicitly
+    // quarantined — never silently missing — and the sweep completes.
+    const Device device = MakePoughkeepsie();
+    const Topology& topo = device.topology();
+    const EdgeId victim = topo.FindEdge(10, 15);
+    const EdgeId aggressor = topo.FindEdge(11, 12);
+    CharacterizationPlan plan;
+    plan.policy = CharacterizationPolicy::kOneHop;
+    plan.batches = {{{victim, aggressor}}};
+
+    faults::ScopedFaultPlan scoped("srb.run:p=0.1;seed=7");
+    CharacterizationRunReport report;
+    CrosstalkCharacterizer characterizer(device, FastRbConfig(23));
+    const auto result = characterizer.Run(plan, &report);
+
+    EXPECT_GT(report.failed_jobs, 0);
+    for (const EdgeId e : {victim, aggressor}) {
+        const bool quarantined =
+            std::find(report.quarantined_edges.begin(),
+                      report.quarantined_edges.end(),
+                      e) != report.quarantined_edges.end();
+        EXPECT_NE(result.HasIndependentError(e), quarantined);
+    }
+    const bool pair_measured =
+        result.HasConditionalError(victim, aggressor);
+    const bool pair_quarantined =
+        std::find(report.quarantined_pairs.begin(),
+                  report.quarantined_pairs.end(),
+                  GatePair{victim, aggressor}) !=
+        report.quarantined_pairs.end();
+    EXPECT_NE(pair_measured, pair_quarantined);
 }
 
 TEST(CostModel, PaperScaleAllPairsTakesRoughly8Hours)

@@ -6,9 +6,13 @@
  */
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <string>
+
 #include "common/error.h"
 #include "compiler/compiler.h"
 #include "device/ibmq_devices.h"
+#include "faults/faults.h"
 #include "sim/noisy_simulator.h"
 
 namespace xtalk {
@@ -189,6 +193,89 @@ TEST(Compiler, TrivialLayoutRejectsTooWideCircuit)
     Circuit logical(4);
     logical.CX(0, 3);
     EXPECT_THROW(Compile(device, characterization, logical), Error);
+}
+
+TEST(CompilerDegradation, SolverFaultFallsBackToGreedy)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:n=1");
+    CompilerOptions options;
+    options.verify_passes = true;
+    const CompileResult result =
+        Compile(device, characterization, LogicalWorkload(), options);
+    EXPECT_EQ(result.degradation, SchedulerDegradation::kGreedy);
+    EXPECT_EQ(result.scheduler_name, "GreedySched");
+    EXPECT_FALSE(result.degradation_reason.empty());
+    const bool noted = std::any_of(
+        result.pass_diagnostics.begin(), result.pass_diagnostics.end(),
+        [](const std::string& d) {
+            return d.find("degraded") != std::string::npos;
+        });
+    EXPECT_TRUE(noted);
+    EXPECT_EQ(result.executable.CountKind(GateKind::kMeasure), 3);
+}
+
+TEST(CompilerDegradation, DoubleFaultFallsBackToParallel)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:n=1;sched.greedy:n=1");
+    CompilerOptions options;
+    options.verify_passes = true;
+    const CompileResult result =
+        Compile(device, characterization, LogicalWorkload(), options);
+    EXPECT_EQ(result.degradation, SchedulerDegradation::kParallel);
+    EXPECT_EQ(result.scheduler_name, "ParSched");
+    EXPECT_FALSE(result.omega.has_value());
+    EXPECT_EQ(result.executable.CountKind(GateKind::kMeasure), 3);
+}
+
+TEST(CompilerDegradation, FallbackDisabledPropagatesTheFailure)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:n=1");
+    CompilerOptions options;
+    options.scheduler_fallback = false;
+    // The pass manager wraps the fault in a contextual Error; what
+    // matters is that it stays a user-facing Error (exit 2), never an
+    // InternalError, and that the site survives in the message.
+    try {
+        Compile(device, characterization, LogicalWorkload(), options);
+        FAIL() << "expected the injected solver fault to propagate";
+    } catch (const InternalError&) {
+        FAIL() << "transient fault must not be reported as a bug";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("smt.solve"),
+                  std::string::npos);
+    }
+}
+
+TEST(CompilerDegradation, InternalErrorIsNeverDegradedAround)
+{
+    // Invariant violations are bugs: the chain must not paper over
+    // them, even with fallback enabled.
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:n=1,kind=internal");
+    EXPECT_THROW(Compile(device, characterization, LogicalWorkload()),
+                 InternalError);
+}
+
+TEST(CompilerDegradation, AutoOmegaPolicyAlsoDegrades)
+{
+    // Every auto-omega candidate solve hits the injected fault, so the
+    // chain must engage for kXtalkAutoOmega too.
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:p=1");
+    CompilerOptions options;
+    options.scheduler = SchedulerPolicy::kXtalkAutoOmega;
+    const CompileResult result =
+        Compile(device, characterization, LogicalWorkload(), options);
+    EXPECT_EQ(result.degradation, SchedulerDegradation::kGreedy);
+    EXPECT_EQ(result.scheduler_name, "GreedySched");
 }
 
 }  // namespace

@@ -274,5 +274,73 @@ TEST(DeviceIo, RejectsMalformedSpecs)
                  // required by the ground-truth model.
 }
 
+TEST(DeviceIo, RejectsNonPhysicalNumbers)
+{
+    // One-substitution template around the minimal valid spec: swap a
+    // single field value and the parser must refuse it, pointing at the
+    // offending line.
+    const auto spec = [](const std::string& qubit_fields,
+                         const std::string& edge_fields) {
+        return "device tiny\nqubits 2\n"
+               "qubit 0 " + qubit_fields + "\n"
+               "qubit 1 t1_us 60 t2_us 55 readout_err 0.04 sq_err 0.0006 "
+               "sq_ns 50 readout_ns 1000\n"
+               "edge 0 1 " + edge_fields + "\n";
+    };
+    const std::string good_qubit =
+        "t1_us 50 t2_us 40 readout_err 0.03 sq_err 0.0005 "
+        "sq_ns 50 readout_ns 1000";
+    const std::string good_edge = "cx_err 0.015 cx_ns 400";
+
+    EXPECT_NO_THROW(ParseDeviceSpec(spec(good_qubit, good_edge)));
+    // NaN / infinity never pass, whatever the field.
+    EXPECT_THROW(ParseDeviceSpec(spec(
+                     "t1_us nan t2_us 40 readout_err 0.03 sq_err 0.0005 "
+                     "sq_ns 50 readout_ns 1000",
+                     good_edge)),
+                 Error);
+    EXPECT_THROW(ParseDeviceSpec(spec(good_qubit, "cx_err 0.015 cx_ns inf")),
+                 Error);
+    // Durations and relaxation times must be strictly positive.
+    EXPECT_THROW(ParseDeviceSpec(spec(
+                     "t1_us -50 t2_us 40 readout_err 0.03 sq_err 0.0005 "
+                     "sq_ns 50 readout_ns 1000",
+                     good_edge)),
+                 Error);
+    EXPECT_THROW(ParseDeviceSpec(spec(good_qubit, "cx_err 0.015 cx_ns 0")),
+                 Error);
+    // Error rates live in [0, 1].
+    EXPECT_THROW(ParseDeviceSpec(spec(
+                     "t1_us 50 t2_us 40 readout_err 1.5 sq_err 0.0005 "
+                     "sq_ns 50 readout_ns 1000",
+                     good_edge)),
+                 Error);
+    EXPECT_THROW(ParseDeviceSpec(spec(good_qubit, "cx_err -0.1 cx_ns 400")),
+                 Error);
+    // Crosstalk factors are multiplicative aggravations (>= 1).
+    EXPECT_THROW(
+        ParseDeviceSpec(
+            "device tiny\nqubits 3\n"
+            "qubit 0 " + good_qubit + "\n"
+            "qubit 1 " + good_qubit + "\n"
+            "qubit 2 " + good_qubit + "\n"
+            "edge 0 1 " + good_edge + "\n"
+            "edge 1 2 " + good_edge + "\n"
+            "crosstalk 0 1 1 2 factor 0.5\n"),
+        Error);
+    // The diagnostic names the offending line.
+    try {
+        ParseDeviceSpec(spec(
+            "t1_us 50 t2_us 40 readout_err 1.5 sq_err 0.0005 "
+            "sq_ns 50 readout_ns 1000",
+            good_edge));
+        FAIL() << "expected out-of-range readout_err to be rejected";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("line 3"), std::string::npos) << what;
+        EXPECT_NE(what.find("readout_err"), std::string::npos) << what;
+    }
+}
+
 }  // namespace
 }  // namespace xtalk

@@ -14,6 +14,7 @@
 #include "characterization/rb.h"
 #include "common/error.h"
 #include "device/ibmq_devices.h"
+#include "faults/faults.h"
 #include "scheduler/scheduler.h"
 #include "sim/density_matrix.h"
 #include "sim/gate_matrices.h"
@@ -183,6 +184,49 @@ TEST(CharacterizationIo, RejectsMalformedInput)
     EXPECT_THROW(ParseCharacterization("independent x y\n"), Error);
     EXPECT_THROW(ParseCharacterization("bogus 1 2 3\n"), Error);
     EXPECT_THROW(LoadCharacterization("/nonexistent/path/file"), Error);
+}
+
+TEST(CharacterizationIo, RejectsNonPhysicalErrorRates)
+{
+    // Corrupt files must be refused at the boundary, never fed to the
+    // scheduler: NaN, infinity, and rates outside [0, 1].
+    EXPECT_THROW(ParseCharacterization("independent 0 nan\n"), Error);
+    EXPECT_THROW(ParseCharacterization("independent 0 inf\n"), Error);
+    EXPECT_THROW(ParseCharacterization("independent 0 -0.1\n"), Error);
+    EXPECT_THROW(ParseCharacterization("independent 0 1.5\n"), Error);
+    EXPECT_THROW(ParseCharacterization("conditional 0 1 nan\n"), Error);
+    EXPECT_THROW(ParseCharacterization("conditional 0 1 2.0\n"), Error);
+    // The diagnostic carries the field, the pair, and the line.
+    try {
+        ParseCharacterization("independent 0 0.01\nconditional 3 4 1.5\n");
+        FAIL() << "expected out-of-range conditional rate to be rejected";
+    } catch (const Error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("conditional error"), std::string::npos) << what;
+        EXPECT_NE(what.find("(3, 4)"), std::string::npos) << what;
+        EXPECT_NE(what.find("line 2"), std::string::npos) << what;
+    }
+}
+
+TEST(CharacterizationIo, InjectedIoFaultsSurfaceAsErrors)
+{
+    CrosstalkCharacterization data;
+    data.SetIndependentError(0, 0.01);
+    const std::string path = "/tmp/xtalk_io_fault_test.txt";
+    {
+        faults::ScopedFaultPlan scoped("io.save:n=1");
+        EXPECT_THROW(SaveCharacterization(path, data),
+                     faults::InjectedFault);
+    }
+    SaveCharacterization(path, data);
+    {
+        faults::ScopedFaultPlan scoped("io.load:n=1");
+        EXPECT_THROW(LoadCharacterization(path), faults::InjectedFault);
+        // The fault was transient: the very next attempt succeeds.
+        EXPECT_TRUE(
+            LoadCharacterization(path).HasIndependentError(0));
+    }
+    std::remove(path.c_str());
 }
 
 TEST(CharacterizationIo, IgnoresCommentsAndBlankLines)

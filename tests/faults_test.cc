@@ -1,0 +1,421 @@
+/**
+ * @file
+ * Tests for the fault-injection registry (faults/faults.h) and the
+ * bounded-retry machinery (common/retry.h): plan grammar, trigger
+ * semantics, determinism of probability draws, the error-kind contract
+ * (InjectedFault vs InternalError), and the backoff schedule.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/error.h"
+#include "common/retry.h"
+#include "common/rng.h"
+#include "faults/faults.h"
+
+namespace xtalk {
+namespace {
+
+using faults::FaultKind;
+using faults::FaultPlan;
+using faults::InjectedFault;
+using faults::ScopedFaultPlan;
+
+// -- Plan grammar ----------------------------------------------------------
+
+TEST(FaultPlan, ParsesRulesAndSeed)
+{
+    const FaultPlan plan =
+        FaultPlan::Parse("srb.run:p=0.1;smt.solve:n=1;seed=7");
+    EXPECT_EQ(plan.seed, 7u);
+    ASSERT_EQ(plan.rules.size(), 2u);
+    EXPECT_EQ(plan.rules[0].site, "srb.run");
+    EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.1);
+    EXPECT_EQ(plan.rules[1].site, "smt.solve");
+    EXPECT_EQ(plan.rules[1].nth, 1u);
+    EXPECT_EQ(plan.rules[1].kind, FaultKind::kError);
+}
+
+TEST(FaultPlan, ParsesMultiTriggerRule)
+{
+    const FaultPlan plan =
+        FaultPlan::Parse("executor.chunk:p=0.5,limit=2,kind=internal");
+    ASSERT_EQ(plan.rules.size(), 1u);
+    EXPECT_DOUBLE_EQ(plan.rules[0].probability, 0.5);
+    EXPECT_EQ(plan.rules[0].limit, 2u);
+    EXPECT_EQ(plan.rules[0].kind, FaultKind::kInternal);
+}
+
+TEST(FaultPlan, RoundTripsThroughToString)
+{
+    const std::string text =
+        "srb.run:p=0.25;io.load:n=3,limit=1;smt.solve:n=1,kind=internal;"
+        "seed=99";
+    const FaultPlan plan = FaultPlan::Parse(text);
+    const FaultPlan reparsed = FaultPlan::Parse(plan.ToString());
+    EXPECT_EQ(reparsed.seed, plan.seed);
+    ASSERT_EQ(reparsed.rules.size(), plan.rules.size());
+    for (size_t i = 0; i < plan.rules.size(); ++i) {
+        EXPECT_EQ(reparsed.rules[i].site, plan.rules[i].site);
+        EXPECT_DOUBLE_EQ(reparsed.rules[i].probability,
+                         plan.rules[i].probability);
+        EXPECT_EQ(reparsed.rules[i].nth, plan.rules[i].nth);
+        EXPECT_EQ(reparsed.rules[i].limit, plan.rules[i].limit);
+        EXPECT_EQ(reparsed.rules[i].kind, plan.rules[i].kind);
+    }
+}
+
+TEST(FaultPlan, RejectsMalformedInput)
+{
+    EXPECT_THROW(FaultPlan::Parse("no-colon-rule"), Error);
+    EXPECT_THROW(FaultPlan::Parse("site:"), Error);
+    EXPECT_THROW(FaultPlan::Parse("site:p=1.5"), Error);
+    EXPECT_THROW(FaultPlan::Parse("site:p=banana"), Error);
+    EXPECT_THROW(FaultPlan::Parse("site:n=0"), Error);
+    EXPECT_THROW(FaultPlan::Parse("site:kind=weird"), Error);
+    EXPECT_THROW(FaultPlan::Parse("site:frequency=2"), Error);
+    // A rule armed by neither p= nor n= never fires; reject it.
+    EXPECT_THROW(FaultPlan::Parse("site:limit=3"), Error);
+    EXPECT_THROW(FaultPlan::Parse("seed=-4"), Error);
+}
+
+TEST(FaultPlan, EmptyAndWhitespaceItemsAreIgnored)
+{
+    const FaultPlan plan = FaultPlan::Parse(" ; srb.run:n=1 ; ;seed=3");
+    EXPECT_EQ(plan.seed, 3u);
+    ASSERT_EQ(plan.rules.size(), 1u);
+    EXPECT_EQ(plan.rules[0].site, "srb.run");
+}
+
+// -- Trigger semantics -----------------------------------------------------
+
+TEST(FaultInjection, UnplannedSiteIsInert)
+{
+    ScopedFaultPlan scoped("some.other.site:n=1");
+    for (int i = 0; i < 100; ++i) {
+        EXPECT_NO_THROW(faults::MaybeInject("faults_test.inert"));
+    }
+    EXPECT_EQ(faults::InjectedCount("faults_test.inert"), 0u);
+}
+
+TEST(FaultInjection, NthCallFiresExactlyOnce)
+{
+    ScopedFaultPlan scoped("faults_test.nth:n=3");
+    EXPECT_NO_THROW(faults::MaybeInject("faults_test.nth"));
+    EXPECT_NO_THROW(faults::MaybeInject("faults_test.nth"));
+    EXPECT_THROW(faults::MaybeInject("faults_test.nth"), InjectedFault);
+    for (int i = 0; i < 20; ++i) {
+        EXPECT_NO_THROW(faults::MaybeInject("faults_test.nth"));
+    }
+    EXPECT_EQ(faults::InjectedCount("faults_test.nth"), 1u);
+}
+
+TEST(FaultInjection, InstallPlanResetsCounters)
+{
+    ScopedFaultPlan scoped("faults_test.reset:n=1");
+    EXPECT_THROW(faults::MaybeInject("faults_test.reset"), InjectedFault);
+    // Reinstalling rearms the n=1 trigger from call zero.
+    faults::InstallPlan(FaultPlan::Parse("faults_test.reset:n=1"));
+    EXPECT_THROW(faults::MaybeInject("faults_test.reset"), InjectedFault);
+}
+
+TEST(FaultInjection, ProbabilityIsDeterministicPerIdentity)
+{
+    const std::string plan = "faults_test.prob:p=0.5;seed=1234";
+    std::vector<bool> first_pass;
+    {
+        ScopedFaultPlan scoped(plan);
+        for (uint64_t id = 0; id < 64; ++id) {
+            bool fired = false;
+            try {
+                faults::MaybeInject("faults_test.prob", id);
+            } catch (const InjectedFault&) {
+                fired = true;
+            }
+            first_pass.push_back(fired);
+        }
+    }
+    // Same plan, same identities, any order: identical decisions.
+    {
+        ScopedFaultPlan scoped(plan);
+        for (uint64_t id = 64; id-- > 0;) {
+            bool fired = false;
+            try {
+                faults::MaybeInject("faults_test.prob", id);
+            } catch (const InjectedFault&) {
+                fired = true;
+            }
+            EXPECT_EQ(fired, first_pass[id]) << "identity " << id;
+        }
+    }
+    // p=0.5 over 64 identities: both outcomes must occur.
+    EXPECT_NE(std::count(first_pass.begin(), first_pass.end(), true), 0);
+    EXPECT_NE(std::count(first_pass.begin(), first_pass.end(), true), 64);
+}
+
+TEST(FaultInjection, RetryOfSameIdentityDrawsIndependently)
+{
+    // p is high enough that some identity fires on the first attempt;
+    // repeated attempts of one identity must not repeat the decision
+    // forever (the per-identity attempt counter advances the draw).
+    ScopedFaultPlan scoped("faults_test.retry:p=0.6;seed=42");
+    uint64_t faulty_id = UINT64_MAX;
+    for (uint64_t id = 0; id < 64; ++id) {
+        try {
+            faults::MaybeInject("faults_test.retry", id);
+        } catch (const InjectedFault&) {
+            faulty_id = id;
+            break;
+        }
+    }
+    ASSERT_NE(faulty_id, UINT64_MAX) << "p=0.6 never fired in 64 draws";
+    // With p=0.6, P(20 more failures in a row) = 0.6^20 ~ 3.7e-5.
+    bool recovered = false;
+    for (int attempt = 0; attempt < 20; ++attempt) {
+        try {
+            faults::MaybeInject("faults_test.retry", faulty_id);
+            recovered = true;
+            break;
+        } catch (const InjectedFault&) {
+        }
+    }
+    EXPECT_TRUE(recovered);
+}
+
+TEST(FaultInjection, DifferentPlanSeedsChangeDecisions)
+{
+    auto decisions = [](const std::string& plan) {
+        ScopedFaultPlan scoped(plan);
+        std::vector<bool> fired;
+        for (uint64_t id = 0; id < 128; ++id) {
+            bool f = false;
+            try {
+                faults::MaybeInject("faults_test.seed", id);
+            } catch (const InjectedFault&) {
+                f = true;
+            }
+            fired.push_back(f);
+        }
+        return fired;
+    };
+    EXPECT_NE(decisions("faults_test.seed:p=0.5;seed=1"),
+              decisions("faults_test.seed:p=0.5;seed=2"));
+}
+
+TEST(FaultInjection, LimitStopsFiring)
+{
+    ScopedFaultPlan scoped("faults_test.limit:p=1,limit=2");
+    EXPECT_THROW(faults::MaybeInject("faults_test.limit"), InjectedFault);
+    EXPECT_THROW(faults::MaybeInject("faults_test.limit"), InjectedFault);
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_NO_THROW(faults::MaybeInject("faults_test.limit"));
+    }
+    EXPECT_EQ(faults::InjectedCount("faults_test.limit"), 2u);
+}
+
+TEST(FaultInjection, InternalKindThrowsInternalError)
+{
+    ScopedFaultPlan scoped("faults_test.bug:n=1,kind=internal");
+    EXPECT_THROW(faults::MaybeInject("faults_test.bug"), InternalError);
+}
+
+TEST(FaultInjection, InjectedFaultCarriesSiteAndIsAnError)
+{
+    ScopedFaultPlan scoped("faults_test.site:n=1");
+    try {
+        faults::MaybeInject("faults_test.site");
+        FAIL() << "expected throw";
+    } catch (const InjectedFault& e) {
+        EXPECT_EQ(e.site(), "faults_test.site");
+        EXPECT_NE(std::string(e.what()).find("faults_test.site"),
+                  std::string::npos);
+        const Error* as_error = &e;  // Transient faults are user-facing.
+        EXPECT_NE(as_error, nullptr);
+    }
+}
+
+TEST(FaultInjection, ScopedPlanRestoresPreviousPlan)
+{
+    ScopedFaultPlan outer("faults_test.outer:n=1");
+    {
+        ScopedFaultPlan inner("faults_test.inner:n=1");
+        EXPECT_NO_THROW(faults::MaybeInject("faults_test.outer"));
+        EXPECT_THROW(faults::MaybeInject("faults_test.inner"),
+                     InjectedFault);
+    }
+    // Back to the outer plan: its n=1 trigger is re-armed (reinstall
+    // resets counters) and the inner site is inert again.
+    EXPECT_NO_THROW(faults::MaybeInject("faults_test.inner"));
+    EXPECT_THROW(faults::MaybeInject("faults_test.outer"), InjectedFault);
+}
+
+// -- Backoff schedule ------------------------------------------------------
+
+TEST(Backoff, ZeroBaseMeansNoDelay)
+{
+    RetryPolicy policy;  // base_delay_ms defaults to 0.
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 1, rng), 0.0);
+    EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 5, rng), 0.0);
+}
+
+TEST(Backoff, GrowsExponentiallyAndCaps)
+{
+    RetryPolicy policy;
+    policy.base_delay_ms = 10.0;
+    policy.backoff_factor = 2.0;
+    policy.max_delay_ms = 50.0;
+    policy.jitter_fraction = 0.0;
+    Rng rng(1);
+    EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 1, rng), 10.0);
+    EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 2, rng), 20.0);
+    EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 3, rng), 40.0);
+    EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 4, rng), 50.0);  // capped
+    EXPECT_DOUBLE_EQ(BackoffDelayMs(policy, 10, rng), 50.0);
+}
+
+TEST(Backoff, JitterIsDeterministicAndBounded)
+{
+    RetryPolicy policy;
+    policy.base_delay_ms = 100.0;
+    policy.jitter_fraction = 0.25;
+    Rng a(7), b(7);
+    for (int retry = 1; retry <= 5; ++retry) {
+        const double da = BackoffDelayMs(policy, retry, a);
+        const double db = BackoffDelayMs(policy, retry, b);
+        EXPECT_DOUBLE_EQ(da, db);
+        const double nominal = std::min(
+            policy.base_delay_ms * std::pow(2.0, retry - 1),
+            policy.max_delay_ms);
+        EXPECT_GE(da, nominal * 0.75 - 1e-9);
+        EXPECT_LE(da, nominal * 1.25 + 1e-9);
+    }
+}
+
+TEST(Backoff, RejectsZeroRetryIndex)
+{
+    RetryPolicy policy;
+    Rng rng(1);
+    EXPECT_THROW(BackoffDelayMs(policy, 0, rng), Error);
+}
+
+// -- RetryCall -------------------------------------------------------------
+
+TEST(RetryCall, SucceedsAfterTransientFailures)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 3;
+    Rng rng(1);
+    int calls = 0;
+    RetryStats stats;
+    const bool ok = RetryCall(
+        policy, rng,
+        [&] {
+            if (++calls < 3) {
+                throw Error("transient");
+            }
+        },
+        &stats);
+    EXPECT_TRUE(ok);
+    EXPECT_TRUE(stats.succeeded);
+    EXPECT_EQ(stats.attempts, 3);
+    EXPECT_EQ(calls, 3);
+}
+
+TEST(RetryCall, ExhaustionReturnsFalseWithStats)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 2;
+    Rng rng(1);
+    RetryStats stats;
+    const bool ok = RetryCall(
+        policy, rng, [] { throw Error("always down"); }, &stats);
+    EXPECT_FALSE(ok);
+    EXPECT_FALSE(stats.succeeded);
+    EXPECT_EQ(stats.attempts, 2);
+    EXPECT_NE(stats.last_error.find("always down"), std::string::npos);
+}
+
+TEST(RetryCall, ExhaustionWithoutStatsRethrows)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 2;
+    Rng rng(1);
+    EXPECT_THROW(
+        RetryCall(policy, rng, [] { throw Error("always down"); }), Error);
+}
+
+TEST(RetryCall, NonRetryablePredicateRethrowsImmediately)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    Rng rng(1);
+    int calls = 0;
+    EXPECT_THROW(RetryCall(
+                     policy, rng,
+                     [&] {
+                         ++calls;
+                         throw Error("fatal");
+                     },
+                     nullptr, [](const std::exception&) { return false; }),
+                 Error);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryCall, InternalErrorIsNeverRetried)
+{
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    Rng rng(1);
+    int calls = 0;
+    RetryStats stats;  // Even with stats, a bug must propagate.
+    EXPECT_THROW(RetryCall(
+                     policy, rng,
+                     [&] {
+                         ++calls;
+                         throw InternalError("bug");
+                     },
+                     &stats),
+                 InternalError);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryCall, InjectedInternalFaultPropagatesThroughRetry)
+{
+    ScopedFaultPlan scoped("faults_test.retrybug:p=1,kind=internal");
+    RetryPolicy policy;
+    policy.max_attempts = 5;
+    Rng rng(1);
+    int calls = 0;
+    EXPECT_THROW(RetryCall(policy, rng,
+                           [&] {
+                               ++calls;
+                               faults::MaybeInject("faults_test.retrybug");
+                           }),
+                 InternalError);
+    EXPECT_EQ(calls, 1);
+}
+
+TEST(RetryCall, InjectedTransientFaultClearsWithinBudget)
+{
+    // n=1 models a one-off transient blip: the first call fails, the
+    // retry succeeds. This is the exact shape the io.load site uses.
+    ScopedFaultPlan scoped("faults_test.blip:n=1");
+    RetryPolicy policy;
+    Rng rng(1);
+    RetryStats stats;
+    const bool ok = RetryCall(
+        policy, rng, [] { faults::MaybeInject("faults_test.blip"); },
+        &stats);
+    EXPECT_TRUE(ok);
+    EXPECT_EQ(stats.attempts, 2);
+    EXPECT_EQ(faults::InjectedCount("faults_test.blip"), 1u);
+}
+
+}  // namespace
+}  // namespace xtalk

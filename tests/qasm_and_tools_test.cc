@@ -387,6 +387,103 @@ TEST(XtalkcCli, UnknownPassNameExitsWithUsageError)
     std::remove(err_path.c_str());
 }
 
+/**
+ * A tiny self-contained workbench for fault smokes: a 3-qubit linear
+ * device spec, its full characterization, and an adjacent-CX program,
+ * so --scheduler xtalk runs without on-the-fly SRB.
+ */
+struct FaultSmokeFixture {
+    std::string dir = ::testing::TempDir();
+    std::string device_path = dir + "/xtalkc_faults_device.txt";
+    std::string charz_path = dir + "/xtalkc_faults_charz.txt";
+    std::string qasm_path = dir + "/xtalkc_faults_in.qasm";
+    std::string err_path = dir + "/xtalkc_faults_err.txt";
+
+    FaultSmokeFixture()
+    {
+        std::ofstream device(device_path);
+        device << "device tiny\nqubits 3\ntraits 1 1\n";
+        for (int q = 0; q < 3; ++q) {
+            device << "qubit " << q
+                   << " t1_us 50 t2_us 40 readout_err 0.03"
+                      " sq_err 0.0005 sq_ns 50 readout_ns 1000\n";
+        }
+        device << "edge 0 1 cx_err 0.015 cx_ns 400\n"
+               << "edge 1 2 cx_err 0.02 cx_ns 450\n";
+        std::ofstream charz(charz_path);
+        charz << "independent 0 0.015\nindependent 1 0.02\n"
+              << "conditional 0 1 0.06\nconditional 1 0 0.07\n";
+        std::ofstream qasm(qasm_path);
+        qasm << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+             << "qreg q[3];\ncreg c[2];\n"
+             << "h q[0];\ncx q[0], q[1];\ncx q[1], q[2];\n"
+             << "measure q[0] -> c[0];\nmeasure q[2] -> c[1];\n";
+    }
+
+    ~FaultSmokeFixture()
+    {
+        std::remove(device_path.c_str());
+        std::remove(charz_path.c_str());
+        std::remove(qasm_path.c_str());
+        std::remove(err_path.c_str());
+    }
+
+    /** Exit code of xtalkc with @p extra flags; stderr to err_path. */
+    int Run(const std::string& extra) const
+    {
+        const std::string command =
+            std::string(XTALK_XTALKC_BIN) + " --device-file " +
+            device_path + " --layout trivial " + extra + " " + qasm_path +
+            " > /dev/null 2> " + err_path;
+        return ExitCode(std::system(command.c_str()));
+    }
+};
+
+TEST(XtalkcCliFaults, SolverFaultDegradesAndStillExitsZero)
+{
+    const FaultSmokeFixture fx;
+    EXPECT_EQ(fx.Run("--scheduler xtalk --characterization " +
+                     fx.charz_path + " --verify-passes"
+                     " --faults smt.solve:n=1"),
+              0);
+    const std::string err = SlurpFile(fx.err_path);
+    EXPECT_NE(err.find("degrading to GreedySched"), std::string::npos)
+        << err;
+}
+
+TEST(XtalkcCliFaults, TransientLoadFaultIsRetriedToSuccess)
+{
+    const FaultSmokeFixture fx;
+    EXPECT_EQ(fx.Run("--scheduler serial --characterization " +
+                     fx.charz_path + " --faults io.load:n=1"),
+              0);
+}
+
+TEST(XtalkcCliFaults, PersistentLoadFaultExhaustsRetriesExitsTwo)
+{
+    const FaultSmokeFixture fx;
+    EXPECT_EQ(fx.Run("--scheduler serial --characterization " +
+                     fx.charz_path + " --faults io.load:p=1"),
+              2);
+    const std::string err = SlurpFile(fx.err_path);
+    EXPECT_NE(err.find("injected fault"), std::string::npos) << err;
+}
+
+TEST(XtalkcCliFaults, InternalFaultIsReportedAsBugExitsThree)
+{
+    const FaultSmokeFixture fx;
+    EXPECT_EQ(fx.Run("--scheduler xtalk --characterization " +
+                     fx.charz_path +
+                     " --faults smt.solve:n=1,kind=internal"),
+              3);
+}
+
+TEST(XtalkcCliFaults, MalformedPlanIsAUsageErrorExitsTwo)
+{
+    const FaultSmokeFixture fx;
+    EXPECT_EQ(fx.Run("--scheduler serial --faults totally%%bogus"), 2);
+}
+
 #endif  // XTALK_XTALKC_BIN
 
 TEST(OmegaTuning, RejectsEmptyCandidateList)

@@ -12,13 +12,16 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <optional>
 #include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "characterization/characterizer.h"
 #include "common/error.h"
 #include "common/rng.h"
 #include "device/ibmq_devices.h"
+#include "faults/faults.h"
 #include "experiments/experiments.h"
 #include "runtime/executor.h"
 #include "runtime/thread_pool.h"
@@ -181,6 +184,142 @@ TEST(Executor, ExceptionInOneJobPropagatesAfterDrain)
     job.backend = runtime::SimBackend::kStabilizer;
     request.jobs.push_back(std::move(job));
     EXPECT_THROW(executor.Submit(std::move(request)), Error);
+}
+
+/** A small scheduled circuit + device for the fault-injection tests. */
+struct FaultFixture {
+    Device device = MakeLinearDevice(3, 2, /*with_crosstalk=*/true);
+    ScheduledCircuit schedule{3};
+
+    FaultFixture()
+    {
+        Circuit circuit(3);
+        circuit.H(0).CX(0, 1).CX(1, 2).MeasureAll();
+        schedule = AsapSchedule(circuit, device);
+    }
+
+    runtime::ExecutionJob Job(uint64_t seed, int chunks = 1) const
+    {
+        runtime::ExecutionJob job;
+        job.schedule = schedule;
+        job.seed = seed;
+        job.spec = RunSpec{128, std::nullopt, chunks};
+        return job;
+    }
+};
+
+TEST(ExecutorFaults, InjectedChunkFaultPropagatesAndPoolStaysUsable)
+{
+    const FaultFixture fx;
+    runtime::Executor executor(fx.device);
+    {
+        // The chunk site is keyed by chunk seed; p=1 fails every chunk.
+        faults::ScopedFaultPlan scoped("executor.chunk:p=1");
+        runtime::ExecutionRequest request;
+        request.jobs.push_back(fx.Job(11));
+        request.jobs.push_back(fx.Job(22));
+        EXPECT_THROW(executor.Submit(std::move(request)),
+                     faults::InjectedFault);
+    }
+    // The failed batch must not poison the executor: the next batch on
+    // the same pool runs to completion.
+    runtime::ExecutionRequest request;
+    request.jobs.push_back(fx.Job(33));
+    const auto results = executor.Submit(std::move(request));
+    ASSERT_EQ(results.size(), 1u);
+    EXPECT_TRUE(results[0].ok);
+    EXPECT_EQ(results[0].counts.shots(), 128);
+}
+
+TEST(ExecutorFaults, CaptureModeRecordsPerJobErrors)
+{
+    const FaultFixture fx;
+    // Identity-keyed probability: which jobs fail is a pure function of
+    // the (plan seed, chunk seed) pair, never of scheduling order.
+    faults::ScopedFaultPlan scoped("executor.chunk:p=0.5;seed=77");
+    runtime::Executor executor(fx.device);
+    runtime::ExecutionRequest request;
+    request.capture_job_errors = true;
+    for (uint64_t seed = 0; seed < 16; ++seed) {
+        request.jobs.push_back(fx.Job(seed));
+    }
+    const auto first = executor.Submit(std::move(request));
+
+    int failed = 0;
+    for (const auto& result : first) {
+        if (!result.ok) {
+            ++failed;
+            EXPECT_NE(result.error.find("executor.chunk"),
+                      std::string::npos);
+            EXPECT_EQ(result.counts.shots(), 0);
+        } else {
+            EXPECT_EQ(result.counts.shots(), 128);
+        }
+    }
+    EXPECT_GT(failed, 0);
+    EXPECT_LT(failed, 16);
+}
+
+TEST(ExecutorFaults, FaultDecisionsAreIdenticalAcrossThreadCounts)
+{
+    const FaultFixture fx;
+    auto outcome_mask = [&](int threads) {
+        faults::ScopedFaultPlan scoped("executor.chunk:p=0.5;seed=99");
+        runtime::ExecutorOptions exec;
+        exec.num_threads = threads;
+        runtime::Executor executor(fx.device, exec);
+        runtime::ExecutionRequest request;
+        request.capture_job_errors = true;
+        for (uint64_t seed = 100; seed < 116; ++seed) {
+            request.jobs.push_back(fx.Job(seed));
+        }
+        std::vector<bool> ok;
+        for (const auto& result : executor.Submit(std::move(request))) {
+            ok.push_back(result.ok);
+        }
+        return ok;
+    };
+    const std::vector<bool> at1 = outcome_mask(1);
+    EXPECT_EQ(at1, outcome_mask(4));
+    EXPECT_EQ(at1, outcome_mask(8));
+}
+
+TEST(ExecutorFaults, RetryWithSameSeedIsBitIdenticalToFaultFreeRun)
+{
+    const FaultFixture fx;
+    runtime::Executor executor(fx.device);
+    // Reference histogram with injection off.
+    runtime::ExecutionResult reference = executor.Run(fx.Job(4242, 4));
+
+    // Same job under a per-job fault plan: first submission fails (the
+    // per-identity attempt counter starts fresh), a later identical
+    // submission draws independently and eventually succeeds — and when
+    // it does, the counts are bit-identical to the fault-free run.
+    faults::ScopedFaultPlan scoped("resilient.job:p=0.7;seed=5");
+    std::optional<runtime::ExecutionResult> recovered;
+    int attempts = 0;
+    for (; attempts < 32 && !recovered; ++attempts) {
+        runtime::ExecutionJob job = fx.Job(4242, 4);
+        job.fault_site = "resilient.job";
+        try {
+            recovered = executor.Run(std::move(job));
+        } catch (const faults::InjectedFault&) {
+        }
+    }
+    ASSERT_TRUE(recovered.has_value()) << "p=0.7 never cleared in 32 tries";
+    EXPECT_EQ(recovered->counts.histogram(),
+              reference.counts.histogram());
+}
+
+TEST(ExecutorFaults, InternalFaultEscapesCaptureMode)
+{
+    const FaultFixture fx;
+    faults::ScopedFaultPlan scoped("executor.chunk:p=1,kind=internal");
+    runtime::Executor executor(fx.device);
+    runtime::ExecutionRequest request;
+    request.capture_job_errors = true;  // Must NOT absorb a bug.
+    request.jobs.push_back(fx.Job(1));
+    EXPECT_THROW(executor.Submit(std::move(request)), InternalError);
 }
 
 TEST(Determinism, BinPackedCharacterizationIdenticalAcrossThreadCounts)

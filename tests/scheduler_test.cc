@@ -14,11 +14,14 @@
 #include "characterization/characterizer.h"
 #include "circuit/dag.h"
 #include "common/error.h"
+#include "compiler/compiler.h"
 #include "device/ibmq_devices.h"
+#include "faults/faults.h"
 #include "scheduler/analysis.h"
 #include "scheduler/greedy_scheduler.h"
 #include "scheduler/scheduler.h"
 #include "scheduler/xtalk_scheduler.h"
+#include "telemetry/telemetry.h"
 
 namespace xtalk {
 namespace {
@@ -385,6 +388,88 @@ TEST(Analysis, ObjectiveMonotonicInOmega)
     // increase the (penalizing) objective relative to omega = 0.
     EXPECT_GT(est.Objective(1.0), 0.0);
     EXPECT_GT(est.crosstalk_overlaps, 0);
+}
+
+/**
+ * A workload far too large for a millisecond solver budget: many layers
+ * of parallel crosstalk-coupled CNOTs on a linear device. Used to force
+ * the solver-timeout / budget-expiry paths deterministically.
+ */
+Circuit
+OversizedWorkload(const Device& device, int layers)
+{
+    Circuit c(device.num_qubits());
+    for (int l = 0; l < layers; ++l) {
+        for (QubitId q = 0; q + 1 < device.num_qubits(); q += 2) {
+            c.CX(q, q + 1);
+        }
+    }
+    c.MeasureAll();
+    return c;
+}
+
+TEST(XtalkSchedulerResilience, InjectedSolveFaultEscapesScheduler)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:n=1");
+    XtalkScheduler scheduler(device, characterization);
+    EXPECT_THROW(scheduler.Schedule(ConflictCircuit()),
+                 faults::InjectedFault);
+}
+
+TEST(XtalkSchedulerResilience, BudgetExpiryWithoutModelIsSolverFailure)
+{
+    // A 1 ms per-round timeout on a ~600-gate problem cannot produce a
+    // model, and a 5 ms total budget expires within a round or two, so
+    // Schedule() must surface SolverFailure (never a z3 exception).
+    const Device device = MakeLinearDevice(40, 7, true);
+    const auto characterization = OracleCharacterization(device);
+    XtalkSchedulerOptions options;
+    options.timeout_ms = 1;
+    options.total_budget_ms = 5;
+    XtalkScheduler scheduler(device, characterization, options);
+    EXPECT_THROW(scheduler.Schedule(OversizedWorkload(device, 30)),
+                 SolverFailure);
+}
+
+TEST(XtalkSchedulerResilience, TimeoutDegradesToVerifiedSchedule)
+{
+    // Satellite regression: an aggressive solver budget must not abort
+    // the pipeline. The timeout counter increments, the compiler
+    // degrades down the chain, and the result passes the inter-pass
+    // verifiers (verify_passes throws on any illegal schedule).
+    telemetry::SetEnabled(true);
+    const uint64_t timeouts_before =
+        telemetry::GetCounter("sched.xtalk.solver_timeouts").value();
+    const Device device = MakeLinearDevice(40, 7, true);
+    const auto characterization = OracleCharacterization(device);
+    CompilerOptions options;
+    options.layout = LayoutPolicy::kTrivial;
+    options.scheduler = SchedulerPolicy::kXtalk;
+    // A generous total budget guarantees the first solve actually runs
+    // (a too-tight budget can expire during pre-solve analysis); the
+    // 1 ms per-round timeout then forces an `unknown` verdict.
+    options.xtalk.timeout_ms = 1;
+    options.xtalk.total_budget_ms = 2000;
+    options.verify_passes = true;
+    const CompileResult result = Compile(
+        device, characterization, OversizedWorkload(device, 30), options);
+    const uint64_t timeouts_after =
+        telemetry::GetCounter("sched.xtalk.solver_timeouts").value();
+    telemetry::SetEnabled(false);
+
+    EXPECT_GT(timeouts_after, timeouts_before);
+    EXPECT_GT(result.schedule.size(), 0);
+    // Either the solver scraped together a (suboptimal) model inside
+    // the budget, or the compiler degraded; a degradation must be
+    // internally consistent.
+    if (result.degradation != SchedulerDegradation::kNone) {
+        EXPECT_FALSE(result.degradation_reason.empty());
+        EXPECT_NE(result.scheduler_name, "XtalkSched");
+    } else {
+        EXPECT_TRUE(result.degradation_reason.empty());
+    }
 }
 
 TEST(Analysis, GroundTruthAndOracleCharacterizationAgree)

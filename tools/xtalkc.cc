@@ -42,6 +42,8 @@
 #include "characterization/io.h"
 #include "common/error.h"
 #include "common/logging.h"
+#include "common/retry.h"
+#include "faults/faults.h"
 #include "compiler/compiler.h"
 #include "compiler/pass.h"
 #include "compiler/pass_manager.h"
@@ -77,6 +79,7 @@ struct Options {
     std::string trace_json_path;
     std::string log_level;
     std::string passes;
+    std::string faults;
     double omega = 0.5;
     int simulate_shots = 0;
     int threads = 0;
@@ -109,6 +112,10 @@ PrintUsage()
         "  --threads <n>              worker threads for simulation\n"
         "                             (overrides XTALK_THREADS; default:\n"
         "                             all hardware threads)\n"
+        "  --faults <plan>            inject deterministic faults, e.g.\n"
+        "                             'smt.solve:n=1;io.load:p=0.5;seed=7'\n"
+        "                             (overrides XTALK_FAULTS; see\n"
+        "                             docs/RESILIENCE.md)\n"
         "  --stats-json <file>        dump telemetry metrics as JSON\n"
         "  --trace-json <file>        dump a Chrome trace_event JSON file\n"
         "                             (chrome://tracing / Perfetto)\n"
@@ -140,6 +147,8 @@ ParseArgs(int argc, char** argv, Options* options)
             options->omega = std::stod(next("--omega"));
         } else if (arg == "--passes") {
             options->passes = next("--passes");
+        } else if (arg == "--faults") {
+            options->faults = next("--faults");
         } else if (arg == "--list-passes") {
             options->list_passes = true;
         } else if (arg == "--verify-passes") {
@@ -329,8 +338,16 @@ RunTool(const Options& options)
     CrosstalkCharacterization characterization;
     if (!options.characterization_path.empty()) {
         std::string measured_on;
-        characterization = LoadCharacterization(
-            options.characterization_path, &measured_on);
+        // Bounded retry: characterization files typically live on
+        // network filesystems on real deployments, and transient read
+        // failures should not kill a compile. Parse errors are not
+        // transient but retrying them is harmless (bounded, no delay).
+        RetryPolicy io_retry;
+        Rng io_rng(0x10AD);
+        RetryCall(io_retry, io_rng, [&] {
+            characterization = LoadCharacterization(
+                options.characterization_path, &measured_on);
+        });
         XTALK_REQUIRE(measured_on.empty() || measured_on == device.name(),
                       options.characterization_path << " was measured on '"
                           << measured_on << "', not '" << device.name()
@@ -495,6 +512,12 @@ main(int argc, char** argv)
     }
 
     try {
+        if (!options.faults.empty()) {
+            // CLI plan wins over XTALK_FAULTS; a grammar error is a
+            // usage error (exit 2) like any other bad flag value.
+            faults::InstallPlan(faults::FaultPlan::Parse(options.faults));
+            Inform("fault plan: " + faults::ActivePlanString());
+        }
         return RunTool(options);
     } catch (const InternalError& e) {
         std::cerr << "internal error: " << e.what() << "\n"
