@@ -23,6 +23,7 @@
 #include "sim/noisy_simulator.h"
 #include "sim/stabilizer.h"
 #include "sim/statevector.h"
+#include "telemetry/journal.h"
 #include "workloads/swap_circuits.h"
 
 namespace xtalk {
@@ -246,6 +247,37 @@ BM_XtalkSchedulerSwapPath(benchmark::State& state)
     }
 }
 BENCHMARK(BM_XtalkSchedulerSwapPath)->Unit(benchmark::kMillisecond);
+
+void
+BM_JournalEmitDisabled(benchmark::State& state)
+{
+    // The advertised cost of an instrumented call site when the journal
+    // is off: one relaxed atomic load, arguments never materialised.
+    telemetry::SetJournalEnabled(false);
+    uint64_t i = 0;
+    for (auto _ : state) {
+        telemetry::JournalEmit("bench.noop", {{"i", i++}});
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_JournalEmitDisabled);
+
+void
+BM_JournalEmitEnabled(benchmark::State& state)
+{
+    // Enabled cost for comparison: shard lock plus typed field copies.
+    // The bounded buffer means long runs settle into the drop path.
+    telemetry::SetJournalEnabled(true);
+    telemetry::Journal::Global().Clear();
+    uint64_t i = 0;
+    for (auto _ : state) {
+        telemetry::JournalEmit("bench.noop", {{"i", i++}});
+    }
+    state.SetItemsProcessed(state.iterations());
+    telemetry::SetJournalEnabled(false);
+    telemetry::Journal::Global().Clear();
+}
+BENCHMARK(BM_JournalEmitEnabled);
 
 void
 BM_ParSchedSwapPath(benchmark::State& state)

@@ -8,6 +8,8 @@
 
 #include "common/error.h"
 #include "common/logging.h"
+#include "telemetry/journal.h"
+#include "telemetry/ledger.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -168,6 +170,23 @@ CrosstalkCharacterization::Merge(const CrosstalkCharacterization& other)
     }
 }
 
+std::string
+CrosstalkCharacterization::SnapshotId() const
+{
+    // std::map iterates in key order, so the serialization — and the
+    // hash — is independent of insertion history.
+    std::ostringstream canon;
+    canon.precision(17);
+    for (const auto& [edge, error] : independent_) {
+        canon << "i " << edge << " " << error << "\n";
+    }
+    for (const auto& [pair, error] : conditional_) {
+        canon << "c " << pair.first << " " << pair.second << " " << error
+              << "\n";
+    }
+    return telemetry::FnvHex(canon.str());
+}
+
 CrosstalkCharacterizer::CrosstalkCharacterizer(
     const Device& device, RbConfig config, NoisySimOptions sim_options,
     runtime::ExecutorOptions exec_options, CharacterizerOptions options)
@@ -260,6 +279,16 @@ RunExperimentBatch(
     if (report) {
         report->failed_jobs += count_failed_jobs(failed);
     }
+    if (telemetry::JournalEnabled()) {
+        for (size_t i = 0; i < experiments.size(); ++i) {
+            telemetry::JournalEmit(
+                "charz.experiment",
+                {{"group", static_cast<uint64_t>(i)},
+                 {"edges",
+                  static_cast<uint64_t>(groups[i].size())},
+                 {"ok", ever_failed.count(i) == 0}});
+        }
+    }
     Rng backoff_rng(DeriveSeed(0xbacc0ff5eedull,
                                failed.empty() ? 0 : failed.front()));
     for (int attempt = 1;
@@ -271,6 +300,15 @@ RunExperimentBatch(
         }
         if (telemetry::Enabled()) {
             telemetry::GetCounter("retry.attempts").Add(failed.size());
+        }
+        if (telemetry::JournalEnabled()) {
+            for (size_t i : failed) {
+                telemetry::JournalEmit(
+                    "charz.retry",
+                    {{"group", static_cast<uint64_t>(i)},
+                     {"attempt", attempt},
+                     {"delay_ms", delay_ms}});
+            }
         }
         runtime::ExecutionRequest retry_request;
         retry_request.capture_job_errors = true;
@@ -314,6 +352,10 @@ RunExperimentBatch(
 
     for (size_t i = 0; i < experiments.size(); ++i) {
         if (quarantine_set.count(i) > 0) {
+            telemetry::JournalEmit(
+                "charz.quarantine",
+                {{"group", static_cast<uint64_t>(i)},
+                 {"attempts", retry.max_attempts}});
             if (quarantined) {
                 quarantined->push_back(i);
             }

@@ -128,6 +128,14 @@ class CrosstalkCharacterization {
     /** Merge (overwrite) entries from another characterization. */
     void Merge(const CrosstalkCharacterization& other);
 
+    /**
+     * Stable content hash of every entry (hex). Two characterizations
+     * with identical measurements share an id, so the run ledger can
+     * tell "the snapshot changed" from "the code changed" across the
+     * daily re-characterization workflow.
+     */
+    std::string SnapshotId() const;
+
   private:
     std::map<EdgeId, double> independent_;
     std::map<GatePair, double> conditional_;

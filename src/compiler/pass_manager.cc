@@ -9,6 +9,7 @@
 
 #include "common/error.h"
 #include "compiler/verification.h"
+#include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -160,6 +161,10 @@ PassManager::Run(CompilationState& state) const
         Pass& pass = *passes_[i];
         const std::string span_name = "compiler.pass." + pass.name();
         const auto t0 = std::chrono::steady_clock::now();
+        telemetry::JournalEmit("pass.begin",
+                               {{"pass", pass.name()},
+                                {"index", i + 1},
+                                {"of", n}});
         {
             telemetry::ScopedSpan span(span_name.c_str());
             try {
@@ -167,22 +172,27 @@ PassManager::Run(CompilationState& state) const
             } catch (const InternalError&) {
                 throw;  // Library bugs keep their original report.
             } catch (const Error& e) {
+                telemetry::JournalEmit("pass.error",
+                                       {{"pass", pass.name()},
+                                        {"error", std::string(e.what())}});
                 throw Error("pass '" + pass.name() + "' (" +
                             std::to_string(i + 1) + "/" +
                             std::to_string(n) + " in pipeline) failed: " +
                             e.what());
             }
         }
+        const double us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - t0)
+                              .count();
         if (telemetry::Enabled()) {
-            const double us =
-                std::chrono::duration<double, std::micro>(
-                    std::chrono::steady_clock::now() - t0)
-                    .count();
             telemetry::GetHistogram(span_name + ".duration_us",
                                     DurationUsBuckets())
                 .Record(us);
             telemetry::GetCounter(span_name + ".runs").Add(1);
         }
+        telemetry::JournalEmit("pass.end",
+                               {{"pass", pass.name()},
+                                {"duration_us", us}});
         if (options_.verify && !pass.is_verification()) {
             RunVerificationSweep(state, pass.name());
         }
@@ -211,6 +221,10 @@ PassManager::RunVerificationSweep(CompilationState& state,
             if (telemetry::Enabled()) {
                 telemetry::GetCounter("compiler.verify.failures").Add(1);
             }
+            telemetry::JournalEmit("verify.failure",
+                                   {{"verifier", verifier->name()},
+                                    {"after_pass", after_pass},
+                                    {"error", std::string(e.what())}});
             throw Error("verification pass '" + verifier->name() +
                         "' failed after pass '" + after_pass +
                         "': " + e.what());

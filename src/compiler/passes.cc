@@ -13,6 +13,7 @@
 #include "scheduler/omega_tuning.h"
 #include "scheduler/scheduler.h"
 #include "scheduler/xtalk_scheduler.h"
+#include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
 #include "transpile/layout.h"
 #include "transpile/routing.h"
@@ -71,6 +72,10 @@ RunSmtWithFallback(CompilationState& state, const Circuit& source,
     if (telemetry::Enabled()) {
         telemetry::GetCounter("sched.xtalk.fallbacks").Add(1);
     }
+    telemetry::JournalEmit("sched.fallback",
+                           {{"from", "XtalkSched"},
+                            {"to", "GreedySched"},
+                            {"reason", reason}});
     Warn("schedule: XtalkSched failed (" + reason +
          "); degrading to GreedySched");
     try {
@@ -90,6 +95,10 @@ RunSmtWithFallback(CompilationState& state, const Circuit& source,
         reason += std::string("; GreedySched failed: ") + e.what();
     }
     if (state.degradation != SchedulerDegradation::kGreedy) {
+        telemetry::JournalEmit("sched.fallback",
+                               {{"from", "GreedySched"},
+                                {"to", "ParSched"},
+                                {"reason", reason}});
         Warn("schedule: GreedySched failed too; degrading to ParSched");
         ParallelScheduler scheduler(state.device());
         state.schedule = scheduler.Schedule(source);

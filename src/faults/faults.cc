@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "common/rng.h"
+#include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
 
 namespace xtalk::faults {
@@ -120,6 +121,12 @@ Fire(RuleState& rs, uint64_t call)
     if (telemetry::Enabled()) {
         telemetry::GetCounter("faults.injected." + rs.rule.site).Add(1);
     }
+    telemetry::JournalEmit(
+        "fault.injected",
+        {{"site", rs.rule.site},
+         {"call", call},
+         {"kind", rs.rule.kind == FaultKind::kInternal ? "internal"
+                                                       : "error"}});
     std::ostringstream detail;
     detail << "injected fault at site '" << rs.rule.site << "' (call "
            << call << ")";

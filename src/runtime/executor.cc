@@ -6,6 +6,7 @@
 #include "common/error.h"
 #include "faults/faults.h"
 #include "sim/stabilizer.h"
+#include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -111,13 +112,20 @@ Executor::Submit(ExecutionRequest request)
                 chunks == 1 ? job.seed : DeriveSeed(job.seed, c);
             const int chunk_shots = plans[j][c];
             futures[j].push_back(pool_->Submit(
-                [this, &job, chunk_seed, chunk_shots, dispatch, c] {
+                [this, &job, chunk_seed, chunk_shots, dispatch, j, c] {
                     const Clock::time_point start = Clock::now();
                     ChunkOutcome outcome;
                     outcome.counts = RunChunk(*device_, job, chunk_seed,
                                               chunk_shots, c == 0);
                     outcome.sim_ms = MsSince(start);
                     outcome.done_ms = MsSince(dispatch);
+                    telemetry::JournalEmit(
+                        "exec.chunk",
+                        {{"job", static_cast<uint64_t>(j)},
+                         {"chunk", c},
+                         {"shots", chunk_shots},
+                         {"seed", chunk_seed},
+                         {"sim_ms", outcome.sim_ms}});
                     return outcome;
                 }));
         }
@@ -129,6 +137,10 @@ Executor::Submit(ExecutionRequest request)
         telemetry::GetCounter("runtime.executor.chunks").Add(total_chunks);
         telemetry::GetCounter("runtime.executor.shots").Add(total_shots);
     }
+    telemetry::JournalEmit("exec.batch",
+                           {{"jobs", static_cast<uint64_t>(num_jobs)},
+                            {"chunks", total_chunks},
+                            {"shots", total_shots}});
 
     // Join everything before rethrowing so no future outlives its job
     // (the lambdas capture `request.jobs` by reference). In capture
@@ -173,6 +185,18 @@ Executor::Submit(ExecutionRequest request)
                     first_error = std::current_exception();
                 }
             }
+        }
+        if (result.ok) {
+            telemetry::JournalEmit("exec.job",
+                                   {{"job", static_cast<uint64_t>(j)},
+                                    {"chunks", result.chunks},
+                                    {"sim_ms", result.sim_ms},
+                                    {"wall_ms", result.wall_ms}});
+        } else {
+            telemetry::JournalEmit("exec.job.error",
+                                   {{"job", static_cast<uint64_t>(j)},
+                                    {"chunks", result.chunks},
+                                    {"error", result.error}});
         }
     }
     if (failed_jobs > 0 && telemetry::Enabled()) {

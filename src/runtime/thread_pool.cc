@@ -36,14 +36,20 @@ EnvThreads()
     return static_cast<int>(parsed);
 }
 
-/** Gauge refresh shared by enqueue/dequeue sites. */
+/**
+ * Gauge refresh shared by enqueue/dequeue sites. High-watermark
+ * semantics: a last-write-wins Set() here almost always snapshots the
+ * drained pool (the final dequeue writes last), which made the gauges
+ * read 0 in every report. Peak depth/occupancy is the number that
+ * actually describes the run; see docs/OBSERVABILITY.md.
+ */
 void
 PublishPoolGauges(size_t queue_depth, int busy_workers)
 {
     telemetry::GetGauge("runtime.pool.queue_depth")
-        .Set(static_cast<double>(queue_depth));
+        .UpdateMax(static_cast<double>(queue_depth));
     telemetry::GetGauge("runtime.pool.busy_workers")
-        .Set(static_cast<double>(busy_workers));
+        .UpdateMax(static_cast<double>(busy_workers));
 }
 
 }  // namespace

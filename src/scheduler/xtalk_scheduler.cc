@@ -13,6 +13,7 @@
 #include "common/error.h"
 #include "common/logging.h"
 #include "faults/faults.h"
+#include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -375,6 +376,16 @@ XtalkScheduler::Schedule(const Circuit& circuit)
                         .Add(1);
                 }
             }
+            telemetry::JournalEmit(
+                "sched.solve",
+                {{"round", round},
+                 {"verdict", result == z3::sat
+                                 ? "sat"
+                                 : (result == z3::unsat ? "unsat"
+                                                        : "unknown")},
+                 {"constraints", num_constraints},
+                 {"pairs", static_cast<uint64_t>(last_pairs_.size())},
+                 {"have_model", have_model}});
             XTALK_REQUIRE(result != z3::unsat,
                           "scheduling constraints are unsatisfiable (bug)");
             stats_.optimal = (result == z3::sat);
@@ -399,6 +410,11 @@ XtalkScheduler::Schedule(const Circuit& circuit)
                 starts[g] = NumeralToDouble(model.eval(tau[g], true));
             }
         } catch (const z3::exception& e) {
+            telemetry::JournalEmit("sched.solve",
+                                   {{"round", round},
+                                    {"verdict", "exception"},
+                                    {"error", std::string(e.msg())},
+                                    {"have_model", have_model}});
             if (have_model) {
                 Warn(std::string("XtalkSched: solver failed in refinement "
                                  "round (") +
@@ -470,7 +486,13 @@ XtalkScheduler::Schedule(const Circuit& circuit)
         telemetry::GetCounter("sched.xtalk.schedules").Add(1);
         telemetry::GetCounter("sched.xtalk.refinement_rounds")
             .Add(static_cast<uint64_t>(stats_.refinement_rounds));
-        telemetry::GetHistogram("sched.xtalk.solve_ms")
+        // Explicit bounds: SMT solves cluster in the 1ms-2min range, so
+        // the sub-millisecond default buckets would pile everything
+        // into a few cells and ruin the quantile estimates.
+        telemetry::GetHistogram("sched.xtalk.solve_ms",
+                                {1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0,
+                                 200.0, 500.0, 1e3, 2e3, 5e3, 10e3, 20e3,
+                                 60e3, 120e3})
             .Record(stats_.solve_seconds * 1e3);
     }
     return schedule;

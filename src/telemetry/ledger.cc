@@ -1,0 +1,85 @@
+#include "telemetry/ledger.h"
+
+#include <chrono>
+#include <cstdint>
+#include <ctime>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "telemetry/json.h"
+
+namespace xtalk::telemetry {
+
+std::string
+RunRecordJson(const RunRecord& record)
+{
+    JsonWriter w;
+    w.BeginObject();
+    w.Key("schema").String("xtalk.ledger.v1");
+    w.Key("run").String(record.run_id);
+    w.Key("when").String(record.when);
+    w.Key("config").String(record.config_hash);
+    w.Key("device").String(record.device);
+    w.Key("characterization").String(record.characterization_id);
+    w.Key("scheduler").String(record.scheduler);
+    w.Key("degradation").String(record.degradation);
+    w.Key("degradation_reason").String(record.degradation_reason);
+    w.Key("exit").Number(static_cast<int64_t>(record.exit_code));
+    w.Key("metrics").BeginObject();
+    for (const auto& [key, value] : record.metrics) {
+        w.Key(key).Number(value);
+    }
+    w.EndObject();
+    w.EndObject();
+    return w.str();
+}
+
+bool
+AppendRunRecord(const std::string& path, const RunRecord& record,
+                std::string* error)
+{
+    std::ofstream out(path, std::ios::app);
+    if (!out.good()) {
+        if (error) {
+            *error = "cannot open " + path + " for appending";
+        }
+        return false;
+    }
+    out << RunRecordJson(record) << "\n";
+    out.flush();
+    if (!out.good()) {
+        if (error) {
+            *error = "append to " + path + " failed";
+        }
+        return false;
+    }
+    return true;
+}
+
+std::string
+Iso8601UtcNow()
+{
+    const std::time_t now = std::chrono::system_clock::to_time_t(
+        std::chrono::system_clock::now());
+    std::tm utc{};
+    gmtime_r(&now, &utc);
+    std::ostringstream oss;
+    oss << std::put_time(&utc, "%Y-%m-%dT%H:%M:%SZ");
+    return oss.str();
+}
+
+std::string
+FnvHex(const std::string& text)
+{
+    uint64_t h = 1469598103934665603ull;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 1099511628211ull;
+    }
+    std::ostringstream oss;
+    oss << std::hex << std::setfill('0') << std::setw(16) << h;
+    return oss.str();
+}
+
+}  // namespace xtalk::telemetry

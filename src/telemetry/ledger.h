@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Run ledger: an append-only, one-line-per-run JSONL summary record.
+ *
+ * The paper's workflow is longitudinal — crosstalk pairs are
+ * re-characterized daily (Opt 3) and a schedule is only meaningful
+ * relative to the characterization snapshot that produced it. The
+ * ledger is the durable spine of that history: every `xtalkc --ledger`
+ * run appends one record carrying the run id, a hash of the effective
+ * configuration, the device, the characterization snapshot id, the
+ * scheduler that actually ran (including degradation), the exit
+ * status, and a handful of key metrics. Day-over-day diffs of the
+ * ledger answer "did the schedule change because the code changed, the
+ * config changed, or the device drifted?".
+ *
+ * Schema (xtalk.ledger.v1), one JSON object per line:
+ *
+ *   {"schema":"xtalk.ledger.v1","run":"1f3a…","when":"2026-08-07T12:00:01Z",
+ *    "config":"9bd22c07","device":"ibmq_poughkeepsie",
+ *    "characterization":"c0ffee12","scheduler":"XtalkSched",
+ *    "degradation":"none","degradation_reason":"","exit":0,
+ *    "metrics":{"compile_ms":31.2,"solve_ms_p95":18.0,…}}
+ *
+ * See docs/OBSERVABILITY.md for the field catalogue.
+ */
+#ifndef XTALK_TELEMETRY_LEDGER_H
+#define XTALK_TELEMETRY_LEDGER_H
+
+#include <map>
+#include <string>
+
+namespace xtalk::telemetry {
+
+/** One run's summary record. */
+struct RunRecord {
+    std::string run_id;               ///< telemetry::RunId().
+    std::string when;                 ///< Wall-clock ISO 8601 UTC.
+    std::string config_hash;          ///< FnvHex of the effective config.
+    std::string device;               ///< Device name.
+    std::string characterization_id;  ///< Snapshot id ("" = none loaded).
+    std::string scheduler;            ///< Scheduler that actually ran.
+    std::string degradation = "none";  ///< none | greedy | parallel.
+    std::string degradation_reason;    ///< "" when degradation == none.
+    int exit_code = 0;
+    /** Key metrics (counts, durations); see docs/OBSERVABILITY.md. */
+    std::map<std::string, double> metrics;
+};
+
+/** Serialize one record as a single JSON line (no trailing newline). */
+std::string RunRecordJson(const RunRecord& record);
+
+/**
+ * Append @p record as one line to @p path (created when absent). The
+ * file is append-only by contract: records are never rewritten, so the
+ * ledger is a faithful chronological history even across crashes.
+ * False (with @p error set) on I/O failure.
+ */
+bool AppendRunRecord(const std::string& path, const RunRecord& record,
+                     std::string* error = nullptr);
+
+/** Current wall-clock time formatted as ISO 8601 UTC. */
+std::string Iso8601UtcNow();
+
+/** FNV-1a hash of @p text as a fixed-width hex string. The stable id
+ *  behind config hashes and characterization snapshot ids. */
+std::string FnvHex(const std::string& text);
+
+}  // namespace xtalk::telemetry
+
+#endif  // XTALK_TELEMETRY_LEDGER_H

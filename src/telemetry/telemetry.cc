@@ -1,6 +1,7 @@
 #include "telemetry/telemetry.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <limits>
@@ -154,6 +155,12 @@ Histogram::Percentile(double p) const
     return RecordedMax();
 }
 
+double
+Histogram::Quantile(double q) const
+{
+    return Percentile(std::clamp(q, 0.0, 1.0) * 100.0);
+}
+
 void
 Histogram::Reset()
 {
@@ -264,6 +271,7 @@ Registry::ToJson() const
         w.Key("max").Number(h->RecordedMax());
         w.Key("p50").Number(h->Percentile(50));
         w.Key("p90").Number(h->Percentile(90));
+        w.Key("p95").Number(h->Percentile(95));
         w.Key("p99").Number(h->Percentile(99));
         w.Key("bounds").BeginArray();
         for (const double b : h->bounds()) {
@@ -285,6 +293,53 @@ Registry::ToJson() const
     w.EndObject();
     w.EndObject();
     return w.str();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+Registry::CounterSamples() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(im.counters.size());
+    for (const auto& [name, c] : im.counters) {
+        out.emplace_back(name, c->value());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, double>>
+Registry::GaugeSamples() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    std::vector<std::pair<std::string, double>> out;
+    out.reserve(im.gauges.size());
+    for (const auto& [name, g] : im.gauges) {
+        out.emplace_back(name, g->value());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, const Histogram*>>
+Registry::HistogramSamples() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    std::vector<std::pair<std::string, const Histogram*>> out;
+    out.reserve(im.histograms.size());
+    for (const auto& [name, h] : im.histograms) {
+        out.emplace_back(name, h.get());
+    }
+    return out;
+}
+
+std::vector<std::pair<std::string, std::string>>
+Registry::LabelSamples() const
+{
+    Impl& im = impl();
+    std::lock_guard<std::mutex> lock(im.mu);
+    return {im.labels.begin(), im.labels.end()};
 }
 
 void
@@ -329,12 +384,59 @@ SetLabel(const std::string& key, const std::string& value)
     Registry::Global().SetLabel(key, value);
 }
 
+namespace {
+
+/** Parse XTALK_HIST_BOUNDS ("0.5,1,5,10" in ms). Empty on any
+ *  malformed or non-ascending input so callers fall back cleanly. */
+std::vector<double>
+ParseHistBoundsEnv(const char* env)
+{
+    std::vector<double> bounds;
+    std::string text(env);
+    size_t start = 0;
+    while (start <= text.size()) {
+        size_t comma = text.find(',', start);
+        if (comma == std::string::npos) {
+            comma = text.size();
+        }
+        const std::string token = text.substr(start, comma - start);
+        start = comma + 1;
+        if (token.empty()) {
+            continue;
+        }
+        try {
+            size_t used = 0;
+            const double v = std::stod(token, &used);
+            if (used != token.size() || !std::isfinite(v)) {
+                return {};
+            }
+            if (!bounds.empty() && v <= bounds.back()) {
+                return {};
+            }
+            bounds.push_back(v);
+        } catch (const std::exception&) {
+            return {};
+        }
+    }
+    return bounds;
+}
+
+}  // namespace
+
 const std::vector<double>&
 DefaultTimeBucketsMs()
 {
-    static const std::vector<double> buckets{
-        0.001, 0.003, 0.01, 0.03, 0.1,  0.3,  1.0,     3.0,
-        10.0,  30.0,  100.0, 300.0, 1e3, 3e3, 10e3, 30e3, 120e3};
+    static const std::vector<double> buckets = [] {
+        if (const char* env = std::getenv("XTALK_HIST_BOUNDS")) {
+            std::vector<double> parsed = ParseHistBoundsEnv(env);
+            if (!parsed.empty()) {
+                return parsed;
+            }
+        }
+        return std::vector<double>{
+            0.001, 0.003, 0.01, 0.03, 0.1,  0.3,  1.0,     3.0,
+            10.0,  30.0,  100.0, 300.0, 1e3, 3e3, 10e3, 30e3, 120e3};
+    }();
     return buckets;
 }
 

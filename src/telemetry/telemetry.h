@@ -27,6 +27,7 @@
 #include <atomic>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace xtalk::telemetry {
@@ -79,6 +80,22 @@ class Gauge {
         value_.store(v, std::memory_order_relaxed);
     }
 
+    /**
+     * Raise the gauge to @p v if it is below (CAS max). Turns a gauge
+     * into a high-watermark: concurrent publishers keep the peak
+     * instead of whoever wrote last. Used by the runtime pool gauges
+     * (`runtime.pool.*`); reset between runs via Registry::Reset().
+     */
+    void
+    UpdateMax(double v)
+    {
+        double cur = value_.load(std::memory_order_relaxed);
+        while (v > cur &&
+               !value_.compare_exchange_weak(cur, v,
+                                             std::memory_order_relaxed)) {
+        }
+    }
+
     double
     value() const
     {
@@ -120,6 +137,9 @@ class Histogram {
     std::vector<uint64_t> BucketCounts() const;
     /** Interpolated percentile estimate, @p p in [0, 100]. */
     double Percentile(double p) const;
+    /** Interpolated quantile estimate, @p q in [0, 1]. Quantile(0.95)
+     *  == Percentile(95); the OpenMetrics-friendly spelling. */
+    double Quantile(double q) const;
 
     void Reset();
 
@@ -157,10 +177,22 @@ class Registry {
     /**
      * Serialize every metric:
      * {"counters":{...},"gauges":{...},"histograms":{name:
-     *  {"count","sum","mean","min","max","p50","p90","p99",
+     *  {"count","sum","mean","min","max","p50","p90","p95","p99",
      *   "bounds":[...],"buckets":[...]}},"labels":{...}}
      */
     std::string ToJson() const;
+
+    /**
+     * Point-in-time copies of every metric, for exporters (see
+     * openmetrics.h). Histogram entries are stable pointers — metric
+     * objects are never destroyed — so reading them after the snapshot
+     * is safe, though values may advance between calls.
+     */
+    std::vector<std::pair<std::string, uint64_t>> CounterSamples() const;
+    std::vector<std::pair<std::string, double>> GaugeSamples() const;
+    std::vector<std::pair<std::string, const Histogram*>>
+    HistogramSamples() const;
+    std::vector<std::pair<std::string, std::string>> LabelSamples() const;
 
     /** Zero all values and drop labels; metric objects survive. */
     void Reset();
@@ -181,7 +213,11 @@ void SetLabel(const std::string& key, const std::string& value);
 /**
  * Default duration buckets in milliseconds: 1us to ~2min in roughly
  * 3x steps. Suits everything from a single gate application to a full
- * characterization run.
+ * characterization run. Overridable process-wide via the
+ * XTALK_HIST_BOUNDS environment variable (comma-separated ascending
+ * upper bounds in ms, read once at first use; malformed values are
+ * ignored), for workloads whose durations cluster outside the default
+ * range. Histograms created with explicit bounds are unaffected.
  */
 const std::vector<double>& DefaultTimeBucketsMs();
 

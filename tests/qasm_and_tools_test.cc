@@ -25,6 +25,7 @@
 #include "scheduler/omega_tuning.h"
 #include "sim/statevector.h"
 #include "telemetry/json.h"
+#include "telemetry/openmetrics.h"
 #include "transpile/routing.h"
 #include "workloads/hidden_shift.h"
 #include "workloads/swap_circuits.h"
@@ -482,6 +483,113 @@ TEST(XtalkcCliFaults, MalformedPlanIsAUsageErrorExitsTwo)
 {
     const FaultSmokeFixture fx;
     EXPECT_EQ(fx.Run("--scheduler serial --faults totally%%bogus"), 2);
+}
+
+
+TEST(XtalkcCliObservability, JournalLedgerAndPromOutputsAreWellFormed)
+{
+    const FaultSmokeFixture fx;
+    const std::string journal_path = fx.dir + "/xtalkc_obs_journal.jsonl";
+    const std::string prom_path = fx.dir + "/xtalkc_obs_metrics.prom";
+    const std::string ledger_path = fx.dir + "/xtalkc_obs_ledger.jsonl";
+    ASSERT_EQ(fx.Run("--scheduler xtalk --characterization " +
+                     fx.charz_path + " --simulate 16 --journal " +
+                     journal_path + " --metrics-prom " + prom_path +
+                     " --ledger " + ledger_path),
+              0);
+
+    // Journal: a schema header line, then one valid JSON object per
+    // event, covering compiler and executor lifecycle types.
+    const std::string journal = SlurpFile(journal_path);
+    std::istringstream journal_in(journal);
+    std::string line;
+    int lines = 0;
+    std::string error;
+    while (std::getline(journal_in, line)) {
+        EXPECT_TRUE(telemetry::ValidateJson(line, &error))
+            << error << "\n" << line;
+        ++lines;
+    }
+    EXPECT_GT(lines, 5);
+    EXPECT_NE(journal.find("\"schema\":\"xtalk.journal.v1\""),
+              std::string::npos);
+    EXPECT_NE(journal.find("\"type\":\"pass.begin\""),
+              std::string::npos);
+    EXPECT_NE(journal.find("\"type\":\"sched.solve\""),
+              std::string::npos);
+    EXPECT_NE(journal.find("\"type\":\"exec.chunk\""),
+              std::string::npos);
+
+    // OpenMetrics: the exposition passes the format checker and maps
+    // dotted names to the xtalk_ namespace.
+    const std::string prom = SlurpFile(prom_path);
+    EXPECT_TRUE(telemetry::ValidateOpenMetrics(prom, &error)) << error;
+    EXPECT_NE(prom.find("xtalk_compile_invocations_total 1"),
+              std::string::npos);
+    EXPECT_NE(prom.find("xtalk_sched_xtalk_solve_ms_bucket"),
+              std::string::npos);
+
+    // Ledger: one appended record naming the run, scheduler, and the
+    // characterization snapshot.
+    const std::string ledger = SlurpFile(ledger_path);
+    EXPECT_TRUE(telemetry::ValidateJson(ledger, &error)) << error;
+    EXPECT_NE(ledger.find("\"schema\":\"xtalk.ledger.v1\""),
+              std::string::npos);
+    EXPECT_NE(ledger.find("\"scheduler\":\"XtalkSched\""),
+              std::string::npos);
+    EXPECT_NE(ledger.find("\"exit\":0"), std::string::npos);
+    EXPECT_EQ(ledger.find("\"characterization\":\"\""),
+              std::string::npos)
+        << "snapshot id missing: " << ledger;
+
+    // The run id cross-references journal and ledger.
+    const size_t run_key = journal.find("\"run\":\"");
+    ASSERT_NE(run_key, std::string::npos);
+    const size_t run_begin = run_key + 7;  // strlen("\"run\":\"")
+    const std::string run_id = journal.substr(
+        run_begin, journal.find('"', run_begin) - run_begin);
+    EXPECT_NE(ledger.find("\"run\":\"" + run_id + "\""),
+              std::string::npos)
+        << "ledger does not reference run " << run_id;
+
+    std::remove(journal_path.c_str());
+    std::remove(prom_path.c_str());
+    std::remove(ledger_path.c_str());
+}
+
+TEST(XtalkcCliObservability, FaultedRunStillWritesParseableEvidence)
+{
+    const FaultSmokeFixture fx;
+    const std::string journal_path = fx.dir + "/xtalkc_ev_journal.jsonl";
+    const std::string ledger_path = fx.dir + "/xtalkc_ev_ledger.jsonl";
+    // kind=internal propagates: exit 3, but the journal must still be
+    // written (with the injected fault recorded) and the ledger must
+    // still gain a record carrying the exit code.
+    ASSERT_EQ(fx.Run("--scheduler xtalk --characterization " +
+                     fx.charz_path +
+                     " --faults smt.solve:n=1,kind=internal --journal " +
+                     journal_path + " --ledger " + ledger_path),
+              3);
+    const std::string journal = SlurpFile(journal_path);
+    std::istringstream journal_in(journal);
+    std::string line;
+    std::string error;
+    while (std::getline(journal_in, line)) {
+        EXPECT_TRUE(telemetry::ValidateJson(line, &error))
+            << error << "\n" << line;
+    }
+    EXPECT_NE(journal.find("\"type\":\"fault.injected\""),
+              std::string::npos)
+        << journal;
+    EXPECT_NE(journal.find("\"site\":\"smt.solve\""),
+              std::string::npos);
+
+    const std::string ledger = SlurpFile(ledger_path);
+    EXPECT_TRUE(telemetry::ValidateJson(ledger, &error)) << error;
+    EXPECT_NE(ledger.find("\"exit\":3"), std::string::npos) << ledger;
+
+    std::remove(journal_path.c_str());
+    std::remove(ledger_path.c_str());
 }
 
 #endif  // XTALK_XTALKC_BIN

@@ -317,5 +317,114 @@ TEST(ValidateJson, RejectsMalformedDocuments)
     }
 }
 
+// -- Histogram quantiles ---------------------------------------------------
+
+TEST_F(TelemetryTest, QuantileOfEmptyHistogramIsZero)
+{
+    Histogram h({1.0, 10.0, 100.0});
+    EXPECT_EQ(h.Quantile(0.0), 0.0);
+    EXPECT_EQ(h.Quantile(0.5), 0.0);
+    EXPECT_EQ(h.Quantile(0.99), 0.0);
+}
+
+TEST_F(TelemetryTest, QuantileInterpolatesWithinSingleBucket)
+{
+    Histogram h({10.0, 20.0, 30.0});
+    // 10 values in the (10, 20] bucket: quantiles interpolate linearly
+    // across the bucket span.
+    for (int i = 0; i < 10; ++i) {
+        h.Record(15.0);
+    }
+    EXPECT_GT(h.Quantile(0.5), 10.0);
+    EXPECT_LE(h.Quantile(0.5), 20.0);
+    EXPECT_LE(h.Quantile(0.5), h.Quantile(0.95));
+    EXPECT_DOUBLE_EQ(h.Quantile(1.0), 20.0);
+    // Quantile(q) is exactly Percentile(100q).
+    EXPECT_DOUBLE_EQ(h.Quantile(0.95), h.Percentile(95));
+}
+
+TEST_F(TelemetryTest, QuantileOfOverflowBucketReportsRecordedMax)
+{
+    Histogram h({1.0, 2.0});
+    h.Record(0.5);
+    h.Record(500.0);   // Overflow bucket (no upper bound).
+    h.Record(1000.0);  // Recorded max.
+    // With 2/3 of the mass in the unbounded overflow bucket, high
+    // quantiles clamp to the recorded max rather than inventing a bound.
+    EXPECT_DOUBLE_EQ(h.Quantile(0.99), 1000.0);
+    EXPECT_DOUBLE_EQ(h.Quantile(0.67), 1000.0);
+    EXPECT_LE(h.Quantile(0.2), 1.0);
+}
+
+TEST_F(TelemetryTest, QuantileMergedAcrossThreadsMatchesSerialRecording)
+{
+    Histogram& merged = GetHistogram("test.quantile.merged",
+                                     {1.0, 2.0, 5.0, 10.0, 20.0, 50.0});
+    constexpr int kThreads = 8;
+    constexpr int kPerThread = 1000;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&merged] {
+            for (int i = 0; i < kPerThread; ++i) {
+                merged.Record(static_cast<double>(i % 50));
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    Histogram serial({1.0, 2.0, 5.0, 10.0, 20.0, 50.0});
+    for (int i = 0; i < kPerThread; ++i) {
+        serial.Record(static_cast<double>(i % 50));
+    }
+    EXPECT_EQ(merged.count(), uint64_t{kThreads} * kPerThread);
+    // Every thread records the identical distribution, so bucket shares
+    // — and therefore interpolated quantiles — match a serial run.
+    for (const double q : {0.5, 0.9, 0.95, 0.99}) {
+        EXPECT_DOUBLE_EQ(merged.Quantile(q), serial.Quantile(q))
+            << "q=" << q;
+    }
+}
+
+TEST_F(TelemetryTest, StatsJsonReportsP95)
+{
+    GetHistogram("test.p95", {1.0, 2.0}).Record(1.5);
+    const std::string json = StatsJson();
+    EXPECT_NE(json.find("\"p95\":"), std::string::npos) << json;
+}
+
+// -- Gauge high-watermark --------------------------------------------------
+
+TEST_F(TelemetryTest, GaugeUpdateMaxKeepsThePeak)
+{
+    Gauge& g = GetGauge("test.watermark");
+    g.UpdateMax(3.0);
+    g.UpdateMax(7.0);
+    g.UpdateMax(5.0);  // Below the peak: must not lower it.
+    EXPECT_DOUBLE_EQ(g.value(), 7.0);
+    Registry::Global().Reset();
+    EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(TelemetryTest, GaugeUpdateMaxUnderContentionKeepsGlobalPeak)
+{
+    Gauge& g = GetGauge("test.watermark.mt");
+    constexpr int kThreads = 8;
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        threads.emplace_back([&g, t] {
+            for (int i = 0; i < 1000; ++i) {
+                g.UpdateMax(static_cast<double>(t * 1000 + i));
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    EXPECT_DOUBLE_EQ(g.value(), 7999.0);
+}
+
 }  // namespace
 }  // namespace xtalk::telemetry

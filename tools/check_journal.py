@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Minimal format checker for xtalk journal dumps (xtalk.journal.v1).
+
+Usage: check_journal.py FILE [--require-type TYPE ...]
+
+Validates, line by line, that:
+  * every line is a standalone JSON object,
+  * the first line is a header with schema "xtalk.journal.v1", a run id,
+    and event/drop counts,
+  * every subsequent line is an event with ts_us, seq, shard, and type,
+  * within each shard, seq is strictly increasing and ts_us never
+    decreases (the journal's per-shard total-order guarantee),
+  * every --require-type TYPE appears at least once.
+
+Exits 0 when the dump is well-formed, 1 otherwise, printing the first
+problem found. Stdlib only, so it can run in any CI image with python3.
+"""
+
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_journal: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    required = []
+    args = argv[2:]
+    while args:
+        if args[0] == "--require-type" and len(args) >= 2:
+            required.append(args[1])
+            args = args[2:]
+        else:
+            print(f"check_journal: unknown argument {args[0]}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        return fail(f"cannot read {path}: {err}")
+
+    if not lines:
+        return fail("empty journal")
+
+    try:
+        header = json.loads(lines[0])
+    except json.JSONDecodeError as err:
+        return fail(f"line 1 is not JSON: {err}")
+    if header.get("schema") != "xtalk.journal.v1":
+        return fail(f"bad schema in header: {header.get('schema')!r}")
+    for key in ("run", "events", "dropped"):
+        if key not in header:
+            return fail(f"header missing {key!r}")
+
+    last_seq = {}
+    last_ts = {}
+    seen_types = set()
+    for number, line in enumerate(lines[1:], start=2):
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError as err:
+            return fail(f"line {number} is not JSON: {err}")
+        for key in ("ts_us", "seq", "shard", "type"):
+            if key not in event:
+                return fail(f"line {number} missing {key!r}")
+        shard = event["shard"]
+        if shard in last_seq and event["seq"] <= last_seq[shard]:
+            return fail(f"line {number}: seq {event['seq']} not "
+                        f"increasing in shard {shard}")
+        if shard in last_ts and event["ts_us"] < last_ts[shard]:
+            return fail(f"line {number}: ts_us went backwards in "
+                        f"shard {shard}")
+        last_seq[shard] = event["seq"]
+        last_ts[shard] = event["ts_us"]
+        seen_types.add(event["type"])
+
+    if len(lines) - 1 != header["events"]:
+        return fail(f"header says {header['events']} events, "
+                    f"file has {len(lines) - 1}")
+
+    missing = [t for t in required if t not in seen_types]
+    if missing:
+        return fail(f"required event types absent: {missing} "
+                    f"(saw {sorted(seen_types)})")
+
+    print(f"check_journal: OK: {len(lines) - 1} events, "
+          f"{len(seen_types)} types, {header['dropped']} dropped")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

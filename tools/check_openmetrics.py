@@ -1,0 +1,124 @@
+#!/usr/bin/env python3
+"""Minimal format checker for xtalk OpenMetrics expositions.
+
+Usage: check_openmetrics.py FILE [--require-family NAME ...]
+
+Validates, line by line, that:
+  * comment lines are only # HELP, # TYPE (counter/gauge/histogram), or
+    the final # EOF, with nothing after # EOF,
+  * sample lines parse as `name[{labels}] value` with a numeric value
+    (NaN/+Inf/-Inf allowed),
+  * every histogram family has cumulative _bucket counts ending in a
+    le="+Inf" bucket whose value equals the family's _count, plus _sum,
+  * every metric name carries the xtalk_ prefix,
+  * every --require-family NAME appears as a sample.
+
+Exits 0 when the exposition is well-formed, 1 otherwise. Stdlib only.
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(r"^([A-Za-z_][A-Za-z0-9_]*)(\{[^}]*\})? (\S+)$")
+
+
+def fail(message):
+    print(f"check_openmetrics: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def parse_value(text):
+    if text in ("NaN", "+Inf", "-Inf"):
+        return float(text.replace("Inf", "inf"))
+    return float(text)
+
+
+def main(argv):
+    if len(argv) < 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    path = argv[1]
+    required = []
+    args = argv[2:]
+    while args:
+        if args[0] == "--require-family" and len(args) >= 2:
+            required.append(args[1])
+            args = args[2:]
+        else:
+            print(f"check_openmetrics: unknown argument {args[0]}",
+                  file=sys.stderr)
+            return 2
+
+    try:
+        with open(path, encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+    except OSError as err:
+        return fail(f"cannot read {path}: {err}")
+
+    saw_eof = False
+    histograms = {}  # family -> {"buckets": [..], "inf": v, ...}
+    seen_names = set()
+    for number, line in enumerate(lines, start=1):
+        if saw_eof:
+            return fail(f"line {number}: content after # EOF")
+        if not line:
+            return fail(f"line {number}: empty line")
+        if line.startswith("#"):
+            if line == "# EOF":
+                saw_eof = True
+                continue
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[1] not in ("HELP", "TYPE"):
+                return fail(f"line {number}: bad comment: {line}")
+            if parts[1] == "TYPE" and parts[3] not in (
+                    "counter", "gauge", "histogram"):
+                return fail(f"line {number}: bad TYPE: {line}")
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            return fail(f"line {number}: malformed sample: {line}")
+        name, labels, raw = match.groups()
+        try:
+            value = parse_value(raw)
+        except ValueError:
+            return fail(f"line {number}: bad value: {line}")
+        if not name.startswith("xtalk_"):
+            return fail(f"line {number}: name lacks xtalk_ prefix: {name}")
+        seen_names.add(name)
+        if name.endswith("_bucket"):
+            family = histograms.setdefault(name[:-7], {"buckets": []})
+            family["buckets"].append(value)
+            if labels and 'le="+Inf"' in labels:
+                family["inf"] = value
+        elif name.endswith("_sum"):
+            histograms.setdefault(name[:-4], {"buckets": []})["sum"] = value
+        elif name.endswith("_count"):
+            histograms.setdefault(name[:-6],
+                                  {"buckets": []})["count"] = value
+
+    if not saw_eof:
+        return fail("missing # EOF terminator")
+
+    for family, state in histograms.items():
+        if not state["buckets"]:
+            continue  # A _sum/_count-looking name of another type.
+        if state["buckets"] != sorted(state["buckets"]):
+            return fail(f"{family}: buckets not cumulative")
+        if "inf" not in state:
+            return fail(f"{family}: no le=\"+Inf\" bucket")
+        if "sum" not in state or "count" not in state:
+            return fail(f"{family}: missing _sum or _count")
+        if state["count"] != state["inf"]:
+            return fail(f"{family}: _count != +Inf bucket")
+
+    missing = [f for f in required if f not in seen_names]
+    if missing:
+        return fail(f"required families absent: {missing}")
+
+    print(f"check_openmetrics: OK: {len(seen_names)} series, "
+          f"{len(histograms)} histogram-suffixed families")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

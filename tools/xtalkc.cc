@@ -23,8 +23,11 @@
  *
  * Observability (see docs/OBSERVABILITY.md): --stats-json dumps the
  * telemetry metric registry, --trace-json dumps a Chrome trace_event
- * file viewable in chrome://tracing or Perfetto, --log-level controls
- * stderr verbosity.
+ * file viewable in chrome://tracing or Perfetto, --journal dumps the
+ * flight-recorder event journal as JSONL (and arms a crash dump so
+ * exit-code-3 runs leave evidence), --metrics-prom dumps the registry
+ * in OpenMetrics/Prometheus text format, --ledger appends a one-line
+ * per-run summary record, --log-level controls stderr verbosity.
  *
  * Exit codes: 0 success, 1 I/O or telemetry-write failure, 2 invalid
  * usage or input (xtalk::Error), 3 internal invariant violation
@@ -59,6 +62,9 @@
 #include "scheduler/greedy_scheduler.h"
 #include "scheduler/scheduler.h"
 #include "scheduler/xtalk_scheduler.h"
+#include "telemetry/journal.h"
+#include "telemetry/ledger.h"
+#include "telemetry/openmetrics.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -77,6 +83,9 @@ struct Options {
     std::string input_path;
     std::string stats_json_path;
     std::string trace_json_path;
+    std::string journal_path;
+    std::string metrics_prom_path;
+    std::string ledger_path;
     std::string log_level;
     std::string passes;
     std::string faults;
@@ -119,6 +128,13 @@ PrintUsage()
         "  --stats-json <file>        dump telemetry metrics as JSON\n"
         "  --trace-json <file>        dump a Chrome trace_event JSON file\n"
         "                             (chrome://tracing / Perfetto)\n"
+        "  --journal <file>           dump the flight-recorder event\n"
+        "                             journal as JSONL; also dumped on\n"
+        "                             crash (exit 3)\n"
+        "  --metrics-prom <file>      dump metrics in OpenMetrics /\n"
+        "                             Prometheus text format\n"
+        "  --ledger <file>            append a one-line run summary\n"
+        "                             record (JSONL, append-only)\n"
         "  --log-level <level>        quiet | warn | info | debug\n"
         "  --help\n";
 }
@@ -172,6 +188,12 @@ ParseArgs(int argc, char** argv, Options* options)
             options->stats_json_path = next("--stats-json");
         } else if (arg == "--trace-json") {
             options->trace_json_path = next("--trace-json");
+        } else if (arg == "--journal") {
+            options->journal_path = next("--journal");
+        } else if (arg == "--metrics-prom") {
+            options->metrics_prom_path = next("--metrics-prom");
+        } else if (arg == "--ledger") {
+            options->ledger_path = next("--ledger");
         } else if (arg == "--log-level") {
             options->log_level = next("--log-level");
         } else if (arg == "--report") {
@@ -188,7 +210,9 @@ ParseArgs(int argc, char** argv, Options* options)
     return true;
 }
 
-/** Dump --stats-json / --trace-json files; true when all writes landed. */
+/** Dump --stats-json / --trace-json / --journal / --metrics-prom files;
+ *  true when all writes landed. Runs on every exit path, so faulted and
+ *  crashed runs leave the same evidence as clean ones. */
 bool
 WriteTelemetryOutputs(const Options& options)
 {
@@ -210,7 +234,68 @@ WriteTelemetryOutputs(const Options& options)
             ok = false;
         }
     }
+    if (!options.journal_path.empty()) {
+        if (telemetry::Journal::Global().WriteJsonl(options.journal_path,
+                                                    &error)) {
+            Inform("wrote event journal to " + options.journal_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
+    if (!options.metrics_prom_path.empty()) {
+        if (telemetry::WriteOpenMetrics(options.metrics_prom_path,
+                                        &error)) {
+            Inform("wrote OpenMetrics to " + options.metrics_prom_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
     return ok;
+}
+
+/**
+ * Stable hash of every compilation-relevant flag, so ledger records
+ * distinguish "the config changed" from "the device drifted". Output
+ * paths and verbosity are deliberately excluded — they don't affect
+ * the schedule.
+ */
+std::string
+ConfigHash(const Options& options)
+{
+    std::ostringstream canon;
+    canon << "device=" << options.device
+          << ";device_file=" << options.device_file
+          << ";scheduler=" << options.scheduler
+          << ";layout=" << options.layout
+          << ";omega=" << options.omega
+          << ";passes=" << options.passes
+          << ";characterization=" << options.characterization_path
+          << ";faults=" << options.faults
+          << ";verify=" << options.verify_passes
+          << ";simulate=" << options.simulate_shots;
+    return telemetry::FnvHex(canon.str());
+}
+
+/** Pull the ledger's key metrics out of the registry. */
+void
+CollectLedgerMetrics(telemetry::RunRecord* record)
+{
+    record->metrics["compile_invocations"] = static_cast<double>(
+        telemetry::GetCounter("compile.invocations").value());
+    record->metrics["executor_chunks"] = static_cast<double>(
+        telemetry::GetCounter("runtime.executor.chunks").value());
+    record->metrics["executor_job_failures"] = static_cast<double>(
+        telemetry::GetCounter("runtime.executor.job_failures").value());
+    record->metrics["retry_attempts"] = static_cast<double>(
+        telemetry::GetCounter("retry.attempts").value());
+    record->metrics["solver_fallbacks"] = static_cast<double>(
+        telemetry::GetCounter("sched.xtalk.fallbacks").value());
+    record->metrics["compile_ms"] =
+        telemetry::GetHistogram("span.compile.total.ms").sum();
+    record->metrics["solve_ms_p95"] =
+        telemetry::GetHistogram("sched.xtalk.solve_ms").Percentile(95);
 }
 
 Device
@@ -299,7 +384,7 @@ MakeCompilerOptions(const Options& options)
 }
 
 int
-RunTool(const Options& options)
+RunTool(const Options& options, telemetry::RunRecord* ledger)
 {
     std::ifstream input(options.input_path);
     XTALK_REQUIRE(input.good(), "cannot read " << options.input_path);
@@ -318,6 +403,7 @@ RunTool(const Options& options)
     Inform("device: " + device.name() + " (" +
            std::to_string(device.num_qubits()) + " qubits)");
     telemetry::SetLabel("tool.device", device.name());
+    ledger->device = device.name();
 
     // Build the pipeline before characterizing so a typo in --passes
     // fails fast: the default Figure 2 toolflow, or the comma-separated
@@ -361,6 +447,10 @@ RunTool(const Options& options)
             device, BenchRbConfig(),
             CharacterizationPolicy::kOneHopBinPacked);
     }
+    if (!characterization.independent_entries().empty() ||
+        !characterization.conditional_entries().empty()) {
+        ledger->characterization_id = characterization.SnapshotId();
+    }
     if (!options.save_characterization_path.empty()) {
         SaveCharacterization(options.save_characterization_path,
                              characterization, device.name());
@@ -399,6 +489,9 @@ RunTool(const Options& options)
         Inform(oss.str());
         telemetry::SetLabel("tool.scheduler", state.scheduler_name);
     }
+    ledger->scheduler = state.scheduler_name;
+    ledger->degradation = DegradationName(state.degradation);
+    ledger->degradation_reason = state.degradation_reason;
     if (!state.initial_layout.empty()) {
         std::ostringstream layout;
         layout << "layout:";
@@ -499,17 +592,55 @@ main(int argc, char** argv)
         }
     }
     if (!options.stats_json_path.empty() ||
-        !options.trace_json_path.empty()) {
+        !options.trace_json_path.empty() ||
+        !options.metrics_prom_path.empty() ||
+        !options.ledger_path.empty()) {
         telemetry::SetEnabled(true);
     }
     if (!options.trace_json_path.empty()) {
         telemetry::SetTracingEnabled(true);
+    }
+    if (!options.journal_path.empty()) {
+        telemetry::SetJournalEnabled(true);
+        // Crashes (uncaught exceptions reaching std::terminate) still
+        // dump the journal, so exit-code-3 runs leave evidence.
+        telemetry::ArmCrashDump(options.journal_path);
     }
     if (options.threads > 0) {
         // Must happen before the first pool use anywhere in the pipeline
         // (characterization, simulation) — the shared pool is sized once.
         runtime::ThreadPool::SetDefaultThreadCount(options.threads);
     }
+
+    telemetry::RunRecord ledger;
+    ledger.run_id = telemetry::RunId();
+    ledger.when = telemetry::Iso8601UtcNow();
+    ledger.config_hash = ConfigHash(options);
+    ledger.device = options.device;
+    // Stamp the run id into the registry so --stats-json and
+    // --metrics-prom outputs cross-reference the journal and ledger.
+    telemetry::SetLabel("tool.run", ledger.run_id);
+
+    // One record per run, whatever the outcome: append after the run
+    // resolved to an exit code, so a faulted compile is as visible in
+    // the longitudinal history as a clean one.
+    auto finish = [&](int exit_code) {
+        if (!options.ledger_path.empty()) {
+            ledger.exit_code = exit_code;
+            CollectLedgerMetrics(&ledger);
+            std::string error;
+            if (telemetry::AppendRunRecord(options.ledger_path, ledger,
+                                           &error)) {
+                Inform("appended run record to " + options.ledger_path);
+            } else {
+                std::cerr << "error: " << error << "\n";
+                if (exit_code == 0) {
+                    return 1;
+                }
+            }
+        }
+        return exit_code;
+    };
 
     try {
         if (!options.faults.empty()) {
@@ -518,20 +649,23 @@ main(int argc, char** argv)
             faults::InstallPlan(faults::FaultPlan::Parse(options.faults));
             Inform("fault plan: " + faults::ActivePlanString());
         }
-        return RunTool(options);
+        return finish(RunTool(options, &ledger));
     } catch (const InternalError& e) {
         std::cerr << "internal error: " << e.what() << "\n"
                   << "this is a bug in xtalk; please report it\n";
+        ledger.degradation_reason = e.what();
         WriteTelemetryOutputs(options);
-        return 3;
+        return finish(3);
     } catch (const Error& e) {
         std::cerr << "error: " << e.what() << "\n";
         // Best-effort dump: partial metrics still help debug the failure.
+        ledger.degradation_reason = e.what();
         WriteTelemetryOutputs(options);
-        return 2;
+        return finish(2);
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
+        ledger.degradation_reason = e.what();
         WriteTelemetryOutputs(options);
-        return 1;
+        return finish(1);
     }
 }
