@@ -12,6 +12,18 @@
  * a binary prints is also captured and dumped to <dir>/<binary>.json
  * at exit (schema xtalk.bench.v1, see docs/OBSERVABILITY.md). This is
  * what feeds the BENCH_*.json performance trajectory.
+ *
+ * Canonical xtalk.bench.v1 table contract (relied on by
+ * tools/bench_diff.py and the committed bench/BENCH_baseline.json):
+ *
+ *  - {"schema":"xtalk.bench.v1","binary":...,"scale":N,"tables":[...]}
+ *  - every table carries "section" (the enclosing Banner() title,
+ *    suffixed " #k" by the dumper when one section prints several
+ *    tables, so (binary, section) is a unique table key),
+ *  - "headers"[0] names the row-key column; rows are keyed by their
+ *    first cell (suffixed " #k" on repeats),
+ *  - numeric-looking cells are compared as floats by bench_diff;
+ *    everything else is compared as opaque strings.
  */
 #ifndef XTALK_BENCH_BENCH_UTIL_H
 #define XTALK_BENCH_BENCH_UTIL_H
@@ -21,6 +33,7 @@
 #include <fstream>
 #include <iomanip>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -30,6 +43,9 @@
 #include "telemetry/json.h"
 
 namespace xtalk::bench {
+
+/** Schema tag of the per-binary JSON table dumps. */
+inline constexpr const char* kBenchJsonSchema = "xtalk.bench.v1";
 
 /** Directory for JSON table dumps (XTALK_BENCH_JSON), or null. */
 inline const char*
@@ -82,7 +98,7 @@ DumpJsonCapture()
     const JsonCapture& capture = JsonCapture::Get();
     telemetry::JsonWriter w;
     w.BeginObject();
-    w.Key("schema").String("xtalk.bench.v1");
+    w.Key("schema").String(kBenchJsonSchema);
     w.Key("binary").String(ProgramName());
     w.Key("scale").Number(static_cast<int64_t>([] {
         const char* env = std::getenv("XTALK_BENCH_SCALE");
@@ -90,9 +106,15 @@ DumpJsonCapture()
         return scale >= 1 ? scale : 1;
     }()));
     w.Key("tables").BeginArray();
+    // (binary, section) must key a table uniquely for bench_diff /
+    // BENCH_baseline.json; disambiguate repeats with a " #k" suffix.
+    std::map<std::string, int> section_uses;
     for (const RecordedTable& table : capture.tables) {
+        const int use = ++section_uses[table.section];
         w.BeginObject();
-        w.Key("section").String(table.section);
+        w.Key("section").String(
+            use == 1 ? table.section
+                     : table.section + " #" + std::to_string(use));
         w.Key("headers").BeginArray();
         for (const std::string& h : table.headers) {
             w.String(h);

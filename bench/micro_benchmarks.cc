@@ -24,6 +24,9 @@
 #include "sim/stabilizer.h"
 #include "sim/statevector.h"
 #include "telemetry/journal.h"
+#include "telemetry/profiler.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 #include "workloads/swap_circuits.h"
 
 namespace xtalk {
@@ -278,6 +281,41 @@ BM_JournalEmitEnabled(benchmark::State& state)
     telemetry::Journal::Global().Clear();
 }
 BENCHMARK(BM_JournalEmitEnabled);
+
+void
+BM_ProfilerDisabled(benchmark::State& state)
+{
+    // The advertised cost of a ScopedSpan call site with profiling (and
+    // the metric subsystem) off: a handful of relaxed atomic loads, no
+    // frame-stack work.
+    telemetry::SetProfilingEnabled(false);
+    telemetry::SetEnabled(false);
+    for (auto _ : state) {
+        telemetry::ScopedSpan span("bench.noop");
+        benchmark::DoNotOptimize(&span);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProfilerDisabled);
+
+void
+BM_ProfilerEnabled(benchmark::State& state)
+{
+    // Enabled cost for comparison: two clock reads, an uncontended
+    // per-thread mutex, and a map lookup on enter plus the histogram
+    // record on exit. Spans are coarse, so this stays off hot paths.
+    telemetry::SetProfilingEnabled(true);
+    telemetry::ResetProfile();
+    for (auto _ : state) {
+        telemetry::ScopedSpan span("bench.noop");
+        benchmark::DoNotOptimize(&span);
+    }
+    state.SetItemsProcessed(state.iterations());
+    telemetry::SetProfilingEnabled(false);
+    telemetry::SetEnabled(false);
+    telemetry::ResetProfile();
+}
+BENCHMARK(BM_ProfilerEnabled);
 
 void
 BM_ParSchedSwapPath(benchmark::State& state)

@@ -113,6 +113,12 @@ Executor::Submit(ExecutionRequest request)
             const int chunk_shots = plans[j][c];
             futures[j].push_back(pool_->Submit(
                 [this, &job, chunk_seed, chunk_shots, dispatch, j, c] {
+                    // Span, not just the histogram at join: gives the
+                    // chunk its own profiler frame (under the worker's
+                    // runtime.pool.job) and a trace event on the
+                    // worker's named lane.
+                    telemetry::ScopedSpan chunk_span(
+                        "runtime.executor.chunk");
                     const Clock::time_point start = Clock::now();
                     ChunkOutcome outcome;
                     outcome.counts = RunChunk(*device_, job, chunk_seed,

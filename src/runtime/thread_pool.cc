@@ -1,11 +1,14 @@
 #include "runtime/thread_pool.h"
 
+#include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <cstdlib>
 #include <string>
 
 #include "common/error.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
 
 namespace xtalk::runtime {
 
@@ -85,6 +88,7 @@ ThreadPool::Shared()
 }
 
 ThreadPool::ThreadPool(int num_threads)
+    : created_(std::chrono::steady_clock::now())
 {
     XTALK_REQUIRE(num_threads >= 0,
                   "thread count must be >= 0, got " << num_threads);
@@ -97,7 +101,7 @@ ThreadPool::ThreadPool(int num_threads)
     }
     workers_.reserve(num_threads);
     for (int i = 0; i < num_threads; ++i) {
-        workers_.emplace_back([this] { WorkerLoop(); });
+        workers_.emplace_back([this, i] { WorkerLoop(i); });
     }
 }
 
@@ -122,8 +126,13 @@ ThreadPool::Enqueue(std::function<void()> job)
 }
 
 void
-ThreadPool::WorkerLoop()
+ThreadPool::WorkerLoop(int worker_index)
 {
+    // Registering the worker name makes the Chrome trace export label
+    // this thread's lane ("pool-worker-N") via thread_name metadata.
+    telemetry::SetCurrentThreadName("pool-worker-" +
+                                    std::to_string(worker_index));
+    using Clock = std::chrono::steady_clock;
     for (;;) {
         std::function<void()> job;
         {
@@ -140,12 +149,25 @@ ThreadPool::WorkerLoop()
                 PublishPoolGauges(queue_.size(), busy_workers_);
             }
         }
-        job();  // Exceptions land in the job's promise, not here.
+        const Clock::time_point job_start = Clock::now();
+        {
+            // One complete trace event per executed job: the busy
+            // segments of this worker's timeline (gaps = idle). Also
+            // the root profiler frame for worker-side work.
+            telemetry::ScopedSpan span("runtime.pool.job", "pool");
+            job();  // Exceptions land in the job's promise, not here.
+        }
+        const double job_us = std::chrono::duration<double, std::micro>(
+                                  Clock::now() - job_start)
+                                  .count();
         {
             std::lock_guard<std::mutex> lock(mutex_);
             --busy_workers_;
+            busy_us_ += job_us;
             if (telemetry::Enabled()) {
                 PublishPoolGauges(queue_.size(), busy_workers_);
+                telemetry::GetGauge("runtime.pool.utilization")
+                    .Set(UtilizationLocked());
             }
         }
     }
@@ -181,6 +203,27 @@ ThreadPool::BusyWorkers() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return busy_workers_;
+}
+
+double
+ThreadPool::UtilizationLocked() const
+{
+    const double age_us = std::chrono::duration<double, std::micro>(
+                              std::chrono::steady_clock::now() - created_)
+                              .count();
+    const double capacity_us =
+        age_us * static_cast<double>(workers_.size());
+    if (capacity_us <= 0.0) {
+        return 0.0;
+    }
+    return std::min(1.0, busy_us_ / capacity_us);
+}
+
+double
+ThreadPool::Utilization() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return UtilizationLocked();
 }
 
 }  // namespace xtalk::runtime

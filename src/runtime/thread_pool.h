@@ -21,6 +21,7 @@
 #ifndef XTALK_RUNTIME_THREAD_POOL_H
 #define XTALK_RUNTIME_THREAD_POOL_H
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <functional>
@@ -80,6 +81,16 @@ class ThreadPool {
     int BusyWorkers() const;
 
     /**
+     * Fraction of the pool's capacity spent executing jobs since
+     * construction: total busy time / (pool age x worker count), in
+     * [0, 1]. Published to the `runtime.pool.utilization` gauge as
+     * each job completes (last write wins, so the stats snapshot
+     * carries the value as of the final job), and useful directly in
+     * tests and tools.
+     */
+    double Utilization() const;
+
+    /**
      * Resolved default worker count: override > XTALK_THREADS env >
      * std::thread::hardware_concurrency() (min 1).
      */
@@ -100,7 +111,9 @@ class ThreadPool {
 
   private:
     void Enqueue(std::function<void()> job);
-    void WorkerLoop();
+    void WorkerLoop(int worker_index);
+    /** Utilization with mutex_ already held. */
+    double UtilizationLocked() const;
 
     mutable std::mutex mutex_;
     std::condition_variable work_available_;
@@ -108,6 +121,10 @@ class ThreadPool {
     std::vector<std::thread> workers_;
     int busy_workers_ = 0;
     bool shutdown_ = false;
+    /** Construction time; denominator of Utilization(). */
+    std::chrono::steady_clock::time_point created_;
+    /** Total wall time workers spent inside jobs, microseconds. */
+    double busy_us_ = 0.0;
 };
 
 }  // namespace xtalk::runtime

@@ -364,7 +364,14 @@ XtalkScheduler::Schedule(const Circuit& circuit)
         // earlier round already produced a model, to using that model).
         faults::MaybeInject("smt.solve");
         try {
-            const z3::check_result result = opt.check();
+            const z3::check_result result = [&] {
+                // Span per solver round: the smt-solve node of the
+                // profiler cost tree, and span.sched.xtalk.solve.ms on
+                // the metrics side (the whole-schedule aggregate stays
+                // in sched.xtalk.solve_ms).
+                telemetry::ScopedSpan solve_span("sched.xtalk.solve");
+                return opt.check();
+            }();
             if (telemetry::Enabled()) {
                 telemetry::GetCounter("sched.xtalk.solves").Add(1);
                 telemetry::GetCounter("sched.xtalk.constraints")

@@ -2,9 +2,11 @@
 
 #include <cstdlib>
 #include <fstream>
+#include <map>
 #include <mutex>
 
 #include "telemetry/json.h"
+#include "telemetry/profiler.h"
 
 namespace xtalk::telemetry {
 
@@ -37,6 +39,19 @@ TraceEpoch()
 }
 
 thread_local uint32_t t_depth = 0;
+
+/** tid -> human name, fed by SetCurrentThreadName. */
+struct ThreadNameRegistry {
+    std::mutex mu;
+    std::map<uint32_t, std::string> names;
+};
+
+ThreadNameRegistry&
+NameRegistry()
+{
+    static ThreadNameRegistry registry;
+    return registry;
+}
 
 }  // namespace
 
@@ -139,6 +154,23 @@ TraceNowUs()
         .count();
 }
 
+void
+SetCurrentThreadName(const std::string& name)
+{
+    ThreadNameRegistry& registry = NameRegistry();
+    const uint32_t tid = CurrentTraceTid();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    registry.names[tid] = name;
+}
+
+std::vector<std::pair<uint32_t, std::string>>
+ThreadNames()
+{
+    ThreadNameRegistry& registry = NameRegistry();
+    std::lock_guard<std::mutex> lock(registry.mu);
+    return {registry.names.begin(), registry.names.end()};
+}
+
 ScopedSpan::ScopedSpan(const char* name, const char* category)
     : name_(name), category_(category), active_(Enabled())
 {
@@ -146,6 +178,10 @@ ScopedSpan::ScopedSpan(const char* name, const char* category)
         return;
     }
     depth_ = t_depth++;
+    if (ProfilingEnabled()) {
+        profiled_ = true;
+        internal::ProfilerEnter(name_);
+    }
     // Pin the epoch before the first start timestamp so ts_us >= 0.
     TraceEpoch();
     start_ = std::chrono::steady_clock::now();
@@ -163,6 +199,9 @@ ScopedSpan::~ScopedSpan()
     --t_depth;
     const double dur_ms =
         std::chrono::duration<double, std::milli>(end - start_).count();
+    if (profiled_) {
+        internal::ProfilerExit(dur_ms * 1000.0);
+    }
     GetHistogram("span." + std::string(name_) + ".ms").Record(dur_ms);
     if (TracingEnabled()) {
         TraceEvent event;
@@ -184,6 +223,28 @@ TraceJson()
     w.BeginObject();
     w.Key("displayTimeUnit").String("ms");
     w.Key("traceEvents").BeginArray();
+    // Metadata ("ph":"M") first: the process name plus one thread_name
+    // record per registered thread, so Perfetto labels the lanes
+    // ("main", "pool-worker-3") instead of showing bare tids.
+    w.BeginObject();
+    w.Key("name").String("process_name");
+    w.Key("ph").String("M");
+    w.Key("pid").Number(uint64_t{1});
+    w.Key("args").BeginObject();
+    w.Key("name").String("xtalk");
+    w.EndObject();
+    w.EndObject();
+    for (const auto& [tid, name] : ThreadNames()) {
+        w.BeginObject();
+        w.Key("name").String("thread_name");
+        w.Key("ph").String("M");
+        w.Key("pid").Number(uint64_t{1});
+        w.Key("tid").Number(static_cast<uint64_t>(tid));
+        w.Key("args").BeginObject();
+        w.Key("name").String(name);
+        w.EndObject();
+        w.EndObject();
+    }
     for (const TraceEvent& e : events) {
         w.BeginObject();
         w.Key("name").String(e.name);

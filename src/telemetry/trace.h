@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "telemetry/telemetry.h"
@@ -76,6 +77,18 @@ class TraceBuffer {
 /** Telemetry thread id of the calling thread (1-based, stable). */
 uint32_t CurrentTraceTid();
 
+/**
+ * Register a human-readable name for the calling thread (e.g. "main",
+ * "pool-worker-3"). Named threads show up as labeled lanes in the
+ * Chrome trace export ("ph":"M" thread_name metadata), so Perfetto
+ * renders per-worker timelines instead of anonymous tids. Idempotent;
+ * the last name wins.
+ */
+void SetCurrentThreadName(const std::string& name);
+
+/** Registered (tid, name) pairs, sorted by tid. */
+std::vector<std::pair<uint32_t, std::string>> ThreadNames();
+
 /** Microseconds since the process trace epoch (first telemetry use). */
 double TraceNowUs();
 
@@ -107,6 +120,9 @@ class ScopedSpan {
     double start_us_ = 0.0;
     uint32_t depth_ = 0;
     bool active_;
+    /** True when this span opened a profiler frame (profiler.h) and
+     *  must close it on destruction, whatever the flags say then. */
+    bool profiled_ = false;
 };
 
 /** Serialize the buffer in Chrome trace_event JSON (object form). */

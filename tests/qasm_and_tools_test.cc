@@ -15,6 +15,7 @@
 
 #ifdef __unix__
 #include <sys/wait.h>
+#include <unistd.h>
 #endif
 
 #include "circuit/qasm.h"
@@ -284,6 +285,67 @@ TEST(XtalkcCli, StatsAndTraceJsonOutputsAreValid)
     std::remove(trace_path.c_str());
 }
 
+TEST(XtalkcCli, ProfileOutputsCostTreeAndCollapsedStacks)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string qasm_path = dir + "/xtalkc_profile_in.qasm";
+    const std::string profile_path = dir + "/xtalkc_profile.json";
+    const std::string folded_path = dir + "/xtalkc_profile.folded";
+    const std::string trace_path = dir + "/xtalkc_profile_trace.json";
+    {
+        std::ofstream qasm(qasm_path);
+        qasm << "OPENQASM 2.0;\ninclude \"qelib1.inc\";\n"
+             << "qreg q[3];\ncreg c[1];\n"
+             << "h q[0];\ncx q[0], q[1];\nmeasure q[1] -> c[0];\n";
+    }
+    const std::string command = std::string(XTALK_XTALKC_BIN) +
+                                " --scheduler serial --layout trivial"
+                                " --simulate 8 --threads 2"
+                                " --log-level quiet"
+                                " --profile " + profile_path +
+                                " --profile-collapsed " + folded_path +
+                                " --trace-json " + trace_path + " " +
+                                qasm_path + " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(command.c_str()), 0) << command;
+
+    const std::string profile = SlurpFile(profile_path);
+    std::string error;
+    EXPECT_TRUE(telemetry::ValidateJson(profile, &error)) << error;
+    EXPECT_NE(profile.find("\"xtalk.profile.v1\""), std::string::npos);
+    // The merged cost tree roots at the synthetic process node and
+    // attributes the compiler pipeline below it.
+    EXPECT_NE(profile.find("\"name\":\"process\""), std::string::npos);
+    EXPECT_NE(profile.find("\"compile.total\""), std::string::npos);
+    EXPECT_NE(profile.find("\"compiler.pass.schedule\""),
+              std::string::npos);
+    EXPECT_NE(profile.find("\"wall_ms\":"), std::string::npos);
+
+    // Collapsed lines are "path;to;node <integer microseconds>".
+    const std::string folded = SlurpFile(folded_path);
+    ASSERT_FALSE(folded.empty());
+    std::istringstream lines(folded);
+    std::string line;
+    while (std::getline(lines, line)) {
+        const size_t space = line.rfind(' ');
+        ASSERT_NE(space, std::string::npos) << line;
+        EXPECT_EQ(line.substr(space + 1).find_first_not_of("0123456789"),
+                  std::string::npos)
+            << line;
+        EXPECT_EQ(line.rfind("process", 0), 0u) << line;
+    }
+
+    // Perfetto lane names: process_name plus the named main thread.
+    const std::string trace = SlurpFile(trace_path);
+    EXPECT_NE(trace.find("\"process_name\""), std::string::npos);
+    EXPECT_NE(trace.find("\"thread_name\""), std::string::npos);
+    EXPECT_NE(trace.find("\"main\""), std::string::npos);
+
+    std::remove(qasm_path.c_str());
+    std::remove(profile_path.c_str());
+    std::remove(folded_path.c_str());
+    std::remove(trace_path.c_str());
+}
+
 TEST(XtalkcCli, RejectsUnknownLogLevel)
 {
     const std::string command = std::string(XTALK_XTALKC_BIN) +
@@ -394,11 +456,16 @@ TEST(XtalkcCli, UnknownPassNameExitsWithUsageError)
  * so --scheduler xtalk runs without on-the-fly SRB.
  */
 struct FaultSmokeFixture {
+    // Each gtest case is its own ctest process and they run
+    // concurrently under `ctest -j`, so the fixture files must be
+    // per-process unique or parallel tests truncate each other's specs.
     std::string dir = ::testing::TempDir();
-    std::string device_path = dir + "/xtalkc_faults_device.txt";
-    std::string charz_path = dir + "/xtalkc_faults_charz.txt";
-    std::string qasm_path = dir + "/xtalkc_faults_in.qasm";
-    std::string err_path = dir + "/xtalkc_faults_err.txt";
+    std::string tag = std::to_string(static_cast<long>(::getpid()));
+    std::string device_path =
+        dir + "/xtalkc_faults_device_" + tag + ".txt";
+    std::string charz_path = dir + "/xtalkc_faults_charz_" + tag + ".txt";
+    std::string qasm_path = dir + "/xtalkc_faults_in_" + tag + ".qasm";
+    std::string err_path = dir + "/xtalkc_faults_err_" + tag + ".txt";
 
     FaultSmokeFixture()
     {
@@ -489,9 +556,12 @@ TEST(XtalkcCliFaults, MalformedPlanIsAUsageErrorExitsTwo)
 TEST(XtalkcCliObservability, JournalLedgerAndPromOutputsAreWellFormed)
 {
     const FaultSmokeFixture fx;
-    const std::string journal_path = fx.dir + "/xtalkc_obs_journal.jsonl";
-    const std::string prom_path = fx.dir + "/xtalkc_obs_metrics.prom";
-    const std::string ledger_path = fx.dir + "/xtalkc_obs_ledger.jsonl";
+    const std::string journal_path =
+        fx.dir + "/xtalkc_obs_journal_" + fx.tag + ".jsonl";
+    const std::string prom_path =
+        fx.dir + "/xtalkc_obs_metrics_" + fx.tag + ".prom";
+    const std::string ledger_path =
+        fx.dir + "/xtalkc_obs_ledger_" + fx.tag + ".jsonl";
     ASSERT_EQ(fx.Run("--scheduler xtalk --characterization " +
                      fx.charz_path + " --simulate 16 --journal " +
                      journal_path + " --metrics-prom " + prom_path +
@@ -560,8 +630,10 @@ TEST(XtalkcCliObservability, JournalLedgerAndPromOutputsAreWellFormed)
 TEST(XtalkcCliObservability, FaultedRunStillWritesParseableEvidence)
 {
     const FaultSmokeFixture fx;
-    const std::string journal_path = fx.dir + "/xtalkc_ev_journal.jsonl";
-    const std::string ledger_path = fx.dir + "/xtalkc_ev_ledger.jsonl";
+    const std::string journal_path =
+        fx.dir + "/xtalkc_ev_journal_" + fx.tag + ".jsonl";
+    const std::string ledger_path =
+        fx.dir + "/xtalkc_ev_ledger_" + fx.tag + ".jsonl";
     // kind=internal propagates: exit 3, but the journal must still be
     // written (with the injected fault recorded) and the ledger must
     // still gain a record carrying the exit code.

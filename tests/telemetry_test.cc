@@ -387,11 +387,15 @@ TEST_F(TelemetryTest, QuantileMergedAcrossThreadsMatchesSerialRecording)
     }
 }
 
-TEST_F(TelemetryTest, StatsJsonReportsP95)
+TEST_F(TelemetryTest, StatsJsonReportsTailPercentiles)
 {
     GetHistogram("test.p95", {1.0, 2.0}).Record(1.5);
     const std::string json = StatsJson();
+    // Dashboards key on the full p50/p90/p95/p99 ladder per histogram.
+    EXPECT_NE(json.find("\"p50\":"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p90\":"), std::string::npos) << json;
     EXPECT_NE(json.find("\"p95\":"), std::string::npos) << json;
+    EXPECT_NE(json.find("\"p99\":"), std::string::npos) << json;
 }
 
 // -- Gauge high-watermark --------------------------------------------------

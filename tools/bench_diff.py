@@ -1,0 +1,546 @@
+#!/usr/bin/env python3
+"""Bench baseline comparator for the XTALK_BENCH_JSON artifacts.
+
+Modes:
+  bench_diff.py --make-baseline DIR [DIR...] -o BASELINE.json
+      Fold every bench artifact found in DIR (xtalk.bench.v1 table
+      dumps and google-benchmark JSON reports) into one baseline
+      document (schema xtalk.bench_baseline.v1).
+
+  bench_diff.py BASELINE.json PATH [PATH...] [options]
+      Compare fresh artifacts (files, or directories scanned for
+      *.json) against the baseline. Exits 0 when no time metric
+      regressed past its threshold, 1 on regressions or missing
+      metrics (unless --warn-only), 2 on malformed input.
+
+  bench_diff.py --self-test
+      Run the built-in unit cases (regression, improvement, missing
+      table, malformed JSON) against synthetic fixtures.
+
+Options (compare mode):
+  --threshold X     relative slowdown that counts as a regression for
+                    time metrics (default 1.8; 2.0x slowdowns fail)
+  --table KEY=X     per-table threshold override; KEY is a substring of
+                    the metric key (repeatable, longest match wins)
+  --min-time-ns N   ignore google-benchmark timings below N ns — they
+                    jitter far beyond any honest threshold (default 1000)
+  --md FILE         write a markdown report
+  --json FILE       write a JSON verdict (schema xtalk.bench_diff.v1)
+  --warn-only       report, but always exit 0 (CI warn-first gate)
+
+Metric keys are hierarchical and human-readable:
+  fig10_characterization_time/Figure 10: .../poughkeepsie/opt2 +binpack
+  micro_benchmarks/benchmark/BM_ExecutorBatch/8/real_time
+Stdlib only, like the other tools/ checkers.
+"""
+
+import json
+import os
+import re
+import sys
+import tempfile
+
+BASELINE_SCHEMA = "xtalk.bench_baseline.v1"
+VERDICT_SCHEMA = "xtalk.bench_diff.v1"
+DEFAULT_THRESHOLD = 1.8
+DEFAULT_MIN_TIME_NS = 1000.0
+
+# A header or section that names a duration makes its numeric cells
+# time-like (gated by threshold); other numeric cells only report when
+# they change at all (they are deterministic model outputs).
+TIME_RE = re.compile(
+    r"(?i)(^|[^a-z])(ns|us|ms|s|sec|secs|seconds|hours|time|wall)"
+    r"([^a-z]|$)")
+
+TIME_UNIT_NS = {"ns": 1.0, "us": 1e3, "ms": 1e6, "s": 1e9}
+
+
+def is_number(text):
+    try:
+        float(text)
+        return True
+    except (TypeError, ValueError):
+        return False
+
+
+def extract_table_metrics(doc):
+    """Metrics from an xtalk.bench.v1 dump: {key: (value, time_like)}."""
+    metrics = {}
+    binary = doc.get("binary", "bench")
+    for table in doc.get("tables", []):
+        section = table.get("section", "")
+        headers = table.get("headers", [])
+        section_timed = bool(TIME_RE.search(section))
+        row_uses = {}
+        for row in table.get("rows", []):
+            if not row:
+                continue
+            row_key = str(row[0])
+            row_uses[row_key] = row_uses.get(row_key, 0) + 1
+            if row_uses[row_key] > 1:
+                row_key = f"{row_key} #{row_uses[row_key]}"
+            for col, cell in enumerate(row[1:], start=1):
+                header = headers[col] if col < len(headers) else str(col)
+                if not is_number(cell):
+                    continue
+                key = f"{binary}/{section}/{row_key}/{header}"
+                timed = section_timed or bool(TIME_RE.search(header))
+                metrics[key] = (float(cell), timed)
+    return metrics
+
+
+def extract_gbench_metrics(doc, binary):
+    """Metrics from a google-benchmark report, times normalized to ns."""
+    metrics = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type") == "aggregate":
+            continue
+        name = bench.get("name")
+        if not name:
+            continue
+        unit = TIME_UNIT_NS.get(bench.get("time_unit", "ns"), 1.0)
+        for field in ("real_time", "cpu_time"):
+            if field in bench and is_number(bench[field]):
+                key = f"{binary}/benchmark/{name}/{field}"
+                metrics[key] = (float(bench[field]) * unit, True)
+    return metrics
+
+
+def extract_metrics(path):
+    """Parse one artifact file. Raises ValueError on malformed input."""
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}: not valid JSON: {err}") from err
+    if not isinstance(doc, dict):
+        raise ValueError(f"{path}: expected a JSON object at top level")
+    binary = os.path.splitext(os.path.basename(path))[0]
+    if binary.startswith("BENCH_"):
+        binary = binary[len("BENCH_"):]
+    if "benchmarks" in doc:
+        return extract_gbench_metrics(doc, binary)
+    if doc.get("schema") == "xtalk.bench.v1":
+        return extract_table_metrics(doc)
+    raise ValueError(
+        f"{path}: neither an xtalk.bench.v1 dump nor a google-benchmark "
+        "report")
+
+
+def collect_artifact_files(paths):
+    files = []
+    for path in paths:
+        if os.path.isdir(path):
+            for name in sorted(os.listdir(path)):
+                if name.endswith(".json"):
+                    files.append(os.path.join(path, name))
+        else:
+            files.append(path)
+    return files
+
+
+def load_all_metrics(paths):
+    metrics = {}
+    for path in collect_artifact_files(paths):
+        metrics.update(extract_metrics(path))
+    return metrics
+
+
+def make_baseline(paths, out_path):
+    metrics = load_all_metrics(paths)
+    if not metrics:
+        raise ValueError("no metrics found in " + ", ".join(paths))
+    doc = {
+        "schema": BASELINE_SCHEMA,
+        "entries": {
+            key: {"value": value, "time": timed}
+            for key, (value, timed) in sorted(metrics.items())
+        },
+    }
+    with open(out_path, "w", encoding="utf-8") as handle:
+        json.dump(doc, handle, indent=1, sort_keys=True)
+        handle.write("\n")
+    return len(metrics)
+
+
+def load_baseline(path):
+    with open(path, encoding="utf-8") as handle:
+        try:
+            doc = json.load(handle)
+        except json.JSONDecodeError as err:
+            raise ValueError(f"{path}: not valid JSON: {err}") from err
+    if doc.get("schema") != BASELINE_SCHEMA:
+        raise ValueError(
+            f"{path}: schema {doc.get('schema')!r}, want {BASELINE_SCHEMA}")
+    entries = doc.get("entries")
+    if not isinstance(entries, dict) or not entries:
+        raise ValueError(f"{path}: baseline has no entries")
+    return entries
+
+
+def threshold_for(key, default, overrides):
+    best = default
+    best_len = -1
+    for pattern, value in overrides:
+        if pattern in key and len(pattern) > best_len:
+            best = value
+            best_len = len(pattern)
+    return best
+
+
+def compare(entries, current, threshold, overrides, min_time_ns):
+    """Return the verdict dict for current metrics vs baseline entries."""
+    regressions, improvements, changed, missing, skipped = [], [], [], [], 0
+    for key, entry in sorted(entries.items()):
+        base = entry.get("value")
+        timed = entry.get("time", False)
+        if key not in current:
+            missing.append({"metric": key, "baseline": base})
+            continue
+        cur, _ = current[key]
+        if not timed:
+            if base != 0 and abs(cur - base) / abs(base) > 1e-9:
+                changed.append(
+                    {"metric": key, "baseline": base, "current": cur})
+            elif base == 0 and cur != 0:
+                changed.append(
+                    {"metric": key, "baseline": base, "current": cur})
+            continue
+        if "/benchmark/" in key and max(base, cur) < min_time_ns:
+            skipped += 1
+            continue
+        limit = threshold_for(key, threshold, overrides)
+        ratio = cur / base if base > 0 else float("inf")
+        record = {
+            "metric": key,
+            "baseline": base,
+            "current": cur,
+            "ratio": round(ratio, 4),
+            "threshold": limit,
+        }
+        if ratio > limit:
+            regressions.append(record)
+        elif ratio < 1.0 / limit:
+            improvements.append(record)
+    new = sorted(set(current) - set(entries))
+    return {
+        "schema": VERDICT_SCHEMA,
+        "verdict": "regression" if (regressions or missing) else "ok",
+        "checked": len(entries),
+        "skipped_below_floor": skipped,
+        "regressions": regressions,
+        "improvements": improvements,
+        "changed": changed,
+        "missing": missing,
+        "new": new,
+    }
+
+
+def render_markdown(verdict):
+    lines = ["# Bench diff", ""]
+    lines.append(f"Verdict: **{verdict['verdict']}** — "
+                 f"{verdict['checked']} baseline metrics checked, "
+                 f"{len(verdict['regressions'])} regressions, "
+                 f"{len(verdict['improvements'])} improvements, "
+                 f"{len(verdict['missing'])} missing, "
+                 f"{len(verdict['changed'])} non-time changes.")
+    lines.append("")
+
+    def table(title, rows):
+        if not rows:
+            return
+        lines.append(f"## {title}")
+        lines.append("")
+        lines.append("| metric | baseline | current | ratio |")
+        lines.append("|---|---|---|---|")
+        for row in rows:
+            lines.append(
+                f"| `{row['metric']}` | {row['baseline']:.6g} "
+                f"| {row['current']:.6g} | {row.get('ratio', '')} |")
+        lines.append("")
+
+    table("Regressions", verdict["regressions"])
+    table("Improvements", verdict["improvements"])
+    table("Non-time metric changes", verdict["changed"])
+    if verdict["missing"]:
+        lines.append("## Missing from current artifacts")
+        lines.append("")
+        for row in verdict["missing"]:
+            lines.append(f"- `{row['metric']}`")
+        lines.append("")
+    if verdict["new"]:
+        lines.append("## New metrics (not in baseline)")
+        lines.append("")
+        for key in verdict["new"]:
+            lines.append(f"- `{key}`")
+        lines.append("")
+    return "\n".join(lines) + "\n"
+
+
+def print_summary(verdict, warn_only):
+    for row in verdict["regressions"]:
+        print(f"bench_diff: REGRESSION {row['metric']}: "
+              f"{row['baseline']:.6g} -> {row['current']:.6g} "
+              f"({row['ratio']}x > {row['threshold']}x)")
+    for row in verdict["missing"]:
+        print(f"bench_diff: MISSING {row['metric']}")
+    for row in verdict["improvements"]:
+        print(f"bench_diff: improvement {row['metric']}: "
+              f"{row['baseline']:.6g} -> {row['current']:.6g} "
+              f"({row['ratio']}x)")
+    for row in verdict["changed"]:
+        print(f"bench_diff: changed {row['metric']}: "
+              f"{row['baseline']:.6g} -> {row['current']:.6g}")
+    state = verdict["verdict"]
+    suffix = " (warn-only: exiting 0)" if warn_only and state != "ok" else ""
+    print(f"bench_diff: verdict {state}: {verdict['checked']} checked, "
+          f"{len(verdict['regressions'])} regressions, "
+          f"{len(verdict['missing'])} missing{suffix}")
+
+
+def run_compare(argv):
+    baseline_path, paths, overrides = None, [], []
+    threshold = DEFAULT_THRESHOLD
+    min_time_ns = DEFAULT_MIN_TIME_NS
+    md_path = json_path = None
+    warn_only = False
+    i = 0
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--threshold":
+            threshold = float(argv[i + 1])
+            i += 2
+        elif arg == "--table":
+            pattern, _, value = argv[i + 1].partition("=")
+            if not value:
+                raise ValueError(f"--table wants KEY=X, got {argv[i + 1]}")
+            overrides.append((pattern, float(value)))
+            i += 2
+        elif arg == "--min-time-ns":
+            min_time_ns = float(argv[i + 1])
+            i += 2
+        elif arg == "--md":
+            md_path = argv[i + 1]
+            i += 2
+        elif arg == "--json":
+            json_path = argv[i + 1]
+            i += 2
+        elif arg == "--warn-only":
+            warn_only = True
+            i += 1
+        elif arg.startswith("--"):
+            raise ValueError(f"unknown option {arg}")
+        elif baseline_path is None:
+            baseline_path = arg
+            i += 1
+        else:
+            paths.append(arg)
+            i += 1
+    if baseline_path is None or not paths:
+        raise ValueError("usage: bench_diff.py BASELINE.json PATH...")
+
+    entries = load_baseline(baseline_path)
+    current = load_all_metrics(paths)
+    verdict = compare(entries, current, threshold, overrides, min_time_ns)
+    if md_path:
+        with open(md_path, "w", encoding="utf-8") as handle:
+            handle.write(render_markdown(verdict))
+    if json_path:
+        with open(json_path, "w", encoding="utf-8") as handle:
+            json.dump(verdict, handle, indent=1)
+            handle.write("\n")
+    print_summary(verdict, warn_only)
+    if verdict["verdict"] != "ok" and not warn_only:
+        return 1
+    return 0
+
+
+# ---------------------------------------------------------------- self-test
+
+FIXTURE_TABLES = {
+    "schema": "xtalk.bench.v1",
+    "binary": "fig_demo",
+    "scale": 1,
+    "tables": [
+        {
+            "section": "Demo wall time",
+            "headers": ["case", "wall s", "batches"],
+            "rows": [["small", "1.0000", "4"], ["large", "8.0000", "16"]],
+        },
+    ],
+}
+
+FIXTURE_GBENCH = {
+    "context": {"host_name": "fixture"},
+    "benchmarks": [
+        {"name": "BM_Demo/8", "run_type": "iteration",
+         "real_time": 2000.0, "cpu_time": 1900.0, "time_unit": "ns"},
+    ],
+}
+
+
+def self_test():
+    failures = []
+
+    def check(name, ok):
+        print(f"self-test: {name}: {'ok' if ok else 'FAIL'}")
+        if not ok:
+            failures.append(name)
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base_dir = os.path.join(tmp, "base")
+        os.mkdir(base_dir)
+        with open(os.path.join(base_dir, "fig_demo.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(FIXTURE_TABLES, handle)
+        with open(os.path.join(base_dir, "micro.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(FIXTURE_GBENCH, handle)
+        baseline = os.path.join(tmp, "BENCH_baseline.json")
+        count = make_baseline([base_dir], baseline)
+        check("baseline captures metrics", count == 6)
+
+        entries = load_baseline(baseline)
+        identical = load_all_metrics([base_dir])
+        verdict = compare(entries, identical, DEFAULT_THRESHOLD, [], 100.0)
+        check("identical artifacts pass",
+              verdict["verdict"] == "ok" and not verdict["regressions"])
+
+        # Synthetic 2x slowdown on every time metric must fail.
+        slow_dir = os.path.join(tmp, "slow")
+        os.mkdir(slow_dir)
+        slow_tables = json.loads(json.dumps(FIXTURE_TABLES))
+        for row in slow_tables["tables"][0]["rows"]:
+            row[1] = f"{float(row[1]) * 2.0:.4f}"
+        with open(os.path.join(slow_dir, "fig_demo.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(slow_tables, handle)
+        slow_gbench = json.loads(json.dumps(FIXTURE_GBENCH))
+        slow_gbench["benchmarks"][0]["real_time"] *= 2.0
+        with open(os.path.join(slow_dir, "micro.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(slow_gbench, handle)
+        verdict = compare(entries, load_all_metrics([slow_dir]),
+                          DEFAULT_THRESHOLD, [], 100.0)
+        check("2x slowdown is a regression",
+              verdict["verdict"] == "regression"
+              and len(verdict["regressions"]) == 3)
+        check("non-time cells unchanged are quiet",
+              not verdict["changed"])
+
+        # A 2x speedup is an improvement, not a failure.
+        fast_dir = os.path.join(tmp, "fast")
+        os.mkdir(fast_dir)
+        fast_tables = json.loads(json.dumps(FIXTURE_TABLES))
+        for row in fast_tables["tables"][0]["rows"]:
+            row[1] = f"{float(row[1]) * 0.5:.4f}"
+        with open(os.path.join(fast_dir, "fig_demo.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(fast_tables, handle)
+        with open(os.path.join(fast_dir, "micro.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(FIXTURE_GBENCH, handle)
+        verdict = compare(entries, load_all_metrics([fast_dir]),
+                          DEFAULT_THRESHOLD, [], 100.0)
+        check("2x speedup is an improvement",
+              verdict["verdict"] == "ok"
+              and len(verdict["improvements"]) == 2)
+
+        # A missing table fails the gate.
+        partial_dir = os.path.join(tmp, "partial")
+        os.mkdir(partial_dir)
+        with open(os.path.join(partial_dir, "micro.json"), "w",
+                  encoding="utf-8") as handle:
+            json.dump(FIXTURE_GBENCH, handle)
+        verdict = compare(entries, load_all_metrics([partial_dir]),
+                          DEFAULT_THRESHOLD, [], 100.0)
+        check("missing table is a regression verdict",
+              verdict["verdict"] == "regression"
+              and len(verdict["missing"]) == 4)
+
+        # Sub-floor benchmark times are ignored, not compared: 2 ns vs
+        # 5 ns is pure jitter even though the ratio is 2.5x.
+        tiny_base = json.loads(json.dumps(FIXTURE_GBENCH))
+        tiny_base["benchmarks"][0]["real_time"] = 2.0
+        tiny_base["benchmarks"][0]["cpu_time"] = 2.0
+        noisy = json.loads(json.dumps(FIXTURE_GBENCH))
+        noisy["benchmarks"][0]["real_time"] = 5.0
+        noisy["benchmarks"][0]["cpu_time"] = 5.0
+        tiny_dir = os.path.join(tmp, "tiny")
+        noisy_dir = os.path.join(tmp, "noisy")
+        for directory, doc in ((tiny_dir, tiny_base), (noisy_dir, noisy)):
+            os.mkdir(directory)
+            with open(os.path.join(directory, "micro.json"), "w",
+                      encoding="utf-8") as handle:
+                json.dump(doc, handle)
+        tiny_baseline = os.path.join(tmp, "tiny_baseline.json")
+        make_baseline([tiny_dir], tiny_baseline)
+        verdict = compare(load_baseline(tiny_baseline),
+                          load_all_metrics([noisy_dir]),
+                          DEFAULT_THRESHOLD, [], DEFAULT_MIN_TIME_NS)
+        check("sub-floor times are skipped",
+              verdict["verdict"] == "ok"
+              and verdict["skipped_below_floor"] == 2)
+
+        # Malformed JSON is a usage error, not a crash.
+        broken = os.path.join(tmp, "broken.json")
+        with open(broken, "w", encoding="utf-8") as handle:
+            handle.write("{not json")
+        try:
+            extract_metrics(broken)
+            check("malformed JSON raises", False)
+        except ValueError:
+            check("malformed JSON raises", True)
+
+        # Markdown + JSON verdict render and parse.
+        markdown = render_markdown(verdict)
+        check("markdown mentions verdict", "Verdict" in markdown)
+        check("verdict round-trips through JSON",
+              json.loads(json.dumps(verdict))["schema"] == VERDICT_SCHEMA)
+
+    if failures:
+        print(f"self-test: {len(failures)} FAILED: {failures}",
+              file=sys.stderr)
+        return 1
+    print("self-test: all cases passed")
+    return 0
+
+
+def main(argv):
+    if len(argv) >= 2 and argv[1] == "--self-test":
+        return self_test()
+    if len(argv) >= 2 and argv[1] == "--make-baseline":
+        args = argv[2:]
+        out_path = None
+        paths = []
+        i = 0
+        while i < len(args):
+            if args[i] == "-o":
+                out_path = args[i + 1]
+                i += 2
+            else:
+                paths.append(args[i])
+                i += 1
+        if out_path is None or not paths:
+            print("usage: bench_diff.py --make-baseline DIR... -o OUT",
+                  file=sys.stderr)
+            return 2
+        try:
+            count = make_baseline(paths, out_path)
+        except (ValueError, OSError) as err:
+            print(f"bench_diff: {err}", file=sys.stderr)
+            return 2
+        print(f"bench_diff: wrote {count} baseline metrics to {out_path}")
+        return 0
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    try:
+        return run_compare(argv[1:])
+    except (ValueError, OSError) as err:
+        print(f"bench_diff: {err}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -23,7 +23,9 @@
  *
  * Observability (see docs/OBSERVABILITY.md): --stats-json dumps the
  * telemetry metric registry, --trace-json dumps a Chrome trace_event
- * file viewable in chrome://tracing or Perfetto, --journal dumps the
+ * file viewable in chrome://tracing or Perfetto, --profile /
+ * --profile-collapsed dump the hierarchical profiler's merged cost
+ * tree (JSON / flamegraph collapsed stacks), --journal dumps the
  * flight-recorder event journal as JSONL (and arms a crash dump so
  * exit-code-3 runs leave evidence), --metrics-prom dumps the registry
  * in OpenMetrics/Prometheus text format, --ledger appends a one-line
@@ -65,6 +67,7 @@
 #include "telemetry/journal.h"
 #include "telemetry/ledger.h"
 #include "telemetry/openmetrics.h"
+#include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
 
@@ -83,6 +86,8 @@ struct Options {
     std::string input_path;
     std::string stats_json_path;
     std::string trace_json_path;
+    std::string profile_path;
+    std::string profile_collapsed_path;
     std::string journal_path;
     std::string metrics_prom_path;
     std::string ledger_path;
@@ -128,6 +133,10 @@ PrintUsage()
         "  --stats-json <file>        dump telemetry metrics as JSON\n"
         "  --trace-json <file>        dump a Chrome trace_event JSON file\n"
         "                             (chrome://tracing / Perfetto)\n"
+        "  --profile <file>           dump the hierarchical profiler cost\n"
+        "                             tree as JSON (xtalk.profile.v1)\n"
+        "  --profile-collapsed <file> dump collapsed stacks for flamegraph\n"
+        "                             tooling (path;to;node <us> lines)\n"
         "  --journal <file>           dump the flight-recorder event\n"
         "                             journal as JSONL; also dumped on\n"
         "                             crash (exit 3)\n"
@@ -188,6 +197,10 @@ ParseArgs(int argc, char** argv, Options* options)
             options->stats_json_path = next("--stats-json");
         } else if (arg == "--trace-json") {
             options->trace_json_path = next("--trace-json");
+        } else if (arg == "--profile") {
+            options->profile_path = next("--profile");
+        } else if (arg == "--profile-collapsed") {
+            options->profile_collapsed_path = next("--profile-collapsed");
         } else if (arg == "--journal") {
             options->journal_path = next("--journal");
         } else if (arg == "--metrics-prom") {
@@ -252,6 +265,24 @@ WriteTelemetryOutputs(const Options& options)
             ok = false;
         }
     }
+    if (!options.profile_path.empty()) {
+        if (telemetry::WriteProfileJson(options.profile_path, &error)) {
+            Inform("wrote profile cost tree to " + options.profile_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
+    if (!options.profile_collapsed_path.empty()) {
+        if (telemetry::WriteCollapsedStacks(options.profile_collapsed_path,
+                                            &error)) {
+            Inform("wrote collapsed stacks to " +
+                   options.profile_collapsed_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
     return ok;
 }
 
@@ -294,8 +325,15 @@ CollectLedgerMetrics(telemetry::RunRecord* record)
         telemetry::GetCounter("sched.xtalk.fallbacks").value());
     record->metrics["compile_ms"] =
         telemetry::GetHistogram("span.compile.total.ms").sum();
-    record->metrics["solve_ms_p95"] =
-        telemetry::GetHistogram("sched.xtalk.solve_ms").Percentile(95);
+    // p50/p95/p99 together: a p95 alone cannot distinguish "the median
+    // moved" from "the tail moved", and bench_diff gates on both.
+    const telemetry::Histogram& solve =
+        telemetry::GetHistogram("sched.xtalk.solve_ms");
+    record->metrics["solve_ms_p50"] = solve.Percentile(50);
+    record->metrics["solve_ms_p95"] = solve.Percentile(95);
+    record->metrics["solve_ms_p99"] = solve.Percentile(99);
+    record->metrics["pool_utilization"] =
+        telemetry::GetGauge("runtime.pool.utilization").value();
 }
 
 Device
@@ -600,6 +638,14 @@ main(int argc, char** argv)
     if (!options.trace_json_path.empty()) {
         telemetry::SetTracingEnabled(true);
     }
+    if (!options.profile_path.empty() ||
+        !options.profile_collapsed_path.empty()) {
+        // Implies SetEnabled: profiler frames are fed by ScopedSpan.
+        telemetry::SetProfilingEnabled(true);
+    }
+    // Label this thread's lane in the trace export and the worker
+    // lanes registered by the thread pool.
+    telemetry::SetCurrentThreadName("main");
     if (!options.journal_path.empty()) {
         telemetry::SetJournalEnabled(true);
         // Crashes (uncaught exceptions reaching std::terminate) still
