@@ -207,10 +207,12 @@ main()
         for (const auto& [e1, e2] : one_hop) {
             for (const auto& [v, a] :
                  {std::pair{e1, e2}, std::pair{e2, e1}}) {
-                if (characterization.IsHighCrosstalk(v, a, 2.5, 0.015)) {
+                if (characterization.IsHighCrosstalk(
+                        v, a, HighCrosstalkCriteria{2.5, 0.015})) {
                     ++with_margin;
                 }
-                if (characterization.IsHighCrosstalk(v, a, 2.5, 0.0)) {
+                if (characterization.IsHighCrosstalk(
+                        v, a, HighCrosstalkCriteria{2.5, 0.0})) {
                     ++without_margin;
                 }
             }

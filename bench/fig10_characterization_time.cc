@@ -96,8 +96,9 @@ main()
         auto run_at = [&](int threads, double* seconds) {
             runtime::ExecutorOptions exec;
             exec.num_threads = threads;
-            CrosstalkCharacterizer characterizer(device, BenchRbConfig(),
-                                                 {}, exec);
+            CrosstalkCharacterizer characterizer(
+                device,
+                CharacterizerConfig{.rb = BenchRbConfig(), .exec = exec});
             const auto start = std::chrono::steady_clock::now();
             const auto result = characterizer.Run(plan);
             *seconds = std::chrono::duration<double>(

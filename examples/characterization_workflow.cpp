@@ -37,7 +37,8 @@ main()
     std::cout << full_plan.NumExperiments() << " SRB experiments packed into "
               << full_plan.NumBatches() << " parallel batches\n";
 
-    CrosstalkCharacterizer characterizer(device, BenchRbConfig());
+    CrosstalkCharacterizer characterizer(
+        device, CharacterizerConfig{.rb = BenchRbConfig()});
     const auto full = characterizer.Run(full_plan);
     auto high = full.HighCrosstalkPairs(3.0);
     std::cout << "stable high-crosstalk set (" << high.size() << " pairs):\n";
@@ -58,7 +59,8 @@ main()
               << " batches\n";
     for (int day = 1; day <= 3; ++day) {
         device.SetDay(day);
-        CrosstalkCharacterizer daily(device, BenchRbConfig(day * 7));
+        CrosstalkCharacterizer daily(
+            device, CharacterizerConfig{.rb = BenchRbConfig(day * 7)});
         const auto update = daily.Run(daily_plan);
         std::cout << "day " << day << ":";
         for (const auto& [pair, value] : update.conditional_entries()) {

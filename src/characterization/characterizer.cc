@@ -145,9 +145,9 @@ CrosstalkCharacterization::HighCrosstalkPairs(double threshold) const
 }
 
 bool
-CrosstalkCharacterization::IsHighCrosstalk(EdgeId victim, EdgeId aggressor,
-                                           double threshold,
-                                           double margin) const
+CrosstalkCharacterization::IsHighCrosstalk(
+    EdgeId victim, EdgeId aggressor,
+    const HighCrosstalkCriteria& criteria) const
 {
     if (!HasConditionalError(victim, aggressor) ||
         !HasIndependentError(victim)) {
@@ -155,8 +155,17 @@ CrosstalkCharacterization::IsHighCrosstalk(EdgeId victim, EdgeId aggressor,
     }
     const double independent = IndependentError(victim);
     const double conditional = ConditionalError(victim, aggressor);
-    return conditional >= threshold * independent &&
-           conditional - independent >= margin;
+    return conditional >= criteria.threshold * independent &&
+           conditional - independent >= criteria.margin;
+}
+
+bool
+CrosstalkCharacterization::IsHighCrosstalk(EdgeId victim, EdgeId aggressor,
+                                           double threshold,
+                                           double margin) const
+{
+    return IsHighCrosstalk(victim, aggressor,
+                           HighCrosstalkCriteria{threshold, margin});
 }
 
 void
@@ -187,14 +196,19 @@ CrosstalkCharacterization::SnapshotId() const
     return telemetry::FnvHex(canon.str());
 }
 
+CrosstalkCharacterizer::CrosstalkCharacterizer(const Device& device,
+                                               CharacterizerConfig config)
+    : device_(&device), config_(std::move(config))
+{
+}
+
 CrosstalkCharacterizer::CrosstalkCharacterizer(
     const Device& device, RbConfig config, NoisySimOptions sim_options,
     runtime::ExecutorOptions exec_options, CharacterizerOptions options)
-    : device_(&device),
-      config_(std::move(config)),
-      sim_options_(sim_options),
-      exec_options_(exec_options),
-      options_(std::move(options))
+    : CrosstalkCharacterizer(
+          device, CharacterizerConfig{std::move(config), sim_options,
+                                      exec_options,
+                                      std::move(options.retry)})
 {
 }
 
@@ -380,7 +394,7 @@ CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges,
             .Add(static_cast<uint64_t>(edges.size()));
     }
     CrosstalkCharacterization out;
-    RbRunner runner(*device_, config_, sim_options_, exec_options_);
+    RbRunner runner(*device_, config_.rb, config_.sim, config_.exec);
     std::vector<std::vector<EdgeId>> groups;
     groups.reserve(edges.size());
     for (EdgeId edge : edges) {
@@ -388,7 +402,7 @@ CrosstalkCharacterizer::MeasureIndependent(const std::vector<EdgeId>& edges,
     }
     std::vector<size_t> quarantined;
     RunExperimentBatch(
-        runner, groups, options_.retry, report, &quarantined,
+        runner, groups, config_.retry, report, &quarantined,
         [&](size_t i, const std::vector<RbResult>& results) {
             const RbResult& result = results.front();
             if (result.ok) {
@@ -443,7 +457,7 @@ CrosstalkCharacterizer::Run(const CharacterizationPlan& plan,
     // 4-qubit SRB, which is distribution-identical and exponentially
     // cheaper than the joint statevector. All pairs of all bins fan out
     // as one Executor batch.
-    RbRunner runner(*device_, config_, sim_options_, exec_options_);
+    RbRunner runner(*device_, config_.rb, config_.sim, config_.exec);
     std::vector<std::vector<EdgeId>> groups;
     for (const ExperimentBin& bin : plan.batches) {
         for (const GatePair& pair : bin) {
@@ -452,7 +466,7 @@ CrosstalkCharacterizer::Run(const CharacterizationPlan& plan,
     }
     std::vector<size_t> quarantined;
     RunExperimentBatch(
-        runner, groups, options_.retry, report, &quarantined,
+        runner, groups, config_.retry, report, &quarantined,
         [&](size_t i, const std::vector<RbResult>& results) {
             const GatePair pair{groups[i][0], groups[i][1]};
             for (const RbResult& r : results) {

@@ -70,6 +70,22 @@ CharacterizationPlan BuildCharacterizationPlan(const Topology& topology,
                                                Rng& rng,
                                                const PlanOptions& options = {});
 
+/**
+ * When is a conditional error "high crosstalk"? The conditional rate
+ * must exceed `threshold` times the independent rate AND exceed it by
+ * at least `margin` in absolute terms. The margin suppresses false
+ * positives on low-error couplers, where RB shot noise alone can
+ * double a tiny estimate; without it the scheduler would
+ * over-serialize (see DESIGN.md). Passed as one struct so every layer
+ * that re-applies the paper's test (layout, routing, both schedulers,
+ * the workload generators) names the knobs instead of threading two
+ * positional doubles.
+ */
+struct HighCrosstalkCriteria {
+    double threshold = 2.5;
+    double margin = 0.015;
+};
+
 /** Measured error rates: the compiler-facing characterization output. */
 class CrosstalkCharacterization {
   public:
@@ -101,16 +117,14 @@ class CrosstalkCharacterization {
      */
     std::vector<GatePair> HighCrosstalkPairs(double threshold = 3.0) const;
 
-    /**
-     * Robust high-crosstalk test for one direction: the conditional rate
-     * must exceed @p threshold times the independent rate AND exceed it
-     * by at least @p margin in absolute terms. The margin suppresses
-     * false positives on low-error couplers, where RB shot noise alone
-     * can double a tiny estimate; without it the scheduler would
-     * over-serialize (see DESIGN.md).
-     */
+    /** Robust high-crosstalk test for one direction (see
+     *  HighCrosstalkCriteria for the threshold/margin semantics). */
     bool IsHighCrosstalk(EdgeId victim, EdgeId aggressor,
-                         double threshold = 2.5,
+                         const HighCrosstalkCriteria& criteria = {}) const;
+
+    /** One-release shim for the positional-doubles spelling. */
+    [[deprecated("pass a HighCrosstalkCriteria instead")]]
+    bool IsHighCrosstalk(EdgeId victim, EdgeId aggressor, double threshold,
                          double margin = 0.015) const;
 
     /** All measured ordered conditional entries. */
@@ -155,6 +169,25 @@ struct CharacterizerOptions {
 };
 
 /**
+ * Everything that shapes one characterizer, in one struct: the RB
+ * budget, the simulator toggles, the runtime sizing, and the
+ * retry/quarantine behaviour. Replaces the four positional struct
+ * parameters of the old constructor.
+ */
+struct CharacterizerConfig {
+    /** (S)RB budget: sequence lengths, shots, backend, seed. */
+    RbConfig rb = {};
+    /** Noise toggles for the simulated executions. */
+    NoisySimOptions sim = {};
+    /** Parallel-runtime sizing (default: the shared process pool).
+     *  Results are bit-identical for any thread count. */
+    runtime::ExecutorOptions exec = {};
+    /** Bounded retry for failed (S)RB experiment jobs (see
+     *  CharacterizerOptions::retry for the identical-seed contract). */
+    RetryPolicy retry = {};
+};
+
+/**
  * What a characterization run survived: experiments that needed
  * retries and the pairs/couplers dropped after the retry budget was
  * exhausted (the sweep continues without them instead of aborting —
@@ -183,12 +216,15 @@ struct CharacterizationRunReport {
 class CrosstalkCharacterizer {
   public:
     /**
-     * @p exec_options sizes the parallel runtime the plan executes on
-     * (default: the shared process pool). Results are bit-identical
-     * for any thread count — every (S)RB circuit job carries its own
-     * deterministic seed. @p options bounds the retry/quarantine
-     * behaviour under job failures (see CharacterizerOptions).
+     * Bind to @p device with everything else in one config (see
+     * CharacterizerConfig). Results are bit-identical for any thread
+     * count — every (S)RB circuit job carries its own deterministic
+     * seed.
      */
+    CrosstalkCharacterizer(const Device& device, CharacterizerConfig config);
+
+    /** One-release shim for the positional-parameters spelling. */
+    [[deprecated("pass a CharacterizerConfig instead")]]
     CrosstalkCharacterizer(const Device& device, RbConfig config,
                            NoisySimOptions sim_options = {},
                            runtime::ExecutorOptions exec_options = {},
@@ -218,10 +254,7 @@ class CrosstalkCharacterizer {
 
   private:
     const Device* device_;
-    RbConfig config_;
-    NoisySimOptions sim_options_;
-    runtime::ExecutorOptions exec_options_;
-    CharacterizerOptions options_;
+    CharacterizerConfig config_;
 };
 
 }  // namespace xtalk

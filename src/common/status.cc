@@ -1,0 +1,72 @@
+#include "common/status.h"
+
+#include "common/error.h"
+
+namespace xtalk {
+
+int
+ExitCodeFor(StatusCode status)
+{
+    switch (status) {
+      case StatusCode::kOk:
+        return 0;
+      case StatusCode::kIoError:
+        return 1;
+      case StatusCode::kError:
+      case StatusCode::kRejected:
+      case StatusCode::kTimeout:
+        return 2;
+      case StatusCode::kInternal:
+        return 3;
+    }
+    return 3;
+}
+
+const char*
+StatusName(StatusCode status)
+{
+    switch (status) {
+      case StatusCode::kOk:
+        return "ok";
+      case StatusCode::kIoError:
+        return "io_error";
+      case StatusCode::kError:
+        return "error";
+      case StatusCode::kInternal:
+        return "internal";
+      case StatusCode::kRejected:
+        return "rejected";
+      case StatusCode::kTimeout:
+        return "timeout";
+    }
+    return "internal";
+}
+
+bool
+ParseStatusName(const std::string& name, StatusCode* status)
+{
+    for (StatusCode code :
+         {StatusCode::kOk, StatusCode::kIoError, StatusCode::kError,
+          StatusCode::kInternal, StatusCode::kRejected,
+          StatusCode::kTimeout}) {
+        if (name == StatusName(code)) {
+            *status = code;
+            return true;
+        }
+    }
+    return false;
+}
+
+StatusCode
+ClassifyException(const std::exception& e)
+{
+    if (dynamic_cast<const InternalError*>(&e) != nullptr) {
+        return StatusCode::kInternal;
+    }
+    if (dynamic_cast<const Error*>(&e) != nullptr) {
+        return StatusCode::kError;
+    }
+    return StatusCode::kIoError;
+}
+
+}  // namespace xtalk

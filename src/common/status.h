@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The one exit-code / service-status mapping shared by every frontend.
+ *
+ * Before this module, `xtalkc` owned the Error->2 / InternalError->3
+ * convention in its catch blocks; with `xtalkd` serving the same
+ * pipeline over a socket, the CLI exit code and the service response
+ * status must come from one table or they will eventually disagree.
+ * StatusCode is that table: a frontend renders it as a process exit
+ * code (ExitCodeFor) or as a wire status string (StatusName), and
+ * exceptions are classified exactly once (ClassifyException).
+ *
+ * The numeric contract, pinned by common_test:
+ *
+ *   kOk       -> exit 0   "ok"
+ *   kIoError  -> exit 1   "io_error"   (telemetry/output write failures)
+ *   kError    -> exit 2   "error"      (xtalk::Error — invalid input)
+ *   kInternal -> exit 3   "internal"   (xtalk::InternalError — a bug)
+ *   kRejected -> exit 2   "rejected"   (admission control queue full)
+ *   kTimeout  -> exit 2   "timeout"    (request deadline expired)
+ *
+ * kRejected/kTimeout exist for the service: a CLI run has no queue, so
+ * they render as the generic user-facing failure (exit 2) if they ever
+ * reach a CLI frontend.
+ */
+#ifndef XTALK_COMMON_STATUS_H
+#define XTALK_COMMON_STATUS_H
+
+#include <exception>
+#include <string>
+
+namespace xtalk {
+
+/** Outcome of one request (service) or one run (CLI). */
+enum class StatusCode {
+    kOk,
+    kIoError,
+    kError,
+    kInternal,
+    kRejected,
+    kTimeout,
+};
+
+/** Process exit code for @p status (see file comment for the table). */
+int ExitCodeFor(StatusCode status);
+
+/** Stable lowercase wire name ("ok", "error", "rejected", ...). */
+const char* StatusName(StatusCode status);
+
+/** Inverse of StatusName; false when @p name is unknown. */
+bool ParseStatusName(const std::string& name, StatusCode* status);
+
+/**
+ * Classify a caught exception: InternalError -> kInternal, Error (and
+ * subclasses such as SolverFailure or InjectedFault) -> kError, any
+ * other std::exception -> kIoError. Order matters — InternalError is
+ * not an Error subclass, but check it first anyway so the mapping
+ * stays correct if that ever changes.
+ */
+StatusCode ClassifyException(const std::exception& e);
+
+}  // namespace xtalk
+
+#endif  // XTALK_COMMON_STATUS_H

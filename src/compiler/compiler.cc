@@ -21,6 +21,63 @@ DegradationName(SchedulerDegradation degradation)
     return "?";
 }
 
+const char*
+LayoutPolicyName(LayoutPolicy policy)
+{
+    switch (policy) {
+      case LayoutPolicy::kTrivial:
+        return "trivial";
+      case LayoutPolicy::kNoiseAware:
+        return "noise-aware";
+    }
+    return "?";
+}
+
+const char*
+SchedulerPolicyName(SchedulerPolicy policy)
+{
+    switch (policy) {
+      case SchedulerPolicy::kSerial:
+        return "serial";
+      case SchedulerPolicy::kParallel:
+        return "parallel";
+      case SchedulerPolicy::kGreedy:
+        return "greedy";
+      case SchedulerPolicy::kXtalk:
+        return "xtalk";
+      case SchedulerPolicy::kXtalkAutoOmega:
+        return "auto";
+    }
+    return "?";
+}
+
+bool
+ParseLayoutPolicy(const std::string& name, LayoutPolicy* policy)
+{
+    for (LayoutPolicy p : {LayoutPolicy::kTrivial, LayoutPolicy::kNoiseAware}) {
+        if (name == LayoutPolicyName(p)) {
+            *policy = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+ParseSchedulerPolicy(const std::string& name, SchedulerPolicy* policy)
+{
+    for (SchedulerPolicy p :
+         {SchedulerPolicy::kSerial, SchedulerPolicy::kParallel,
+          SchedulerPolicy::kGreedy, SchedulerPolicy::kXtalk,
+          SchedulerPolicy::kXtalkAutoOmega}) {
+        if (name == SchedulerPolicyName(p)) {
+            *policy = p;
+            return true;
+        }
+    }
+    return false;
+}
+
 CompileResult
 Compile(const Device& device,
         const CrosstalkCharacterization& characterization,

@@ -62,6 +62,16 @@ enum class SchedulerDegradation {
 /** Stable lowercase name ("none", "greedy", "parallel") for reports. */
 const char* DegradationName(SchedulerDegradation degradation);
 
+/** Stable policy names ("trivial"/"noise-aware"; "serial"/"parallel"/
+ *  "greedy"/"xtalk"/"auto") — the spellings `xtalkc --layout` and
+ *  `--scheduler` accept and the service request schema uses. */
+const char* LayoutPolicyName(LayoutPolicy policy);
+const char* SchedulerPolicyName(SchedulerPolicy policy);
+
+/** Inverse of the name functions; false on an unknown name. */
+bool ParseLayoutPolicy(const std::string& name, LayoutPolicy* policy);
+bool ParseSchedulerPolicy(const std::string& name, SchedulerPolicy* policy);
+
 /** Pipeline configuration. */
 struct CompilerOptions {
     LayoutPolicy layout = LayoutPolicy::kNoiseAware;

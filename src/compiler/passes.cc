@@ -22,18 +22,6 @@ namespace xtalk {
 
 namespace {
 
-const char*
-LayoutPolicyName(LayoutPolicy policy)
-{
-    switch (policy) {
-      case LayoutPolicy::kTrivial:
-        return "trivial";
-      case LayoutPolicy::kNoiseAware:
-        return "noise-aware";
-    }
-    return "?";
-}
-
 /** GreedySched configured from the pipeline's XtalkSched knobs. */
 GreedySchedulerOptions
 GreedyOptionsFrom(const CompilationState& state)

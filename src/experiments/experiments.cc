@@ -27,7 +27,8 @@ CharacterizeDevice(const Device& device, const RbConfig& config,
                    runtime::ExecutorOptions exec_options)
 {
     Rng rng(seed);
-    CrosstalkCharacterizer characterizer(device, config, {}, exec_options);
+    CrosstalkCharacterizer characterizer(
+        device, CharacterizerConfig{.rb = config, .exec = exec_options});
     if (policy == CharacterizationPolicy::kHighOnly) {
         // Periodic full scan discovers the stable high-crosstalk set;
         // the daily fast path then re-measures only those pairs.

@@ -69,8 +69,9 @@ GreedyXtalkScheduler::Schedule(const Circuit& circuit)
                         continue;
                     }
                     if (!characterization_->IsHighCrosstalk(
-                            edge, p.edge, options_.high_threshold,
-                            options_.high_margin)) {
+                            edge, p.edge,
+                            HighCrosstalkCriteria{options_.high_threshold,
+                                                  options_.high_margin})) {
                         continue;
                     }
                     const double cond =

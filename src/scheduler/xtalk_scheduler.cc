@@ -122,12 +122,10 @@ XtalkScheduler::Schedule(const Circuit& circuit)
             }
             const EdgeId ei = edge_of[i];
             const EdgeId ej = edge_of[j];
-            if (characterization_->IsHighCrosstalk(ei, ej,
-                                                   options_.high_threshold,
-                                                   options_.high_margin) ||
-                characterization_->IsHighCrosstalk(ej, ei,
-                                                   options_.high_threshold,
-                                                   options_.high_margin)) {
+            const HighCrosstalkCriteria criteria{options_.high_threshold,
+                                                 options_.high_margin};
+            if (characterization_->IsHighCrosstalk(ei, ej, criteria) ||
+                characterization_->IsHighCrosstalk(ej, ei, criteria)) {
                 eligible.push_back({i, j});
             }
         }

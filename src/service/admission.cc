@@ -1,0 +1,117 @@
+#include "service/admission.h"
+
+#include "common/error.h"
+#include "telemetry/telemetry.h"
+
+namespace xtalk::service {
+
+AdmissionGate::AdmissionGate(AdmissionOptions options) : options_(options)
+{
+    XTALK_REQUIRE(options_.max_concurrent >= 0,
+                  "max_concurrent must be >= 0");
+    XTALK_REQUIRE(options_.max_queue >= 0, "max_queue must be >= 0");
+}
+
+void
+AdmissionGate::PublishDepthLocked()
+{
+    if (!telemetry::Enabled()) {
+        return;
+    }
+    telemetry::GetGauge("svc.queue.depth")
+        .Set(static_cast<double>(waiting_));
+    telemetry::GetGauge("svc.queue.depth_hwm")
+        .UpdateMax(static_cast<double>(waiting_));
+    telemetry::GetGauge("svc.inflight").Set(static_cast<double>(running_));
+    telemetry::GetGauge("svc.inflight_hwm")
+        .UpdateMax(static_cast<double>(running_));
+}
+
+Admission
+AdmissionGate::Enter(
+    std::optional<std::chrono::steady_clock::time_point> deadline)
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (running_ < options_.max_concurrent) {
+        ++running_;
+        ++admitted_;
+        PublishDepthLocked();
+        return Admission::kAdmitted;
+    }
+    if (waiting_ >= options_.max_queue) {
+        ++rejected_;
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("svc.rejected").Add(1);
+        }
+        return Admission::kRejected;
+    }
+    ++waiting_;
+    PublishDepthLocked();
+    auto slot_available = [&] {
+        return running_ < options_.max_concurrent;
+    };
+    bool got_slot;
+    if (deadline.has_value()) {
+        got_slot = slot_free_.wait_until(lock, *deadline, slot_available);
+    } else {
+        slot_free_.wait(lock, slot_available);
+        got_slot = true;
+    }
+    --waiting_;
+    if (!got_slot) {
+        ++timed_out_;
+        PublishDepthLocked();
+        return Admission::kTimedOut;
+    }
+    ++running_;
+    ++admitted_;
+    PublishDepthLocked();
+    return Admission::kAdmitted;
+}
+
+void
+AdmissionGate::Leave()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    XTALK_ASSERT(running_ > 0, "Leave() without a matching Enter()");
+    --running_;
+    PublishDepthLocked();
+    slot_free_.notify_one();
+}
+
+int
+AdmissionGate::running() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return running_;
+}
+
+int
+AdmissionGate::waiting() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return waiting_;
+}
+
+uint64_t
+AdmissionGate::admitted() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return admitted_;
+}
+
+uint64_t
+AdmissionGate::rejected() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return rejected_;
+}
+
+uint64_t
+AdmissionGate::timed_out() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return timed_out_;
+}
+
+}  // namespace xtalk::service

@@ -1,0 +1,204 @@
+/**
+ * @file
+ * The unified request/response API of the xtalk service layer.
+ *
+ * One versioned pair of structs describes every piece of work the
+ * toolchain can do — compile, schedule, simulate — whether the caller
+ * is the `xtalkc` command line, the `xtalkd` daemon, or an in-process
+ * embedder. Before this module each frontend carried its own knob set
+ * (CLI flags, CompilerOptions, PassManagerOptions, RunSpec, env vars);
+ * ServiceRequest subsumes them so a request means the same thing on
+ * every path, and the CLI and the daemon are bit-identical by
+ * construction: both call service::Engine::Handle on the same struct.
+ *
+ * Wire format (schema ids pinned below): one JSON object per line,
+ * newline-delimited — see docs/SERVICE.md for the field catalogue and
+ * the protocol walkthrough.
+ *
+ *   {"schema":"xtalk.request.v1","id":"r1","kind":"compile",
+ *    "qasm":"OPENQASM 2.0; ...","device":"poughkeepsie",
+ *    "scheduler":"xtalk","omega":0.5,"deadline_ms":30000}
+ *
+ *   {"schema":"xtalk.response.v1","id":"r1","status":"ok",
+ *    "qasm":"...","scheduler":"XtalkSched","degradation":"none",
+ *    "characterization_id":"c0ffee12","cache_hit":true,
+ *    "timing":{"queue_ms":0.2,"run_ms":31.5}}
+ *
+ * Timing is the only wall-clock-dependent part of a response;
+ * ToJson(false) omits it so tests can assert two runs of one request
+ * are byte-identical.
+ */
+#ifndef XTALK_SERVICE_API_H
+#define XTALK_SERVICE_API_H
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace xtalk::service {
+
+/** Wire schema identifiers (the version gate of the protocol). */
+inline constexpr const char* kRequestSchema = "xtalk.request.v1";
+inline constexpr const char* kResponseSchema = "xtalk.response.v1";
+
+/**
+ * One unit of work for the service. Defaults reproduce `xtalkc` with
+ * no flags: the default device, noise-aware layout, XtalkSched at
+ * omega 0.5, default pipeline, no simulation, no deadline.
+ */
+struct ServiceRequest {
+    /** Client-chosen correlation id, echoed verbatim in the response. */
+    std::string id;
+    /** "compile" (the work kind), "ping", or "shutdown". */
+    std::string kind = "compile";
+
+    /** OpenQASM 2.0 source of the logical circuit (compile only). */
+    std::string qasm;
+
+    /** Built-in device name: poughkeepsie | johannesburg | boeblingen. */
+    std::string device = "poughkeepsie";
+    /** Path to a device spec file; overrides `device` when non-empty. */
+    std::string device_file;
+
+    /** Layout policy name (see LayoutPolicyName). */
+    std::string layout = "noise-aware";
+    /** Scheduler policy name (see SchedulerPolicyName). */
+    std::string scheduler = "xtalk";
+    /** Crosstalk weight factor omega in [0, 1]. */
+    double omega = 0.5;
+    /** Custom pass pipeline by name; empty = the default Figure 2 flow. */
+    std::vector<std::string> passes;
+    /** Run inter-pass verification after every transform pass. */
+    bool verify_passes = false;
+
+    /** Inline characterization data (characterization/io.h format). */
+    std::string characterization_text;
+    /** Path to a characterization file (exclusive with the text form). */
+    std::string characterization_path;
+    /** Persist the (possibly freshly measured) characterization here. */
+    std::string save_characterization_path;
+
+    /** Execute on the noisy simulator for this many shots (0 = skip). */
+    int simulate_shots = 0;
+    /** Include the human-readable schedule report in the response. */
+    bool want_report = false;
+
+    /**
+     * Wall-clock deadline for the whole request, milliseconds from the
+     * moment the service accepts it; 0 = none. The deadline bounds the
+     * SMT solver budget (XtalkSchedulerOptions::total_budget_ms) and is
+     * checked between phases; a request whose deadline expires while
+     * queued or between phases gets a "timeout" response. Requests
+     * without a deadline run exactly like the CLI — bit-identical.
+     */
+    int deadline_ms = 0;
+
+    /**
+     * Structural validation (unknown kind/policy names, omega range,
+     * conflicting characterization sources, negative counts). False
+     * with a description in @p error when the request is malformed;
+     * such requests are answered with status "error" without running.
+     */
+    bool Validate(std::string* error) const;
+
+    /** True when some requested pass consumes measured crosstalk data
+     *  (drives on-the-fly characterization and the snapshot cache). */
+    bool NeedsCharacterization() const;
+
+    /**
+     * Stable hash of every compilation-relevant field, for ledger
+     * records ("did the config change or did the device drift?").
+     * Output/verbosity fields are deliberately excluded.
+     */
+    std::string ConfigHash() const;
+
+    /** One-line wire form (schema xtalk.request.v1, no newline). */
+    std::string ToJson() const;
+
+    /**
+     * Parse one wire line. False (with @p error) on malformed JSON, a
+     * wrong/missing schema, or wrongly typed fields. Unknown fields
+     * are ignored (forward compatibility); absent fields keep their
+     * defaults.
+     */
+    static bool FromJson(const std::string& text, ServiceRequest* out,
+                         std::string* error = nullptr);
+};
+
+/** Outcome of one ServiceRequest. */
+struct ServiceResponse {
+    /** Echo of ServiceRequest::id. */
+    std::string id;
+    /** Machine-readable outcome; `status()` is its wire spelling. */
+    StatusCode code = StatusCode::kOk;
+    /** Human-readable failure description ("" on success). */
+    std::string error;
+
+    /** Compiled circuit as OpenQASM ("" when no schedule pass ran). */
+    std::string qasm;
+    /** Timed schedule report (want_report only). */
+    std::string report;
+    /** Simulated measurement histogram (simulate_shots > 0 only). */
+    std::string counts;
+
+    /** Scheduler that actually produced the schedule. */
+    std::string scheduler_name;
+    /** none | greedy | parallel (see SchedulerDegradation). */
+    std::string degradation = "none";
+    std::string degradation_reason;
+    /** Omega actually used, when an omega-using scheduler ran. */
+    std::optional<double> omega;
+
+    /** Schedule makespan, ns (0 when no schedule was produced). */
+    double duration_ns = 0.0;
+    /** Modeled success probability under the characterized error model. */
+    double success_probability = 0.0;
+    /** High-crosstalk overlaps remaining in the schedule. */
+    int crosstalk_overlaps = 0;
+    /** True when the pipeline produced a schedule (the three metrics
+     *  above are only meaningful when set). */
+    bool has_estimate = false;
+
+    /** initial_layout[logical] = physical. */
+    std::vector<int> initial_layout;
+    /** final_layout[logical] = physical after routing SWAPs. */
+    std::vector<int> final_layout;
+    /** One-line notes from each pipeline pass, in execution order. */
+    std::vector<std::string> diagnostics;
+
+    /** Snapshot id of the characterization used ("" when none). */
+    std::string characterization_id;
+    /** True when the characterization came from the service's snapshot
+     *  cache instead of being measured by this request. */
+    bool cache_hit = false;
+
+    /** Milliseconds spent queued before a run slot freed. */
+    double queue_ms = 0.0;
+    /** Milliseconds spent running (parse through simulate). */
+    double run_ms = 0.0;
+
+    /** Wire status string ("ok", "error", "rejected", ...). */
+    const char* status() const { return StatusName(code); }
+
+    /**
+     * One-line wire form (schema xtalk.response.v1, no newline). With
+     * @p include_timing false the wall-clock `timing` object is
+     * omitted — the deterministic projection two identical requests
+     * must agree on byte-for-byte.
+     */
+    std::string ToJson(bool include_timing = true) const;
+
+    /** Parse one wire line (see ServiceRequest::FromJson). */
+    static bool FromJson(const std::string& text, ServiceResponse* out,
+                         std::string* error = nullptr);
+};
+
+/** Convenience constructor for failure responses. */
+ServiceResponse MakeErrorResponse(const ServiceRequest& request,
+                                  StatusCode code, const std::string& error);
+
+}  // namespace xtalk::service
+
+#endif  // XTALK_SERVICE_API_H

@@ -1,0 +1,349 @@
+#include "service/engine.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "characterization/io.h"
+#include "circuit/qasm.h"
+#include "circuit/qasm_parser.h"
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/retry.h"
+#include "compiler/compiler.h"
+#include "compiler/pass.h"
+#include "compiler/pass_manager.h"
+#include "device/device_io.h"
+#include "device/ibmq_devices.h"
+#include "experiments/experiments.h"
+#include "runtime/executor.h"
+#include "telemetry/journal.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace xtalk::service {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Device
+ResolveDevice(const ServiceRequest& request)
+{
+    if (!request.device_file.empty()) {
+        return LoadDeviceSpec(request.device_file);
+    }
+    if (request.device == "poughkeepsie") {
+        return MakePoughkeepsie();
+    }
+    if (request.device == "johannesburg") {
+        return MakeJohannesburg();
+    }
+    if (request.device == "boeblingen") {
+        return MakeBoeblingen();
+    }
+    XTALK_REQUIRE(false, "unknown device '" << request.device << "'");
+}
+
+CompilerOptions
+MakeCompilerOptions(const ServiceRequest& request)
+{
+    CompilerOptions options;
+    XTALK_REQUIRE(ParseLayoutPolicy(request.layout, &options.layout),
+                  "unknown layout '" << request.layout << "'");
+    XTALK_REQUIRE(
+        ParseSchedulerPolicy(request.scheduler, &options.scheduler),
+        "unknown scheduler '" << request.scheduler << "'");
+    options.xtalk.omega = request.omega;
+    options.verify_passes = request.verify_passes;
+    return options;
+}
+
+/** Milliseconds left before @p deadline (<= 0 means it passed). */
+double
+RemainingMs(Clock::time_point deadline)
+{
+    return std::chrono::duration<double, std::milli>(deadline -
+                                                     Clock::now())
+        .count();
+}
+
+/**
+ * Clamp the SMT budgets to the request's remaining wall-clock time.
+ * Only called when a deadline exists: deadline-free requests keep the
+ * default budgets, so their schedules are bit-identical to the CLI's
+ * regardless of service load.
+ */
+void
+ApplyDeadlineBudget(Clock::time_point deadline, CompilerOptions* options)
+{
+    const double remaining = std::max(1.0, RemainingMs(deadline));
+    const auto remaining_ms = static_cast<unsigned>(remaining);
+    options->xtalk.timeout_ms =
+        std::min(options->xtalk.timeout_ms, remaining_ms);
+    options->xtalk.total_budget_ms =
+        options->xtalk.total_budget_ms == 0
+            ? remaining_ms
+            : std::min(options->xtalk.total_budget_ms, remaining_ms);
+}
+
+/** Content key for the snapshot cache: everything that shapes the
+ *  measurement, hashed. Two requests share a key exactly when their
+ *  on-the-fly characterizations would be bit-identical. */
+std::string
+CharacterizationKey(const Device& device, const RbConfig& config,
+                    uint64_t seed)
+{
+    std::ostringstream canon;
+    canon << "policy=one-hop-bin-packed;seed=" << seed << ";shots="
+          << config.shots << ";seqs=" << config.sequences_per_length
+          << ";rb_seed=" << config.seed << ";lengths=";
+    for (int length : config.lengths) {
+        canon << length << ",";
+    }
+    canon << ";device=" << SerializeDeviceSpec(device);
+    return telemetry::FnvHex(canon.str());
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(options) {}
+
+ServiceResponse
+Engine::Handle(const ServiceRequest& request,
+               std::optional<Clock::time_point> deadline)
+{
+    const Clock::time_point started = Clock::now();
+    if (!deadline.has_value() && request.deadline_ms > 0) {
+        deadline = started + std::chrono::milliseconds(request.deadline_ms);
+    }
+    telemetry::JournalEmit("svc.start", {{"id", request.id},
+                                         {"kind", request.kind}});
+    ServiceResponse response;
+    std::string validation_error;
+    if (!request.Validate(&validation_error)) {
+        response = MakeErrorResponse(request, StatusCode::kError,
+                                     validation_error);
+    } else if (request.kind != "compile") {
+        // ping/shutdown: protocol-level requests with no pipeline work.
+        response.id = request.id;
+    } else {
+        try {
+            response = RunCompile(request, deadline);
+        } catch (const std::exception& e) {
+            response = MakeErrorResponse(request, ClassifyException(e),
+                                         e.what());
+        }
+    }
+    response.run_ms = std::chrono::duration<double, std::milli>(
+                          Clock::now() - started)
+                          .count();
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("svc.requests").Add(1);
+        telemetry::GetCounter(std::string("svc.status.") +
+                              response.status())
+            .Add(1);
+        telemetry::GetHistogram("svc.request_ms").Record(response.run_ms);
+    }
+    telemetry::JournalEmit("svc.done",
+                           {{"id", request.id},
+                            {"status", response.status()},
+                            {"run_ms", response.run_ms},
+                            {"cache_hit", response.cache_hit}});
+    return response;
+}
+
+ServiceResponse
+Engine::RunCompile(const ServiceRequest& request,
+                   std::optional<Clock::time_point> deadline)
+{
+    ServiceResponse response;
+    response.id = request.id;
+
+    std::optional<Circuit> parsed;
+    {
+        telemetry::ScopedSpan span("tool.parse_qasm");
+        parsed = ParseQasm(request.qasm);
+    }
+    const Circuit& circuit = *parsed;
+
+    const Device device = ResolveDevice(request);
+    Inform("device: " + device.name() + " (" +
+           std::to_string(device.num_qubits()) + " qubits)");
+    telemetry::SetLabel("tool.device", device.name());
+
+    // Build the pipeline before characterizing so a typo in `passes`
+    // fails fast: the default Figure 2 toolflow, or the named passes.
+    PassManagerOptions manager_options;
+    manager_options.verify =
+        request.verify_passes || VerifyPassesRequestedByEnv();
+    PassManager pipeline(manager_options);
+    if (request.passes.empty()) {
+        pipeline = MakeDefaultPipeline(manager_options);
+    } else {
+        for (const std::string& name : request.passes) {
+            pipeline.AddPass(name);
+        }
+        XTALK_REQUIRE(pipeline.size() > 0, "'passes' names no passes");
+    }
+
+    CrosstalkCharacterization characterization;
+    if (!request.characterization_text.empty() ||
+        !request.characterization_path.empty()) {
+        std::string measured_on;
+        if (!request.characterization_text.empty()) {
+            characterization = ParseCharacterization(
+                request.characterization_text, &measured_on);
+        } else {
+            // Bounded retry: characterization files typically live on
+            // network filesystems in real deployments, and transient
+            // read failures should not kill a compile.
+            RetryPolicy io_retry;
+            Rng io_rng(0x10AD);
+            RetryCall(io_retry, io_rng, [&] {
+                characterization = LoadCharacterization(
+                    request.characterization_path, &measured_on);
+            });
+        }
+        XTALK_REQUIRE(
+            measured_on.empty() || measured_on == device.name(),
+            "characterization was measured on '"
+                << measured_on << "', not '" << device.name()
+                << "' (edge ids are device-specific)");
+    } else if (request.NeedsCharacterization()) {
+        if (deadline.has_value() && RemainingMs(*deadline) <= 0.0) {
+            return MakeErrorResponse(
+                request, StatusCode::kTimeout,
+                "deadline expired before characterization");
+        }
+        const RbConfig rb_config = BenchRbConfig();
+        const std::string key = CharacterizationKey(
+            device, rb_config, options_.characterization_seed);
+        const SnapshotCache::Entry entry = cache_.GetOrCompute(key, [&] {
+            Inform("characterizing device (bin-packed SRB)...");
+            telemetry::ScopedSpan span("tool.characterize");
+            return CharacterizeDevice(
+                device, rb_config, CharacterizationPolicy::kOneHopBinPacked,
+                options_.characterization_seed);
+        });
+        characterization = *entry.data;
+        response.cache_hit = entry.hit;
+    }
+    if (!characterization.independent_entries().empty() ||
+        !characterization.conditional_entries().empty()) {
+        response.characterization_id = characterization.SnapshotId();
+    }
+    if (!request.save_characterization_path.empty()) {
+        SaveCharacterization(request.save_characterization_path,
+                             characterization, device.name());
+        Inform("saved characterization to " +
+               request.save_characterization_path);
+    }
+
+    CompilerOptions compile_options = MakeCompilerOptions(request);
+    if (deadline.has_value()) {
+        if (RemainingMs(*deadline) <= 0.0) {
+            ServiceResponse timeout = MakeErrorResponse(
+                request, StatusCode::kTimeout,
+                "deadline expired before compilation");
+            timeout.characterization_id = response.characterization_id;
+            timeout.cache_hit = response.cache_hit;
+            return timeout;
+        }
+        ApplyDeadlineBudget(*deadline, &compile_options);
+    }
+
+    CompilationState state(device, characterization, circuit,
+                           compile_options);
+    {
+        telemetry::ScopedSpan span("compile.total");
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("compile.invocations").Add(1);
+            telemetry::GetCounter("compile.input_gates")
+                .Add(static_cast<uint64_t>(circuit.size()));
+        }
+        pipeline.Run(state);
+    }
+    for (const std::string& note : state.diagnostics) {
+        Inform(note);
+    }
+
+    response.scheduler_name = state.scheduler_name;
+    response.degradation = DegradationName(state.degradation);
+    response.degradation_reason = state.degradation_reason;
+    response.omega = state.omega;
+    response.diagnostics = state.diagnostics;
+    response.initial_layout.assign(state.initial_layout.begin(),
+                                   state.initial_layout.end());
+    response.final_layout.assign(state.final_layout.begin(),
+                                 state.final_layout.end());
+    if (state.schedule) {
+        response.duration_ns = state.schedule->TotalDuration();
+        telemetry::SetLabel("tool.scheduler", state.scheduler_name);
+    }
+    if (state.estimate) {
+        response.has_estimate = true;
+        response.success_probability = state.estimate->success_probability;
+        response.crosstalk_overlaps = state.estimate->crosstalk_overlaps;
+    }
+
+    if (request.want_report) {
+        XTALK_REQUIRE(state.schedule.has_value(),
+                      "a report needs a schedule; the pipeline ran no "
+                      "schedule pass");
+        response.report = state.schedule->ToString();
+    }
+    if (request.simulate_shots > 0) {
+        XTALK_REQUIRE(state.schedule.has_value(),
+                      "simulation needs a schedule; the pipeline ran no "
+                      "schedule pass");
+        if (deadline.has_value() && RemainingMs(*deadline) <= 0.0) {
+            ServiceResponse timeout = MakeErrorResponse(
+                request, StatusCode::kTimeout,
+                "deadline expired before simulation");
+            timeout.characterization_id = response.characterization_id;
+            timeout.cache_hit = response.cache_hit;
+            return timeout;
+        }
+        telemetry::ScopedSpan span("tool.simulate");
+        runtime::Executor executor(device);
+        runtime::ExecutionJob job;
+        job.schedule = *state.schedule;
+        // Fixed chunk bound, NOT the thread count: the chunk plan
+        // picks the random streams, so tying it to the worker count
+        // would make the histogram depend on pool sizing.
+        job.spec = RunSpec{request.simulate_shots, std::nullopt, 16};
+        const runtime::ExecutionResult result =
+            executor.Run(std::move(job));
+        response.counts = result.counts.ToString();
+    }
+
+    // The emitted circuit: the barriered executable, or the schedule's
+    // gate order when the pipeline stopped before barrier lowering.
+    std::optional<Circuit> emitted = state.executable;
+    if (!emitted && state.schedule) {
+        emitted = state.schedule->ToCircuit();
+    }
+    if (emitted) {
+        response.qasm = ToQasm(*emitted);
+    }
+    return response;
+}
+
+void
+FillRunRecord(const ServiceRequest& request,
+              const ServiceResponse& response,
+              telemetry::RunRecord* record)
+{
+    record->config_hash = request.ConfigHash();
+    record->device = request.device_file.empty() ? request.device
+                                                 : request.device_file;
+    record->characterization_id = response.characterization_id;
+    record->scheduler = response.scheduler_name;
+    record->degradation = response.degradation;
+    record->degradation_reason = response.degradation_reason.empty()
+                                     ? response.error
+                                     : response.degradation_reason;
+    record->exit_code = ExitCodeFor(response.code);
+}
+
+}  // namespace xtalk::service

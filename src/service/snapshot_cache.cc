@@ -1,0 +1,104 @@
+#include "service/snapshot_cache.h"
+
+#include "telemetry/telemetry.h"
+
+namespace xtalk::service {
+
+SnapshotCache::Entry
+SnapshotCache::GetOrCompute(const std::string& key, const Compute& compute)
+{
+    std::shared_ptr<Slot> slot;
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        auto it = slots_.find(key);
+        if (it != slots_.end()) {
+            slot = it->second;
+            slot_ready_.wait(lock, [&] {
+                return slot->ready || slot->failed;
+            });
+            if (slot->failed) {
+                // The leader already removed the slot from the map;
+                // rethrow its failure without counting a hit, so the
+                // metrics say "this call got no snapshot".
+                std::rethrow_exception(slot->error);
+            }
+            ++hits_;
+            if (telemetry::Enabled()) {
+                telemetry::GetCounter("svc.cache.hits").Add(1);
+            }
+            return Entry{slot->data, true};
+        }
+        slot = std::make_shared<Slot>();
+        slots_[key] = slot;
+        ++misses_;
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("svc.cache.misses").Add(1);
+        }
+    }
+    // Leader: run the measurement outside the lock so followers block
+    // on the slot, not on every other key's traffic.
+    try {
+        auto data = std::make_shared<const CrosstalkCharacterization>(
+            compute());
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot->data = std::move(data);
+        slot->ready = true;
+        slot_ready_.notify_all();
+        return Entry{slot->data, false};
+    } catch (...) {
+        std::lock_guard<std::mutex> lock(mutex_);
+        slot->failed = true;
+        slot->error = std::current_exception();
+        // Drop the slot so the next request retries the measurement
+        // instead of serving a cached failure forever. Followers still
+        // hold the shared_ptr and observe `failed`.
+        slots_.erase(key);
+        slot_ready_.notify_all();
+        throw;
+    }
+}
+
+uint64_t
+SnapshotCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+uint64_t
+SnapshotCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+size_t
+SnapshotCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t ready = 0;
+    for (const auto& [key, slot] : slots_) {
+        if (slot->ready) {
+            ++ready;
+        }
+    }
+    return ready;
+}
+
+void
+SnapshotCache::Clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    // In-flight slots stay: their leader still holds a shared_ptr and
+    // will publish into it; dropping the map entry would just detach
+    // future requests from that flight, which is correct too.
+    for (auto it = slots_.begin(); it != slots_.end();) {
+        if (it->second->ready) {
+            it = slots_.erase(it);
+        } else {
+            ++it;
+        }
+    }
+}
+
+}  // namespace xtalk::service

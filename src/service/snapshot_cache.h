@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Single-flight cache of characterization snapshots.
+ *
+ * Characterizing a device is the most expensive thing the service does
+ * (seconds of SRB simulation), and every concurrent client of a daemon
+ * typically wants the *same* snapshot — the paper's deployment model
+ * is one daily characterization consumed by every compile until the
+ * next calibration. The cache turns that access pattern into one
+ * computation: the first request for a key becomes the leader and runs
+ * the measurement; every request that arrives while it is in flight
+ * blocks on the slot and receives the leader's result (a "hit" — it
+ * did not spend the measurement itself).
+ *
+ * Failure semantics: a leader that throws wakes its followers with the
+ * same exception and *removes* the slot, so the next request retries
+ * the measurement instead of caching the failure forever.
+ *
+ * Keys are content-derived by the caller (device spec + RB budget +
+ * policy + seed — see Engine::CharacterizationKey), so two requests
+ * agree on a key exactly when the measurement they would run is
+ * bit-identical.
+ */
+#ifndef XTALK_SERVICE_SNAPSHOT_CACHE_H
+#define XTALK_SERVICE_SNAPSHOT_CACHE_H
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "characterization/characterizer.h"
+
+namespace xtalk::service {
+
+/** Single-flight, unbounded, process-lifetime snapshot cache. */
+class SnapshotCache {
+  public:
+    /** The measurement to run on a miss (executed outside the lock). */
+    using Compute = std::function<CrosstalkCharacterization()>;
+
+    struct Entry {
+        std::shared_ptr<const CrosstalkCharacterization> data;
+        /** True when this call did not run the measurement itself —
+         *  the snapshot was already cached or another request's
+         *  in-flight computation was joined. */
+        bool hit = false;
+    };
+
+    /**
+     * Return the snapshot for @p key, running @p compute at most once
+     * across all concurrent callers. Rethrows the leader's exception
+     * in every caller that joined the failed flight.
+     */
+    Entry GetOrCompute(const std::string& key, const Compute& compute);
+
+    /** Calls served without running the measurement. */
+    uint64_t hits() const;
+    /** Calls that ran (or started) the measurement. */
+    uint64_t misses() const;
+    /** Completed snapshots currently cached. */
+    size_t size() const;
+
+    /** Drop every cached snapshot (in-flight computations finish). */
+    void Clear();
+
+  private:
+    struct Slot {
+        bool ready = false;
+        bool failed = false;
+        std::shared_ptr<const CrosstalkCharacterization> data;
+        std::exception_ptr error;
+    };
+
+    mutable std::mutex mutex_;
+    std::condition_variable slot_ready_;
+    std::map<std::string, std::shared_ptr<Slot>> slots_;
+    uint64_t hits_ = 0;
+    uint64_t misses_ = 0;
+};
+
+}  // namespace xtalk::service
+
+#endif  // XTALK_SERVICE_SNAPSHOT_CACHE_H

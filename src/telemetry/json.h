@@ -1,17 +1,21 @@
 /**
  * @file
- * Minimal JSON utilities for the telemetry subsystem: a streaming
- * writer (handles commas, escaping, and non-finite numbers) and a
- * strict syntax validator used by tests and tool self-checks. Not a
- * general-purpose JSON library — no DOM, no deserialization beyond
- * validation.
+ * Minimal JSON utilities for the telemetry subsystem and the service
+ * wire protocol: a streaming writer (handles commas, escaping, and
+ * non-finite numbers), a strict syntax validator used by tests and
+ * tool self-checks, and a small read-only DOM (JsonValue /
+ * ParseJsonValue) for the newline-delimited request/response messages
+ * `xtalkd` exchanges with its clients. Not a general-purpose JSON
+ * library — the DOM is parse-only and keeps every number as a double.
  */
 #ifndef XTALK_TELEMETRY_JSON_H
 #define XTALK_TELEMETRY_JSON_H
 
 #include <cstdint>
+#include <memory>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace xtalk::telemetry {
@@ -59,6 +63,70 @@ class JsonWriter {
  * a byte offset.
  */
 bool ValidateJson(const std::string& text, std::string* error = nullptr);
+
+/**
+ * Parsed JSON value. Objects keep their members in file order
+ * (duplicate keys: last one wins on lookup); numbers are doubles —
+ * integers up to 2^53 round-trip exactly, which covers every field of
+ * the service protocol.
+ */
+class JsonValue {
+  public:
+    enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool is_null() const { return kind_ == Kind::kNull; }
+    bool is_object() const { return kind_ == Kind::kObject; }
+    bool is_array() const { return kind_ == Kind::kArray; }
+    bool is_string() const { return kind_ == Kind::kString; }
+    bool is_number() const { return kind_ == Kind::kNumber; }
+    bool is_bool() const { return kind_ == Kind::kBool; }
+
+    bool as_bool() const { return bool_; }
+    double as_number() const { return number_; }
+    const std::string& as_string() const { return string_; }
+    const std::vector<JsonValue>& items() const { return items_; }
+    const std::vector<std::pair<std::string, JsonValue>>& members() const
+    {
+        return members_;
+    }
+
+    /** Object member lookup; null when absent or not an object. */
+    const JsonValue* Find(const std::string& key) const;
+
+    /** Typed member accessors with defaults (objects only). */
+    std::string GetString(const std::string& key,
+                          const std::string& fallback = "") const;
+    double GetNumber(const std::string& key, double fallback = 0.0) const;
+    bool GetBool(const std::string& key, bool fallback = false) const;
+
+    static JsonValue MakeNull() { return JsonValue(); }
+    static JsonValue MakeBool(bool v);
+    static JsonValue MakeNumber(double v);
+    static JsonValue MakeString(std::string v);
+    static JsonValue MakeArray(std::vector<JsonValue> items);
+    static JsonValue MakeObject(
+        std::vector<std::pair<std::string, JsonValue>> members);
+
+  private:
+    Kind kind_ = Kind::kNull;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> items_;
+    std::vector<std::pair<std::string, JsonValue>> members_;
+};
+
+/**
+ * Parse exactly one JSON value (RFC 8259, same grammar the validator
+ * accepts; \uXXXX escapes decode to UTF-8, surrogate pairs included).
+ * False (with @p error set to a message with a byte offset) on
+ * malformed input; @p out is untouched on failure.
+ */
+bool ParseJsonValue(const std::string& text, JsonValue* out,
+                    std::string* error = nullptr);
 
 }  // namespace xtalk::telemetry
 

@@ -42,7 +42,7 @@ BuildSwapBenchmark(const Device& device, QubitId a, QubitId b)
 bool
 HasCrosstalkConflict(const Device& device, const SwapBenchmark& benchmark,
                      const CrosstalkCharacterization& characterization,
-                     double threshold, double margin)
+                     const HighCrosstalkCriteria& criteria)
 {
     const Topology& topo = device.topology();
     const Circuit& circuit = benchmark.circuit;
@@ -67,7 +67,7 @@ HasCrosstalkConflict(const Device& device, const SwapBenchmark& benchmark,
                  {std::pair{edge_of[i], edge_of[j]},
                   std::pair{edge_of[j], edge_of[i]}}) {
                 if (characterization.IsHighCrosstalk(victim, aggressor,
-                                                     threshold, margin)) {
+                                                     criteria)) {
                     return true;
                 }
             }
@@ -79,7 +79,8 @@ HasCrosstalkConflict(const Device& device, const SwapBenchmark& benchmark,
 std::vector<std::pair<QubitId, QubitId>>
 FindConflictingSwapPairs(const Device& device,
                          const CrosstalkCharacterization& characterization,
-                         int max_instances, double threshold, double margin)
+                         int max_instances,
+                         const HighCrosstalkCriteria& criteria)
 {
     const Topology& topo = device.topology();
     std::vector<std::pair<QubitId, QubitId>> out;
@@ -90,7 +91,7 @@ FindConflictingSwapPairs(const Device& device,
             }
             const SwapBenchmark bench = BuildSwapBenchmark(device, a, b);
             if (HasCrosstalkConflict(device, bench, characterization,
-                                     threshold, margin)) {
+                                     criteria)) {
                 out.push_back({a, b});
                 if (max_instances > 0 &&
                     static_cast<int>(out.size()) >= max_instances) {

@@ -52,7 +52,7 @@ SwapBenchmark BuildSwapBenchmark(const Device& device, QubitId a, QubitId b);
 bool HasCrosstalkConflict(const Device& device,
                           const SwapBenchmark& benchmark,
                           const CrosstalkCharacterization& characterization,
-                          double threshold = 2.5, double margin = 0.015);
+                          const HighCrosstalkCriteria& criteria = {});
 
 /**
  * Enumerate qubit pairs (at >= 2 hops so at least one SWAP is needed)
@@ -61,7 +61,7 @@ bool HasCrosstalkConflict(const Device& device,
  */
 std::vector<std::pair<QubitId, QubitId>> FindConflictingSwapPairs(
     const Device& device, const CrosstalkCharacterization& characterization,
-    int max_instances = 0, double threshold = 2.5, double margin = 0.015);
+    int max_instances = 0, const HighCrosstalkCriteria& criteria = {});
 
 }  // namespace xtalk
 

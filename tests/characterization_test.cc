@@ -258,7 +258,8 @@ TEST(Characterizer, DiscoversInjectedHighCrosstalkPair)
 
     RbConfig config = FastRbConfig(23);
     config.sequences_per_length = 6;
-    CrosstalkCharacterizer characterizer(device, config);
+    CrosstalkCharacterizer characterizer(
+        device, CharacterizerConfig{.rb = config});
     const CrosstalkCharacterization result = characterizer.Run(plan);
 
     ASSERT_TRUE(result.HasIndependentError(victim));
@@ -275,14 +276,16 @@ TEST(CharacterizerResilience, RetriedExperimentIsBitIdenticalToFaultFree)
     const EdgeId e1 = device.topology().FindEdge(0, 1);
     const EdgeId e2 = device.topology().FindEdge(2, 3);
 
-    CrosstalkCharacterizer baseline(device, FastRbConfig(41));
+    CrosstalkCharacterizer baseline(
+        device, CharacterizerConfig{.rb = FastRbConfig(41)});
     const auto clean = baseline.MeasureIndependent({e1, e2});
 
     // Exactly one job fails once; the experiment is resubmitted with
     // identical seeds, so the retried run must be bit-identical.
     faults::ScopedFaultPlan scoped("srb.run:n=1");
     CharacterizationRunReport report;
-    CrosstalkCharacterizer characterizer(device, FastRbConfig(41));
+    CrosstalkCharacterizer characterizer(
+        device, CharacterizerConfig{.rb = FastRbConfig(41)});
     const auto retried =
         characterizer.MeasureIndependent({e1, e2}, &report);
 
@@ -305,7 +308,8 @@ TEST(CharacterizerResilience, PersistentFaultQuarantinesButCompletes)
 
     faults::ScopedFaultPlan scoped("srb.run:p=1");
     CharacterizationRunReport report;
-    CrosstalkCharacterizer characterizer(device, FastRbConfig(23));
+    CrosstalkCharacterizer characterizer(
+        device, CharacterizerConfig{.rb = FastRbConfig(23)});
     const auto result = characterizer.Run(plan, &report);
 
     // Every attempt of every experiment failed: nothing measured,
@@ -334,7 +338,8 @@ TEST(CharacterizerResilience, TenPercentFaultSweepCompletes)
 
     faults::ScopedFaultPlan scoped("srb.run:p=0.1;seed=7");
     CharacterizationRunReport report;
-    CrosstalkCharacterizer characterizer(device, FastRbConfig(23));
+    CrosstalkCharacterizer characterizer(
+        device, CharacterizerConfig{.rb = FastRbConfig(23)});
     const auto result = characterizer.Run(plan, &report);
 
     EXPECT_GT(report.failed_jobs, 0);

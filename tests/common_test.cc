@@ -13,6 +13,7 @@
 #include "common/matrix.h"
 #include "common/rng.h"
 #include "common/statistics.h"
+#include "common/status.h"
 
 namespace xtalk {
 namespace {
@@ -281,6 +282,44 @@ TEST(Matrix, EqualsUpToPhase)
     EXPECT_FALSE(x.EqualsUpToPhase(z, 1e-12));
     // Different magnitude is never equal up to phase.
     EXPECT_FALSE(x.EqualsUpToPhase(x * Complex(2.0, 0.0), 1e-12));
+}
+
+// The exit-code / wire-status contract every frontend shares. Scripts,
+// CI jobs, and the service protocol all depend on these exact values;
+// changing any row is a breaking change to the public interface.
+TEST(Status, ExitCodeAndWireNameTableIsPinned)
+{
+    const struct {
+        StatusCode code;
+        int exit_code;
+        const char* name;
+    } kTable[] = {
+        {StatusCode::kOk, 0, "ok"},
+        {StatusCode::kIoError, 1, "io_error"},
+        {StatusCode::kError, 2, "error"},
+        {StatusCode::kInternal, 3, "internal"},
+        {StatusCode::kRejected, 2, "rejected"},
+        {StatusCode::kTimeout, 2, "timeout"},
+    };
+    for (const auto& row : kTable) {
+        EXPECT_EQ(ExitCodeFor(row.code), row.exit_code) << row.name;
+        EXPECT_STREQ(StatusName(row.code), row.name);
+        StatusCode parsed;
+        ASSERT_TRUE(ParseStatusName(row.name, &parsed)) << row.name;
+        EXPECT_EQ(parsed, row.code) << row.name;
+    }
+    StatusCode parsed;
+    EXPECT_FALSE(ParseStatusName("no-such-status", &parsed));
+    EXPECT_FALSE(ParseStatusName("OK", &parsed));  // Case-sensitive.
+}
+
+TEST(Status, ClassifyExceptionMapsTheHierarchy)
+{
+    EXPECT_EQ(ClassifyException(InternalError("invariant broken")),
+              StatusCode::kInternal);
+    EXPECT_EQ(ClassifyException(Error("bad input")), StatusCode::kError);
+    EXPECT_EQ(ClassifyException(std::runtime_error("disk on fire")),
+              StatusCode::kIoError);
 }
 
 }  // namespace

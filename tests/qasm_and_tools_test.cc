@@ -664,6 +664,61 @@ TEST(XtalkcCliObservability, FaultedRunStillWritesParseableEvidence)
     std::remove(ledger_path.c_str());
 }
 
+/** The worker-pool thread count resolved for one xtalkc run, read from
+ *  the runtime.pool.threads gauge in --stats-json (published when the
+ *  shared pool is first built). @p prefix sets the environment. */
+int
+ResolvedPoolThreads(const FaultSmokeFixture& fx, const std::string& prefix,
+                    const std::string& extra)
+{
+    const std::string stats_path =
+        fx.dir + "/xtalkc_threads_stats_" + fx.tag + ".json";
+    const std::string command =
+        prefix + " " + std::string(XTALK_XTALKC_BIN) + " --device-file " +
+        fx.device_path + " --layout trivial --scheduler serial" +
+        " --simulate 8 " + extra + " --stats-json " + stats_path + " " +
+        fx.qasm_path + " > /dev/null 2>&1";
+    EXPECT_EQ(ExitCode(std::system(command.c_str())), 0) << command;
+    const std::string stats = SlurpFile(stats_path);
+    std::remove(stats_path.c_str());
+    const std::string key = "\"runtime.pool.threads\":";
+    const size_t at = stats.find(key);
+    EXPECT_NE(at, std::string::npos) << stats;
+    if (at == std::string::npos) {
+        return -1;
+    }
+    return std::atoi(stats.c_str() + at + key.size());
+}
+
+TEST(XtalkcCliThreads, FlagBeatsEnvBeatsHardware)
+{
+    const FaultSmokeFixture fx;
+    // --threads wins over XTALK_THREADS...
+    EXPECT_EQ(ResolvedPoolThreads(fx, "XTALK_THREADS=3", "--threads 2"),
+              2);
+    // ...and XTALK_THREADS wins over the hardware default.
+    EXPECT_EQ(ResolvedPoolThreads(fx, "XTALK_THREADS=3", ""), 3);
+}
+
+TEST(XtalkcCliThreads, HelpDocumentsThePrecedence)
+{
+    const FaultSmokeFixture fx;
+    const std::string help_path =
+        fx.dir + "/xtalkc_help_" + fx.tag + ".txt";
+    const std::string command = std::string(XTALK_XTALKC_BIN) +
+                                " --help > " + help_path + " 2>&1";
+    ASSERT_EQ(ExitCode(std::system(command.c_str())), 0) << command;
+    const std::string help = SlurpFile(help_path);
+    std::remove(help_path.c_str());
+    // The precedence chain is part of the CLI contract; keep --help
+    // explicit about all three tiers and where to observe the result.
+    EXPECT_NE(help.find("--threads beats"), std::string::npos) << help;
+    EXPECT_NE(help.find("XTALK_THREADS"), std::string::npos) << help;
+    EXPECT_NE(help.find("hardware thread"), std::string::npos) << help;
+    EXPECT_NE(help.find("runtime.pool.threads"), std::string::npos)
+        << help;
+}
+
 #endif  // XTALK_XTALKC_BIN
 
 TEST(OmegaTuning, RejectsEmptyCandidateList)

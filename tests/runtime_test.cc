@@ -336,7 +336,8 @@ TEST(Determinism, BinPackedCharacterizationIdenticalAcrossThreadCounts)
             rng);
         runtime::ExecutorOptions exec;
         exec.num_threads = threads;
-        CrosstalkCharacterizer characterizer(device, config, {}, exec);
+        CrosstalkCharacterizer characterizer(
+            device, CharacterizerConfig{.rb = config, .exec = exec});
         return characterizer.Run(plan);
     };
     const auto at1 = characterize_at(1);

@@ -1,0 +1,486 @@
+/**
+ * @file
+ * Unit tests for the service layer: the xtalk.request.v1 /
+ * xtalk.response.v1 API structs, the single-flight snapshot cache, the
+ * admission gate, and the in-process Engine. The daemon end-to-end
+ * protocol tests (real socket, real binaries) live in xtalkd_test.cc.
+ */
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "service/admission.h"
+#include "service/api.h"
+#include "service/engine.h"
+#include "service/snapshot_cache.h"
+#include "telemetry/ledger.h"
+
+namespace xtalk::service {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+const char* kTinyQasm =
+    "OPENQASM 2.0;\n"
+    "include \"qelib1.inc\";\n"
+    "qreg q[2];\n"
+    "creg c[2];\n"
+    "h q[0];\n"
+    "cx q[0],q[1];\n"
+    "measure q[0] -> c[0];\n"
+    "measure q[1] -> c[1];\n";
+
+ServiceRequest
+TinyRequest()
+{
+    ServiceRequest request;
+    request.id = "t1";
+    request.qasm = kTinyQasm;
+    request.layout = "trivial";
+    request.scheduler = "serial";  // No characterization needed: fast.
+    return request;
+}
+
+// ---------------------------------------------------------------------
+// ServiceRequest validation
+
+TEST(ServiceRequestTest, DefaultCompileRequestValidates)
+{
+    ServiceRequest request = TinyRequest();
+    std::string error;
+    EXPECT_TRUE(request.Validate(&error)) << error;
+}
+
+TEST(ServiceRequestTest, ValidateRejectsMalformedRequests)
+{
+    const auto expect_invalid = [](void (*mutate)(ServiceRequest*),
+                                   const char* what) {
+        ServiceRequest request;
+        request.qasm = kTinyQasm;
+        mutate(&request);
+        std::string error;
+        EXPECT_FALSE(request.Validate(&error)) << what;
+        EXPECT_FALSE(error.empty()) << what;
+    };
+    expect_invalid([](ServiceRequest* r) { r->kind = "transmogrify"; },
+                   "unknown kind");
+    expect_invalid([](ServiceRequest* r) { r->qasm.clear(); },
+                   "empty qasm");
+    expect_invalid([](ServiceRequest* r) { r->scheduler = "magic"; },
+                   "unknown scheduler");
+    expect_invalid([](ServiceRequest* r) { r->layout = "random"; },
+                   "unknown layout");
+    expect_invalid([](ServiceRequest* r) { r->omega = 1.5; },
+                   "omega out of range");
+    expect_invalid([](ServiceRequest* r) { r->omega = -0.1; },
+                   "negative omega");
+    expect_invalid(
+        [](ServiceRequest* r) {
+            r->characterization_text = "x";
+            r->characterization_path = "y";
+        },
+        "both characterization sources");
+    expect_invalid([](ServiceRequest* r) { r->simulate_shots = -1; },
+                   "negative shots");
+    expect_invalid([](ServiceRequest* r) { r->deadline_ms = -5; },
+                   "negative deadline");
+}
+
+TEST(ServiceRequestTest, PingNeedsNoQasm)
+{
+    ServiceRequest request;
+    request.kind = "ping";
+    std::string error;
+    EXPECT_TRUE(request.Validate(&error)) << error;
+}
+
+// ---------------------------------------------------------------------
+// Wire round-trips
+
+TEST(ServiceRequestTest, JsonRoundTripPreservesEveryField)
+{
+    ServiceRequest request;
+    request.id = "req-42";
+    request.kind = "compile";
+    request.qasm = kTinyQasm;
+    request.device = "johannesburg";
+    request.device_file = "";
+    request.layout = "trivial";
+    request.scheduler = "greedy";
+    request.omega = 0.25;
+    request.passes = {"layout.trivial", "schedule.serial"};
+    request.verify_passes = true;
+    request.characterization_text = "independent:\n";
+    request.simulate_shots = 128;
+    request.want_report = true;
+    request.deadline_ms = 1500;
+
+    ServiceRequest parsed;
+    std::string error;
+    ASSERT_TRUE(ServiceRequest::FromJson(request.ToJson(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.id, request.id);
+    EXPECT_EQ(parsed.kind, request.kind);
+    EXPECT_EQ(parsed.qasm, request.qasm);
+    EXPECT_EQ(parsed.device, request.device);
+    EXPECT_EQ(parsed.layout, request.layout);
+    EXPECT_EQ(parsed.scheduler, request.scheduler);
+    EXPECT_DOUBLE_EQ(parsed.omega, request.omega);
+    EXPECT_EQ(parsed.passes, request.passes);
+    EXPECT_EQ(parsed.verify_passes, request.verify_passes);
+    EXPECT_EQ(parsed.characterization_text,
+              request.characterization_text);
+    EXPECT_EQ(parsed.simulate_shots, request.simulate_shots);
+    EXPECT_EQ(parsed.want_report, request.want_report);
+    EXPECT_EQ(parsed.deadline_ms, request.deadline_ms);
+    // The round-trip must also agree on the ledger config hash.
+    EXPECT_EQ(parsed.ConfigHash(), request.ConfigHash());
+}
+
+TEST(ServiceRequestTest, FromJsonRejectsWrongSchemaAndBadTypes)
+{
+    ServiceRequest parsed;
+    std::string error;
+    EXPECT_FALSE(ServiceRequest::FromJson("{\"id\":\"x\"}", &parsed,
+                                          &error));
+    EXPECT_FALSE(ServiceRequest::FromJson(
+        "{\"schema\":\"xtalk.request.v2\",\"id\":\"x\"}", &parsed,
+        &error));
+    EXPECT_FALSE(ServiceRequest::FromJson("not json", &parsed, &error));
+    EXPECT_FALSE(ServiceRequest::FromJson(
+        std::string("{\"schema\":\"") + kRequestSchema +
+            "\",\"omega\":\"high\"}",
+        &parsed, &error));
+}
+
+TEST(ServiceRequestTest, FromJsonIgnoresUnknownFieldsAndKeepsDefaults)
+{
+    ServiceRequest parsed;
+    std::string error;
+    ASSERT_TRUE(ServiceRequest::FromJson(
+        std::string("{\"schema\":\"") + kRequestSchema +
+            "\",\"id\":\"fw\",\"future_knob\":true}",
+        &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.id, "fw");
+    EXPECT_EQ(parsed.device, "poughkeepsie");
+    EXPECT_EQ(parsed.scheduler, "xtalk");
+    EXPECT_DOUBLE_EQ(parsed.omega, 0.5);
+}
+
+TEST(ServiceResponseTest, JsonRoundTripPreservesEveryField)
+{
+    ServiceResponse response;
+    response.id = "req-42";
+    response.code = StatusCode::kTimeout;
+    response.error = "deadline expired before compilation";
+    response.qasm = "OPENQASM 2.0;\n";
+    response.report = "schedule:\n";
+    response.counts = "00: 10\n";
+    response.scheduler_name = "XtalkSched";
+    response.degradation = "greedy";
+    response.degradation_reason = "solver budget exhausted";
+    response.omega = 0.75;
+    response.duration_ns = 1234.5;
+    response.success_probability = 0.91;
+    response.crosstalk_overlaps = 2;
+    response.has_estimate = true;
+    response.initial_layout = {3, 1, 2};
+    response.final_layout = {1, 3, 2};
+    response.diagnostics = {"layout: trivial", "routed: 2 swaps"};
+    response.characterization_id = "c0ffee12";
+    response.cache_hit = true;
+    response.queue_ms = 0.5;
+    response.run_ms = 31.25;
+
+    ServiceResponse parsed;
+    std::string error;
+    ASSERT_TRUE(
+        ServiceResponse::FromJson(response.ToJson(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.id, response.id);
+    EXPECT_EQ(parsed.code, response.code);
+    EXPECT_EQ(parsed.error, response.error);
+    EXPECT_EQ(parsed.qasm, response.qasm);
+    EXPECT_EQ(parsed.report, response.report);
+    EXPECT_EQ(parsed.counts, response.counts);
+    EXPECT_EQ(parsed.scheduler_name, response.scheduler_name);
+    EXPECT_EQ(parsed.degradation, response.degradation);
+    EXPECT_EQ(parsed.degradation_reason, response.degradation_reason);
+    ASSERT_TRUE(parsed.omega.has_value());
+    EXPECT_DOUBLE_EQ(*parsed.omega, *response.omega);
+    EXPECT_DOUBLE_EQ(parsed.duration_ns, response.duration_ns);
+    EXPECT_DOUBLE_EQ(parsed.success_probability,
+                     response.success_probability);
+    EXPECT_EQ(parsed.crosstalk_overlaps, response.crosstalk_overlaps);
+    EXPECT_EQ(parsed.has_estimate, response.has_estimate);
+    EXPECT_EQ(parsed.initial_layout, response.initial_layout);
+    EXPECT_EQ(parsed.final_layout, response.final_layout);
+    EXPECT_EQ(parsed.diagnostics, response.diagnostics);
+    EXPECT_EQ(parsed.characterization_id, response.characterization_id);
+    EXPECT_EQ(parsed.cache_hit, response.cache_hit);
+    EXPECT_DOUBLE_EQ(parsed.queue_ms, response.queue_ms);
+    EXPECT_DOUBLE_EQ(parsed.run_ms, response.run_ms);
+}
+
+TEST(ServiceResponseTest, TimingIsTheOnlyNondeterministicField)
+{
+    ServiceResponse a;
+    a.id = "x";
+    a.run_ms = 10.0;
+    ServiceResponse b = a;
+    b.run_ms = 99.0;
+    b.queue_ms = 5.0;
+    // Wall-clock differences disappear in the deterministic projection.
+    EXPECT_NE(a.ToJson(true), b.ToJson(true));
+    EXPECT_EQ(a.ToJson(false), b.ToJson(false));
+    EXPECT_EQ(a.ToJson(false).find("timing"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------
+// Snapshot cache
+
+TEST(SnapshotCacheTest, SecondLookupHits)
+{
+    SnapshotCache cache;
+    int computed = 0;
+    const auto compute = [&] {
+        ++computed;
+        CrosstalkCharacterization data;
+        data.SetIndependentError(EdgeId{0}, 0.01);
+        return data;
+    };
+    const SnapshotCache::Entry first = cache.GetOrCompute("k", compute);
+    EXPECT_FALSE(first.hit);
+    const SnapshotCache::Entry second = cache.GetOrCompute("k", compute);
+    EXPECT_TRUE(second.hit);
+    EXPECT_EQ(computed, 1);
+    EXPECT_EQ(second.data.get(), first.data.get());
+    EXPECT_EQ(cache.hits(), 1u);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SnapshotCacheTest, ConcurrentCallersSingleFlight)
+{
+    SnapshotCache cache;
+    std::atomic<int> computed{0};
+    const auto compute = [&] {
+        computed.fetch_add(1);
+        // Long enough that every thread arrives while in flight.
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        return CrosstalkCharacterization{};
+    };
+    constexpr int kThreads = 8;
+    std::atomic<int> hits{0};
+    std::vector<std::thread> threads;
+    threads.reserve(kThreads);
+    for (int i = 0; i < kThreads; ++i) {
+        threads.emplace_back([&] {
+            if (cache.GetOrCompute("shared", compute).hit) {
+                hits.fetch_add(1);
+            }
+        });
+    }
+    for (std::thread& thread : threads) {
+        thread.join();
+    }
+    EXPECT_EQ(computed.load(), 1);
+    EXPECT_EQ(hits.load(), kThreads - 1);
+    EXPECT_EQ(cache.misses(), 1u);
+    EXPECT_EQ(cache.hits(), static_cast<uint64_t>(kThreads - 1));
+}
+
+TEST(SnapshotCacheTest, FailedFlightPropagatesAndRetries)
+{
+    SnapshotCache cache;
+    int calls = 0;
+    EXPECT_THROW(cache.GetOrCompute("k",
+                                    [&]() -> CrosstalkCharacterization {
+                                        ++calls;
+                                        throw std::runtime_error("boom");
+                                    }),
+                 std::runtime_error);
+    // The failure is not cached: the next request retries the compute.
+    const SnapshotCache::Entry entry = cache.GetOrCompute("k", [&] {
+        ++calls;
+        return CrosstalkCharacterization{};
+    });
+    EXPECT_FALSE(entry.hit);
+    EXPECT_EQ(calls, 2);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(SnapshotCacheTest, DistinctKeysComputeSeparately)
+{
+    SnapshotCache cache;
+    int computed = 0;
+    const auto compute = [&] {
+        ++computed;
+        return CrosstalkCharacterization{};
+    };
+    cache.GetOrCompute("a", compute);
+    cache.GetOrCompute("b", compute);
+    EXPECT_EQ(computed, 2);
+    cache.Clear();
+    EXPECT_EQ(cache.size(), 0u);
+    cache.GetOrCompute("a", compute);
+    EXPECT_EQ(computed, 3);
+}
+
+// ---------------------------------------------------------------------
+// Admission gate
+
+TEST(AdmissionGateTest, AdmitsUpToCapacityThenRejects)
+{
+    AdmissionGate gate(AdmissionOptions{1, 0});
+    EXPECT_EQ(gate.Enter(), Admission::kAdmitted);
+    // Slot held and no queue: the next request is rejected immediately.
+    EXPECT_EQ(gate.Enter(), Admission::kRejected);
+    gate.Leave();
+    EXPECT_EQ(gate.Enter(), Admission::kAdmitted);
+    gate.Leave();
+    EXPECT_EQ(gate.admitted(), 2u);
+    EXPECT_EQ(gate.rejected(), 1u);
+}
+
+TEST(AdmissionGateTest, ZeroConcurrencyRejectsEverything)
+{
+    AdmissionGate gate(AdmissionOptions{0, 0});
+    EXPECT_EQ(gate.Enter(), Admission::kRejected);
+    EXPECT_EQ(gate.rejected(), 1u);
+}
+
+TEST(AdmissionGateTest, QueuedRequestTimesOutAtDeadline)
+{
+    AdmissionGate gate(AdmissionOptions{1, 4});
+    ASSERT_EQ(gate.Enter(), Admission::kAdmitted);
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(50);
+    EXPECT_EQ(gate.Enter(deadline), Admission::kTimedOut);
+    EXPECT_EQ(gate.timed_out(), 1u);
+    gate.Leave();
+}
+
+TEST(AdmissionGateTest, QueuedRequestAdmittedWhenSlotFrees)
+{
+    AdmissionGate gate(AdmissionOptions{1, 4});
+    ASSERT_EQ(gate.Enter(), Admission::kAdmitted);
+    std::atomic<bool> admitted{false};
+    std::thread waiter([&] {
+        if (gate.Enter() == Admission::kAdmitted) {
+            admitted.store(true);
+            gate.Leave();
+        }
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(admitted.load());  // Still queued behind the holder.
+    gate.Leave();
+    waiter.join();
+    EXPECT_TRUE(admitted.load());
+    EXPECT_EQ(gate.admitted(), 2u);
+}
+
+// ---------------------------------------------------------------------
+// Engine
+
+TEST(EngineTest, PingReturnsOk)
+{
+    Engine engine;
+    ServiceRequest request;
+    request.id = "p";
+    request.kind = "ping";
+    const ServiceResponse response = engine.Handle(request);
+    EXPECT_EQ(response.code, StatusCode::kOk);
+    EXPECT_EQ(response.id, "p");
+}
+
+TEST(EngineTest, InvalidRequestAnsweredNotThrown)
+{
+    Engine engine;
+    ServiceRequest request = TinyRequest();
+    request.scheduler = "magic";
+    const ServiceResponse response = engine.Handle(request);
+    EXPECT_EQ(response.code, StatusCode::kError);
+    EXPECT_NE(response.error.find("magic"), std::string::npos);
+}
+
+TEST(EngineTest, BadQasmClassifiedAsError)
+{
+    Engine engine;
+    ServiceRequest request = TinyRequest();
+    request.qasm = "OPENQASM 2.0;\nqreg q[2];\nfrobnicate q[0];\n";
+    const ServiceResponse response = engine.Handle(request);
+    EXPECT_EQ(response.code, StatusCode::kError);
+    EXPECT_FALSE(response.error.empty());
+}
+
+TEST(EngineTest, CompilesTinyCircuitSerially)
+{
+    Engine engine;
+    const ServiceRequest request = TinyRequest();
+    const ServiceResponse response = engine.Handle(request);
+    ASSERT_EQ(response.code, StatusCode::kOk) << response.error;
+    EXPECT_EQ(response.id, "t1");
+    EXPECT_EQ(response.scheduler_name, "SerialSched");
+    EXPECT_TRUE(response.has_estimate);
+    EXPECT_GT(response.duration_ns, 0.0);
+    EXPECT_NE(response.qasm.find("OPENQASM 2.0;"), std::string::npos);
+    EXPECT_FALSE(response.cache_hit);
+    EXPECT_GT(response.run_ms, 0.0);
+}
+
+TEST(EngineTest, IdenticalRequestsProduceIdenticalResponses)
+{
+    Engine engine;
+    const ServiceRequest request = TinyRequest();
+    const ServiceResponse first = engine.Handle(request);
+    const ServiceResponse second = engine.Handle(request);
+    ASSERT_EQ(first.code, StatusCode::kOk) << first.error;
+    // Byte-identical outside the wall-clock timing object.
+    EXPECT_EQ(first.ToJson(false), second.ToJson(false));
+}
+
+TEST(EngineTest, ExpiredDeadlineReturnsTimeout)
+{
+    Engine engine;
+    const ServiceRequest request = TinyRequest();
+    const ServiceResponse response =
+        engine.Handle(request, Clock::now() - std::chrono::seconds(1));
+    EXPECT_EQ(response.code, StatusCode::kTimeout);
+    EXPECT_NE(response.error.find("deadline"), std::string::npos);
+}
+
+TEST(EngineTest, ReportAndSimulationFillTheirFields)
+{
+    Engine engine;
+    ServiceRequest request = TinyRequest();
+    request.want_report = true;
+    request.simulate_shots = 64;
+    const ServiceResponse response = engine.Handle(request);
+    ASSERT_EQ(response.code, StatusCode::kOk) << response.error;
+    EXPECT_FALSE(response.report.empty());
+    EXPECT_FALSE(response.counts.empty());
+}
+
+TEST(EngineTest, FillRunRecordMapsStatusToExitCode)
+{
+    ServiceRequest request = TinyRequest();
+    ServiceResponse response;
+    response.code = StatusCode::kRejected;
+    response.error = "server at capacity";
+    telemetry::RunRecord record;
+    FillRunRecord(request, response, &record);
+    EXPECT_EQ(record.exit_code, 2);
+    EXPECT_EQ(record.config_hash, request.ConfigHash());
+    EXPECT_EQ(record.device, request.device);
+    EXPECT_EQ(record.degradation_reason, "server at capacity");
+}
+
+}  // namespace
+}  // namespace xtalk::service

@@ -1,0 +1,470 @@
+/**
+ * @file
+ * End-to-end tests for the `xtalkd` daemon: real binary, real AF_UNIX
+ * socket, real newline-delimited JSON — the same path a production
+ * client takes. Also the home of the CLI/daemon equivalence contract:
+ * one request produces byte-identical responses whichever frontend
+ * served it (runs the real xtalkc via XTALK_XTALKC_BIN).
+ */
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "device/ibmq_devices.h"
+#include "experiments/experiments.h"
+#include "characterization/io.h"
+#include "service/api.h"
+
+#if defined(XTALK_XTALKD_BIN) && defined(XTALK_XTALKC_BIN)
+
+namespace xtalk {
+namespace {
+
+using service::ServiceRequest;
+using service::ServiceResponse;
+
+const char* kChainQasm =
+    "OPENQASM 2.0;\n"
+    "include \"qelib1.inc\";\n"
+    "qreg q[4];\n"
+    "creg c[4];\n"
+    "h q[0];\n"
+    "cx q[0],q[1];\n"
+    "cx q[1],q[2];\n"
+    "cx q[2],q[3];\n"
+    "measure q[0] -> c[0];\n"
+    "measure q[1] -> c[1];\n"
+    "measure q[2] -> c[2];\n"
+    "measure q[3] -> c[3];\n";
+
+/** One daemon process with a unique socket, killed on destruction. */
+class DaemonProcess {
+  public:
+    explicit DaemonProcess(std::vector<std::string> extra_args,
+                           const std::string& tag)
+    {
+        socket_path_ = ::testing::TempDir() + "xtalkd_" + tag + "_" +
+                       std::to_string(::getpid()) + ".sock";
+        ::unlink(socket_path_.c_str());
+        std::vector<std::string> args = {XTALK_XTALKD_BIN, "--socket",
+                                         socket_path_, "--log-level",
+                                         "quiet"};
+        for (std::string& arg : extra_args) {
+            args.push_back(std::move(arg));
+        }
+        std::vector<char*> argv;
+        argv.reserve(args.size() + 1);
+        for (std::string& arg : args) {
+            argv.push_back(arg.data());
+        }
+        argv.push_back(nullptr);
+        pid_ = ::fork();
+        if (pid_ == 0) {
+            ::execv(argv[0], argv.data());
+            ::_exit(127);  // exec failed
+        }
+    }
+
+    ~DaemonProcess()
+    {
+        if (pid_ > 0) {
+            ::kill(pid_, SIGKILL);
+            int status = 0;
+            ::waitpid(pid_, &status, 0);
+        }
+        ::unlink(socket_path_.c_str());
+    }
+
+    const std::string& socket_path() const { return socket_path_; }
+
+    /** Block until the daemon accepts connections (or fail the test). */
+    bool WaitReady(int timeout_ms = 15000)
+    {
+        const auto deadline =
+            std::chrono::steady_clock::now() +
+            std::chrono::milliseconds(timeout_ms);
+        while (std::chrono::steady_clock::now() < deadline) {
+            const int fd = TryConnect();
+            if (fd >= 0) {
+                ::close(fd);
+                return true;
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(50));
+        }
+        return false;
+    }
+
+    int TryConnect() const
+    {
+        sockaddr_un addr{};
+        addr.sun_family = AF_UNIX;
+        if (socket_path_.size() >= sizeof(addr.sun_path)) {
+            return -1;
+        }
+        std::memcpy(addr.sun_path, socket_path_.c_str(),
+                    socket_path_.size() + 1);
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0) {
+            return -1;
+        }
+        if (::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                      sizeof(addr)) != 0) {
+            ::close(fd);
+            return -1;
+        }
+        return fd;
+    }
+
+    /** Reap the daemon and return its exit code (-1 on abnormal exit). */
+    int WaitExit()
+    {
+        int status = 0;
+        ::waitpid(pid_, &status, 0);
+        pid_ = -1;
+        return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+    }
+
+  private:
+    std::string socket_path_;
+    pid_t pid_ = -1;
+};
+
+/** One NDJSON connection: send a line, read a line. */
+class Client {
+  public:
+    explicit Client(const DaemonProcess& daemon)
+        : fd_(daemon.TryConnect())
+    {
+    }
+    ~Client()
+    {
+        if (fd_ >= 0) {
+            ::close(fd_);
+        }
+    }
+
+    bool ok() const { return fd_ >= 0; }
+
+    bool SendLine(const std::string& line)
+    {
+        std::string framed = line;
+        framed.push_back('\n');
+        size_t sent = 0;
+        while (sent < framed.size()) {
+            const ssize_t n = ::send(fd_, framed.data() + sent,
+                                     framed.size() - sent, MSG_NOSIGNAL);
+            if (n <= 0 && errno != EINTR) {
+                return false;
+            }
+            if (n > 0) {
+                sent += static_cast<size_t>(n);
+            }
+        }
+        return true;
+    }
+
+    bool RecvLine(std::string* line)
+    {
+        while (buffer_.find('\n') == std::string::npos) {
+            char chunk[4096];
+            const ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n < 0 && errno == EINTR) {
+                continue;
+            }
+            if (n <= 0) {
+                return false;
+            }
+            buffer_.append(chunk, static_cast<size_t>(n));
+        }
+        const size_t newline = buffer_.find('\n');
+        *line = buffer_.substr(0, newline);
+        buffer_.erase(0, newline + 1);
+        return true;
+    }
+
+    /** Round-trip one request; fails the test on transport errors. */
+    ServiceResponse Call(const ServiceRequest& request)
+    {
+        EXPECT_TRUE(SendLine(request.ToJson()));
+        std::string line;
+        EXPECT_TRUE(RecvLine(&line));
+        ServiceResponse response;
+        std::string error;
+        EXPECT_TRUE(ServiceResponse::FromJson(line, &response, &error))
+            << error << "\nline: " << line;
+        return response;
+    }
+
+  private:
+    int fd_;
+    std::string buffer_;
+};
+
+ServiceRequest
+ChainCompileRequest(const std::string& id)
+{
+    ServiceRequest request;
+    request.id = id;
+    request.qasm = kChainQasm;
+    return request;
+}
+
+std::string
+ReadFile(const std::string& path)
+{
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** Wall-clock and transport-dependent fields zeroed, everything else
+ *  intact: the projection two frontends must agree on byte for byte.
+ *  cache_hit says who paid for the measurement, not what was computed,
+ *  so it is correlation metadata like id and the timings. */
+std::string
+Canonical(ServiceResponse response)
+{
+    response.id.clear();
+    response.cache_hit = false;
+    response.queue_ms = 0.0;
+    response.run_ms = 0.0;
+    return response.ToJson(/*include_timing=*/false);
+}
+
+TEST(XtalkdTest, PingCompileShutdownLifecycle)
+{
+    DaemonProcess daemon({}, "lifecycle");
+    ASSERT_TRUE(daemon.WaitReady());
+    Client client(daemon);
+    ASSERT_TRUE(client.ok());
+
+    ServiceRequest ping;
+    ping.id = "p1";
+    ping.kind = "ping";
+    ServiceResponse response = client.Call(ping);
+    EXPECT_EQ(response.code, StatusCode::kOk);
+    EXPECT_EQ(response.id, "p1");
+
+    ServiceRequest compile = ChainCompileRequest("c1");
+    compile.layout = "trivial";
+    compile.scheduler = "serial";  // No characterization: fast.
+    response = client.Call(compile);
+    ASSERT_EQ(response.code, StatusCode::kOk) << response.error;
+    EXPECT_EQ(response.scheduler_name, "SerialSched");
+    EXPECT_NE(response.qasm.find("OPENQASM 2.0;"), std::string::npos);
+
+    ServiceRequest shutdown;
+    shutdown.id = "s1";
+    shutdown.kind = "shutdown";
+    response = client.Call(shutdown);
+    EXPECT_EQ(response.code, StatusCode::kOk);
+    EXPECT_EQ(daemon.WaitExit(), 0);
+}
+
+TEST(XtalkdTest, MalformedLineGetsStructuredError)
+{
+    DaemonProcess daemon({}, "badline");
+    ASSERT_TRUE(daemon.WaitReady());
+    Client client(daemon);
+    ASSERT_TRUE(client.ok());
+    ASSERT_TRUE(client.SendLine("this is not json"));
+    std::string line;
+    ASSERT_TRUE(client.RecvLine(&line));
+    ServiceResponse response;
+    std::string error;
+    ASSERT_TRUE(ServiceResponse::FromJson(line, &response, &error))
+        << error;
+    EXPECT_EQ(response.code, StatusCode::kError);
+    EXPECT_NE(response.error.find("bad request"), std::string::npos);
+    // The connection survives a bad line: the next request still works.
+    ServiceRequest ping;
+    ping.kind = "ping";
+    EXPECT_EQ(client.Call(ping).code, StatusCode::kOk);
+}
+
+TEST(XtalkdTest, SaturatedGateRejectsCompilesButAnswersPings)
+{
+    // max-concurrent 0: every compile is rejected at admission, which
+    // makes the rejection path deterministic.
+    DaemonProcess daemon({"--max-concurrent", "0", "--max-queue", "0"},
+                         "overflow");
+    ASSERT_TRUE(daemon.WaitReady());
+    Client client(daemon);
+    ASSERT_TRUE(client.ok());
+
+    const ServiceResponse rejected =
+        client.Call(ChainCompileRequest("r1"));
+    EXPECT_EQ(rejected.code, StatusCode::kRejected);
+    EXPECT_EQ(rejected.id, "r1");
+    EXPECT_NE(rejected.error.find("capacity"), std::string::npos);
+
+    // Protocol chatter bypasses the gate even under saturation.
+    ServiceRequest ping;
+    ping.kind = "ping";
+    EXPECT_EQ(client.Call(ping).code, StatusCode::kOk);
+}
+
+TEST(XtalkdTest, CliAndDaemonAreBitIdentical)
+{
+    // One characterization snapshot shared by both frontends, so the
+    // comparison covers the full noise-aware + SMT pipeline.
+    const std::string dir = ::testing::TempDir();
+    const std::string charz_path = dir + "xtalkd_equiv_charz.txt";
+    const std::string qasm_path = dir + "xtalkd_equiv_in.qasm";
+    const std::string response_path = dir + "xtalkd_equiv_cli.json";
+    {
+        const Device device = MakePoughkeepsie();
+        RbConfig config;
+        config.lengths = {1, 2, 4, 7, 12, 20, 30};
+        config.sequences_per_length = 4;
+        config.shots = 128;
+        config.seed = 99;
+        SaveCharacterization(charz_path,
+                             CharacterizeDevice(device, config),
+                             device.name());
+        std::ofstream out(qasm_path);
+        out << kChainQasm;
+    }
+
+    ServiceRequest request = ChainCompileRequest("equiv");
+    request.scheduler = "xtalk";
+    request.layout = "noise-aware";
+    request.characterization_path = charz_path;
+    request.want_report = true;
+
+    // Frontend 1: the CLI (same flags the request encodes).
+    const std::string command = std::string(XTALK_XTALKC_BIN) +
+                                " --scheduler xtalk --layout noise-aware" +
+                                " --characterization " + charz_path +
+                                " --report --response-json " +
+                                response_path + " " + qasm_path +
+                                " > /dev/null 2>&1";
+    ASSERT_EQ(std::system(command.c_str()), 0) << command;
+    ServiceResponse cli_response;
+    std::string error;
+    ASSERT_TRUE(ServiceResponse::FromJson(ReadFile(response_path),
+                                          &cli_response, &error))
+        << error;
+
+    // Frontend 2: the daemon, twice (the second run must also agree —
+    // serving a request must not perturb the next one).
+    DaemonProcess daemon({}, "equiv");
+    ASSERT_TRUE(daemon.WaitReady());
+    Client client(daemon);
+    ASSERT_TRUE(client.ok());
+    const ServiceResponse daemon_response = client.Call(request);
+    ASSERT_EQ(daemon_response.code, StatusCode::kOk)
+        << daemon_response.error;
+    const ServiceResponse daemon_again = client.Call(request);
+
+    EXPECT_EQ(Canonical(cli_response), Canonical(daemon_response));
+    EXPECT_EQ(Canonical(daemon_response), Canonical(daemon_again));
+    EXPECT_EQ(cli_response.scheduler_name, "XtalkSched");
+}
+
+TEST(XtalkdTest, ConcurrentClientsShareOneCharacterization)
+{
+    const std::string tag = std::to_string(::getpid());
+    const std::string journal_path =
+        ::testing::TempDir() + "xtalkd_cache_journal_" + tag + ".jsonl";
+    const std::string prom_path =
+        ::testing::TempDir() + "xtalkd_cache_metrics_" + tag + ".prom";
+    ::unlink(journal_path.c_str());
+    ::unlink(prom_path.c_str());
+    DaemonProcess daemon(
+        {"--journal", journal_path, "--metrics-prom", prom_path},
+        "cache");
+    ASSERT_TRUE(daemon.WaitReady());
+
+    // Two clients, two connections, identical requests that need an
+    // on-the-fly characterization. The single-flight cache must run
+    // the measurement once; the follower joins the leader's flight.
+    ServiceRequest request = ChainCompileRequest("cc");
+    request.scheduler = "greedy";  // Needs characterization, cheap after.
+    request.layout = "trivial";
+
+    ServiceResponse responses[2];
+    std::thread clients[2];
+    for (int i = 0; i < 2; ++i) {
+        clients[i] = std::thread([&, i] {
+            Client client(daemon);
+            ASSERT_TRUE(client.ok());
+            ServiceRequest mine = request;
+            mine.id = "cc" + std::to_string(i);
+            responses[i] = client.Call(mine);
+        });
+    }
+    for (std::thread& thread : clients) {
+        thread.join();
+    }
+    ASSERT_EQ(responses[0].code, StatusCode::kOk) << responses[0].error;
+    ASSERT_EQ(responses[1].code, StatusCode::kOk) << responses[1].error;
+    // Exactly one request ran the measurement; the other hit the cache.
+    EXPECT_NE(responses[0].cache_hit, responses[1].cache_hit);
+    EXPECT_EQ(responses[0].characterization_id,
+              responses[1].characterization_id);
+    EXPECT_EQ(Canonical(responses[0]), Canonical(responses[1]));
+
+    {
+        Client closer(daemon);
+        ASSERT_TRUE(closer.ok());
+        ServiceRequest shutdown;
+        shutdown.kind = "shutdown";
+        EXPECT_EQ(closer.Call(shutdown).code, StatusCode::kOk);
+    }
+    ASSERT_EQ(daemon.WaitExit(), 0);
+
+    // Journal forensics: two svc.done compile records, but only one
+    // characterization sequence. The characterizer journals its
+    // experiment list once per phase (independent RB bins, then
+    // conditional SRB groups), so one measurement logs group 0 exactly
+    // twice; a duplicated flight would log it four times.
+    const std::string journal = ReadFile(journal_path);
+    ASSERT_FALSE(journal.empty());
+    size_t done_count = 0;
+    size_t group_zero_count = 0;
+    std::istringstream lines(journal);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("\"svc.done\"") != std::string::npos &&
+            line.find("\"cc") != std::string::npos) {
+            ++done_count;
+        }
+        if (line.find("\"charz.experiment\"") != std::string::npos &&
+            line.find("\"group\":0,") != std::string::npos) {
+            ++group_zero_count;
+        }
+    }
+    EXPECT_EQ(done_count, 2u);
+    EXPECT_EQ(group_zero_count, 2u);
+
+    // The exported metrics must tell the same story: one miss (the
+    // leader's measurement), one hit (the joined follower).
+    const std::string metrics = ReadFile(prom_path);
+    EXPECT_NE(metrics.find("xtalk_svc_cache_misses_total 1"),
+              std::string::npos)
+        << metrics;
+    EXPECT_NE(metrics.find("xtalk_svc_cache_hits_total 1"),
+              std::string::npos)
+        << metrics;
+    ::unlink(journal_path.c_str());
+    ::unlink(prom_path.c_str());
+}
+
+}  // namespace
+}  // namespace xtalk
+
+#endif  // XTALK_XTALKD_BIN && XTALK_XTALKC_BIN

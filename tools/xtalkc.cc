@@ -2,11 +2,12 @@
  * @file
  * xtalkc — command-line crosstalk-adaptive compiler.
  *
- * Reads an OpenQASM 2.0 circuit, runs it through the pass-manager
- * pipeline (default: layout -> route -> schedule -> lower-barriers ->
- * estimate) for a simulated device, and emits the scheduled circuit
- * (with ordering barriers for XtalkSched) plus an optional schedule
- * report and noisy-simulation run.
+ * A thin shell over service::Engine: the flags below are parsed into
+ * one ServiceRequest (service/api.h), handed to Engine::Handle — the
+ * same entry point the `xtalkd` daemon serves over its socket — and
+ * the response is rendered to files/stdout. A compile through this
+ * CLI and the same request through the daemon are bit-identical by
+ * construction.
  *
  *   xtalkc --device poughkeepsie --scheduler xtalk --omega 0.5 \
  *          --characterization xtalk.txt --report --simulate 1024 \
@@ -29,41 +30,30 @@
  * flight-recorder event journal as JSONL (and arms a crash dump so
  * exit-code-3 runs leave evidence), --metrics-prom dumps the registry
  * in OpenMetrics/Prometheus text format, --ledger appends a one-line
- * per-run summary record, --log-level controls stderr verbosity.
+ * per-run summary record, --response-json dumps the full
+ * xtalk.response.v1 message, --log-level controls stderr verbosity.
  *
- * Exit codes: 0 success, 1 I/O or telemetry-write failure, 2 invalid
- * usage or input (xtalk::Error), 3 internal invariant violation
- * (xtalk::InternalError — a bug; please report it).
+ * Exit codes (common/status.h, pinned by common_test): 0 success,
+ * 1 I/O or telemetry-write failure, 2 invalid usage or input
+ * (xtalk::Error), 3 internal invariant violation (xtalk::InternalError
+ * — a bug; please report it).
  */
 #include <cstdlib>
 #include <fstream>
 #include <iostream>
-#include <memory>
 #include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "characterization/io.h"
 #include "common/error.h"
 #include "common/logging.h"
-#include "common/retry.h"
-#include "faults/faults.h"
-#include "compiler/compiler.h"
-#include "compiler/pass.h"
+#include "common/status.h"
 #include "compiler/pass_manager.h"
-#include "circuit/qasm.h"
-#include "circuit/qasm_parser.h"
-#include "device/calibration_report.h"
-#include "device/device_io.h"
-#include "device/ibmq_devices.h"
-#include "experiments/experiments.h"
-#include "runtime/executor.h"
+#include "faults/faults.h"
 #include "runtime/thread_pool.h"
-#include "scheduler/analysis.h"
-#include "scheduler/greedy_scheduler.h"
-#include "scheduler/scheduler.h"
-#include "scheduler/xtalk_scheduler.h"
+#include "service/api.h"
+#include "service/engine.h"
 #include "telemetry/journal.h"
 #include "telemetry/ledger.h"
 #include "telemetry/openmetrics.h"
@@ -91,6 +81,7 @@ struct Options {
     std::string journal_path;
     std::string metrics_prom_path;
     std::string ledger_path;
+    std::string response_json_path;
     std::string log_level;
     std::string passes;
     std::string faults;
@@ -123,9 +114,15 @@ PrintUsage()
         "  --output <file>            write the scheduled circuit as QASM\n"
         "  --report                   print the timed schedule + analysis\n"
         "  --simulate <shots>         execute on the noisy simulator\n"
-        "  --threads <n>              worker threads for simulation\n"
-        "                             (overrides XTALK_THREADS; default:\n"
-        "                             all hardware threads)\n"
+        "  --threads <n>              worker threads for simulation.\n"
+        "                             Precedence: --threads beats the\n"
+        "                             XTALK_THREADS environment variable,\n"
+        "                             which beats the hardware thread\n"
+        "                             count; an Executor built with an\n"
+        "                             explicit pool size ignores all\n"
+        "                             three. The resolved size is\n"
+        "                             published as the\n"
+        "                             runtime.pool.threads gauge.\n"
         "  --faults <plan>            inject deterministic faults, e.g.\n"
         "                             'smt.solve:n=1;io.load:p=0.5;seed=7'\n"
         "                             (overrides XTALK_FAULTS; see\n"
@@ -144,6 +141,9 @@ PrintUsage()
         "                             Prometheus text format\n"
         "  --ledger <file>            append a one-line run summary\n"
         "                             record (JSONL, append-only)\n"
+        "  --response-json <file>     dump the xtalk.response.v1 message\n"
+        "                             for this run (the daemon's wire\n"
+        "                             format; see docs/SERVICE.md)\n"
         "  --log-level <level>        quiet | warn | info | debug\n"
         "  --help\n";
 }
@@ -207,6 +207,8 @@ ParseArgs(int argc, char** argv, Options* options)
             options->metrics_prom_path = next("--metrics-prom");
         } else if (arg == "--ledger") {
             options->ledger_path = next("--ledger");
+        } else if (arg == "--response-json") {
+            options->response_json_path = next("--response-json");
         } else if (arg == "--log-level") {
             options->log_level = next("--log-level");
         } else if (arg == "--report") {
@@ -286,29 +288,6 @@ WriteTelemetryOutputs(const Options& options)
     return ok;
 }
 
-/**
- * Stable hash of every compilation-relevant flag, so ledger records
- * distinguish "the config changed" from "the device drifted". Output
- * paths and verbosity are deliberately excluded — they don't affect
- * the schedule.
- */
-std::string
-ConfigHash(const Options& options)
-{
-    std::ostringstream canon;
-    canon << "device=" << options.device
-          << ";device_file=" << options.device_file
-          << ";scheduler=" << options.scheduler
-          << ";layout=" << options.layout
-          << ";omega=" << options.omega
-          << ";passes=" << options.passes
-          << ";characterization=" << options.characterization_path
-          << ";faults=" << options.faults
-          << ";verify=" << options.verify_passes
-          << ";simulate=" << options.simulate_shots;
-    return telemetry::FnvHex(canon.str());
-}
-
 /** Pull the ledger's key metrics out of the registry. */
 void
 CollectLedgerMetrics(telemetry::RunRecord* record)
@@ -336,21 +315,6 @@ CollectLedgerMetrics(telemetry::RunRecord* record)
         telemetry::GetGauge("runtime.pool.utilization").value();
 }
 
-Device
-MakeDevice(const std::string& name)
-{
-    if (name == "poughkeepsie") {
-        return MakePoughkeepsie();
-    }
-    if (name == "johannesburg") {
-        return MakeJohannesburg();
-    }
-    if (name == "boeblingen") {
-        return MakeBoeblingen();
-    }
-    XTALK_REQUIRE(false, "unknown device '" << name << "'");
-}
-
 std::vector<std::string>
 SplitCommaList(const std::string& list)
 {
@@ -365,222 +329,75 @@ SplitCommaList(const std::string& list)
     return parts;
 }
 
-/** True when some requested pass consumes measured crosstalk data. */
-bool
-NeedsCharacterization(const Options& options)
+/** The CLI flags as one service request (the daemon's unit of work). */
+service::ServiceRequest
+MakeRequest(const Options& options)
 {
-    const bool charz_scheduler = options.scheduler == "xtalk" ||
-                                 options.scheduler == "auto" ||
-                                 options.scheduler == "greedy";
-    const bool charz_layout = options.layout == "noise-aware";
-    if (options.passes.empty()) {
-        return charz_scheduler || charz_layout;
-    }
-    for (const std::string& name : SplitCommaList(options.passes)) {
-        if (name == "layout" && charz_layout) {
-            return true;
-        }
-        if (name == "schedule" && charz_scheduler) {
-            return true;
-        }
-        if (name == "layout:noise-aware" || name == "schedule:xtalk" ||
-            name == "schedule:auto" || name == "schedule:greedy") {
-            return true;
-        }
-    }
-    return false;
+    service::ServiceRequest request;
+    request.kind = "compile";
+    request.device = options.device;
+    request.device_file = options.device_file;
+    request.layout = options.layout;
+    request.scheduler = options.scheduler;
+    request.omega = options.omega;
+    request.passes = SplitCommaList(options.passes);
+    request.verify_passes = options.verify_passes;
+    request.characterization_path = options.characterization_path;
+    request.save_characterization_path =
+        options.save_characterization_path;
+    request.simulate_shots = options.simulate_shots;
+    request.want_report = options.report;
+    return request;
 }
 
-CompilerOptions
-MakeCompilerOptions(const Options& options)
-{
-    CompilerOptions compile_options;
-    if (options.layout == "trivial") {
-        compile_options.layout = LayoutPolicy::kTrivial;
-    } else if (options.layout == "noise-aware") {
-        compile_options.layout = LayoutPolicy::kNoiseAware;
-    } else {
-        XTALK_REQUIRE(false, "unknown layout '" << options.layout << "'");
-    }
-    if (options.scheduler == "xtalk") {
-        compile_options.scheduler = SchedulerPolicy::kXtalk;
-    } else if (options.scheduler == "auto") {
-        compile_options.scheduler = SchedulerPolicy::kXtalkAutoOmega;
-    } else if (options.scheduler == "parallel") {
-        compile_options.scheduler = SchedulerPolicy::kParallel;
-    } else if (options.scheduler == "serial") {
-        compile_options.scheduler = SchedulerPolicy::kSerial;
-    } else if (options.scheduler == "greedy") {
-        compile_options.scheduler = SchedulerPolicy::kGreedy;
-    } else {
-        XTALK_REQUIRE(false,
-                      "unknown scheduler '" << options.scheduler << "'");
-    }
-    compile_options.xtalk.omega = options.omega;
-    compile_options.verify_passes = options.verify_passes;
-    return compile_options;
-}
-
+/** Render a successful (or partially successful) response the way the
+ *  classic CLI always did: report + counts + layout to stdout, QASM to
+ *  --output or stdout. */
 int
-RunTool(const Options& options, telemetry::RunRecord* ledger)
+RenderResponse(const Options& options,
+               const service::ServiceResponse& response)
 {
-    std::ifstream input(options.input_path);
-    XTALK_REQUIRE(input.good(), "cannot read " << options.input_path);
-    std::ostringstream buffer;
-    buffer << input.rdbuf();
-    std::optional<Circuit> parsed;
-    {
-        telemetry::ScopedSpan span("tool.parse_qasm");
-        parsed = ParseQasm(buffer.str());
-    }
-    const Circuit& circuit = *parsed;
-
-    const Device device = options.device_file.empty()
-                              ? MakeDevice(options.device)
-                              : LoadDeviceSpec(options.device_file);
-    Inform("device: " + device.name() + " (" +
-           std::to_string(device.num_qubits()) + " qubits)");
-    telemetry::SetLabel("tool.device", device.name());
-    ledger->device = device.name();
-
-    // Build the pipeline before characterizing so a typo in --passes
-    // fails fast: the default Figure 2 toolflow, or the comma-separated
-    // pass names from --passes.
-    PassManagerOptions manager_options;
-    manager_options.verify =
-        options.verify_passes || VerifyPassesRequestedByEnv();
-    PassManager pipeline(manager_options);
-    if (options.passes.empty()) {
-        pipeline = MakeDefaultPipeline(manager_options);
-    } else {
-        for (const std::string& name : SplitCommaList(options.passes)) {
-            pipeline.AddPass(name);
-        }
-        XTALK_REQUIRE(pipeline.size() > 0, "--passes names no passes");
-    }
-
-    CrosstalkCharacterization characterization;
-    if (!options.characterization_path.empty()) {
-        std::string measured_on;
-        // Bounded retry: characterization files typically live on
-        // network filesystems on real deployments, and transient read
-        // failures should not kill a compile. Parse errors are not
-        // transient but retrying them is harmless (bounded, no delay).
-        RetryPolicy io_retry;
-        Rng io_rng(0x10AD);
-        RetryCall(io_retry, io_rng, [&] {
-            characterization = LoadCharacterization(
-                options.characterization_path, &measured_on);
-        });
-        XTALK_REQUIRE(measured_on.empty() || measured_on == device.name(),
-                      options.characterization_path << " was measured on '"
-                          << measured_on << "', not '" << device.name()
-                          << "' (edge ids are device-specific)");
-        Inform("loaded characterization from " +
-               options.characterization_path);
-    } else if (NeedsCharacterization(options)) {
-        Inform("characterizing device (bin-packed SRB)...");
-        telemetry::ScopedSpan span("tool.characterize");
-        characterization = CharacterizeDevice(
-            device, BenchRbConfig(),
-            CharacterizationPolicy::kOneHopBinPacked);
-    }
-    if (!characterization.independent_entries().empty() ||
-        !characterization.conditional_entries().empty()) {
-        ledger->characterization_id = characterization.SnapshotId();
-    }
-    if (!options.save_characterization_path.empty()) {
-        SaveCharacterization(options.save_characterization_path,
-                             characterization, device.name());
-        Inform("saved characterization to " +
-               options.save_characterization_path);
-    }
-
-    CompilationState state(device, characterization, circuit,
-                           MakeCompilerOptions(options));
-    {
-        telemetry::ScopedSpan span("compile.total");
-        if (telemetry::Enabled()) {
-            telemetry::GetCounter("compile.invocations").Add(1);
-            telemetry::GetCounter("compile.input_gates")
-                .Add(static_cast<uint64_t>(circuit.size()));
-        }
-        pipeline.Run(state);
-    }
-    for (const std::string& note : state.diagnostics) {
-        Inform(note);
-    }
-
-    if (state.schedule) {
+    if (response.has_estimate || !response.scheduler_name.empty()) {
         std::ostringstream oss;
-        oss << state.scheduler_name;
-        if (state.omega) {
-            oss << " (omega " << *state.omega << ")";
+        oss << response.scheduler_name;
+        if (response.omega.has_value()) {
+            oss << " (omega " << *response.omega << ")";
         }
-        oss << ": duration " << state.schedule->TotalDuration() << " ns";
-        if (state.estimate) {
-            oss << ", modeled success "
-                << state.estimate->success_probability
+        oss << ": duration " << response.duration_ns << " ns";
+        if (response.has_estimate) {
+            oss << ", modeled success " << response.success_probability
                 << ", high-crosstalk overlaps "
-                << state.estimate->crosstalk_overlaps;
+                << response.crosstalk_overlaps;
         }
         Inform(oss.str());
-        telemetry::SetLabel("tool.scheduler", state.scheduler_name);
     }
-    ledger->scheduler = state.scheduler_name;
-    ledger->degradation = DegradationName(state.degradation);
-    ledger->degradation_reason = state.degradation_reason;
-    if (!state.initial_layout.empty()) {
+    if (!response.initial_layout.empty()) {
         std::ostringstream layout;
         layout << "layout:";
-        for (size_t l = 0; l < state.initial_layout.size(); ++l) {
-            layout << " " << l << "->" << state.initial_layout[l];
+        for (size_t l = 0; l < response.initial_layout.size(); ++l) {
+            layout << " " << l << "->" << response.initial_layout[l];
         }
         Inform(layout.str());
     }
-
     if (options.report) {
-        XTALK_REQUIRE(state.schedule.has_value(),
-                      "--report needs a schedule; the pipeline ran no "
-                      "schedule pass");
-        std::cout << state.schedule->ToString();
+        std::cout << response.report;
     }
     if (options.simulate_shots > 0) {
-        XTALK_REQUIRE(state.schedule.has_value(),
-                      "--simulate needs a schedule; the pipeline ran no "
-                      "schedule pass");
-        telemetry::ScopedSpan span("tool.simulate");
-        runtime::Executor executor(device);
-        runtime::ExecutionJob job;
-        job.schedule = *state.schedule;
-        // Fixed chunk bound, NOT the thread count: the chunk plan
-        // picks the random streams, so tying it to --threads would
-        // make the histogram depend on the worker count.
-        job.spec = RunSpec{options.simulate_shots, std::nullopt, 16};
-        const runtime::ExecutionResult result =
-            executor.Run(std::move(job));
-        std::cout << result.counts.ToString();
-    }
-
-    // The emitted circuit: the barriered executable, or the schedule's
-    // gate order when the pipeline stopped before barrier lowering.
-    std::optional<Circuit> emitted = state.executable;
-    if (!emitted && state.schedule) {
-        emitted = state.schedule->ToCircuit();
+        std::cout << response.counts;
     }
     if (!options.output_path.empty()) {
-        XTALK_REQUIRE(emitted.has_value(),
+        XTALK_REQUIRE(!response.qasm.empty(),
                       "--output needs a compiled circuit; the pipeline "
                       "ran no schedule pass");
         std::ofstream out(options.output_path);
-        XTALK_REQUIRE(out.good(),
-                      "cannot write " << options.output_path);
-        out << ToQasm(*emitted);
+        XTALK_REQUIRE(out.good(), "cannot write " << options.output_path);
+        out << response.qasm;
         Inform("wrote " + options.output_path);
-    } else if (!options.report && options.simulate_shots == 0 && emitted) {
-        std::cout << ToQasm(*emitted);
+    } else if (!options.report && options.simulate_shots == 0 &&
+               !response.qasm.empty()) {
+        std::cout << response.qasm;
     }
-    return WriteTelemetryOutputs(options) ? 0 : 1;
+    return 0;
 }
 
 }  // namespace
@@ -658,10 +475,12 @@ main(int argc, char** argv)
         runtime::ThreadPool::SetDefaultThreadCount(options.threads);
     }
 
+    service::ServiceRequest request = MakeRequest(options);
+
     telemetry::RunRecord ledger;
     ledger.run_id = telemetry::RunId();
     ledger.when = telemetry::Iso8601UtcNow();
-    ledger.config_hash = ConfigHash(options);
+    ledger.config_hash = request.ConfigHash();
     ledger.device = options.device;
     // Stamp the run id into the registry so --stats-json and
     // --metrics-prom outputs cross-reference the journal and ledger.
@@ -695,23 +514,56 @@ main(int argc, char** argv)
             faults::InstallPlan(faults::FaultPlan::Parse(options.faults));
             Inform("fault plan: " + faults::ActivePlanString());
         }
-        return finish(RunTool(options, &ledger));
+
+        {
+            std::ifstream input(options.input_path);
+            XTALK_REQUIRE(input.good(),
+                          "cannot read " << options.input_path);
+            std::ostringstream buffer;
+            buffer << input.rdbuf();
+            request.qasm = buffer.str();
+        }
+
+        service::Engine engine;
+        const service::ServiceResponse response = engine.Handle(request);
+
+        service::FillRunRecord(request, response, &ledger);
+        if (!options.response_json_path.empty()) {
+            std::ofstream out(options.response_json_path);
+            XTALK_REQUIRE(out.good(), "cannot write "
+                                          << options.response_json_path);
+            out << response.ToJson() << "\n";
+            Inform("wrote response to " + options.response_json_path);
+        }
+        if (response.code != StatusCode::kOk) {
+            if (response.code == StatusCode::kInternal) {
+                std::cerr << "internal error: " << response.error << "\n"
+                          << "this is a bug in xtalk; please report it\n";
+            } else {
+                std::cerr << "error: " << response.error << "\n";
+            }
+            WriteTelemetryOutputs(options);
+            return finish(ExitCodeFor(response.code));
+        }
+        const int render_code = RenderResponse(options, response);
+        const bool telemetry_ok = WriteTelemetryOutputs(options);
+        return finish(render_code == 0 && telemetry_ok ? 0 : 1);
     } catch (const InternalError& e) {
         std::cerr << "internal error: " << e.what() << "\n"
                   << "this is a bug in xtalk; please report it\n";
         ledger.degradation_reason = e.what();
         WriteTelemetryOutputs(options);
-        return finish(3);
+        return finish(ExitCodeFor(StatusCode::kInternal));
     } catch (const Error& e) {
         std::cerr << "error: " << e.what() << "\n";
         // Best-effort dump: partial metrics still help debug the failure.
         ledger.degradation_reason = e.what();
         WriteTelemetryOutputs(options);
-        return finish(2);
+        return finish(ExitCodeFor(StatusCode::kError));
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
         ledger.degradation_reason = e.what();
         WriteTelemetryOutputs(options);
-        return finish(1);
+        return finish(ExitCodeFor(StatusCode::kIoError));
     }
 }

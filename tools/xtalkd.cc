@@ -1,0 +1,576 @@
+/**
+ * @file
+ * xtalkd — the crosstalk-adaptive compiler as a long-running service.
+ *
+ * Serves the same service::Engine the `xtalkc` CLI wraps, over a local
+ * AF_UNIX stream socket speaking newline-delimited JSON: one
+ * xtalk.request.v1 object per line in, one xtalk.response.v1 object
+ * per line out, in request order per connection (see docs/SERVICE.md).
+ * A request compiled here is bit-identical to the same request through
+ * `xtalkc` — both are one Engine::Handle call.
+ *
+ *   xtalkd --socket /tmp/xtalkd.sock --max-concurrent 4 &
+ *   tools/xtalkd_client.py --socket /tmp/xtalkd.sock --qasm in.qasm
+ *
+ * Concurrency model: thread-per-connection frontends, with a bounded
+ * AdmissionGate in front of the pipeline — at most --max-concurrent
+ * compiles run at once, at most --max-queue more wait for a slot, and
+ * anything beyond that is rejected immediately with a structured
+ * "rejected" response (overload degrades to fast honest rejections,
+ * not unbounded latency). `ping` and `shutdown` bypass the gate.
+ * Per-request deadlines (`deadline_ms`) keep ticking while queued and
+ * clamp the SMT solver budget once running.
+ *
+ * Concurrent requests needing the same on-the-fly characterization
+ * share one single-flight measurement through the engine's snapshot
+ * cache; responses carry `cache_hit` so clients can tell.
+ *
+ * Observability: --journal / --stats-json / --metrics-prom dump the
+ * flight-recorder journal (svc.accept / svc.start / svc.done /
+ * svc.reject / svc.timeout events) and the metric registry
+ * (svc.requests, svc.request_ms, svc.queue.depth[_hwm],
+ * svc.inflight[_hwm], svc.cache.hits/misses, svc.rejected) at
+ * shutdown; --ledger appends one RunRecord per compile request as it
+ * completes. Shutdown is graceful on SIGINT/SIGTERM, a `shutdown`
+ * request, or after --max-requests: stop accepting, drain in-flight
+ * connections, write telemetry, unlink the socket.
+ */
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/error.h"
+#include "common/logging.h"
+#include "common/status.h"
+#include "faults/faults.h"
+#include "runtime/thread_pool.h"
+#include "service/admission.h"
+#include "service/api.h"
+#include "service/engine.h"
+#include "telemetry/journal.h"
+#include "telemetry/ledger.h"
+#include "telemetry/openmetrics.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+using namespace xtalk;
+
+namespace {
+
+struct Options {
+    std::string socket_path;
+    std::string journal_path;
+    std::string ledger_path;
+    std::string metrics_prom_path;
+    std::string stats_json_path;
+    std::string log_level;
+    std::string faults;
+    int max_concurrent = 4;
+    int max_queue = 16;
+    int threads = 0;
+    long max_requests = 0;  // 0 = unlimited
+    bool help = false;
+};
+
+void
+PrintUsage()
+{
+    std::cout <<
+        "usage: xtalkd --socket <path> [options]\n"
+        "  --socket <path>        AF_UNIX socket to listen on (required;\n"
+        "                         an existing file there is replaced)\n"
+        "  --max-concurrent <n>   compile requests run at once (default 4;\n"
+        "                         0 rejects every compile — test mode)\n"
+        "  --max-queue <n>        requests that may wait for a run slot\n"
+        "                         beyond the running ones (default 16);\n"
+        "                         requests past the queue are rejected\n"
+        "                         immediately with status 'rejected'\n"
+        "  --max-requests <n>     shut down after serving n requests\n"
+        "                         (0 = serve forever; for CI smoke runs)\n"
+        "  --threads <n>          worker threads for simulation; same\n"
+        "                         precedence as xtalkc: --threads beats\n"
+        "                         XTALK_THREADS beats hardware threads\n"
+        "  --faults <plan>        inject deterministic faults (overrides\n"
+        "                         XTALK_FAULTS; see docs/RESILIENCE.md)\n"
+        "  --journal <file>       dump the event journal as JSONL at\n"
+        "                         shutdown (also armed as a crash dump)\n"
+        "  --ledger <file>        append one run record per compile\n"
+        "                         request as it completes (JSONL)\n"
+        "  --stats-json <file>    dump telemetry metrics as JSON at\n"
+        "                         shutdown\n"
+        "  --metrics-prom <file>  dump metrics in OpenMetrics text\n"
+        "                         format at shutdown\n"
+        "  --log-level <level>    quiet | warn | info | debug\n"
+        "  --help\n"
+        "\n"
+        "Protocol: newline-delimited JSON over the socket — one\n"
+        "xtalk.request.v1 per line in, one xtalk.response.v1 per line\n"
+        "out, in order per connection. See docs/SERVICE.md.\n";
+}
+
+bool
+ParseArgs(int argc, char** argv, Options* options)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        auto next = [&](const char* what) -> std::string {
+            if (i + 1 >= argc) {
+                std::cerr << "error: " << what << " needs a value\n";
+                std::exit(2);
+            }
+            return argv[++i];
+        };
+        if (arg == "--socket") {
+            options->socket_path = next("--socket");
+        } else if (arg == "--max-concurrent") {
+            options->max_concurrent = std::stoi(next("--max-concurrent"));
+        } else if (arg == "--max-queue") {
+            options->max_queue = std::stoi(next("--max-queue"));
+        } else if (arg == "--max-requests") {
+            options->max_requests = std::stol(next("--max-requests"));
+        } else if (arg == "--threads") {
+            options->threads = std::stoi(next("--threads"));
+            if (options->threads <= 0) {
+                std::cerr << "error: --threads needs a positive count\n";
+                return false;
+            }
+        } else if (arg == "--faults") {
+            options->faults = next("--faults");
+        } else if (arg == "--journal") {
+            options->journal_path = next("--journal");
+        } else if (arg == "--ledger") {
+            options->ledger_path = next("--ledger");
+        } else if (arg == "--stats-json") {
+            options->stats_json_path = next("--stats-json");
+        } else if (arg == "--metrics-prom") {
+            options->metrics_prom_path = next("--metrics-prom");
+        } else if (arg == "--log-level") {
+            options->log_level = next("--log-level");
+        } else if (arg == "--help" || arg == "-h") {
+            options->help = true;
+        } else {
+            std::cerr << "error: unknown option " << arg << "\n";
+            return false;
+        }
+    }
+    return true;
+}
+
+// Signal handlers may only touch async-signal-safe state: a stop flag
+// and the listening fd (close() is async-signal-safe and unblocks the
+// accept loop).
+volatile std::sig_atomic_t g_stop = 0;
+std::atomic<int> g_listen_fd{-1};
+
+void
+StopListening()
+{
+    g_stop = 1;
+    const int fd = g_listen_fd.exchange(-1);
+    if (fd >= 0) {
+        // shutdown() before close(): on Linux, close() alone does not
+        // wake a thread blocked in accept(), shutdown() does (both are
+        // async-signal-safe).
+        ::shutdown(fd, SHUT_RDWR);
+        ::close(fd);
+    }
+}
+
+void
+HandleSignal(int)
+{
+    StopListening();
+}
+
+/** Live connection fds, so shutdown can unblock their pending reads
+ *  (shutdown(SHUT_RD) makes a blocked read return 0 = clean EOF)
+ *  without yanking responses still being written. */
+class ConnectionRegistry {
+  public:
+    void Add(int fd)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fds_.insert(fd);
+    }
+    void Remove(int fd)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        fds_.erase(fd);
+    }
+    void ShutdownReads()
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        for (int fd : fds_) {
+            ::shutdown(fd, SHUT_RD);
+        }
+    }
+
+  private:
+    std::mutex mutex_;
+    std::set<int> fds_;
+};
+
+/** Everything one connection thread needs, shared across all of them. */
+struct Daemon {
+    Options options;
+    service::Engine engine;
+    service::AdmissionGate gate;
+    ConnectionRegistry connections;
+    std::mutex ledger_mutex;
+    std::atomic<long> requests_served{0};
+    std::atomic<long> connection_seq{0};
+
+    explicit Daemon(const Options& opts)
+        : options(opts),
+          gate(service::AdmissionOptions{opts.max_concurrent,
+                                         opts.max_queue})
+    {
+    }
+};
+
+bool
+WriteLine(int fd, const std::string& line)
+{
+    std::string framed = line;
+    framed.push_back('\n');
+    size_t sent = 0;
+    while (sent < framed.size()) {
+        const ssize_t n =
+            ::send(fd, framed.data() + sent, framed.size() - sent,
+                   MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            return false;
+        }
+        sent += static_cast<size_t>(n);
+    }
+    return true;
+}
+
+void
+AppendLedger(Daemon* daemon, const service::ServiceRequest& request,
+             const service::ServiceResponse& response, long seq)
+{
+    if (daemon->options.ledger_path.empty()) {
+        return;
+    }
+    telemetry::RunRecord record;
+    record.run_id = telemetry::RunId() + "." + std::to_string(seq);
+    record.when = telemetry::Iso8601UtcNow();
+    service::FillRunRecord(request, response, &record);
+    record.metrics["queue_ms"] = response.queue_ms;
+    record.metrics["run_ms"] = response.run_ms;
+    record.metrics["cache_hit"] = response.cache_hit ? 1.0 : 0.0;
+    std::string error;
+    std::lock_guard<std::mutex> lock(daemon->ledger_mutex);
+    if (!telemetry::AppendRunRecord(daemon->options.ledger_path, record,
+                                    &error)) {
+        Warn("ledger append failed: " + error);
+    }
+}
+
+/** Execute one parsed request, honoring admission and deadlines. */
+service::ServiceResponse
+ServeRequest(Daemon* daemon, const service::ServiceRequest& request)
+{
+    using Clock = std::chrono::steady_clock;
+    // ping/shutdown are protocol chatter, not pipeline work: they must
+    // answer even when the queue is saturated, so they skip the gate.
+    if (request.kind != "compile") {
+        return daemon->engine.Handle(request);
+    }
+    std::optional<Clock::time_point> deadline;
+    if (request.deadline_ms > 0) {
+        deadline =
+            Clock::now() + std::chrono::milliseconds(request.deadline_ms);
+    }
+    const Clock::time_point enqueued = Clock::now();
+    switch (daemon->gate.Enter(deadline)) {
+        case service::Admission::kRejected: {
+            telemetry::JournalEmit(
+                "svc.reject",
+                {{"id", request.id},
+                 {"running", daemon->gate.running()},
+                 {"waiting", daemon->gate.waiting()}});
+            return MakeErrorResponse(
+                request, StatusCode::kRejected,
+                "server at capacity (" +
+                    std::to_string(daemon->options.max_concurrent) +
+                    " running, " +
+                    std::to_string(daemon->options.max_queue) +
+                    " queued); retry later");
+        }
+        case service::Admission::kTimedOut: {
+            telemetry::JournalEmit("svc.timeout", {{"id", request.id}});
+            return MakeErrorResponse(
+                request, StatusCode::kTimeout,
+                "deadline expired while waiting for a run slot");
+        }
+        case service::Admission::kAdmitted:
+            break;
+    }
+    const double queue_ms =
+        std::chrono::duration<double, std::milli>(Clock::now() - enqueued)
+            .count();
+    service::ServiceResponse response;
+    try {
+        response = daemon->engine.Handle(request, deadline);
+    } catch (...) {
+        // Handle() never throws by contract; belt and braces so a slot
+        // can never leak.
+        daemon->gate.Leave();
+        throw;
+    }
+    daemon->gate.Leave();
+    response.queue_ms = queue_ms;
+    return response;
+}
+
+void
+ServeConnection(Daemon* daemon, int fd, long conn_id)
+{
+    telemetry::SetCurrentThreadName("conn-" + std::to_string(conn_id));
+    std::string buffer;
+    char chunk[4096];
+    bool open = true;
+    while (open) {
+        const ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR) {
+            continue;
+        }
+        if (n <= 0) {
+            break;  // EOF (possibly forced by ShutdownReads) or error.
+        }
+        buffer.append(chunk, static_cast<size_t>(n));
+        size_t newline;
+        while (open && (newline = buffer.find('\n')) != std::string::npos) {
+            const std::string line = buffer.substr(0, newline);
+            buffer.erase(0, newline + 1);
+            if (line.empty()) {
+                continue;
+            }
+            service::ServiceRequest request;
+            std::string parse_error;
+            service::ServiceResponse response;
+            if (!service::ServiceRequest::FromJson(line, &request,
+                                                   &parse_error)) {
+                response = MakeErrorResponse(
+                    service::ServiceRequest{}, StatusCode::kError,
+                    "bad request: " + parse_error);
+            } else {
+                response = ServeRequest(daemon, request);
+                if (request.kind == "compile") {
+                    AppendLedger(daemon, request, response,
+                                 daemon->requests_served.load());
+                }
+            }
+            if (!WriteLine(fd, response.ToJson())) {
+                Warn("client went away mid-response (conn " +
+                     std::to_string(conn_id) + ")");
+                open = false;
+            }
+            const long served = ++daemon->requests_served;
+            if (request.kind == "shutdown") {
+                Inform("shutdown requested by client");
+                StopListening();
+                daemon->connections.ShutdownReads();
+                open = false;
+            } else if (daemon->options.max_requests > 0 &&
+                       served >= daemon->options.max_requests) {
+                Inform("served " + std::to_string(served) +
+                       " requests (--max-requests); shutting down");
+                StopListening();
+                daemon->connections.ShutdownReads();
+                open = false;
+            }
+        }
+    }
+    daemon->connections.Remove(fd);
+    ::close(fd);
+}
+
+/** Dump --stats-json / --journal / --metrics-prom at shutdown. */
+bool
+WriteTelemetryOutputs(const Options& options)
+{
+    bool ok = true;
+    std::string error;
+    if (!options.stats_json_path.empty()) {
+        if (telemetry::WriteStatsJson(options.stats_json_path, &error)) {
+            Inform("wrote telemetry stats to " + options.stats_json_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
+    if (!options.journal_path.empty()) {
+        if (telemetry::Journal::Global().WriteJsonl(options.journal_path,
+                                                    &error)) {
+            Inform("wrote event journal to " + options.journal_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
+    if (!options.metrics_prom_path.empty()) {
+        if (telemetry::WriteOpenMetrics(options.metrics_prom_path,
+                                        &error)) {
+            Inform("wrote OpenMetrics to " + options.metrics_prom_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
+    return ok;
+}
+
+int
+Listen(const std::string& path)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    XTALK_REQUIRE(path.size() < sizeof(addr.sun_path),
+                  "socket path too long (" << path.size() << " bytes, max "
+                                           << sizeof(addr.sun_path) - 1
+                                           << "): " << path);
+    std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    XTALK_REQUIRE(fd >= 0, "socket(): " << std::strerror(errno));
+    ::unlink(path.c_str());  // Replace a stale socket from a dead daemon.
+    XTALK_REQUIRE(
+        ::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0,
+        "bind(" << path << "): " << std::strerror(errno));
+    XTALK_REQUIRE(::listen(fd, 64) == 0,
+                  "listen(" << path << "): " << std::strerror(errno));
+    return fd;
+}
+
+}  // namespace
+
+int
+main(int argc, char** argv)
+{
+    Options options;
+    if (!ParseArgs(argc, argv, &options)) {
+        PrintUsage();
+        return 2;
+    }
+    if (options.help) {
+        PrintUsage();
+        return 0;
+    }
+    if (options.socket_path.empty()) {
+        std::cerr << "error: --socket is required\n";
+        PrintUsage();
+        return 2;
+    }
+    if (options.max_concurrent < 0 || options.max_queue < 0) {
+        std::cerr << "error: --max-concurrent/--max-queue must be >= 0\n";
+        return 2;
+    }
+
+    if (std::getenv("XTALK_LOG_LEVEL") == nullptr) {
+        SetLogLevel(LogLevel::kInform);
+    }
+    if (!options.log_level.empty()) {
+        LogLevel level;
+        if (!ParseLogLevel(options.log_level, &level)) {
+            std::cerr << "error: unknown log level '" << options.log_level
+                      << "'\n";
+            return 2;
+        }
+        SetLogLevel(level);
+        if (level == LogLevel::kDebug) {
+            SetLogTimestamps(true);
+        }
+    }
+    // A daemon is always observed: metrics and the journal are cheap
+    // (lock-free counters, a bounded ring), and a service without them
+    // cannot be debugged after the fact.
+    telemetry::SetEnabled(true);
+    telemetry::SetJournalEnabled(true);
+    telemetry::SetCurrentThreadName("acceptor");
+    if (!options.journal_path.empty()) {
+        telemetry::ArmCrashDump(options.journal_path);
+    }
+    if (options.threads > 0) {
+        runtime::ThreadPool::SetDefaultThreadCount(options.threads);
+    }
+
+    try {
+        if (!options.faults.empty()) {
+            faults::InstallPlan(faults::FaultPlan::Parse(options.faults));
+            Inform("fault plan: " + faults::ActivePlanString());
+        }
+
+        Daemon daemon(options);
+        const int listen_fd = Listen(options.socket_path);
+        g_listen_fd.store(listen_fd);
+        std::signal(SIGINT, HandleSignal);
+        std::signal(SIGTERM, HandleSignal);
+        std::signal(SIGPIPE, SIG_IGN);
+        Inform("xtalkd listening on " + options.socket_path +
+               " (max-concurrent " +
+               std::to_string(options.max_concurrent) + ", max-queue " +
+               std::to_string(options.max_queue) + ")");
+
+        std::vector<std::thread> workers;
+        while (!g_stop) {
+            const int conn = ::accept(listen_fd, nullptr, nullptr);
+            if (conn < 0) {
+                if (errno == EINTR) {
+                    continue;
+                }
+                break;  // Listener closed by StopListening().
+            }
+            const long conn_id = ++daemon.connection_seq;
+            telemetry::JournalEmit("svc.accept", {{"conn", conn_id}});
+            daemon.connections.Add(conn);
+            workers.emplace_back(ServeConnection, &daemon, conn, conn_id);
+        }
+        StopListening();  // Idempotent; covers the max-requests path.
+        Inform("draining " + std::to_string(workers.size()) +
+               " connection(s)");
+        daemon.connections.ShutdownReads();
+        for (std::thread& worker : workers) {
+            worker.join();
+        }
+        ::unlink(options.socket_path.c_str());
+        Inform("served " + std::to_string(daemon.requests_served.load()) +
+               " request(s); cache " +
+               std::to_string(daemon.engine.cache().hits()) + " hit(s) / " +
+               std::to_string(daemon.engine.cache().misses()) +
+               " miss(es); rejected " +
+               std::to_string(daemon.gate.rejected()));
+        return WriteTelemetryOutputs(options) ? 0 : 1;
+    } catch (const InternalError& e) {
+        std::cerr << "internal error: " << e.what() << "\n"
+                  << "this is a bug in xtalk; please report it\n";
+        WriteTelemetryOutputs(options);
+        return ExitCodeFor(StatusCode::kInternal);
+    } catch (const Error& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        WriteTelemetryOutputs(options);
+        return ExitCodeFor(StatusCode::kError);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        WriteTelemetryOutputs(options);
+        return ExitCodeFor(StatusCode::kIoError);
+    }
+}

@@ -1,0 +1,128 @@
+#!/usr/bin/env python3
+"""Minimal xtalkd client: one xtalk.request.v1 in, one response out.
+
+Stdlib only (socket/json/argparse), so it runs anywhere Python does —
+CI smoke jobs, operator shells, quick protocol experiments:
+
+    xtalkd --socket /tmp/xtalkd.sock &
+    tools/xtalkd_client.py --socket /tmp/xtalkd.sock --qasm in.qasm \
+        --scheduler xtalk --report
+    tools/xtalkd_client.py --socket /tmp/xtalkd.sock --kind shutdown
+
+Prints the raw response line (one JSON object) to stdout and exits
+with the same code the equivalent xtalkc run would use (the
+common/status.h table): 0 ok, 1 io_error, 2 error/rejected/timeout,
+3 internal.
+"""
+import argparse
+import json
+import socket
+import sys
+import time
+
+# Mirror of ExitCodeFor() in src/common/status.h.
+EXIT_CODES = {
+    "ok": 0,
+    "io_error": 1,
+    "error": 2,
+    "internal": 3,
+    "rejected": 2,
+    "timeout": 2,
+}
+
+
+def build_request(args):
+    request = {
+        "schema": "xtalk.request.v1",
+        "id": args.id,
+        "kind": args.kind,
+    }
+    if args.kind == "compile":
+        with open(args.qasm, "r", encoding="utf-8") as handle:
+            request["qasm"] = handle.read()
+        request["device"] = args.device
+        if args.device_file:
+            request["device_file"] = args.device_file
+        request["layout"] = args.layout
+        request["scheduler"] = args.scheduler
+        request["omega"] = args.omega
+        if args.characterization:
+            request["characterization_path"] = args.characterization
+        if args.simulate:
+            request["simulate_shots"] = args.simulate
+        if args.report:
+            request["want_report"] = True
+        if args.deadline_ms:
+            request["deadline_ms"] = args.deadline_ms
+    return request
+
+
+def wait_for_socket(path, timeout_s):
+    """Poll until the daemon's socket accepts connections."""
+    deadline = time.monotonic() + timeout_s
+    while True:
+        sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        try:
+            sock.connect(path)
+            return sock
+        except OSError:
+            sock.close()
+            if time.monotonic() >= deadline:
+                raise
+            time.sleep(0.1)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--socket", required=True,
+                        help="AF_UNIX socket path xtalkd listens on")
+    parser.add_argument("--kind", default="compile",
+                        choices=["compile", "ping", "shutdown"])
+    parser.add_argument("--id", default="cli",
+                        help="correlation id echoed in the response")
+    parser.add_argument("--qasm", help="OpenQASM 2.0 file (compile only)")
+    parser.add_argument("--device", default="poughkeepsie")
+    parser.add_argument("--device-file",
+                        help="device spec file path, resolved by the "
+                             "daemon (overrides --device)")
+    parser.add_argument("--layout", default="noise-aware")
+    parser.add_argument("--scheduler", default="xtalk")
+    parser.add_argument("--omega", type=float, default=0.5)
+    parser.add_argument("--characterization",
+                        help="characterization file path, resolved by "
+                             "the daemon")
+    parser.add_argument("--simulate", type=int, default=0,
+                        help="noisy-simulator shots")
+    parser.add_argument("--report", action="store_true",
+                        help="include the schedule report")
+    parser.add_argument("--deadline-ms", type=int, default=0)
+    parser.add_argument("--wait", type=float, default=10.0,
+                        help="seconds to wait for the socket to appear")
+    parser.add_argument("--timeout", type=float, default=600.0,
+                        help="seconds to wait for the response")
+    args = parser.parse_args()
+
+    if args.kind == "compile" and not args.qasm:
+        parser.error("--qasm is required for --kind compile")
+
+    request = build_request(args)
+    sock = wait_for_socket(args.socket, args.wait)
+    sock.settimeout(args.timeout)
+    with sock, sock.makefile("rw", encoding="utf-8") as stream:
+        stream.write(json.dumps(request) + "\n")
+        stream.flush()
+        line = stream.readline()
+    if not line:
+        print("error: daemon closed the connection without a response",
+              file=sys.stderr)
+        return 1
+    print(line.rstrip("\n"))
+    response = json.loads(line)
+    if response.get("status") != "ok":
+        print("error: %s" % response.get("error", "unknown failure"),
+              file=sys.stderr)
+    return EXIT_CODES.get(response.get("status"), 1)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
