@@ -32,6 +32,13 @@ AdmissionGate::Enter(
     std::optional<std::chrono::steady_clock::time_point> deadline)
 {
     std::unique_lock<std::mutex> lock(mutex_);
+    if (closed_) {
+        ++rejected_;
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("svc.rejected").Add(1);
+        }
+        return Admission::kRejected;
+    }
     if (running_ < options_.max_concurrent) {
         ++running_;
         ++admitted_;
@@ -47,18 +54,28 @@ AdmissionGate::Enter(
     }
     ++waiting_;
     PublishDepthLocked();
-    auto slot_available = [&] {
-        return running_ < options_.max_concurrent;
+    // closed_ is part of the predicate so Close() can wake a
+    // deadline-free waiter that no freed slot would ever reach.
+    auto wake = [&] {
+        return closed_ || running_ < options_.max_concurrent;
     };
-    bool got_slot;
+    bool woke;
     if (deadline.has_value()) {
-        got_slot = slot_free_.wait_until(lock, *deadline, slot_available);
+        woke = slot_free_.wait_until(lock, *deadline, wake);
     } else {
-        slot_free_.wait(lock, slot_available);
-        got_slot = true;
+        slot_free_.wait(lock, wake);
+        woke = true;
     }
     --waiting_;
-    if (!got_slot) {
+    if (closed_) {
+        ++rejected_;
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("svc.rejected").Add(1);
+        }
+        PublishDepthLocked();
+        return Admission::kRejected;
+    }
+    if (!woke) {
         ++timed_out_;
         PublishDepthLocked();
         return Admission::kTimedOut;
@@ -67,6 +84,14 @@ AdmissionGate::Enter(
     ++admitted_;
     PublishDepthLocked();
     return Admission::kAdmitted;
+}
+
+void
+AdmissionGate::Close()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+    slot_free_.notify_all();
 }
 
 void

@@ -64,6 +64,16 @@ class AdmissionGate {
     /** Release a run slot taken by a successful Enter(). */
     void Leave();
 
+    /**
+     * Close the gate for shutdown: every blocked Enter() — including
+     * deadline-free waiters that would otherwise sleep forever — wakes
+     * and returns kRejected, and every later Enter() is rejected
+     * immediately. Idempotent. Without this, a daemon drain that joins
+     * connection threads can hang on a waiter no slot will ever reach
+     * (e.g. max_concurrent == 0).
+     */
+    void Close();
+
     int running() const;
     int waiting() const;
     uint64_t admitted() const;
@@ -78,6 +88,7 @@ class AdmissionGate {
     std::condition_variable slot_free_;
     int running_ = 0;
     int waiting_ = 0;
+    bool closed_ = false;
     uint64_t admitted_ = 0;
     uint64_t rejected_ = 0;
     uint64_t timed_out_ = 0;

@@ -1,5 +1,7 @@
 #include "service/api.h"
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "compiler/compiler.h"
@@ -88,6 +90,20 @@ TakeInt(const telemetry::JsonValue& object, const char* key, int* out,
 {
     double d = static_cast<double>(*out);
     if (!TakeNumber(object, key, &d, error)) {
+        return false;
+    }
+    // The double comes straight off the wire: casting a value outside
+    // int's range (or NaN) is undefined behavior, so range-check first.
+    // Both bounds are exactly representable as doubles, and the NaN
+    // case fails the comparison and lands in the error branch.
+    if (!(d >= static_cast<double>(std::numeric_limits<int>::min()) &&
+          d <= static_cast<double>(std::numeric_limits<int>::max()))) {
+        *error = std::string("field '") + key +
+                 "' is out of range for a 32-bit integer";
+        return false;
+    }
+    if (d != std::trunc(d)) {
+        *error = std::string("field '") + key + "' must be an integer";
         return false;
     }
     *out = static_cast<int>(d);

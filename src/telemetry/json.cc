@@ -3,6 +3,7 @@
 #include <cctype>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace xtalk::telemetry {
 
@@ -862,8 +863,13 @@ class Parser {
                 ++pos_;
             }
         }
-        *out = JsonValue::MakeNumber(
-            std::stod(text_.substr(start, pos_ - start)));
+        // strtod, not stod: stod throws out_of_range on valid JSON like
+        // 1e400, and this parser sees untrusted network input. strtod
+        // saturates to +/-HUGE_VAL on overflow and ~0 on underflow
+        // (ERANGE), both acceptable doubles for a syntactically valid
+        // number, so the parse itself never fails here.
+        const std::string token = text_.substr(start, pos_ - start);
+        *out = JsonValue::MakeNumber(std::strtod(token.c_str(), nullptr));
         return true;
     }
 

@@ -158,6 +158,57 @@ TEST(ServiceRequestTest, FromJsonRejectsWrongSchemaAndBadTypes)
         &parsed, &error));
 }
 
+TEST(ServiceRequestTest, FromJsonRejectsIntFieldsOutsideIntRange)
+{
+    // Regression: casting an out-of-int-range double to int is UB and
+    // these doubles arrive straight off the wire.
+    ServiceRequest parsed;
+    std::string error;
+    EXPECT_FALSE(ServiceRequest::FromJson(
+        std::string("{\"schema\":\"") + kRequestSchema +
+            "\",\"simulate_shots\":1e18}",
+        &parsed, &error));
+    EXPECT_NE(error.find("simulate_shots"), std::string::npos) << error;
+    EXPECT_FALSE(ServiceRequest::FromJson(
+        std::string("{\"schema\":\"") + kRequestSchema +
+            "\",\"deadline_ms\":-1e18}",
+        &parsed, &error));
+    EXPECT_FALSE(ServiceRequest::FromJson(
+        std::string("{\"schema\":\"") + kRequestSchema +
+            "\",\"simulate_shots\":1.5}",
+        &parsed, &error));
+    // Boundary values still parse.
+    ASSERT_TRUE(ServiceRequest::FromJson(
+        std::string("{\"schema\":\"") + kRequestSchema +
+            "\",\"simulate_shots\":2147483647}",
+        &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.simulate_shots, 2147483647);
+}
+
+TEST(ServiceRequestTest, FromJsonSurvivesOverflowingNumbers)
+{
+    // Regression: 1e400 is valid JSON; std::stod in the parser threw
+    // std::out_of_range, which escaped the daemon's connection thread
+    // and std::terminate'd the whole service. The parse must not throw;
+    // the saturated value then fails the int range check gracefully.
+    ServiceRequest parsed;
+    std::string error;
+    EXPECT_FALSE(ServiceRequest::FromJson(
+        std::string("{\"schema\":\"") + kRequestSchema +
+            "\",\"simulate_shots\":1e400}",
+        &parsed, &error));
+    EXPECT_FALSE(error.empty());
+    // Underflow (1e-400) parses as ~0; omega accepts it.
+    ASSERT_TRUE(ServiceRequest::FromJson(
+        std::string("{\"schema\":\"") + kRequestSchema +
+            "\",\"omega\":1e-400}",
+        &parsed, &error))
+        << error;
+    EXPECT_GE(parsed.omega, 0.0);
+    EXPECT_LT(parsed.omega, 1e-300);
+}
+
 TEST(ServiceRequestTest, FromJsonIgnoresUnknownFieldsAndKeepsDefaults)
 {
     ServiceRequest parsed;
@@ -384,6 +435,41 @@ TEST(AdmissionGateTest, QueuedRequestAdmittedWhenSlotFrees)
     waiter.join();
     EXPECT_TRUE(admitted.load());
     EXPECT_EQ(gate.admitted(), 2u);
+}
+
+TEST(AdmissionGateTest, CloseWakesDeadlineFreeWaiterWithRejection)
+{
+    // Regression: a deadline-free Enter() on a saturated gate used to
+    // wait for a slot forever; with max_concurrent == 0 no slot ever
+    // frees and shutdown drain hung. Close() must wake it.
+    AdmissionGate gate(AdmissionOptions{0, 4});
+    std::atomic<bool> released{false};
+    Admission outcome = Admission::kAdmitted;
+    std::thread waiter([&] {
+        outcome = gate.Enter();  // No deadline: blocks until Close().
+        released.store(true);
+    });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    EXPECT_FALSE(released.load());
+    gate.Close();
+    waiter.join();
+    EXPECT_TRUE(released.load());
+    EXPECT_EQ(outcome, Admission::kRejected);
+    // A closed gate rejects everything from then on.
+    EXPECT_EQ(gate.Enter(), Admission::kRejected);
+}
+
+TEST(AdmissionGateTest, CloseRejectsWaiterEvenWithSlotsConfigured)
+{
+    AdmissionGate gate(AdmissionOptions{1, 4});
+    ASSERT_EQ(gate.Enter(), Admission::kAdmitted);
+    Admission outcome = Admission::kAdmitted;
+    std::thread waiter([&] { outcome = gate.Enter(); });
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    gate.Close();
+    waiter.join();
+    EXPECT_EQ(outcome, Admission::kRejected);
+    gate.Leave();
 }
 
 // ---------------------------------------------------------------------

@@ -7,6 +7,7 @@
  */
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
@@ -428,6 +429,34 @@ TEST_F(TelemetryTest, GaugeUpdateMaxUnderContentionKeepsGlobalPeak)
         thread.join();
     }
     EXPECT_DOUBLE_EQ(g.value(), 7999.0);
+}
+
+TEST(JsonParser, OverflowingNumbersSaturateInsteadOfThrowing)
+{
+    // 1e400 and -1e400 are syntactically valid JSON numbers that do not
+    // fit a double. The parser serves untrusted socket input, so it
+    // must saturate (strtod semantics) rather than throw out_of_range.
+    JsonValue value;
+    std::string error;
+    ASSERT_TRUE(ParseJsonValue("1e400", &value, &error)) << error;
+    ASSERT_TRUE(value.is_number());
+    EXPECT_TRUE(std::isinf(value.as_number()));
+    EXPECT_GT(value.as_number(), 0.0);
+
+    ASSERT_TRUE(ParseJsonValue("-1e400", &value, &error)) << error;
+    ASSERT_TRUE(value.is_number());
+    EXPECT_TRUE(std::isinf(value.as_number()));
+    EXPECT_LT(value.as_number(), 0.0);
+
+    // Underflow collapses toward zero instead of throwing.
+    ASSERT_TRUE(ParseJsonValue("1e-400", &value, &error)) << error;
+    ASSERT_TRUE(value.is_number());
+    EXPECT_GE(value.as_number(), 0.0);
+    EXPECT_LT(value.as_number(), 1e-300);
+
+    // Ordinary numbers are unaffected.
+    ASSERT_TRUE(ParseJsonValue("-12.5e2", &value, &error)) << error;
+    EXPECT_DOUBLE_EQ(value.as_number(), -1250.0);
 }
 
 }  // namespace

@@ -293,6 +293,19 @@ TEST(XtalkdTest, MalformedLineGetsStructuredError)
     ServiceRequest ping;
     ping.kind = "ping";
     EXPECT_EQ(client.Call(ping).code, StatusCode::kOk);
+
+    // Regression: 1e400 is valid JSON that used to make the number
+    // parser throw out_of_range and std::terminate the daemon — one
+    // line from any client killed the service. It must answer with a
+    // structured error and keep serving.
+    ASSERT_TRUE(client.SendLine(
+        std::string("{\"schema\":\"") + service::kRequestSchema +
+        "\",\"id\":\"huge\",\"simulate_shots\":1e400}"));
+    ASSERT_TRUE(client.RecvLine(&line));
+    ASSERT_TRUE(ServiceResponse::FromJson(line, &response, &error))
+        << error;
+    EXPECT_EQ(response.code, StatusCode::kError);
+    EXPECT_EQ(client.Call(ping).code, StatusCode::kOk);
 }
 
 TEST(XtalkdTest, SaturatedGateRejectsCompilesButAnswersPings)

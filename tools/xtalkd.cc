@@ -46,6 +46,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <condition_variable>
 #include <mutex>
 #include <optional>
 #include <set>
@@ -233,6 +234,17 @@ struct Daemon {
     std::mutex ledger_mutex;
     std::atomic<long> requests_served{0};
     std::atomic<long> connection_seq{0};
+    std::atomic<long> ledger_seq{0};
+
+    // Connection threads are detached (a joinable-until-shutdown vector
+    // would hoard one finished thread's stack per connection, without
+    // bound, for the daemon's lifetime), so drain is a counter + condvar
+    // instead of join(): the acceptor increments before spawning, the
+    // connection thread decrements as its very last daemon access, and
+    // shutdown waits for zero.
+    std::mutex drain_mutex;
+    std::condition_variable drained;
+    long active_connections = 0;
 
     explicit Daemon(const Options& opts)
         : options(opts),
@@ -368,17 +380,31 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
             service::ServiceRequest request;
             std::string parse_error;
             service::ServiceResponse response;
-            if (!service::ServiceRequest::FromJson(line, &request,
-                                                   &parse_error)) {
-                response = MakeErrorResponse(
-                    service::ServiceRequest{}, StatusCode::kError,
-                    "bad request: " + parse_error);
-            } else {
-                response = ServeRequest(daemon, request);
-                if (request.kind == "compile") {
-                    AppendLedger(daemon, request, response,
-                                 daemon->requests_served.load());
+            // Catch-all per line: Engine::Handle never throws by
+            // contract, but an exception that slips through anything
+            // below must fail this one request with an "internal"
+            // response — escaping the thread would std::terminate the
+            // whole daemon on untrusted input.
+            try {
+                if (!service::ServiceRequest::FromJson(line, &request,
+                                                       &parse_error)) {
+                    response = MakeErrorResponse(
+                        service::ServiceRequest{}, StatusCode::kError,
+                        "bad request: " + parse_error);
+                } else {
+                    response = ServeRequest(daemon, request);
+                    if (request.kind == "compile") {
+                        AppendLedger(daemon, request, response,
+                                     daemon->ledger_seq.fetch_add(1));
+                    }
                 }
+            } catch (const std::exception& e) {
+                response = MakeErrorResponse(
+                    request, StatusCode::kInternal,
+                    std::string("internal error: ") + e.what());
+            } catch (...) {
+                response = MakeErrorResponse(request, StatusCode::kInternal,
+                                             "internal error");
             }
             if (!WriteLine(fd, response.ToJson())) {
                 Warn("client went away mid-response (conn " +
@@ -389,6 +415,7 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
             if (request.kind == "shutdown") {
                 Inform("shutdown requested by client");
                 StopListening();
+                daemon->gate.Close();
                 daemon->connections.ShutdownReads();
                 open = false;
             } else if (daemon->options.max_requests > 0 &&
@@ -396,6 +423,7 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
                 Inform("served " + std::to_string(served) +
                        " requests (--max-requests); shutting down");
                 StopListening();
+                daemon->gate.Close();
                 daemon->connections.ShutdownReads();
                 open = false;
             }
@@ -403,6 +431,12 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
     }
     daemon->connections.Remove(fd);
     ::close(fd);
+    // Last daemon access: notify under the lock so the drain waiter
+    // cannot observe zero and destroy the Daemon while this thread is
+    // still inside notify_all().
+    std::lock_guard<std::mutex> lock(daemon->drain_mutex);
+    --daemon->active_connections;
+    daemon->drained.notify_all();
 }
 
 /** Dump --stats-json / --journal / --metrics-prom at shutdown. */
@@ -530,7 +564,6 @@ main(int argc, char** argv)
                std::to_string(options.max_concurrent) + ", max-queue " +
                std::to_string(options.max_queue) + ")");
 
-        std::vector<std::thread> workers;
         while (!g_stop) {
             const int conn = ::accept(listen_fd, nullptr, nullptr);
             if (conn < 0) {
@@ -542,14 +575,27 @@ main(int argc, char** argv)
             const long conn_id = ++daemon.connection_seq;
             telemetry::JournalEmit("svc.accept", {{"conn", conn_id}});
             daemon.connections.Add(conn);
-            workers.emplace_back(ServeConnection, &daemon, conn, conn_id);
+            {
+                std::lock_guard<std::mutex> lock(daemon.drain_mutex);
+                ++daemon.active_connections;
+            }
+            std::thread(ServeConnection, &daemon, conn, conn_id).detach();
         }
         StopListening();  // Idempotent; covers the max-requests path.
-        Inform("draining " + std::to_string(workers.size()) +
-               " connection(s)");
+        // Close the gate before draining: a deadline-free request still
+        // waiting for a run slot would otherwise block its connection
+        // thread forever (ShutdownReads only unblocks reads) and the
+        // drain below would never finish.
+        daemon.gate.Close();
         daemon.connections.ShutdownReads();
-        for (std::thread& worker : workers) {
-            worker.join();
+        {
+            std::unique_lock<std::mutex> lock(daemon.drain_mutex);
+            Inform("draining " +
+                   std::to_string(daemon.active_connections) +
+                   " connection(s)");
+            daemon.drained.wait(lock, [&daemon] {
+                return daemon.active_connections == 0;
+            });
         }
         ::unlink(options.socket_path.c_str());
         Inform("served " + std::to_string(daemon.requests_served.load()) +
