@@ -8,12 +8,14 @@
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "characterization/binpack.h"
 #include "characterization/rb.h"
 #include "runtime/executor.h"
+#include "scheduler/portfolio.h"
 #include "clifford/group.h"
 #include "clifford/tableau.h"
 #include "device/ibmq_devices.h"
@@ -250,6 +252,59 @@ BM_XtalkSchedulerSwapPath(benchmark::State& state)
     }
 }
 BENCHMARK(BM_XtalkSchedulerSwapPath)->Unit(benchmark::kMillisecond);
+
+/**
+ * Cold-vs-warm ω sweep over one circuit: arg 0 rebuilds a fresh solver
+ * per candidate (warm_start off), arg 1 reuses one incremental session
+ * with push/pop objective scopes — the portfolio's warm-start path. CI
+ * diffs both against the committed baseline so the warm-start solve-time
+ * reduction stays visible in the bench artifacts without being asserted.
+ */
+void
+BM_XtalkOmegaSweep(benchmark::State& state)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = Oracle(device);
+    const SwapBenchmark bench = BuildSwapBenchmark(device, 15, 12);
+    Circuit circuit = bench.circuit;
+    circuit.Measure(bench.bell_left, 0).Measure(bench.bell_right, 1);
+    XtalkSchedulerOptions options;
+    options.warm_start = state.range(0) == 1;
+    const std::vector<double> omegas = {0.1, 0.35, 0.5, 0.75};
+    for (auto _ : state) {
+        XtalkScheduler scheduler(device, characterization, options);
+        benchmark::DoNotOptimize(
+            scheduler.ScheduleForOmegas(circuit, omegas));
+    }
+}
+BENCHMARK(BM_XtalkOmegaSweep)->Arg(0)->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+/** The full race on the paper's Figure 6 workload: every member runs
+ *  concurrently on the shared pool and the best candidate is kept. */
+void
+BM_SchedulerPortfolio(benchmark::State& state)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = Oracle(device);
+    const SwapBenchmark bench = BuildSwapBenchmark(device, 15, 12);
+    Circuit circuit = bench.circuit;
+    circuit.Measure(bench.bell_left, 0).Measure(bench.bell_right, 1);
+    PortfolioContext ctx;
+    ctx.device = &device;
+    ctx.characterization = &characterization;
+    const std::vector<std::string> keys = {"xtalk", "anneal", "greedy",
+                                           "parallel", "serial"};
+    for (auto _ : state) {
+        std::vector<std::unique_ptr<PortfolioMember>> members;
+        for (const std::string& key : keys) {
+            members.push_back(MakePortfolioMember(key));
+        }
+        SchedulerPortfolio portfolio(std::move(members));
+        benchmark::DoNotOptimize(portfolio.Run(circuit, ctx));
+    }
+}
+BENCHMARK(BM_SchedulerPortfolio)->Unit(benchmark::kMillisecond);
 
 void
 BM_JournalEmitDisabled(benchmark::State& state)

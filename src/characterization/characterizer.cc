@@ -159,15 +159,6 @@ CrosstalkCharacterization::IsHighCrosstalk(
            conditional - independent >= criteria.margin;
 }
 
-bool
-CrosstalkCharacterization::IsHighCrosstalk(EdgeId victim, EdgeId aggressor,
-                                           double threshold,
-                                           double margin) const
-{
-    return IsHighCrosstalk(victim, aggressor,
-                           HighCrosstalkCriteria{threshold, margin});
-}
-
 void
 CrosstalkCharacterization::Merge(const CrosstalkCharacterization& other)
 {
@@ -199,16 +190,6 @@ CrosstalkCharacterization::SnapshotId() const
 CrosstalkCharacterizer::CrosstalkCharacterizer(const Device& device,
                                                CharacterizerConfig config)
     : device_(&device), config_(std::move(config))
-{
-}
-
-CrosstalkCharacterizer::CrosstalkCharacterizer(
-    const Device& device, RbConfig config, NoisySimOptions sim_options,
-    runtime::ExecutorOptions exec_options, CharacterizerOptions options)
-    : CrosstalkCharacterizer(
-          device, CharacterizerConfig{std::move(config), sim_options,
-                                      exec_options,
-                                      std::move(options.retry)})
 {
 }
 

@@ -122,11 +122,6 @@ class CrosstalkCharacterization {
     bool IsHighCrosstalk(EdgeId victim, EdgeId aggressor,
                          const HighCrosstalkCriteria& criteria = {}) const;
 
-    /** One-release shim for the positional-doubles spelling. */
-    [[deprecated("pass a HighCrosstalkCriteria instead")]]
-    bool IsHighCrosstalk(EdgeId victim, EdgeId aggressor, double threshold,
-                         double margin = 0.015) const;
-
     /** All measured ordered conditional entries. */
     const std::map<GatePair, double>& conditional_entries() const
     {
@@ -155,19 +150,6 @@ class CrosstalkCharacterization {
     std::map<GatePair, double> conditional_;
 };
 
-/** Resilience knobs for CrosstalkCharacterizer. */
-struct CharacterizerOptions {
-    /**
-     * Bounded retry for failed (S)RB experiment jobs. A failed
-     * experiment is resubmitted with *identical* jobs (same seeds), so
-     * a retry that succeeds is bit-identical to a run that never
-     * failed. base_delay_ms defaults to 0 — the simulator backend has
-     * no transient congestion worth waiting out; raise it for real
-     * hardware queues.
-     */
-    RetryPolicy retry;
-};
-
 /**
  * Everything that shapes one characterizer, in one struct: the RB
  * budget, the simulator toggles, the runtime sizing, and the
@@ -182,8 +164,14 @@ struct CharacterizerConfig {
     /** Parallel-runtime sizing (default: the shared process pool).
      *  Results are bit-identical for any thread count. */
     runtime::ExecutorOptions exec = {};
-    /** Bounded retry for failed (S)RB experiment jobs (see
-     *  CharacterizerOptions::retry for the identical-seed contract). */
+    /**
+     * Bounded retry for failed (S)RB experiment jobs. A failed
+     * experiment is resubmitted with *identical* jobs (same seeds), so
+     * a retry that succeeds is bit-identical to a run that never
+     * failed. base_delay_ms defaults to 0 — the simulator backend has
+     * no transient congestion worth waiting out; raise it for real
+     * hardware queues.
+     */
     RetryPolicy retry = {};
 };
 
@@ -223,13 +211,6 @@ class CrosstalkCharacterizer {
      */
     CrosstalkCharacterizer(const Device& device, CharacterizerConfig config);
 
-    /** One-release shim for the positional-parameters spelling. */
-    [[deprecated("pass a CharacterizerConfig instead")]]
-    CrosstalkCharacterizer(const Device& device, RbConfig config,
-                           NoisySimOptions sim_options = {},
-                           runtime::ExecutorOptions exec_options = {},
-                           CharacterizerOptions options = {});
-
     /**
      * Run the plan: first independent RB on every coupler appearing in
      * it, then one SRB per gate pair (batches run "in parallel" — i.e.
@@ -239,7 +220,7 @@ class CrosstalkCharacterizer {
      * count.
      *
      * Failure semantics: a failed experiment (e.g. an injected
-     * `srb.run` fault) is retried per CharacterizerOptions::retry and
+     * `srb.run` fault) is retried per CharacterizerConfig::retry and
      * quarantined — dropped from the result, recorded in @p report —
      * when the budget runs out. The sweep itself always completes.
      */

@@ -8,20 +8,6 @@
 namespace xtalk {
 
 const char*
-DegradationName(SchedulerDegradation degradation)
-{
-    switch (degradation) {
-      case SchedulerDegradation::kNone:
-        return "none";
-      case SchedulerDegradation::kGreedy:
-        return "greedy";
-      case SchedulerDegradation::kParallel:
-        return "parallel";
-    }
-    return "?";
-}
-
-const char*
 LayoutPolicyName(LayoutPolicy policy)
 {
     switch (policy) {
@@ -43,10 +29,14 @@ SchedulerPolicyName(SchedulerPolicy policy)
         return "parallel";
       case SchedulerPolicy::kGreedy:
         return "greedy";
+      case SchedulerPolicy::kAnneal:
+        return "anneal";
       case SchedulerPolicy::kXtalk:
         return "xtalk";
       case SchedulerPolicy::kXtalkAutoOmega:
         return "auto";
+      case SchedulerPolicy::kPortfolio:
+        return "portfolio";
     }
     return "?";
 }
@@ -68,8 +58,9 @@ ParseSchedulerPolicy(const std::string& name, SchedulerPolicy* policy)
 {
     for (SchedulerPolicy p :
          {SchedulerPolicy::kSerial, SchedulerPolicy::kParallel,
-          SchedulerPolicy::kGreedy, SchedulerPolicy::kXtalk,
-          SchedulerPolicy::kXtalkAutoOmega}) {
+          SchedulerPolicy::kGreedy, SchedulerPolicy::kAnneal,
+          SchedulerPolicy::kXtalk, SchedulerPolicy::kXtalkAutoOmega,
+          SchedulerPolicy::kPortfolio}) {
         if (name == SchedulerPolicyName(p)) {
             *policy = p;
             return true;

@@ -29,6 +29,7 @@
 #include "circuit/schedule.h"
 #include "device/device.h"
 #include "scheduler/analysis.h"
+#include "scheduler/portfolio.h"
 #include "scheduler/xtalk_scheduler.h"
 
 namespace xtalk {
@@ -39,32 +40,25 @@ enum class LayoutPolicy {
     kNoiseAware,  ///< Greedy error/crosstalk-aware placement.
 };
 
-/** Scheduling policies (Table 1 + the greedy ablation). */
+/** Scheduling policies (Table 1, the classical ablations, and the
+ *  racing portfolio). Every policy is realized as a scheduler-portfolio
+ *  run (scheduler/portfolio.h): single-member for the direct policies,
+ *  primary-with-backups for the SMT policies when scheduler_fallback is
+ *  on, and a full race for kPortfolio. */
 enum class SchedulerPolicy {
     kSerial,
     kParallel,
     kGreedy,
+    kAnneal,          ///< Seeded simulated annealing (AnnealSched).
     kXtalk,
     kXtalkAutoOmega,  ///< XtalkSched with model-guided omega selection.
+    kPortfolio,       ///< Race members and keep the best candidate.
 };
-
-/**
- * How far the scheduler degraded from the requested SMT policy when the
- * solver failed (timeout with no model, injected fault): the compile
- * still succeeds, on the chain xtalk -> greedy -> parallel.
- */
-enum class SchedulerDegradation {
-    kNone,      ///< The requested scheduler ran.
-    kGreedy,    ///< SMT failed; GreedySched produced the schedule.
-    kParallel,  ///< SMT and greedy failed; ParSched produced it.
-};
-
-/** Stable lowercase name ("none", "greedy", "parallel") for reports. */
-const char* DegradationName(SchedulerDegradation degradation);
 
 /** Stable policy names ("trivial"/"noise-aware"; "serial"/"parallel"/
- *  "greedy"/"xtalk"/"auto") — the spellings `xtalkc --layout` and
- *  `--scheduler` accept and the service request schema uses. */
+ *  "greedy"/"anneal"/"xtalk"/"auto"/"portfolio") — the spellings
+ *  `xtalkc --layout` and `--scheduler` accept and the service request
+ *  schema uses. */
 const char* LayoutPolicyName(LayoutPolicy policy);
 const char* SchedulerPolicyName(SchedulerPolicy policy);
 
@@ -78,9 +72,22 @@ struct CompilerOptions {
     SchedulerPolicy scheduler = SchedulerPolicy::kXtalk;
     /** XtalkSched options (omega ignored under kXtalkAutoOmega). */
     XtalkSchedulerOptions xtalk;
+    /** AnnealSched options (kAnneal and the portfolio's anneal member). */
+    AnnealSchedulerOptions anneal;
     /** Candidates for kXtalkAutoOmega. */
     std::vector<double> omega_candidates{0.0, 0.05, 0.1, 0.2,
                                          0.35, 0.5, 0.75, 1.0};
+    /**
+     * Member keys to race under kPortfolio, in tie-break rank order
+     * (PortfolioMemberKeys() lists the valid keys). Empty = the default
+     * portfolio {"xtalk", "anneal", "greedy", "parallel", "serial"}.
+     */
+    std::vector<std::string> portfolio;
+    /**
+     * Advisory wall-clock budget per racing member, in ms; 0 = none.
+     * Members run concurrently, so this is per member, not a total.
+     */
+    unsigned portfolio_budget_ms = 0;
     /**
      * Penalize placing interacting pairs on couplers with high-crosstalk
      * partnerships (kNoiseAware only).
@@ -95,10 +102,11 @@ struct CompilerOptions {
     bool verify_passes = false;
     /**
      * Degrade gracefully when the SMT scheduler fails (SolverFailure or
-     * an injected transient fault): fall back to GreedySched, then to
-     * ParSched, recording the level in CompileResult::degradation.
-     * false = such failures propagate out of Compile(). InternalError
-     * always propagates regardless — bugs are never degraded around.
+     * an injected transient fault): race the backup members (GreedySched
+     * and ParSched) and ship the best surviving candidate, recording the
+     * winner's key in CompileResult::degradation. false = such failures
+     * propagate out of Compile(). InternalError always propagates
+     * regardless — bugs are never degraded or raced around.
      */
     bool scheduler_fallback = true;
 };
@@ -123,10 +131,19 @@ struct CompileResult {
     std::optional<double> omega;
     /** Scheduler that produced the schedule ("XtalkSched", ...). */
     std::string scheduler_name;
-    /** How far the scheduler degraded from the requested policy. */
-    SchedulerDegradation degradation = SchedulerDegradation::kNone;
-    /** Why it degraded ("" when degradation == kNone). */
+    /**
+     * "none" when the preferred scheduler won its race; otherwise the
+     * winning member's policy key ("greedy", "parallel", ...) — a
+     * member ranked ahead of the winner failed, so the compile shipped
+     * a degraded-but-valid schedule (the legacy xtalk→greedy→parallel
+     * chain semantics, generalized to any portfolio).
+     */
+    std::string degradation = "none";
+    /** Why it degraded ("" when degradation == "none"). */
     std::string degradation_reason;
+    /** Per-member race outcomes, in rank order (who won, who lost with
+     *  what score, who failed and why). */
+    std::vector<PortfolioMemberOutcome> portfolio;
     /** One-line notes from each pipeline pass, in execution order. */
     std::vector<std::string> pass_diagnostics;
 };

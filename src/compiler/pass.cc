@@ -55,6 +55,7 @@ CompilationState::ToResult() const
     result.scheduler_name = scheduler_name;
     result.degradation = degradation;
     result.degradation_reason = degradation_reason;
+    result.portfolio = portfolio;
     result.pass_diagnostics = diagnostics;
     return result;
 }

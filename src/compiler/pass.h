@@ -75,10 +75,13 @@ struct CompilationState {
     std::optional<double> omega;
     /** Name of the scheduler that produced the schedule. */
     std::string scheduler_name;
-    /** How far the schedule pass degraded from the requested policy. */
-    SchedulerDegradation degradation = SchedulerDegradation::kNone;
-    /** Why it degraded ("" when degradation == kNone). */
+    /** Winner's member key when a better-ranked member failed, "none"
+     *  otherwise (see CompileResult::degradation). */
+    std::string degradation = "none";
+    /** Why it degraded ("" when degradation == "none"). */
     std::string degradation_reason;
+    /** Per-member portfolio race outcomes, in rank order. */
+    std::vector<PortfolioMemberOutcome> portfolio;
     /** SMT ordering decisions for barrier lowering (XtalkSched only). */
     std::optional<SolverOrderingArtifacts> ordering;
 

@@ -5,15 +5,10 @@
 #include <sstream>
 
 #include "common/error.h"
-#include "common/logging.h"
 #include "compiler/pass_manager.h"
 #include "compiler/verification.h"
-#include "faults/faults.h"
-#include "scheduler/greedy_scheduler.h"
-#include "scheduler/omega_tuning.h"
+#include "scheduler/portfolio.h"
 #include "scheduler/scheduler.h"
-#include "scheduler/xtalk_scheduler.h"
-#include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
 #include "transpile/layout.h"
 #include "transpile/routing.h"
@@ -22,87 +17,62 @@ namespace xtalk {
 
 namespace {
 
-/** GreedySched configured from the pipeline's XtalkSched knobs. */
-GreedySchedulerOptions
-GreedyOptionsFrom(const CompilationState& state)
+/**
+ * The member keys a scheduling policy races, in tie-break rank order.
+ * Direct policies are single-member portfolios; the SMT policies gain
+ * the legacy backup chain {greedy, parallel} in primary-first mode when
+ * scheduler_fallback is on; kPortfolio races the configured (or
+ * default) member list outright.
+ */
+std::vector<std::string>
+PortfolioKeysFor(SchedulerPolicy policy, const CompilationState& state,
+                 bool* prefer_first)
 {
-    GreedySchedulerOptions greedy_options;
-    greedy_options.omega = state.options.xtalk.omega;
-    greedy_options.high_threshold = state.options.xtalk.high_threshold;
-    greedy_options.high_margin = state.options.xtalk.high_margin;
-    return greedy_options;
+    *prefer_first = false;
+    switch (policy) {
+      case SchedulerPolicy::kSerial:
+        return {"serial"};
+      case SchedulerPolicy::kParallel:
+        return {"parallel"};
+      case SchedulerPolicy::kGreedy:
+        return {"greedy"};
+      case SchedulerPolicy::kAnneal:
+        return {"anneal"};
+      case SchedulerPolicy::kXtalk:
+        if (state.options.scheduler_fallback) {
+            *prefer_first = true;
+            return {"xtalk", "greedy", "parallel"};
+        }
+        return {"xtalk"};
+      case SchedulerPolicy::kXtalkAutoOmega:
+        if (state.options.scheduler_fallback) {
+            *prefer_first = true;
+            return {"auto", "greedy", "parallel"};
+        }
+        return {"auto"};
+      case SchedulerPolicy::kPortfolio:
+        if (!state.options.portfolio.empty()) {
+            return state.options.portfolio;
+        }
+        return {"xtalk", "anneal", "greedy", "parallel", "serial"};
+    }
+    throw Error("unknown scheduler policy");
 }
 
-/**
- * Run the SMT scheduling closure with the degradation chain
- * xtalk -> greedy -> parallel. Only recoverable failures degrade:
- * SolverFailure (budget/timeout with no model, solver error) and
- * injected transient faults. InternalError — including kind=internal
- * injected faults — always propagates: bugs are never degraded around.
- */
-void
-RunSmtWithFallback(CompilationState& state, const Circuit& source,
-                   const std::function<void()>& run_primary)
+/** Member knobs from the pipeline options: GreedySched shares
+ *  XtalkSched's omega/criteria so a user-set omega reaches it. */
+PortfolioMemberOptions
+MemberOptionsFrom(const CompilationState& state)
 {
-    if (!state.options.scheduler_fallback) {
-        run_primary();
-        return;
-    }
-    std::string reason;
-    try {
-        run_primary();
-        return;
-    } catch (const SolverFailure& e) {
-        reason = e.what();
-    } catch (const faults::InjectedFault& e) {
-        reason = e.what();
-    }
-    if (telemetry::Enabled()) {
-        telemetry::GetCounter("sched.xtalk.fallbacks").Add(1);
-    }
-    telemetry::JournalEmit("sched.fallback",
-                           {{"from", "XtalkSched"},
-                            {"to", "GreedySched"},
-                            {"reason", reason}});
-    Warn("schedule: XtalkSched failed (" + reason +
-         "); degrading to GreedySched");
-    try {
-        // Fault point for exercising the second hop of the chain.
-        faults::MaybeInject("sched.greedy");
-        GreedyXtalkScheduler scheduler(state.device(),
-                                       state.characterization(),
-                                       GreedyOptionsFrom(state));
-        state.schedule = scheduler.Schedule(source);
-        state.ordering.reset();
-        state.omega = GreedyOptionsFrom(state).omega;
-        state.scheduler_name = scheduler.name();
-        state.degradation = SchedulerDegradation::kGreedy;
-    } catch (const SolverFailure& e) {
-        reason += std::string("; GreedySched failed: ") + e.what();
-    } catch (const faults::InjectedFault& e) {
-        reason += std::string("; GreedySched failed: ") + e.what();
-    }
-    if (state.degradation != SchedulerDegradation::kGreedy) {
-        telemetry::JournalEmit("sched.fallback",
-                               {{"from", "GreedySched"},
-                                {"to", "ParSched"},
-                                {"reason", reason}});
-        Warn("schedule: GreedySched failed too; degrading to ParSched");
-        ParallelScheduler scheduler(state.device());
-        state.schedule = scheduler.Schedule(source);
-        state.ordering.reset();
-        state.omega.reset();
-        state.scheduler_name = scheduler.name();
-        state.degradation = SchedulerDegradation::kParallel;
-    }
-    state.degradation_reason = reason;
-    if (telemetry::Enabled()) {
-        telemetry::SetLabel("sched.degradation",
-                            DegradationName(state.degradation));
-    }
-    state.diagnostics.push_back(
-        std::string("schedule: degraded to ") +
-        DegradationName(state.degradation) + " (" + reason + ")");
+    PortfolioMemberOptions member_options;
+    member_options.xtalk = state.options.xtalk;
+    member_options.anneal = state.options.anneal;
+    member_options.omega_candidates = state.options.omega_candidates;
+    member_options.greedy.omega = state.options.xtalk.omega;
+    member_options.greedy.high_threshold =
+        state.options.xtalk.high_threshold;
+    member_options.greedy.high_margin = state.options.xtalk.high_margin;
+    return member_options;
 }
 
 }  // namespace
@@ -190,19 +160,7 @@ SchedulePass::name() const
     if (!forced_) {
         return "schedule";
     }
-    switch (*forced_) {
-      case SchedulerPolicy::kSerial:
-        return "schedule:serial";
-      case SchedulerPolicy::kParallel:
-        return "schedule:parallel";
-      case SchedulerPolicy::kGreedy:
-        return "schedule:greedy";
-      case SchedulerPolicy::kXtalk:
-        return "schedule:xtalk";
-      case SchedulerPolicy::kXtalkAutoOmega:
-        return "schedule:auto";
-    }
-    return "schedule:?";
+    return std::string("schedule:") + SchedulerPolicyName(*forced_);
 }
 
 std::string
@@ -218,10 +176,14 @@ SchedulePass::description() const
         return "ParSched: maximal-parallelism ALAP baseline";
       case SchedulerPolicy::kGreedy:
         return "GreedySched: polynomial crosstalk-aware list scheduling";
+      case SchedulerPolicy::kAnneal:
+        return "AnnealSched: seeded simulated-annealing scheduling";
       case SchedulerPolicy::kXtalk:
         return "XtalkSched: crosstalk-adaptive SMT scheduling";
       case SchedulerPolicy::kXtalkAutoOmega:
         return "XtalkSched with model-guided omega selection";
+      case SchedulerPolicy::kPortfolio:
+        return "race every portfolio member, keep the best candidate";
     }
     return "?";
 }
@@ -231,67 +193,51 @@ SchedulePass::Run(CompilationState& state)
 {
     const SchedulerPolicy policy = forced_.value_or(state.options.scheduler);
     const Circuit& source = state.ScheduleSource();
-    switch (policy) {
-      case SchedulerPolicy::kXtalk: {
-        RunSmtWithFallback(state, source, [&] {
-            XtalkScheduler scheduler(state.device(),
-                                     state.characterization(),
-                                     state.options.xtalk);
-            state.schedule = scheduler.Schedule(source);
-            state.ordering =
-                SolverOrderingArtifacts{scheduler.last_start_times(),
-                                        scheduler.last_candidate_pairs()};
-            state.omega = state.options.xtalk.omega;
-            state.scheduler_name = scheduler.name();
-        });
-        break;
-      }
-      case SchedulerPolicy::kXtalkAutoOmega: {
-        RunSmtWithFallback(state, source, [&] {
-            const OmegaSelection selection = SelectOmegaByModel(
-                state.device(), state.characterization(), source,
-                state.options.omega_candidates, state.options.xtalk);
-            // Re-run at the winning omega for the ordering artifacts.
-            XtalkSchedulerOptions tuned = state.options.xtalk;
-            tuned.omega = selection.omega;
-            XtalkScheduler scheduler(state.device(),
-                                     state.characterization(), tuned);
-            state.schedule = scheduler.Schedule(source);
-            state.ordering =
-                SolverOrderingArtifacts{scheduler.last_start_times(),
-                                        scheduler.last_candidate_pairs()};
-            state.omega = selection.omega;
-            state.scheduler_name = "XtalkSched(auto)";
-        });
-        break;
-      }
-      case SchedulerPolicy::kSerial:
-      case SchedulerPolicy::kParallel:
-      case SchedulerPolicy::kGreedy: {
-        std::unique_ptr<Scheduler> scheduler;
-        if (policy == SchedulerPolicy::kSerial) {
-            scheduler = std::make_unique<SerialScheduler>(state.device());
-        } else if (policy == SchedulerPolicy::kParallel) {
-            scheduler = std::make_unique<ParallelScheduler>(state.device());
-        } else {
-            // GreedySched shares XtalkSched's knobs (defaults coincide
-            // with GreedySchedulerOptions, so the default pipeline is
-            // unchanged; a user-set omega now actually reaches it).
-            GreedySchedulerOptions greedy_options;
-            greedy_options.omega = state.options.xtalk.omega;
-            greedy_options.high_threshold =
-                state.options.xtalk.high_threshold;
-            greedy_options.high_margin = state.options.xtalk.high_margin;
-            scheduler = std::make_unique<GreedyXtalkScheduler>(
-                state.device(), state.characterization(), greedy_options);
-            state.omega = greedy_options.omega;
-        }
-        state.schedule = scheduler->Schedule(source);
-        state.ordering.reset();
-        state.scheduler_name = scheduler->name();
-        break;
-      }
+
+    // Every policy is a portfolio run: direct policies race a single
+    // member, the SMT policies run primary-first with the legacy backup
+    // chain, kPortfolio races the whole configured list.
+    bool prefer_first = false;
+    const std::vector<std::string> keys =
+        PortfolioKeysFor(policy, state, &prefer_first);
+    const PortfolioMemberOptions member_options = MemberOptionsFrom(state);
+    std::vector<std::unique_ptr<PortfolioMember>> members;
+    members.reserve(keys.size());
+    for (const std::string& key : keys) {
+        members.push_back(MakePortfolioMember(key, member_options));
     }
+    SchedulerPortfolio portfolio(std::move(members));
+
+    PortfolioContext ctx;
+    ctx.device = &state.device();
+    ctx.characterization = &state.characterization();
+    PortfolioRunOptions run_options;
+    run_options.prefer_first = prefer_first;
+    run_options.budget_ms = state.options.portfolio_budget_ms;
+    PortfolioResult raced = portfolio.Run(source, ctx, run_options);
+
+    state.schedule = std::move(raced.winner.schedule);
+    if (!raced.winner.start_ns.empty()) {
+        state.ordering =
+            SolverOrderingArtifacts{std::move(raced.winner.start_ns),
+                                    std::move(raced.winner.candidate_pairs)};
+    } else {
+        state.ordering.reset();
+    }
+    state.omega = raced.winner.omega;
+    state.scheduler_name = raced.winner.scheduler_name;
+    state.degradation = raced.degradation;
+    state.degradation_reason = raced.degradation_reason;
+    state.portfolio = std::move(raced.outcomes);
+    if (state.degradation != "none") {
+        if (telemetry::Enabled()) {
+            telemetry::SetLabel("sched.degradation", state.degradation);
+        }
+        state.diagnostics.push_back("schedule: degraded to " +
+                                    state.degradation + " (" +
+                                    state.degradation_reason + ")");
+    }
+
     std::ostringstream note;
     note << name() << ": " << state.scheduler_name << " makespan "
          << state.schedule->TotalDuration() << " ns";
@@ -383,11 +329,17 @@ RegisterBuiltinPasses()
         return std::make_unique<SchedulePass>(SchedulerPolicy::kGreedy);
     });
     add([] {
+        return std::make_unique<SchedulePass>(SchedulerPolicy::kAnneal);
+    });
+    add([] {
         return std::make_unique<SchedulePass>(SchedulerPolicy::kXtalk);
     });
     add([] {
         return std::make_unique<SchedulePass>(
             SchedulerPolicy::kXtalkAutoOmega);
+    });
+    add([] {
+        return std::make_unique<SchedulePass>(SchedulerPolicy::kPortfolio);
     });
     add([] { return std::make_unique<BarrierLoweringPass>(); });
     add([] { return std::make_unique<EstimatePass>(); });

@@ -10,7 +10,8 @@
  *
  * A FaultPlan is a list of rules keyed by *site* name. Sites are
  * string constants compiled into the code (`executor.chunk`,
- * `srb.run`, `io.load`, `io.save`, `smt.solve`, `sched.greedy`); each
+ * `srb.run`, `io.load`, `io.save`, `smt.solve`, `sched.greedy`,
+ * `sched.anneal`); each
  * site calls MaybeInject() at the point where a real failure would
  * surface, and an armed rule makes that call throw. With no plan
  * installed every site is a single relaxed atomic load — the subsystem

@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Cooperative cancellation for racing work.
+ *
+ * A CancelToken is a write-once flag shared between the party that may
+ * abandon a piece of work (e.g. the scheduler portfolio, once a member
+ * can no longer win) and the work itself, which polls Cancelled() at
+ * safe points: between solver refinement rounds, every few annealing
+ * iterations, before each executor shot chunk. Cancellation is advisory
+ * — work that never polls simply runs to completion — so honoring it
+ * cannot corrupt state, only save time.
+ *
+ * Tokens chain: a token constructed with a parent reports cancelled when
+ * either its own flag or any ancestor's flag is set. The portfolio uses
+ * this to give every member a private token (for "you lost") under one
+ * shared token (for "the request deadline expired").
+ */
+#ifndef XTALK_RUNTIME_CANCELLATION_H
+#define XTALK_RUNTIME_CANCELLATION_H
+
+#include <atomic>
+#include <memory>
+
+#include "common/error.h"
+
+namespace xtalk::runtime {
+
+/** Thrown by work that chooses to abort when it observes cancellation.
+ *  Derives Error, so the executor's capture mode records it like any
+ *  other recoverable per-job failure (never like an InternalError). */
+class OperationCancelled : public Error {
+  public:
+    using Error::Error;
+};
+
+/** Write-once cooperative cancellation flag; see the file comment. */
+class CancelToken {
+  public:
+    CancelToken() = default;
+    explicit CancelToken(std::shared_ptr<const CancelToken> parent)
+        : parent_(std::move(parent))
+    {
+    }
+
+    CancelToken(const CancelToken&) = delete;
+    CancelToken& operator=(const CancelToken&) = delete;
+
+    /** Request cancellation. Idempotent, safe from any thread. */
+    void
+    Cancel() const
+    {
+        cancelled_.store(true, std::memory_order_relaxed);
+    }
+
+    /** True once this token or any ancestor was cancelled. */
+    bool
+    Cancelled() const
+    {
+        if (cancelled_.load(std::memory_order_relaxed)) {
+            return true;
+        }
+        return parent_ && parent_->Cancelled();
+    }
+
+    /** Throw OperationCancelled (with @p what) if cancelled. */
+    void
+    ThrowIfCancelled(const char* what) const
+    {
+        if (Cancelled()) {
+            throw OperationCancelled(what);
+        }
+    }
+
+  private:
+    // mutable+const Cancel(): cancelling is an observer-side request,
+    // so holders of const tokens may still raise the flag they own.
+    mutable std::atomic<bool> cancelled_{false};
+    std::shared_ptr<const CancelToken> parent_;
+};
+
+}  // namespace xtalk::runtime
+
+#endif  // XTALK_RUNTIME_CANCELLATION_H

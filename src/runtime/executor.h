@@ -34,6 +34,7 @@
 
 #include "circuit/schedule.h"
 #include "device/device.h"
+#include "runtime/cancellation.h"
 #include "runtime/thread_pool.h"
 #include "sim/counts.h"
 #include "sim/noisy_simulator.h"
@@ -65,6 +66,16 @@ struct ExecutionJob {
      * retry/quarantine machinery.
      */
     std::string fault_site;
+    /**
+     * Optional cooperative cancellation: when set and cancelled, chunks
+     * that have not started yet fail with OperationCancelled instead of
+     * simulating. Chunks already running finish normally (cancellation
+     * is advisory; see runtime/cancellation.h). Racing producers — the
+     * scheduler portfolio's simulation-scored members, deadline-bound
+     * service requests — use this to stop paying for work whose result
+     * can no longer matter.
+     */
+    std::shared_ptr<const CancelToken> cancel;
 };
 
 /** A batch of independent jobs submitted together. */

@@ -1,0 +1,224 @@
+#include "scheduler/anneal_scheduler.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "circuit/dag.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "faults/faults.h"
+#include "scheduler/analysis.h"
+#include "telemetry/journal.h"
+#include "telemetry/telemetry.h"
+#include "telemetry/trace.h"
+
+namespace xtalk {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/** One eligible high-crosstalk pair; i < j in program order. */
+struct DecisionPair {
+    GateId i;
+    GateId j;
+};
+
+}  // namespace
+
+AnnealScheduler::AnnealScheduler(
+    const Device& device, const CrosstalkCharacterization& characterization,
+    AnnealSchedulerOptions options)
+    : Scheduler(device),
+      characterization_(&characterization),
+      options_(options)
+{
+    XTALK_REQUIRE(options_.omega >= 0.0 && options_.omega <= 1.0,
+                  "omega outside [0, 1]");
+    XTALK_REQUIRE(options_.iterations >= 0, "negative iteration budget");
+    XTALK_REQUIRE(options_.cooling > 0.0 && options_.cooling <= 1.0,
+                  "cooling factor outside (0, 1]");
+}
+
+ScheduledCircuit
+AnnealScheduler::Schedule(const Circuit& circuit)
+{
+    return Schedule(circuit, nullptr);
+}
+
+ScheduledCircuit
+AnnealScheduler::Schedule(const Circuit& circuit,
+                          const runtime::CancelToken* cancel)
+{
+    faults::MaybeInject("sched.anneal");
+    telemetry::ScopedSpan span("sched.anneal.run");
+    const auto t0 = Clock::now();
+    stats_ = {};
+
+    // Decision space: DAG-concurrent two-qubit gate pairs on distinct
+    // couplers that pass the high-crosstalk test in either direction —
+    // exactly the pairs XtalkSched considers encoding.
+    const DependencyDag dag(circuit);
+    const HighCrosstalkCriteria criteria{options_.high_threshold,
+                                         options_.high_margin};
+    std::vector<EdgeId> edge_of(circuit.size(), -1);
+    for (GateId g = 0; g < circuit.size(); ++g) {
+        const Gate& gate = circuit.gates()[g];
+        if (gate.IsTwoQubitUnitary()) {
+            edge_of[g] =
+                device_->topology().FindEdge(gate.qubits[0], gate.qubits[1]);
+            XTALK_REQUIRE(edge_of[g] >= 0,
+                          "two-qubit gate on uncoupled qubits");
+        }
+    }
+    std::vector<DecisionPair> pairs;
+    for (GateId i = 0; i < circuit.size(); ++i) {
+        if (edge_of[i] < 0) {
+            continue;
+        }
+        for (GateId j = i + 1; j < circuit.size(); ++j) {
+            if (edge_of[j] < 0 || edge_of[j] == edge_of[i] ||
+                !dag.CanOverlap(i, j)) {
+                continue;
+            }
+            if (characterization_->IsHighCrosstalk(edge_of[i], edge_of[j],
+                                                   criteria) ||
+                characterization_->IsHighCrosstalk(edge_of[j], edge_of[i],
+                                                   criteria)) {
+                pairs.push_back({i, j});
+            }
+        }
+    }
+    stats_.candidate_pairs = static_cast<int>(pairs.size());
+
+    // Serialization partners of gate j: the earlier gates it must wait
+    // for when the pair's decision bit is on.
+    std::vector<std::vector<std::pair<size_t, GateId>>> waits_on(
+        circuit.size());
+    for (size_t p = 0; p < pairs.size(); ++p) {
+        waits_on[pairs[p].j].push_back({p, pairs[p].i});
+    }
+
+    // Deterministic decisions -> schedule map: an ASAP forward pass with
+    // the active serialization edges added on top of the qubit
+    // dependencies. All added edges point forward in program order, so
+    // one sweep suffices and the result is always a valid schedule.
+    auto build = [&](const std::vector<char>& decisions) {
+        ScheduledCircuit schedule(circuit.num_qubits());
+        std::vector<double> ready(circuit.num_qubits(), 0.0);
+        std::vector<double> end(circuit.size(), 0.0);
+        std::vector<std::pair<Gate, QubitId>> measures;
+        for (GateId g = 0; g < circuit.size(); ++g) {
+            const Gate& gate = circuit.gates()[g];
+            if (gate.IsMeasure()) {
+                measures.push_back({gate, gate.qubits[0]});
+                continue;
+            }
+            double start = 0.0;
+            for (QubitId q : gate.qubits) {
+                start = std::max(start, ready[q]);
+            }
+            for (const auto& [p, earlier] : waits_on[g]) {
+                if (decisions[p]) {
+                    start = std::max(start, end[earlier]);
+                }
+            }
+            const double duration =
+                gate.IsBarrier() ? 0.0 : device_->GateDuration(gate);
+            if (!gate.IsBarrier()) {
+                schedule.Add(gate, start, duration);
+            }
+            end[g] = start + duration;
+            for (QubitId q : gate.qubits) {
+                ready[q] = std::max(ready[q], end[g]);
+            }
+        }
+        if (!measures.empty()) {
+            if (device_->traits().simultaneous_readout) {
+                double start = 0.0;
+                for (const auto& [m, q] : measures) {
+                    start = std::max(start, ready[q]);
+                }
+                for (const auto& [m, q] : measures) {
+                    schedule.Add(m, start, device_->ReadoutDuration(q));
+                }
+            } else {
+                for (const auto& [m, q] : measures) {
+                    schedule.Add(m, ready[q], device_->ReadoutDuration(q));
+                }
+            }
+        }
+        return schedule;
+    };
+    auto cost = [&](const ScheduledCircuit& schedule) {
+        return EstimateScheduleError(schedule, *device_, characterization_)
+            .Objective(options_.omega);
+    };
+    auto expired = [&]() {
+        if (options_.budget_ms == 0) {
+            return false;
+        }
+        const double elapsed =
+            std::chrono::duration<double, std::milli>(Clock::now() - t0)
+                .count();
+        return elapsed >= static_cast<double>(options_.budget_ms);
+    };
+
+    std::vector<char> decisions(pairs.size(), 0);
+    std::vector<char> best_decisions = decisions;
+    double current_cost = cost(build(decisions));
+    double best_cost = current_cost;
+
+    Rng rng(options_.seed);
+    double temperature = options_.initial_temperature;
+    if (!pairs.empty()) {
+        for (int it = 0; it < options_.iterations; ++it) {
+            if (it % std::max(1, options_.cancel_poll_interval) == 0 &&
+                ((cancel && cancel->Cancelled()) || expired())) {
+                stats_.cancelled = true;
+                break;
+            }
+            const size_t flip = rng.UniformInt(pairs.size());
+            decisions[flip] = !decisions[flip];
+            const double proposed_cost = cost(build(decisions));
+            const double delta = proposed_cost - current_cost;
+            const bool accept =
+                delta <= 0.0 ||
+                rng.Uniform() <
+                    std::exp(-delta / std::max(temperature, 1e-12));
+            if (accept) {
+                current_cost = proposed_cost;
+                ++stats_.accepted;
+                if (proposed_cost < best_cost) {
+                    best_cost = proposed_cost;
+                    best_decisions = decisions;
+                }
+            } else {
+                decisions[flip] = !decisions[flip];
+            }
+            temperature *= options_.cooling;
+            ++stats_.iterations_run;
+        }
+    }
+    stats_.serialized = static_cast<int>(
+        std::count(best_decisions.begin(), best_decisions.end(), 1));
+
+    if (telemetry::Enabled()) {
+        telemetry::GetCounter("sched.anneal.schedules").Add(1);
+        telemetry::GetCounter("sched.anneal.iterations")
+            .Add(static_cast<uint64_t>(stats_.iterations_run));
+    }
+    telemetry::JournalEmit(
+        "sched.anneal",
+        {{"pairs", stats_.candidate_pairs},
+         {"iterations", stats_.iterations_run},
+         {"accepted", stats_.accepted},
+         {"serialized", stats_.serialized},
+         {"cancelled", stats_.cancelled}});
+    return build(best_decisions);
+}
+
+}  // namespace xtalk

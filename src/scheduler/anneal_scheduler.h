@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Simulated-annealing crosstalk-aware scheduler ("AnnealSched").
+ *
+ * A third classical formulation of the paper's scheduling problem,
+ * between GreedySched (one forward pass) and XtalkSched (exact SMT):
+ * the decision space is the set of *serialization decisions* — for each
+ * DAG-concurrent pair of two-qubit gates whose couplers show high
+ * crosstalk (the same eligibility test XtalkSched encodes), either let
+ * them overlap or force the later gate to wait. Every decision vector
+ * maps deterministically to an ASAP list schedule, which is scored with
+ * the shared cost model in scheduler/analysis.h; Metropolis-accepted
+ * single-decision flips with geometric cooling walk the space.
+ *
+ * Everything is seeded (common/rng.h), so a given (circuit, options)
+ * pair always produces the same schedule — the property the scheduler
+ * portfolio relies on for bit-identical winners at any thread count.
+ * Cancellation is cooperative: the token is polled between iterations
+ * and the best schedule found so far is returned.
+ *
+ * Fault site: "sched.anneal", checked once per Schedule() call.
+ */
+#ifndef XTALK_SCHEDULER_ANNEAL_SCHEDULER_H
+#define XTALK_SCHEDULER_ANNEAL_SCHEDULER_H
+
+#include <cstdint>
+
+#include "characterization/characterizer.h"
+#include "runtime/cancellation.h"
+#include "scheduler/scheduler.h"
+
+namespace xtalk {
+
+/** Annealing knobs. Defaults anneal a mid-size circuit in a few ms. */
+struct AnnealSchedulerOptions {
+    /** Crosstalk-vs-decoherence weight, as in XtalkSchedulerOptions. */
+    double omega = 0.5;
+    /** High-crosstalk eligibility test (shared with XtalkSched). */
+    double high_threshold = 2.5;
+    double high_margin = 0.015;
+    /** Metropolis iterations; each flips one serialization decision. */
+    int iterations = 300;
+    /** Seed for the proposal/acceptance stream. */
+    uint64_t seed = 0xA22EA1;
+    /** Initial Metropolis temperature, in objective units. */
+    double initial_temperature = 0.05;
+    /** Geometric cooling factor applied per iteration. */
+    double cooling = 0.99;
+    /** Poll the cancel token every this many iterations. */
+    int cancel_poll_interval = 8;
+    /** Wall-clock bound for the annealing loop; 0 = unbounded. */
+    unsigned budget_ms = 0;
+};
+
+/** Outcome counters of the last Schedule() call. */
+struct AnnealSchedulerStats {
+    /** Eligible high-crosstalk pairs (decision-vector length). */
+    int candidate_pairs = 0;
+    /** Iterations actually run (< options.iterations if cancelled). */
+    int iterations_run = 0;
+    /** Accepted flips, including uphill Metropolis accepts. */
+    int accepted = 0;
+    /** Serialization decisions active in the returned schedule. */
+    int serialized = 0;
+    /** True when the loop stopped on cancellation or budget expiry. */
+    bool cancelled = false;
+};
+
+/** Seeded simulated-annealing scheduler; see the file comment. */
+class AnnealScheduler : public Scheduler {
+  public:
+    AnnealScheduler(const Device& device,
+                    const CrosstalkCharacterization& characterization,
+                    AnnealSchedulerOptions options = {});
+
+    ScheduledCircuit Schedule(const Circuit& circuit) override;
+
+    /**
+     * Cancellable spelling: polls @p cancel (may be null) every
+     * options.cancel_poll_interval iterations and returns the best
+     * schedule found so far when it fires.
+     */
+    ScheduledCircuit Schedule(const Circuit& circuit,
+                              const runtime::CancelToken* cancel);
+
+    std::string name() const override { return "AnnealSched"; }
+
+    const AnnealSchedulerStats& stats() const { return stats_; }
+
+  private:
+    const CrosstalkCharacterization* characterization_;
+    AnnealSchedulerOptions options_;
+    AnnealSchedulerStats stats_;
+};
+
+}  // namespace xtalk
+
+#endif  // XTALK_SCHEDULER_ANNEAL_SCHEDULER_H

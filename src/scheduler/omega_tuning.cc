@@ -16,20 +16,23 @@ SelectOmegaByModel(const Device& device,
                    const XtalkSchedulerOptions& base)
 {
     XTALK_REQUIRE(!candidates.empty(), "need at least one candidate omega");
+    // One warm-started sweep: candidates share the solver context and
+    // everything lazy refinement learned (see ScheduleForOmegas), so
+    // this is much cheaper than solving each candidate from scratch.
+    XtalkScheduler scheduler(device, characterization, base);
+    std::vector<OmegaSolveResult> solved =
+        scheduler.ScheduleForOmegas(circuit, candidates);
     OmegaSelection best;
     bool have_best = false;
-    for (double omega : candidates) {
-        XtalkSchedulerOptions options = base;
-        options.omega = omega;
-        XtalkScheduler scheduler(device, characterization, options);
-        ScheduledCircuit schedule = scheduler.Schedule(circuit);
+    for (OmegaSolveResult& result : solved) {
         const ScheduleErrorEstimate estimate =
-            EstimateScheduleError(schedule, device, &characterization);
-        best.sweep.push_back({omega, estimate.success_probability});
+            EstimateScheduleError(result.schedule, device,
+                                  &characterization);
+        best.sweep.push_back({result.omega, estimate.success_probability});
         if (!have_best ||
             estimate.success_probability > best.estimate.success_probability) {
-            best.omega = omega;
-            best.schedule = std::move(schedule);
+            best.omega = result.omega;
+            best.schedule = std::move(result.schedule);
             best.estimate = estimate;
             have_best = true;
         }

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <map>
+#include <memory>
 #include <numeric>
 #include <set>
 
@@ -49,278 +50,89 @@ RealOf(z3::context& ctx, double value)
                         static_cast<int64_t>(100));
 }
 
-}  // namespace
-
-XtalkScheduler::XtalkScheduler(
-    const Device& device, const CrosstalkCharacterization& characterization,
-    XtalkSchedulerOptions options)
-    : Scheduler(device),
-      characterization_(&characterization),
-      options_(options)
+double
+LogOf(double eps)
 {
-    XTALK_REQUIRE(options_.omega >= 0.0 && options_.omega <= 1.0,
-                  "omega " << options_.omega << " outside [0, 1]");
-    XTALK_REQUIRE(options_.high_threshold >= 1.0,
-                  "high_threshold must be >= 1");
+    return std::log(std::clamp(eps, 1e-9, 1.0 - 1e-9));
 }
 
-ScheduledCircuit
-XtalkScheduler::Schedule(const Circuit& circuit)
-{
-    telemetry::ScopedSpan total_span("sched.xtalk.schedule");
-    const auto t_begin = std::chrono::steady_clock::now();
-    const DependencyDag dag(circuit);
-    const int n = circuit.size();
+using GatePairKey = std::pair<GateId, GateId>;
 
-    // Durations and per-gate edge ids (-1 for non-2q gates).
-    std::vector<double> duration(n, 0.0);
-    std::vector<EdgeId> edge_of(n, -1);
+/** Per-circuit facts shared by every solve round and ω candidate. */
+struct CircuitFacts {
+    int n = 0;
+    std::vector<double> duration;
+    std::vector<EdgeId> edge_of;
     std::vector<GateId> measures;
-    for (GateId g = 0; g < n; ++g) {
-        const Gate& gate = circuit.gate(g);
-        // Quantize to the solver's 0.01 ns resolution so the emitted
-        // schedule matches the constraint system exactly.
-        duration[g] =
-            gate.IsBarrier()
-                ? 0.0
-                : std::llround(device_->GateDuration(gate) * 100.0) / 100.0;
-        if (gate.IsTwoQubitUnitary()) {
-            edge_of[g] =
-                device_->topology().FindEdge(gate.qubits[0], gate.qubits[1]);
-            XTALK_REQUIRE(edge_of[g] >= 0,
-                          "two-qubit gate on uncoupled qubits: "
-                              << xtalk::ToString(gate));
-        }
-        if (gate.IsMeasure()) {
-            measures.push_back(g);
-        }
-    }
+    /** DAG-concurrent high-crosstalk 2q pairs (i < j). */
+    std::vector<GatePairKey> eligible;
+    /** Gates appearing in at least one eligible pair. */
+    std::set<GateId> eligible_gates;
+};
 
-    // Independent error for a coupler: characterized when available,
-    // otherwise the published calibration value.
-    auto independent_error = [&](EdgeId e) {
-        if (characterization_->HasIndependentError(e)) {
-            return characterization_->IndependentError(e);
-        }
-        return device_->CxError(e);
-    };
-
-    // Eligible pairs: DAG-concurrent 2q gates on distinct couplers whose
-    // measured conditional error satisfies the high-crosstalk criterion
-    // in either direction — the paper's pruning of CanOlp to
-    // high-crosstalk partners.
-    std::vector<std::pair<GateId, GateId>> eligible;
-    const std::vector<int> layers = dag.AsapLayers();
-    for (GateId i = 0; i < n; ++i) {
-        if (edge_of[i] < 0) {
-            continue;
-        }
-        for (GateId j = i + 1; j < n; ++j) {
-            if (edge_of[j] < 0 || edge_of[j] == edge_of[i] ||
-                !dag.CanOverlap(i, j)) {
-                continue;
-            }
-            const EdgeId ei = edge_of[i];
-            const EdgeId ej = edge_of[j];
-            const HighCrosstalkCriteria criteria{options_.high_threshold,
-                                                 options_.high_margin};
-            if (characterization_->IsHighCrosstalk(ei, ej, criteria) ||
-                characterization_->IsHighCrosstalk(ej, ei, criteria)) {
-                eligible.push_back({i, j});
-            }
-        }
-    }
-
-    // Encode only pairs whose ASAP layers are close (deep circuits have
-    // quadratically many eligible pairs, nearly all of which could never
-    // overlap in a sensible schedule), then lazily refine: if the solved
-    // schedule overlaps an un-encoded eligible pair, add it and re-solve.
-    std::set<std::pair<GateId, GateId>> encoded;
-    for (const auto& [i, j] : eligible) {
-        if (options_.max_layer_distance <= 0 ||
-            std::abs(layers[i] - layers[j]) <= options_.max_layer_distance) {
-            encoded.insert({i, j});
-        }
-    }
-
-    stats_ = {};
-    std::vector<double> starts(n, 0.0);
-    bool have_model = false;
-    for (int round = 0;; ++round) {
-        // Overall wall-clock budget across refinement rounds. Out of
-        // budget with a model in hand: stop refining and ship it. Out
-        // of budget with nothing: SolverFailure, so the compiler can
-        // degrade to a non-SMT scheduler.
-        unsigned effective_timeout_ms = options_.timeout_ms;
-        if (options_.total_budget_ms > 0) {
-            const double remaining_ms =
-                options_.total_budget_ms - MsSince(t_begin);
-            if (remaining_ms <= 0.0) {
-                if (have_model) {
-                    Warn("XtalkSched: total budget exhausted after round " +
-                         std::to_string(round) +
-                         "; using best known model");
-                    break;
-                }
-                throw SolverFailure(
-                    "XtalkSched: total budget of " +
-                    std::to_string(options_.total_budget_ms) +
-                    " ms expired before any model was found");
-            }
-            effective_timeout_ms = std::min<unsigned>(
-                effective_timeout_ms,
-                static_cast<unsigned>(std::max(1.0, remaining_ms)));
-        }
-        last_pairs_.assign(encoded.begin(), encoded.end());
-        std::vector<std::vector<GateId>> can_olp(n);
-        for (const auto& [i, j] : last_pairs_) {
-            can_olp[i].push_back(j);
-            can_olp[j].push_back(i);
-        }
-        // Bound the powerset encoding: keep the worst offenders per gate.
-        for (GateId i = 0; options_.use_powerset_encoding && i < n; ++i) {
-            auto& cands = can_olp[i];
-            if (static_cast<int>(cands.size()) >
-                options_.max_overlap_candidates) {
-                std::sort(cands.begin(), cands.end(),
-                          [&](GateId a, GateId b) {
-                              return characterization_->ConditionalError(
-                                         edge_of[i], edge_of[a]) >
-                                     characterization_->ConditionalError(
-                                         edge_of[i], edge_of[b]);
-                          });
-                cands.resize(options_.max_overlap_candidates);
-                std::sort(cands.begin(), cands.end());
-            }
-        }
-        stats_.candidate_pairs = static_cast<int>(last_pairs_.size());
-        stats_.gates_with_candidates = 0;
-        stats_.refinement_rounds = round;
-
-        z3::context ctx;
-        z3::optimize opt(ctx);
-        z3::params params(ctx);
-        params.set("timeout", effective_timeout_ms);
-        opt.set(params);
-
-        long long num_constraints = 0;
-        auto add = [&](const z3::expr& constraint) {
-            opt.add(constraint);
-            ++num_constraints;
-        };
-
-        // Start-time variables and dependency constraints (constraint 1).
-        std::vector<z3::expr> tau;
-        tau.reserve(n);
+/**
+ * Incremental solver session for the default lower-bound encoding.
+ *
+ * The round-invariant part of the problem — start-time variables,
+ * dependency and readout constraints, one logeps per eligible gate with
+ * its independent-error lower bound, and both objective sums — is
+ * asserted exactly once. Lazy refinement only ever ADDS overlap
+ * indicators, no-partial-overlap constraints, and conditional-error
+ * implications, so rounds re-check() the same context instead of
+ * rebuilding it. ω candidates swap objectives under push/pop scopes;
+ * pair constraints learned inside a scope are re-asserted permanently
+ * for the next candidate via the caller's `encoded` bookkeeping.
+ */
+class WarmSession {
+  public:
+    WarmSession(const Device& device,
+                const CrosstalkCharacterization& characterization,
+                const Circuit& circuit, const DependencyDag& dag,
+                const CircuitFacts& facts)
+        : device_(&device),
+          characterization_(&characterization),
+          facts_(&facts),
+          opt_(ctx_)
+    {
+        const int n = facts.n;
+        tau_.reserve(n);
         for (GateId g = 0; g < n; ++g) {
-            tau.push_back(
-                ctx.real_const(("tau" + std::to_string(g)).c_str()));
-            add(tau[g] >= 0);
+            tau_.push_back(
+                ctx_.real_const(("tau" + std::to_string(g)).c_str()));
+            Add(tau_[g] >= 0);
         }
         for (GateId g = 0; g < n; ++g) {
             for (GateId p : dag.Predecessors(g)) {
-                add(tau[g] >= tau[p] + RealOf(ctx, duration[p]));
+                Add(tau_[g] >= tau_[p] + RealOf(ctx_, facts.duration[p]));
+            }
+        }
+        if (device.traits().simultaneous_readout &&
+            facts.measures.size() > 1) {
+            for (size_t k = 1; k < facts.measures.size(); ++k) {
+                Add(tau_[facts.measures[k]] == tau_[facts.measures[0]]);
             }
         }
 
-        // Simultaneous readout (IBMQ trait).
-        if (device_->traits().simultaneous_readout && measures.size() > 1) {
-            for (size_t k = 1; k < measures.size(); ++k) {
-                add(tau[measures[k]] == tau[measures[0]]);
-            }
-        }
-
-        // Overlap indicators (constraint 2; strict interval overlap so
-        // that abutting gates count as serialized, matching the
-        // simulator).
-        std::map<std::pair<GateId, GateId>, z3::expr> overlap;
-        for (const auto& [i, j] : last_pairs_) {
-            z3::expr o = ctx.bool_const(
-                ("o_" + std::to_string(i) + "_" + std::to_string(j))
-                    .c_str());
-            add(o == ((tau[j] < tau[i] + RealOf(ctx, duration[i])) &&
-                          (tau[i] < tau[j] + RealOf(ctx, duration[j]))));
-            overlap.emplace(std::make_pair(i, j), o);
-        }
-        auto overlap_var = [&](GateId i, GateId j) {
-            const auto key = std::minmax(i, j);
-            return overlap.at({key.first, key.second});
-        };
-
-        // No-partial-overlap (constraints 11-13) between candidate pairs.
-        if (device_->traits().no_partial_overlap) {
-            for (const auto& [i, j] : last_pairs_) {
-                const z3::expr di = RealOf(ctx, duration[i]);
-                const z3::expr dj = RealOf(ctx, duration[j]);
-                add((tau[i] + di <= tau[j]) ||
-                        (tau[j] + dj <= tau[i]) ||
-                        ((tau[i] >= tau[j]) &&
-                         (tau[i] + di <= tau[j] + dj)) ||
-                        ((tau[j] >= tau[i]) &&
-                         (tau[j] + dj <= tau[i] + di)));
-            }
-        }
-
-        // Gate-error terms: g.eps = max conditional error over
-        // overlapping aggressors, independent rate otherwise
-        // (constraints 7-8). Two equivalent encodings:
-        //  - the paper's powerset of CanOlp(g), exact by construction
-        //    but exponential in |CanOlp| (capped);
-        //  - lower bounds "logeps >= log E(g|j) when o_gj" plus
-        //    "logeps >= log E(g)": since the objective minimizes
-        //    sum(logeps), the optimum pins logeps to exactly the max of
-        //    the active bounds. Linear in |CanOlp|; the default.
-        z3::expr gate_error_sum = ctx.real_val(0);
-        for (GateId i = 0; i < n; ++i) {
-            const auto& cands = can_olp[i];
-            if (cands.empty()) {
-                continue;
-            }
-            ++stats_.gates_with_candidates;
+        // One logeps per eligible gate, declared up front so the
+        // objective never changes shape: a gate whose pairs are never
+        // encoded sits at its independent lower bound, a constant
+        // offset that leaves the argmin untouched.
+        z3::expr gate_error_sum = ctx_.real_val(0);
+        for (GateId g : facts.eligible_gates) {
             z3::expr logeps =
-                ctx.real_const(("logeps" + std::to_string(i)).c_str());
-            auto log_of = [](double eps) {
-                return std::log(std::clamp(eps, 1e-9, 1.0 - 1e-9));
-            };
-            const double log_independent =
-                log_of(independent_error(edge_of[i]));
-            if (options_.use_powerset_encoding) {
-                const size_t subsets = size_t{1} << cands.size();
-                for (size_t mask = 0; mask < subsets; ++mask) {
-                    z3::expr cond = ctx.bool_val(true);
-                    double worst = independent_error(edge_of[i]);
-                    for (size_t b = 0; b < cands.size(); ++b) {
-                        const GateId j = cands[b];
-                        if (mask & (size_t{1} << b)) {
-                            cond = cond && overlap_var(i, j);
-                            worst = std::max(
-                                worst,
-                                characterization_->ConditionalError(
-                                    edge_of[i], edge_of[j]));
-                        } else {
-                            cond = cond && !overlap_var(i, j);
-                        }
-                    }
-                    add(z3::implies(
-                        cond, logeps == RealOf(ctx, log_of(worst))));
+                ctx_.real_const(("logeps" + std::to_string(g)).c_str());
+            const double independent = [&] {
+                const EdgeId e = facts.edge_of[g];
+                if (characterization.HasIndependentError(e)) {
+                    return characterization.IndependentError(e);
                 }
-            } else {
-                add(logeps >= RealOf(ctx, log_independent));
-                for (GateId j : cands) {
-                    const double cond_err =
-                        characterization_->ConditionalError(edge_of[i],
-                                                            edge_of[j]);
-                    add(z3::implies(
-                        overlap_var(i, j),
-                        logeps >= RealOf(ctx, log_of(cond_err))));
-                }
-            }
+                return device.CxError(e);
+            }();
+            Add(logeps >= RealOf(ctx_, LogOf(independent)));
             gate_error_sum = gate_error_sum + logeps;
+            logeps_.emplace(g, logeps);
         }
-
-        // Decoherence terms (constraints 9-10): first/last gate per qubit
-        // are fixed by program order, so the lifetime is linear in tau.
-        z3::expr decoherence_sum = ctx.real_val(0);
+        z3::expr decoherence_sum = ctx_.real_val(0);
         for (QubitId q = 0; q < circuit.num_qubits(); ++q) {
             GateId first = -1, last = -1;
             for (GateId g = 0; g < n; ++g) {
@@ -340,148 +152,723 @@ XtalkScheduler::Schedule(const Circuit& circuit)
                 continue;
             }
             const z3::expr lifetime =
-                tau[last] + RealOf(ctx, duration[last]) - tau[first];
-            const double t_coh = device_->CoherenceTimeNs(q);
-            decoherence_sum = decoherence_sum + lifetime / RealOf(ctx, t_coh);
+                tau_[last] + RealOf(ctx_, facts.duration[last]) -
+                tau_[first];
+            decoherence_sum = decoherence_sum +
+                              lifetime /
+                                  RealOf(ctx_, device.CoherenceTimeNs(q));
         }
+        gate_error_sum_ = std::make_unique<z3::expr>(gate_error_sum);
+        decoherence_sum_ = std::make_unique<z3::expr>(decoherence_sum);
+    }
 
-        // Objective (eq. 17, decoherence sign corrected). A tiny floor on
-        // the decoherence coefficient keeps omega = 1 schedules compact:
-        // with a weight of exactly zero the solver may leave arbitrary
-        // gaps, which no real backend would execute.
-        const double decoherence_weight =
-            std::max(1.0 - options_.omega, 1e-4);
-        const z3::expr objective =
-            RealOf(ctx, options_.omega) * gate_error_sum +
-            RealOf(ctx, decoherence_weight) * decoherence_sum;
-        opt.minimize(objective);
+    /** Assert every pair in @p encoded not yet in the solver. */
+    void
+    AssertPending(const std::set<GatePairKey>& encoded)
+    {
+        for (const GatePairKey& pair : encoded) {
+            if (permanent_.count(pair) || scoped_.count(pair)) {
+                continue;
+            }
+            AssertPair(pair);
+            (scope_depth_ > 0 ? scoped_ : permanent_).insert(pair);
+        }
+    }
 
-        // Solve. Z3's exception type must not escape this translation
-        // unit, and a modelless outcome must not abort a caller that
-        // can degrade — both translate to SolverFailure (or, when an
-        // earlier round already produced a model, to using that model).
-        faults::MaybeInject("smt.solve");
-        try {
-            const z3::check_result result = [&] {
-                // Span per solver round: the smt-solve node of the
-                // profiler cost tree, and span.sched.xtalk.solve.ms on
-                // the metrics side (the whole-schedule aggregate stays
-                // in sched.xtalk.solve_ms).
-                telemetry::ScopedSpan solve_span("sched.xtalk.solve");
-                return opt.check();
-            }();
-            if (telemetry::Enabled()) {
-                telemetry::GetCounter("sched.xtalk.solves").Add(1);
-                telemetry::GetCounter("sched.xtalk.constraints")
-                    .Add(static_cast<uint64_t>(num_constraints));
-                telemetry::GetCounter("sched.xtalk.candidate_pairs")
-                    .Add(static_cast<uint64_t>(last_pairs_.size()));
-                if (result != z3::sat) {
-                    telemetry::GetCounter("sched.xtalk.solver_timeouts")
-                        .Add(1);
+    /** Open a push scope and minimize the ω-weighted objective in it. */
+    void
+    PushObjective(double omega, double decoherence_weight)
+    {
+        opt_.push();
+        ++scope_depth_;
+        Minimize(omega, decoherence_weight);
+    }
+
+    /** Minimize without a scope (single-ω solves). */
+    void
+    Minimize(double omega, double decoherence_weight)
+    {
+        opt_.minimize(RealOf(ctx_, omega) * *gate_error_sum_ +
+                      RealOf(ctx_, decoherence_weight) *
+                          *decoherence_sum_);
+    }
+
+    /** Close the scope: drops its objective and its pair constraints. */
+    void
+    Pop()
+    {
+        opt_.pop();
+        --scope_depth_;
+        scoped_.clear();
+    }
+
+    void
+    SetTimeout(unsigned timeout_ms)
+    {
+        z3::params params(ctx_);
+        params.set("timeout", timeout_ms);
+        opt_.set(params);
+    }
+
+    /** check(); on sat fills @p starts from the model. */
+    z3::check_result
+    Check(std::vector<double>* starts)
+    {
+        const z3::check_result result = opt_.check();
+        if (result == z3::sat) {
+            z3::model model = opt_.get_model();
+            for (GateId g = 0; g < facts_->n; ++g) {
+                (*starts)[g] = NumeralToDouble(model.eval(tau_[g], true));
+            }
+        }
+        return result;
+    }
+
+    long long num_constraints() const { return num_constraints_; }
+    /** Constraints added since the last call (for the round journal). */
+    long long
+    TakeNewConstraints()
+    {
+        const long long added = num_constraints_ - reported_;
+        reported_ = num_constraints_;
+        return added;
+    }
+
+  private:
+    void
+    Add(const z3::expr& constraint)
+    {
+        opt_.add(constraint);
+        ++num_constraints_;
+    }
+
+    void
+    AssertPair(const GatePairKey& pair)
+    {
+        const auto [i, j] = pair;
+        const z3::expr di = RealOf(ctx_, facts_->duration[i]);
+        const z3::expr dj = RealOf(ctx_, facts_->duration[j]);
+        z3::expr o = ctx_.bool_const(
+            ("o_" + std::to_string(i) + "_" + std::to_string(j)).c_str());
+        Add(o == ((tau_[j] < tau_[i] + di) && (tau_[i] < tau_[j] + dj)));
+        if (device_->traits().no_partial_overlap) {
+            Add((tau_[i] + di <= tau_[j]) || (tau_[j] + dj <= tau_[i]) ||
+                ((tau_[i] >= tau_[j]) && (tau_[i] + di <= tau_[j] + dj)) ||
+                ((tau_[j] >= tau_[i]) && (tau_[j] + dj <= tau_[i] + di)));
+        }
+        const auto conditional = [&](GateId victim, GateId aggressor) {
+            return characterization_->ConditionalError(
+                facts_->edge_of[victim], facts_->edge_of[aggressor]);
+        };
+        Add(z3::implies(o, logeps_.at(i) >=
+                               RealOf(ctx_, LogOf(conditional(i, j)))));
+        Add(z3::implies(o, logeps_.at(j) >=
+                               RealOf(ctx_, LogOf(conditional(j, i)))));
+    }
+
+    const Device* device_;
+    const CrosstalkCharacterization* characterization_;
+    const CircuitFacts* facts_;
+    z3::context ctx_;
+    z3::optimize opt_;
+    std::vector<z3::expr> tau_;
+    std::map<GateId, z3::expr> logeps_;
+    std::unique_ptr<z3::expr> gate_error_sum_;
+    std::unique_ptr<z3::expr> decoherence_sum_;
+    std::set<GatePairKey> permanent_;
+    std::set<GatePairKey> scoped_;
+    int scope_depth_ = 0;
+    long long num_constraints_ = 0;
+    long long reported_ = 0;
+};
+
+}  // namespace
+
+XtalkScheduler::XtalkScheduler(
+    const Device& device, const CrosstalkCharacterization& characterization,
+    XtalkSchedulerOptions options)
+    : Scheduler(device),
+      characterization_(&characterization),
+      options_(options)
+{
+    XTALK_REQUIRE(options_.omega >= 0.0 && options_.omega <= 1.0,
+                  "omega " << options_.omega << " outside [0, 1]");
+    XTALK_REQUIRE(options_.high_threshold >= 1.0,
+                  "high_threshold must be >= 1");
+}
+
+ScheduledCircuit
+XtalkScheduler::Schedule(const Circuit& circuit)
+{
+    return Schedule(circuit, nullptr);
+}
+
+ScheduledCircuit
+XtalkScheduler::Schedule(const Circuit& circuit,
+                         const runtime::CancelToken* cancel)
+{
+    std::vector<OmegaSolveResult> results =
+        ScheduleForOmegas(circuit, {options_.omega}, cancel);
+    XTALK_REQUIRE(!results.empty(), "single-omega solve returned nothing");
+    return std::move(results.front().schedule);
+}
+
+/**
+ * One cold (from-scratch) solver round: the pre-warm-start behaviour,
+ * and the only encoding of the powerset formulation, whose constraints
+ * are not monotone under refinement. On sat fills @p starts.
+ */
+namespace {
+
+z3::check_result
+ColdSolveRound(const Device& device,
+               const CrosstalkCharacterization& characterization,
+               const Circuit& circuit, const DependencyDag& dag,
+               const CircuitFacts& facts,
+               const std::vector<GatePairKey>& pairs, double omega,
+               double decoherence_weight,
+               const XtalkSchedulerOptions& options, unsigned timeout_ms,
+               std::vector<double>* starts, long long* num_constraints,
+               int* gates_with_candidates)
+{
+    const int n = facts.n;
+    std::vector<std::vector<GateId>> can_olp(n);
+    for (const auto& [i, j] : pairs) {
+        can_olp[i].push_back(j);
+        can_olp[j].push_back(i);
+    }
+    // Bound the powerset encoding: keep the worst offenders per gate.
+    for (GateId i = 0; options.use_powerset_encoding && i < n; ++i) {
+        auto& cands = can_olp[i];
+        if (static_cast<int>(cands.size()) > options.max_overlap_candidates) {
+            std::sort(cands.begin(), cands.end(), [&](GateId a, GateId b) {
+                return characterization.ConditionalError(facts.edge_of[i],
+                                                         facts.edge_of[a]) >
+                       characterization.ConditionalError(facts.edge_of[i],
+                                                         facts.edge_of[b]);
+            });
+            cands.resize(options.max_overlap_candidates);
+            std::sort(cands.begin(), cands.end());
+        }
+    }
+
+    z3::context ctx;
+    z3::optimize opt(ctx);
+    z3::params params(ctx);
+    params.set("timeout", timeout_ms);
+    opt.set(params);
+
+    auto add = [&](const z3::expr& constraint) {
+        opt.add(constraint);
+        ++*num_constraints;
+    };
+
+    auto independent_error = [&](EdgeId e) {
+        if (characterization.HasIndependentError(e)) {
+            return characterization.IndependentError(e);
+        }
+        return device.CxError(e);
+    };
+
+    // Start-time variables and dependency constraints (constraint 1).
+    std::vector<z3::expr> tau;
+    tau.reserve(n);
+    for (GateId g = 0; g < n; ++g) {
+        tau.push_back(ctx.real_const(("tau" + std::to_string(g)).c_str()));
+        add(tau[g] >= 0);
+    }
+    for (GateId g = 0; g < n; ++g) {
+        for (GateId p : dag.Predecessors(g)) {
+            add(tau[g] >= tau[p] + RealOf(ctx, facts.duration[p]));
+        }
+    }
+
+    // Simultaneous readout (IBMQ trait).
+    if (device.traits().simultaneous_readout && facts.measures.size() > 1) {
+        for (size_t k = 1; k < facts.measures.size(); ++k) {
+            add(tau[facts.measures[k]] == tau[facts.measures[0]]);
+        }
+    }
+
+    // Overlap indicators (constraint 2; strict interval overlap so that
+    // abutting gates count as serialized, matching the simulator).
+    std::map<GatePairKey, z3::expr> overlap;
+    for (const auto& [i, j] : pairs) {
+        z3::expr o = ctx.bool_const(
+            ("o_" + std::to_string(i) + "_" + std::to_string(j)).c_str());
+        add(o == ((tau[j] < tau[i] + RealOf(ctx, facts.duration[i])) &&
+                  (tau[i] < tau[j] + RealOf(ctx, facts.duration[j]))));
+        overlap.emplace(std::make_pair(i, j), o);
+    }
+    auto overlap_var = [&](GateId i, GateId j) {
+        const auto key = std::minmax(i, j);
+        return overlap.at({key.first, key.second});
+    };
+
+    // No-partial-overlap (constraints 11-13) between candidate pairs.
+    if (device.traits().no_partial_overlap) {
+        for (const auto& [i, j] : pairs) {
+            const z3::expr di = RealOf(ctx, facts.duration[i]);
+            const z3::expr dj = RealOf(ctx, facts.duration[j]);
+            add((tau[i] + di <= tau[j]) || (tau[j] + dj <= tau[i]) ||
+                ((tau[i] >= tau[j]) && (tau[i] + di <= tau[j] + dj)) ||
+                ((tau[j] >= tau[i]) && (tau[j] + dj <= tau[i] + di)));
+        }
+    }
+
+    // Gate-error terms: g.eps = max conditional error over overlapping
+    // aggressors, independent rate otherwise (constraints 7-8). Two
+    // equivalent encodings:
+    //  - the paper's powerset of CanOlp(g), exact by construction but
+    //    exponential in |CanOlp| (capped);
+    //  - lower bounds "logeps >= log E(g|j) when o_gj" plus
+    //    "logeps >= log E(g)": since the objective minimizes
+    //    sum(logeps), the optimum pins logeps to exactly the max of the
+    //    active bounds. Linear in |CanOlp|; the default.
+    z3::expr gate_error_sum = ctx.real_val(0);
+    for (GateId i = 0; i < n; ++i) {
+        const auto& cands = can_olp[i];
+        if (cands.empty()) {
+            continue;
+        }
+        ++*gates_with_candidates;
+        z3::expr logeps =
+            ctx.real_const(("logeps" + std::to_string(i)).c_str());
+        const double log_independent =
+            LogOf(independent_error(facts.edge_of[i]));
+        if (options.use_powerset_encoding) {
+            const size_t subsets = size_t{1} << cands.size();
+            for (size_t mask = 0; mask < subsets; ++mask) {
+                z3::expr cond = ctx.bool_val(true);
+                double worst = independent_error(facts.edge_of[i]);
+                for (size_t b = 0; b < cands.size(); ++b) {
+                    const GateId j = cands[b];
+                    if (mask & (size_t{1} << b)) {
+                        cond = cond && overlap_var(i, j);
+                        worst = std::max(
+                            worst, characterization.ConditionalError(
+                                       facts.edge_of[i], facts.edge_of[j]));
+                    } else {
+                        cond = cond && !overlap_var(i, j);
+                    }
+                }
+                add(z3::implies(cond,
+                                logeps == RealOf(ctx, LogOf(worst))));
+            }
+        } else {
+            add(logeps >= RealOf(ctx, log_independent));
+            for (GateId j : cands) {
+                const double cond_err = characterization.ConditionalError(
+                    facts.edge_of[i], facts.edge_of[j]);
+                add(z3::implies(overlap_var(i, j),
+                                logeps >= RealOf(ctx, LogOf(cond_err))));
+            }
+        }
+        gate_error_sum = gate_error_sum + logeps;
+    }
+
+    // Decoherence terms (constraints 9-10): first/last gate per qubit
+    // are fixed by program order, so the lifetime is linear in tau.
+    z3::expr decoherence_sum = ctx.real_val(0);
+    for (QubitId q = 0; q < circuit.num_qubits(); ++q) {
+        GateId first = -1, last = -1;
+        for (GateId g = 0; g < n; ++g) {
+            if (circuit.gate(g).IsBarrier()) {
+                continue;
+            }
+            for (QubitId gq : circuit.gate(g).qubits) {
+                if (gq == q) {
+                    if (first < 0) {
+                        first = g;
+                    }
+                    last = g;
                 }
             }
-            telemetry::JournalEmit(
-                "sched.solve",
-                {{"round", round},
-                 {"verdict", result == z3::sat
-                                 ? "sat"
-                                 : (result == z3::unsat ? "unsat"
-                                                        : "unknown")},
-                 {"constraints", num_constraints},
-                 {"pairs", static_cast<uint64_t>(last_pairs_.size())},
-                 {"have_model", have_model}});
-            XTALK_REQUIRE(result != z3::unsat,
-                          "scheduling constraints are unsatisfiable (bug)");
-            stats_.optimal = (result == z3::sat);
-            if (result != z3::sat) {
-                // `unknown` means the search was cut off: any candidate
-                // model z3 holds is NOT guaranteed to satisfy even the
-                // hard constraints, so it must never become a schedule.
-                // Fall back to the last sat round's model, or report
-                // SolverFailure so the compiler can degrade.
+        }
+        if (first < 0) {
+            continue;
+        }
+        const z3::expr lifetime =
+            tau[last] + RealOf(ctx, facts.duration[last]) - tau[first];
+        decoherence_sum =
+            decoherence_sum +
+            lifetime / RealOf(ctx, device.CoherenceTimeNs(q));
+    }
+
+    opt.minimize(RealOf(ctx, omega) * gate_error_sum +
+                 RealOf(ctx, decoherence_weight) * decoherence_sum);
+
+    const z3::check_result result = opt.check();
+    if (result == z3::sat) {
+        z3::model model = opt.get_model();
+        for (GateId g = 0; g < n; ++g) {
+            (*starts)[g] = NumeralToDouble(model.eval(tau[g], true));
+        }
+    }
+    return result;
+}
+
+}  // namespace
+
+std::vector<OmegaSolveResult>
+XtalkScheduler::ScheduleForOmegas(const Circuit& circuit,
+                                  const std::vector<double>& omegas,
+                                  const runtime::CancelToken* cancel)
+{
+    XTALK_REQUIRE(!omegas.empty(), "need at least one omega candidate");
+    telemetry::ScopedSpan total_span("sched.xtalk.schedule");
+    const auto t_begin = std::chrono::steady_clock::now();
+    const DependencyDag dag(circuit);
+
+    CircuitFacts facts;
+    facts.n = circuit.size();
+    const int n = facts.n;
+    facts.duration.assign(n, 0.0);
+    facts.edge_of.assign(n, -1);
+    for (GateId g = 0; g < n; ++g) {
+        const Gate& gate = circuit.gate(g);
+        // Quantize to the solver's 0.01 ns resolution so the emitted
+        // schedule matches the constraint system exactly.
+        facts.duration[g] =
+            gate.IsBarrier()
+                ? 0.0
+                : std::llround(device_->GateDuration(gate) * 100.0) / 100.0;
+        if (gate.IsTwoQubitUnitary()) {
+            facts.edge_of[g] =
+                device_->topology().FindEdge(gate.qubits[0], gate.qubits[1]);
+            XTALK_REQUIRE(facts.edge_of[g] >= 0,
+                          "two-qubit gate on uncoupled qubits: "
+                              << xtalk::ToString(gate));
+        }
+        if (gate.IsMeasure()) {
+            facts.measures.push_back(g);
+        }
+    }
+
+    // Eligible pairs: DAG-concurrent 2q gates on distinct couplers whose
+    // measured conditional error satisfies the high-crosstalk criterion
+    // in either direction — the paper's pruning of CanOlp to
+    // high-crosstalk partners.
+    const std::vector<int> layers = dag.AsapLayers();
+    for (GateId i = 0; i < n; ++i) {
+        if (facts.edge_of[i] < 0) {
+            continue;
+        }
+        for (GateId j = i + 1; j < n; ++j) {
+            if (facts.edge_of[j] < 0 ||
+                facts.edge_of[j] == facts.edge_of[i] ||
+                !dag.CanOverlap(i, j)) {
+                continue;
+            }
+            const HighCrosstalkCriteria criteria{options_.high_threshold,
+                                                 options_.high_margin};
+            if (characterization_->IsHighCrosstalk(
+                    facts.edge_of[i], facts.edge_of[j], criteria) ||
+                characterization_->IsHighCrosstalk(
+                    facts.edge_of[j], facts.edge_of[i], criteria)) {
+                facts.eligible.push_back({i, j});
+                facts.eligible_gates.insert(i);
+                facts.eligible_gates.insert(j);
+            }
+        }
+    }
+
+    // Encode only pairs whose ASAP layers are close (deep circuits have
+    // quadratically many eligible pairs, nearly all of which could never
+    // overlap in a sensible schedule), then lazily refine: if the solved
+    // schedule overlaps an un-encoded eligible pair, add it and
+    // re-solve. The encoded set is shared across ω candidates — pairs
+    // one candidate learned stay encoded for the rest of the sweep.
+    std::set<GatePairKey> encoded;
+    for (const auto& [i, j] : facts.eligible) {
+        if (options_.max_layer_distance <= 0 ||
+            std::abs(layers[i] - layers[j]) <= options_.max_layer_distance) {
+            encoded.insert({i, j});
+        }
+    }
+
+    stats_ = {};
+    const bool warm = options_.warm_start && !options_.use_powerset_encoding;
+    std::unique_ptr<WarmSession> session;
+    if (warm) {
+        session = std::make_unique<WarmSession>(
+            *device_, *characterization_, circuit, dag, facts);
+        stats_.solver_builds = 1;
+    }
+    const bool multi = omegas.size() > 1;
+    const auto budget_state = [&](bool have_model, bool have_results) {
+        // 0 = keep solving, 1 = use the model in hand, 2 = abort the
+        // sweep with prior results, throws when nothing usable exists.
+        if (options_.total_budget_ms > 0 &&
+            MsSince(t_begin) >=
+                static_cast<double>(options_.total_budget_ms)) {
+            if (have_model) {
+                return 1;
+            }
+            if (have_results) {
+                return 2;
+            }
+            throw SolverFailure(
+                "XtalkSched: total budget of " +
+                std::to_string(options_.total_budget_ms) +
+                " ms expired before any model was found");
+        }
+        if (cancel && cancel->Cancelled()) {
+            if (have_model) {
+                return 1;
+            }
+            if (have_results) {
+                return 2;
+            }
+            throw SolverFailure(
+                "XtalkSched: cancelled before any model was found");
+        }
+        return 0;
+    };
+
+    std::vector<OmegaSolveResult> results;
+    bool sweep_aborted = false;
+    for (size_t oi = 0; oi < omegas.size() && !sweep_aborted; ++oi) {
+        const double omega = omegas[oi];
+        XTALK_REQUIRE(omega >= 0.0 && omega <= 1.0,
+                      "omega " << omega << " outside [0, 1]");
+        // Objective (eq. 17, decoherence sign corrected). A tiny floor
+        // on the decoherence coefficient keeps omega = 1 schedules
+        // compact: with a weight of exactly zero the solver may leave
+        // arbitrary gaps, which no real backend would execute.
+        const double decoherence_weight = std::max(1.0 - omega, 1e-4);
+
+        bool scope_pushed = false;
+        if (warm) {
+            if (multi) {
+                // Promote pairs learned by earlier candidates to
+                // permanent assertions before opening this ω's scope.
+                session->AssertPending(encoded);
+                session->PushObjective(omega, decoherence_weight);
+                scope_pushed = true;
+            } else {
+                session->Minimize(omega, decoherence_weight);
+            }
+        }
+
+        std::vector<double> starts(n, 0.0);
+        std::vector<GatePairKey> model_pairs;
+        bool have_model = false;
+        for (int round = 0;; ++round) {
+            // Overall wall-clock budget across refinement rounds and ω
+            // candidates. Out of budget with a model in hand: stop
+            // refining and ship it. Out of budget with nothing: abort
+            // (partial sweep) or SolverFailure, so the portfolio can
+            // fall back to a non-SMT member.
+            const int state = budget_state(have_model, !results.empty());
+            if (state == 1) {
+                Warn("XtalkSched: budget/cancellation after round " +
+                     std::to_string(round) + "; using best known model");
+                break;
+            }
+            if (state == 2) {
+                Warn("XtalkSched: budget/cancellation mid-sweep; "
+                     "returning the " +
+                     std::to_string(results.size()) +
+                     " omega candidates already solved");
+                sweep_aborted = true;
+                break;
+            }
+            unsigned effective_timeout_ms = options_.timeout_ms;
+            if (options_.total_budget_ms > 0) {
+                const double remaining_ms =
+                    options_.total_budget_ms - MsSince(t_begin);
+                effective_timeout_ms = std::min<unsigned>(
+                    effective_timeout_ms,
+                    static_cast<unsigned>(std::max(1.0, remaining_ms)));
+            }
+
+            std::vector<GatePairKey> round_pairs(encoded.begin(),
+                                                 encoded.end());
+            stats_.candidate_pairs = static_cast<int>(round_pairs.size());
+            stats_.refinement_rounds = round;
+            long long round_constraints = 0;
+            int gates_with_candidates = 0;
+
+            // Solve. Z3's exception type must not escape this
+            // translation unit, and a modelless outcome must not abort
+            // a caller that can degrade — both translate to
+            // SolverFailure (or, when an earlier round already produced
+            // a model, to using that model).
+            faults::MaybeInject("smt.solve");
+            z3::check_result result = z3::unknown;
+            try {
+                {
+                    // Span per solver round: the smt-solve node of the
+                    // profiler cost tree, and span.sched.xtalk.solve.ms
+                    // on the metrics side (the whole-schedule aggregate
+                    // stays in sched.xtalk.solve_ms).
+                    telemetry::ScopedSpan solve_span("sched.xtalk.solve");
+                    if (warm) {
+                        session->AssertPending(encoded);
+                        session->SetTimeout(effective_timeout_ms);
+                        result = session->Check(&starts);
+                        round_constraints = session->TakeNewConstraints();
+                        for (GateId g : facts.eligible_gates) {
+                            for (const auto& [i, j] : round_pairs) {
+                                if (i == g || j == g) {
+                                    ++gates_with_candidates;
+                                    break;
+                                }
+                            }
+                        }
+                    } else {
+                        ++stats_.solver_builds;
+                        result = ColdSolveRound(
+                            *device_, *characterization_, circuit, dag,
+                            facts, round_pairs, omega, decoherence_weight,
+                            options_, effective_timeout_ms, &starts,
+                            &round_constraints, &gates_with_candidates);
+                    }
+                }
+                stats_.gates_with_candidates = gates_with_candidates;
+                if (telemetry::Enabled()) {
+                    telemetry::GetCounter("sched.xtalk.solves").Add(1);
+                    telemetry::GetCounter("sched.xtalk.constraints")
+                        .Add(static_cast<uint64_t>(
+                            std::max<long long>(0, round_constraints)));
+                    telemetry::GetCounter("sched.xtalk.candidate_pairs")
+                        .Add(static_cast<uint64_t>(round_pairs.size()));
+                    if (result != z3::sat) {
+                        telemetry::GetCounter("sched.xtalk.solver_timeouts")
+                            .Add(1);
+                    }
+                }
+                telemetry::JournalEmit(
+                    "sched.solve",
+                    {{"round", round},
+                     {"omega", omega},
+                     {"verdict", result == z3::sat
+                                     ? "sat"
+                                     : (result == z3::unsat ? "unsat"
+                                                            : "unknown")},
+                     {"constraints", round_constraints},
+                     {"pairs", static_cast<uint64_t>(round_pairs.size())},
+                     {"warm", warm},
+                     {"have_model", have_model}});
+                XTALK_REQUIRE(result != z3::unsat,
+                              "scheduling constraints are unsatisfiable "
+                              "(bug)");
+                stats_.optimal = (result == z3::sat);
+                if (result != z3::sat) {
+                    // `unknown` means the search was cut off: any
+                    // candidate model z3 holds is NOT guaranteed to
+                    // satisfy even the hard constraints, so it must
+                    // never become a schedule. Fall back to the last
+                    // sat round's model, or report SolverFailure so the
+                    // caller can degrade.
+                    if (have_model) {
+                        Warn("XtalkSched: solver returned unknown "
+                             "(timeout?); using the last satisfiable "
+                             "model");
+                        break;
+                    }
+                    if (!results.empty()) {
+                        Warn("XtalkSched: solver returned unknown "
+                             "mid-sweep; returning the solved "
+                             "candidates");
+                        sweep_aborted = true;
+                        break;
+                    }
+                    throw SolverFailure(
+                        "XtalkSched: solver returned unknown (timeout?) "
+                        "before any satisfiable model was found");
+                }
+            } catch (const z3::exception& e) {
+                telemetry::JournalEmit("sched.solve",
+                                       {{"round", round},
+                                        {"verdict", "exception"},
+                                        {"error", std::string(e.msg())},
+                                        {"have_model", have_model}});
                 if (have_model) {
-                    Warn("XtalkSched: solver returned unknown (timeout?); "
-                         "using the last satisfiable model");
+                    Warn(std::string("XtalkSched: solver failed in "
+                                     "refinement round (") +
+                         e.msg() + "); using best known model");
                     break;
                 }
                 throw SolverFailure(
-                    "XtalkSched: solver returned unknown (timeout?) "
-                    "before any satisfiable model was found");
+                    std::string("XtalkSched: solver produced no model: ") +
+                    e.msg());
             }
+            have_model = true;
+            model_pairs = std::move(round_pairs);
 
-            z3::model model = opt.get_model();
-            for (GateId g = 0; g < n; ++g) {
-                starts[g] = NumeralToDouble(model.eval(tau[g], true));
+            // Lazy refinement: add any eligible-but-unencoded pair the
+            // model overlaps, then re-solve. Converges quickly because
+            // violations only occur when the solver shifted chains
+            // across the layer window.
+            std::vector<GatePairKey> violations;
+            for (const auto& [i, j] : facts.eligible) {
+                if (encoded.count({i, j})) {
+                    continue;
+                }
+                const bool overlaps =
+                    starts[j] < starts[i] + facts.duration[i] - 1e-9 &&
+                    starts[i] < starts[j] + facts.duration[j] - 1e-9;
+                if (overlaps) {
+                    violations.push_back({i, j});
+                }
             }
-        } catch (const z3::exception& e) {
-            telemetry::JournalEmit("sched.solve",
-                                   {{"round", round},
-                                    {"verdict", "exception"},
-                                    {"error", std::string(e.msg())},
-                                    {"have_model", have_model}});
-            if (have_model) {
-                Warn(std::string("XtalkSched: solver failed in refinement "
-                                 "round (") +
-                     e.msg() + "); using best known model");
+            if (violations.empty() ||
+                round >= options_.max_refinement_rounds) {
+                if (!violations.empty()) {
+                    Warn("XtalkSched: refinement budget exhausted with " +
+                         std::to_string(violations.size()) +
+                         " unencoded overlaps remaining");
+                }
                 break;
             }
-            throw SolverFailure(
-                std::string("XtalkSched: solver produced no model: ") +
-                e.msg());
+            if (round + 1 >= options_.max_refinement_rounds) {
+                // Escalate: pair-at-a-time refinement is thrashing (the
+                // solver keeps finding fresh blind spots); encode the
+                // whole eligible set for the final round.
+                encoded.insert(facts.eligible.begin(),
+                               facts.eligible.end());
+            } else {
+                encoded.insert(violations.begin(), violations.end());
+            }
         }
-        have_model = true;
+        if (scope_pushed) {
+            session->Pop();
+        }
+        if (!have_model) {
+            break;  // sweep_aborted with prior results
+        }
 
-        // Lazy refinement: add any eligible-but-unencoded pair the model
-        // overlaps, then re-solve. Converges quickly because violations
-        // only occur when the solver shifted chains across the layer
-        // window.
-        std::vector<std::pair<GateId, GateId>> violations;
-        for (const auto& [i, j] : eligible) {
-            if (encoded.count({i, j})) {
-                continue;
-            }
-            const bool overlaps =
-                starts[j] < starts[i] + duration[i] - 1e-9 &&
-                starts[i] < starts[j] + duration[j] - 1e-9;
-            if (overlaps) {
-                violations.push_back({i, j});
+        // Only lifetime *differences* enter the objective, so the
+        // solver may return an arbitrary global offset; shift the
+        // earliest gate to 0.
+        if (n > 0) {
+            const double origin =
+                *std::min_element(starts.begin(), starts.end());
+            for (double& s : starts) {
+                s = std::max(0.0, s - origin);
             }
         }
-        if (violations.empty() ||
-            round >= options_.max_refinement_rounds) {
-            if (!violations.empty()) {
-                Warn("XtalkSched: refinement budget exhausted with " +
-                     std::to_string(violations.size()) +
-                     " unencoded overlaps remaining");
+        OmegaSolveResult solved;
+        solved.omega = omega;
+        solved.schedule = ScheduledCircuit(circuit.num_qubits());
+        for (GateId g = 0; g < n; ++g) {
+            if (!circuit.gate(g).IsBarrier()) {
+                solved.schedule.Add(circuit.gate(g), starts[g],
+                                    facts.duration[g]);
             }
-            break;
         }
-        if (round + 1 >= options_.max_refinement_rounds) {
-            // Escalate: pair-at-a-time refinement is thrashing (the
-            // solver keeps finding fresh blind spots); encode the whole
-            // eligible set for the final round.
-            encoded.insert(eligible.begin(), eligible.end());
-        } else {
-            encoded.insert(violations.begin(), violations.end());
-        }
+        solved.start_ns = starts;
+        solved.candidate_pairs = model_pairs;
+        results.push_back(std::move(solved));
+        ++stats_.omegas_solved;
     }
 
-    // Only lifetime *differences* enter the objective, so the solver may
-    // return an arbitrary global offset; shift the earliest gate to 0.
-    if (n > 0) {
-        const double origin = *std::min_element(starts.begin(), starts.end());
-        for (double& s : starts) {
-            s = std::max(0.0, s - origin);
-        }
-    }
-    ScheduledCircuit schedule(circuit.num_qubits());
-    for (GateId g = 0; g < n; ++g) {
-        if (!circuit.gate(g).IsBarrier()) {
-            schedule.Add(circuit.gate(g), starts[g], duration[g]);
-        }
-    }
-    last_start_times_ = starts;
+    XTALK_REQUIRE(!results.empty(),
+                  "omega sweep ended with no solved candidate (bug)");
+    last_start_times_ = results.back().start_ns;
+    last_pairs_ = results.back().candidate_pairs;
 
     stats_.solve_seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -500,7 +887,7 @@ XtalkScheduler::Schedule(const Circuit& circuit)
                                  60e3, 120e3})
             .Record(stats_.solve_seconds * 1e3);
     }
-    return schedule;
+    return results;
 }
 
 Circuit

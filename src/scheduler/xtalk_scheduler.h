@@ -31,6 +31,7 @@
 
 #include "characterization/characterizer.h"
 #include "common/error.h"
+#include "runtime/cancellation.h"
 #include "scheduler/scheduler.h"
 
 namespace xtalk {
@@ -99,6 +100,16 @@ struct XtalkSchedulerOptions {
      * many extra rounds.
      */
     int max_refinement_rounds = 4;
+    /**
+     * Keep one incremental Z3 context alive across refinement rounds
+     * and ω candidates (assertions only accumulate in the default
+     * lower-bound encoding, so rounds re-check instead of rebuilding;
+     * ω candidates are solved under push/pop objective scopes). false
+     * rebuilds the solver from scratch every round — the pre-portfolio
+     * behaviour, kept for benchmarking the warm-start win. The powerset
+     * encoding is not monotone under refinement and always rebuilds.
+     */
+    bool warm_start = true;
 };
 
 /** Solve diagnostics from the last Schedule() call. */
@@ -108,6 +119,22 @@ struct XtalkSchedulerStats {
     int gates_with_candidates = 0;
     int refinement_rounds = 0;
     bool optimal = false;
+    /** Z3 contexts constructed (warm sweep: 1; cold: one per round). */
+    int solver_builds = 0;
+    /** ω candidates that produced a model (ScheduleForOmegas only). */
+    int omegas_solved = 0;
+};
+
+/**
+ * One ω candidate's solution from ScheduleForOmegas: the schedule plus
+ * the ordering artifacts (start times, serialization-candidate pairs)
+ * the barrier inserter needs to reproduce it on hardware.
+ */
+struct OmegaSolveResult {
+    double omega = 0.5;
+    ScheduledCircuit schedule{1};
+    std::vector<double> start_ns;
+    std::vector<std::pair<GateId, GateId>> candidate_pairs;
 };
 
 /** The crosstalk-adaptive SMT scheduler. */
@@ -118,6 +145,32 @@ class XtalkScheduler : public Scheduler {
                    XtalkSchedulerOptions options = {});
 
     ScheduledCircuit Schedule(const Circuit& circuit) override;
+
+    /** Cancellable spelling: @p cancel (may be null) is polled between
+     *  refinement rounds; see ScheduleForOmegas for the semantics. */
+    ScheduledCircuit Schedule(const Circuit& circuit,
+                              const runtime::CancelToken* cancel);
+
+    /**
+     * Solve the same circuit for several ω candidates in one pass. With
+     * warm_start (default, lower-bound encoding) the Z3 context, the
+     * dependency/readout constraints, and every pair constraint learned
+     * by lazy refinement are shared across candidates: each ω is solved
+     * under an `optimize` push/pop scope that swaps only the objective,
+     * so later candidates start from everything earlier ones learned
+     * instead of rebuilding from scratch.
+     *
+     * total_budget_ms spans the whole sweep. When the budget expires or
+     * @p cancel fires mid-sweep, the ω candidates already solved are
+     * returned (a partial sweep); if no candidate has a model yet,
+     * throws SolverFailure. Results are in input ω order, truncated on
+     * early exit — never reordered.
+     */
+    std::vector<OmegaSolveResult>
+    ScheduleForOmegas(const Circuit& circuit,
+                      const std::vector<double>& omegas,
+                      const runtime::CancelToken* cancel = nullptr);
+
     std::string name() const override { return "XtalkSched"; }
 
     /**

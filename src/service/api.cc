@@ -1,10 +1,12 @@
 #include "service/api.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 #include <sstream>
 
 #include "compiler/compiler.h"
+#include "scheduler/portfolio.h"
 #include "telemetry/json.h"
 #include "telemetry/ledger.h"
 
@@ -241,6 +243,18 @@ ServiceRequest::Validate(std::string* error) const
     if (!(omega >= 0.0 && omega <= 1.0)) {
         return fail("omega must be in [0, 1]");
     }
+    if (!schedulers.empty()) {
+        if (scheduler != "portfolio") {
+            return fail("'schedulers' requires scheduler 'portfolio'");
+        }
+        const std::vector<std::string> known = PortfolioMemberKeys();
+        for (const std::string& member : schedulers) {
+            if (std::find(known.begin(), known.end(), member) ==
+                known.end()) {
+                return fail("unknown portfolio member '" + member + "'");
+            }
+        }
+    }
     if (!characterization_text.empty() && !characterization_path.empty()) {
         return fail("'characterization' and 'characterization_path' are "
                     "mutually exclusive");
@@ -257,9 +271,18 @@ ServiceRequest::Validate(std::string* error) const
 bool
 ServiceRequest::NeedsCharacterization() const
 {
-    const bool charz_scheduler = scheduler == "xtalk" ||
-                                 scheduler == "auto" ||
-                                 scheduler == "greedy";
+    auto charz_member = [](const std::string& member) {
+        return member == "xtalk" || member == "auto" ||
+               member == "greedy" || member == "anneal";
+    };
+    // An explicit all-polynomial member list ({"serial","parallel"})
+    // races without measured data; the default list includes xtalk.
+    const bool charz_portfolio =
+        schedulers.empty() ||
+        std::any_of(schedulers.begin(), schedulers.end(), charz_member);
+    const bool charz_scheduler =
+        charz_member(scheduler) ||
+        (scheduler == "portfolio" && charz_portfolio);
     const bool charz_layout = layout == "noise-aware";
     if (passes.empty()) {
         return charz_scheduler || charz_layout;
@@ -271,8 +294,12 @@ ServiceRequest::NeedsCharacterization() const
         if (name == "schedule" && charz_scheduler) {
             return true;
         }
+        if (name == "schedule:portfolio" && charz_portfolio) {
+            return true;
+        }
         if (name == "layout:noise-aware" || name == "schedule:xtalk" ||
-            name == "schedule:auto" || name == "schedule:greedy") {
+            name == "schedule:auto" || name == "schedule:greedy" ||
+            name == "schedule:anneal") {
             return true;
         }
     }
@@ -284,7 +311,9 @@ ServiceRequest::ConfigHash() const
 {
     std::ostringstream canon;
     canon << "device=" << device << ";device_file=" << device_file
-          << ";scheduler=" << scheduler << ";layout=" << layout
+          << ";scheduler=" << scheduler
+          << ";schedulers=" << JoinPasses(schedulers)
+          << ";layout=" << layout
           << ";omega=" << omega << ";passes=" << JoinPasses(passes)
           << ";characterization=" << characterization_path
           << ";characterization_text=" << telemetry::FnvHex(
@@ -306,6 +335,7 @@ ServiceRequest::ToJson() const
     w.Key("device_file").String(device_file);
     w.Key("layout").String(layout);
     w.Key("scheduler").String(scheduler);
+    WriteStringArray(w, "schedulers", schedulers);
     w.Key("omega").Number(omega);
     WriteStringArray(w, "passes", passes);
     w.Key("verify_passes").Bool(verify_passes);
@@ -338,6 +368,8 @@ ServiceRequest::FromJson(const std::string& text, ServiceRequest* out,
                    &field_error) &&
         TakeString(object, "layout", &request.layout, &field_error) &&
         TakeString(object, "scheduler", &request.scheduler, &field_error) &&
+        TakeStringArray(object, "schedulers", &request.schedulers,
+                        &field_error) &&
         TakeNumber(object, "omega", &request.omega, &field_error) &&
         TakeStringArray(object, "passes", &request.passes, &field_error) &&
         TakeBool(object, "verify_passes", &request.verify_passes,
@@ -378,6 +410,24 @@ ServiceResponse::ToJson(bool include_timing) const
     w.Key("scheduler").String(scheduler_name);
     w.Key("degradation").String(degradation);
     w.Key("degradation_reason").String(degradation_reason);
+    w.Key("portfolio").BeginArray();
+    for (const ServicePortfolioOutcome& outcome : portfolio) {
+        w.BeginObject();
+        w.Key("member").String(outcome.member);
+        w.Key("scheduler").String(outcome.scheduler);
+        w.Key("status").String(outcome.status);
+        if (outcome.has_score) {
+            w.Key("score").Number(outcome.score);
+        } else {
+            w.Key("score").Null();
+        }
+        if (include_timing) {
+            w.Key("wall_ms").Number(outcome.wall_ms);
+        }
+        w.Key("reason").String(outcome.reason);
+        w.EndObject();
+    }
+    w.EndArray();
     if (omega.has_value()) {
         w.Key("omega").Number(*omega);
     } else {
@@ -447,6 +497,35 @@ ServiceResponse::FromJson(const std::string& text, ServiceResponse* out,
     if (ok && !ParseStatusName(status_name, &response.code)) {
         field_error = "unknown status '" + status_name + "'";
         ok = false;
+    }
+    const telemetry::JsonValue* portfolio_field = object.Find("portfolio");
+    if (ok && portfolio_field != nullptr) {
+        if (!portfolio_field->is_array()) {
+            field_error = "field 'portfolio' must be an array";
+            ok = false;
+        } else {
+            for (const telemetry::JsonValue& item :
+                 portfolio_field->items()) {
+                if (!item.is_object()) {
+                    field_error =
+                        "field 'portfolio' must contain only objects";
+                    ok = false;
+                    break;
+                }
+                ServicePortfolioOutcome outcome;
+                outcome.member = item.GetString("member");
+                outcome.scheduler = item.GetString("scheduler");
+                outcome.status = item.GetString("status");
+                const telemetry::JsonValue* score = item.Find("score");
+                if (score != nullptr && score->is_number()) {
+                    outcome.score = score->as_number();
+                    outcome.has_score = true;
+                }
+                outcome.wall_ms = item.GetNumber("wall_ms");
+                outcome.reason = item.GetString("reason");
+                response.portfolio.push_back(std::move(outcome));
+            }
+        }
     }
     const telemetry::JsonValue* omega_field = object.Find("omega");
     if (ok && omega_field != nullptr && !omega_field->is_null()) {

@@ -66,6 +66,12 @@ struct ServiceRequest {
     std::string layout = "noise-aware";
     /** Scheduler policy name (see SchedulerPolicyName). */
     std::string scheduler = "xtalk";
+    /**
+     * Portfolio member keys to race, in tie-break rank order (see
+     * PortfolioMemberKeys). Only meaningful with scheduler "portfolio";
+     * empty = the compiler's default member list.
+     */
+    std::vector<std::string> schedulers;
     /** Crosstalk weight factor omega in [0, 1]. */
     double omega = 0.5;
     /** Custom pass pipeline by name; empty = the default Figure 2 flow. */
@@ -127,6 +133,28 @@ struct ServiceRequest {
                          std::string* error = nullptr);
 };
 
+/**
+ * One portfolio member's race outcome as reported on the wire (the
+ * projection of xtalk::PortfolioMemberOutcome). `wall_ms` is the only
+ * wall-clock-dependent field and is omitted from the deterministic
+ * ToJson(false) projection, like the response's `timing` object.
+ */
+struct ServicePortfolioOutcome {
+    /** Member key ("serial", "parallel", "greedy", "anneal", ...). */
+    std::string member;
+    /** Display name of the scheduler the member ran. */
+    std::string scheduler;
+    /** "won" | "lost" | "failed". */
+    std::string status;
+    /** Estimated success probability (has_score only). */
+    double score = 0.0;
+    bool has_score = false;
+    /** Wall-clock spent producing (or failing to produce) a candidate. */
+    double wall_ms = 0.0;
+    /** Failure description ("" unless status == "failed"). */
+    std::string reason;
+};
+
 /** Outcome of one ServiceRequest. */
 struct ServiceResponse {
     /** Echo of ServiceRequest::id. */
@@ -145,9 +173,12 @@ struct ServiceResponse {
 
     /** Scheduler that actually produced the schedule. */
     std::string scheduler_name;
-    /** none | greedy | parallel (see SchedulerDegradation). */
+    /** Winner's member key when a better-ranked portfolio member
+     *  failed; "none" when the race finished clean. */
     std::string degradation = "none";
     std::string degradation_reason;
+    /** Per-member race outcomes, in tie-break rank order. */
+    std::vector<ServicePortfolioOutcome> portfolio;
     /** Omega actually used, when an omega-using scheduler ran. */
     std::optional<double> omega;
 

@@ -54,6 +54,7 @@ MakeCompilerOptions(const ServiceRequest& request)
         ParseSchedulerPolicy(request.scheduler, &options.scheduler),
         "unknown scheduler '" << request.scheduler << "'");
     options.xtalk.omega = request.omega;
+    options.portfolio = request.schedulers;
     options.verify_passes = request.verify_passes;
     return options;
 }
@@ -68,22 +69,34 @@ RemainingMs(Clock::time_point deadline)
 }
 
 /**
- * Clamp the SMT budgets to the request's remaining wall-clock time.
- * Only called when a deadline exists: deadline-free requests keep the
- * default budgets, so their schedules are bit-identical to the CLI's
- * regardless of service load.
+ * Split the request's remaining wall-clock time across the scheduling
+ * portfolio. Only called when a deadline exists: deadline-free requests
+ * keep the default budgets, so their schedules are bit-identical to the
+ * CLI's regardless of service load.
+ *
+ * The portfolio as a whole gets the full remaining time (every member
+ * sees it as an advisory budget); the SMT member's solver budgets are
+ * clamped to ~85% of it so that when the solver consumes its entire
+ * slice, the race still has headroom to answer with a polynomial
+ * member's candidate before the deadline.
  */
 void
 ApplyDeadlineBudget(Clock::time_point deadline, CompilerOptions* options)
 {
     const double remaining = std::max(1.0, RemainingMs(deadline));
     const auto remaining_ms = static_cast<unsigned>(remaining);
+    const auto solver_ms = std::max(
+        1u, static_cast<unsigned>(remaining * 0.85));
+    options->portfolio_budget_ms =
+        options->portfolio_budget_ms == 0
+            ? remaining_ms
+            : std::min(options->portfolio_budget_ms, remaining_ms);
     options->xtalk.timeout_ms =
-        std::min(options->xtalk.timeout_ms, remaining_ms);
+        std::min(options->xtalk.timeout_ms, solver_ms);
     options->xtalk.total_budget_ms =
         options->xtalk.total_budget_ms == 0
-            ? remaining_ms
-            : std::min(options->xtalk.total_budget_ms, remaining_ms);
+            ? solver_ms
+            : std::min(options->xtalk.total_budget_ms, solver_ms);
 }
 
 /** Content key for the snapshot cache: everything that shapes the
@@ -268,8 +281,20 @@ Engine::RunCompile(const ServiceRequest& request,
     }
 
     response.scheduler_name = state.scheduler_name;
-    response.degradation = DegradationName(state.degradation);
+    response.degradation = state.degradation;
     response.degradation_reason = state.degradation_reason;
+    response.portfolio.reserve(state.portfolio.size());
+    for (const PortfolioMemberOutcome& outcome : state.portfolio) {
+        ServicePortfolioOutcome wire;
+        wire.member = outcome.member;
+        wire.scheduler = outcome.scheduler_name;
+        wire.status = PortfolioOutcomeStatusName(outcome.status);
+        wire.score = outcome.score;
+        wire.has_score = outcome.has_score;
+        wire.wall_ms = outcome.wall_ms;
+        wire.reason = outcome.reason;
+        response.portfolio.push_back(std::move(wire));
+    }
     response.omega = state.omega;
     response.diagnostics = state.diagnostics;
     response.initial_layout.assign(state.initial_layout.begin(),

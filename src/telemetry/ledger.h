@@ -39,7 +39,9 @@ struct RunRecord {
     std::string device;               ///< Device name.
     std::string characterization_id;  ///< Snapshot id ("" = none loaded).
     std::string scheduler;            ///< Scheduler that actually ran.
-    std::string degradation = "none";  ///< none | greedy | parallel.
+    std::string degradation = "none";  ///< Winner's portfolio member key
+                                       ///< when a better-ranked member
+                                       ///< failed; "none" otherwise.
     std::string degradation_reason;    ///< "" when degradation == none.
     int exit_code = 0;
     /** Key metrics (counts, durations); see docs/OBSERVABILITY.md. */

@@ -204,7 +204,7 @@ TEST(CompilerDegradation, SolverFaultFallsBackToGreedy)
     options.verify_passes = true;
     const CompileResult result =
         Compile(device, characterization, LogicalWorkload(), options);
-    EXPECT_EQ(result.degradation, SchedulerDegradation::kGreedy);
+    EXPECT_EQ(result.degradation, "greedy");
     EXPECT_EQ(result.scheduler_name, "GreedySched");
     EXPECT_FALSE(result.degradation_reason.empty());
     const bool noted = std::any_of(
@@ -225,7 +225,7 @@ TEST(CompilerDegradation, DoubleFaultFallsBackToParallel)
     options.verify_passes = true;
     const CompileResult result =
         Compile(device, characterization, LogicalWorkload(), options);
-    EXPECT_EQ(result.degradation, SchedulerDegradation::kParallel);
+    EXPECT_EQ(result.degradation, "parallel");
     EXPECT_EQ(result.scheduler_name, "ParSched");
     EXPECT_FALSE(result.omega.has_value());
     EXPECT_EQ(result.executable.CountKind(GateKind::kMeasure), 3);
@@ -274,7 +274,7 @@ TEST(CompilerDegradation, AutoOmegaPolicyAlsoDegrades)
     options.scheduler = SchedulerPolicy::kXtalkAutoOmega;
     const CompileResult result =
         Compile(device, characterization, LogicalWorkload(), options);
-    EXPECT_EQ(result.degradation, SchedulerDegradation::kGreedy);
+    EXPECT_EQ(result.degradation, "greedy");
     EXPECT_EQ(result.scheduler_name, "GreedySched");
 }
 

@@ -1,0 +1,427 @@
+/**
+ * @file
+ * Tests for scheduler portfolio racing (scheduler/portfolio.h): the
+ * candidate-producing member interface, winner selection and tie-break,
+ * thread-count-invariant (bit-identical) winners, degradation reporting
+ * when the preferred member fails, cooperative cancellation, and the
+ * success-probability upper bound the race cancels against.
+ */
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "characterization/characterizer.h"
+#include "common/error.h"
+#include "compiler/compiler.h"
+#include "device/ibmq_devices.h"
+#include "faults/faults.h"
+#include "runtime/cancellation.h"
+#include "runtime/executor.h"
+#include "runtime/thread_pool.h"
+#include "scheduler/anneal_scheduler.h"
+#include "scheduler/portfolio.h"
+#include "workloads/swap_circuits.h"
+
+namespace xtalk {
+namespace {
+
+/** Characterization oracle built directly from ground truth (tests only:
+ * stands in for a perfect characterization run). */
+CrosstalkCharacterization
+OracleCharacterization(const Device& device)
+{
+    CrosstalkCharacterization c;
+    const Topology& topo = device.topology();
+    for (EdgeId e = 0; e < topo.num_edges(); ++e) {
+        c.SetIndependentError(e, device.CxError(e));
+    }
+    for (const auto& [pair, factor] : device.ground_truth().entries()) {
+        (void)factor;
+        c.SetConditionalError(
+            pair.first, pair.second,
+            device.ConditionalCxError(pair.first, pair.second));
+    }
+    return c;
+}
+
+/** The paper's conflict scenario on Poughkeepsie: CX10,15 || CX11,12. */
+Circuit
+ConflictCircuit()
+{
+    Circuit c(20);
+    c.CX(10, 15).CX(11, 12);
+    c.Measure(10, 0).Measure(15, 1).Measure(11, 2).Measure(12, 3);
+    return c;
+}
+
+std::vector<std::unique_ptr<PortfolioMember>>
+MakeMembers(const std::vector<std::string>& keys,
+            const PortfolioMemberOptions& options = {})
+{
+    std::vector<std::unique_ptr<PortfolioMember>> members;
+    members.reserve(keys.size());
+    for (const std::string& key : keys) {
+        members.push_back(MakePortfolioMember(key, options));
+    }
+    return members;
+}
+
+TEST(PortfolioMembers, RegistryCoversEveryScheduler)
+{
+    const std::vector<std::string>& keys = PortfolioMemberKeys();
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "serial"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "parallel"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "greedy"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "anneal"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "xtalk"), keys.end());
+    EXPECT_NE(std::find(keys.begin(), keys.end(), "auto"), keys.end());
+    for (const std::string& key : keys) {
+        const auto member = MakePortfolioMember(key);
+        EXPECT_EQ(member->key(), key);
+        EXPECT_FALSE(member->display_name().empty());
+        EXPECT_FALSE(member->description().empty());
+    }
+    EXPECT_THROW(MakePortfolioMember("no-such-scheduler"), Error);
+}
+
+TEST(Portfolio, WinnerIsBitIdenticalAtAnyThreadCount)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    const Circuit circuit = ConflictCircuit();
+    PortfolioContext ctx;
+    ctx.device = &device;
+    ctx.characterization = &characterization;
+
+    std::string first_member;
+    std::string first_schedule;
+    int first_rank = -2;
+    for (int threads : {1, 2, 8}) {
+        SchedulerPortfolio portfolio(MakeMembers(
+            {"xtalk", "anneal", "greedy", "parallel", "serial"}));
+        PortfolioRunOptions run_options;
+        run_options.pool =
+            std::make_shared<runtime::ThreadPool>(threads);
+        const PortfolioResult result =
+            portfolio.Run(circuit, ctx, run_options);
+        const std::string schedule = result.winner.schedule.ToString();
+        if (first_member.empty()) {
+            first_member = result.winner.member;
+            first_schedule = schedule;
+            first_rank = result.winner_rank;
+        } else {
+            EXPECT_EQ(result.winner.member, first_member)
+                << "threads=" << threads;
+            EXPECT_EQ(schedule, first_schedule) << "threads=" << threads;
+            EXPECT_EQ(result.winner_rank, first_rank)
+                << "threads=" << threads;
+        }
+        EXPECT_EQ(result.degradation, "none");
+        EXPECT_EQ(result.outcomes.size(), 5u);
+    }
+}
+
+TEST(Portfolio, ExactScoreTieGoesToTheEarlierRank)
+{
+    // One lone CX: serial and parallel schedules are identical, so the
+    // scores tie exactly and the listing order must decide.
+    const Device device = MakePoughkeepsie();
+    Circuit circuit(20);
+    circuit.CX(10, 15);
+    circuit.Measure(10, 0).Measure(15, 1);
+    PortfolioContext ctx;
+    ctx.device = &device;
+
+    SchedulerPortfolio serial_first(MakeMembers({"serial", "parallel"}));
+    const PortfolioResult a = serial_first.Run(circuit, ctx);
+    EXPECT_EQ(a.winner.member, "serial");
+    EXPECT_EQ(a.winner_rank, 0);
+
+    SchedulerPortfolio parallel_first(MakeMembers({"parallel", "serial"}));
+    const PortfolioResult b = parallel_first.Run(circuit, ctx);
+    EXPECT_EQ(b.winner.member, "parallel");
+    EXPECT_EQ(b.winner_rank, 0);
+
+    // Either order, the schedule itself is the same.
+    EXPECT_EQ(a.winner.schedule.ToString(), b.winner.schedule.ToString());
+}
+
+TEST(Portfolio, RaceWinnerIsAtLeastAsGoodAsEveryStandaloneMember)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    PortfolioContext ctx;
+    ctx.device = &device;
+    ctx.characterization = &characterization;
+
+    // The paper's Figure 6/7 workload family: conflicting SWAP-chain
+    // benchmarks, plus the canonical two-chain conflict circuit.
+    std::vector<Circuit> circuits;
+    circuits.push_back(ConflictCircuit());
+    for (const auto& [a, b] :
+         FindConflictingSwapPairs(device, characterization, 2)) {
+        circuits.push_back(BuildSwapBenchmark(device, a, b).circuit);
+    }
+    ASSERT_GT(circuits.size(), 1u);
+
+    const std::vector<std::string> keys = {"xtalk", "anneal", "greedy",
+                                           "parallel", "serial"};
+    for (const Circuit& circuit : circuits) {
+        double best_single = 0.0;
+        for (const std::string& key : keys) {
+            SchedulerPortfolio solo(MakeMembers({key}));
+            const PortfolioResult result = solo.Run(circuit, ctx);
+            ASSERT_TRUE(result.outcomes.front().has_score);
+            best_single = std::max(best_single,
+                                   result.outcomes.front().score);
+        }
+        SchedulerPortfolio portfolio(MakeMembers(keys));
+        const PortfolioResult raced = portfolio.Run(circuit, ctx);
+        EXPECT_GE(raced.winner.estimate.success_probability,
+                  best_single - 1e-12);
+        EXPECT_LE(raced.winner.estimate.success_probability,
+                  UpperBoundSuccessProbability(circuit, device,
+                                               &characterization) +
+                      1e-12);
+    }
+}
+
+TEST(Portfolio, PreferFirstDegradationReportsTheLostRace)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:n=1");
+    PortfolioContext ctx;
+    ctx.device = &device;
+    ctx.characterization = &characterization;
+    SchedulerPortfolio portfolio(
+        MakeMembers({"xtalk", "greedy", "parallel"}));
+    PortfolioRunOptions run_options;
+    run_options.prefer_first = true;
+    const PortfolioResult result =
+        portfolio.Run(ConflictCircuit(), ctx, run_options);
+
+    EXPECT_EQ(result.winner.member, "greedy");
+    EXPECT_EQ(result.degradation, "greedy");
+    EXPECT_NE(result.degradation_reason.find("smt.solve"),
+              std::string::npos);
+    ASSERT_GE(result.outcomes.size(), 2u);
+    EXPECT_EQ(result.outcomes[0].member, "xtalk");
+    EXPECT_EQ(result.outcomes[0].status,
+              PortfolioMemberOutcome::Status::kFailed);
+    EXPECT_FALSE(result.outcomes[0].reason.empty());
+    EXPECT_EQ(result.outcomes[1].member, "greedy");
+    EXPECT_EQ(result.outcomes[1].status,
+              PortfolioMemberOutcome::Status::kWon);
+}
+
+TEST(Portfolio, PureRaceSurvivesSmtFaultWithoutDegradationStigma)
+{
+    // In a full race the SMT member failing is just a lost member; the
+    // race degrades only when a member ranked BEFORE the winner failed.
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:p=1");
+    PortfolioContext ctx;
+    ctx.device = &device;
+    ctx.characterization = &characterization;
+    SchedulerPortfolio portfolio(
+        MakeMembers({"xtalk", "anneal", "greedy", "parallel", "serial"}));
+    const PortfolioResult result = portfolio.Run(ConflictCircuit(), ctx);
+
+    EXPECT_NE(result.winner.member, "xtalk");
+    // xtalk ranks before every possible winner, so its failure marks
+    // the result degraded, with the winner's key as the label.
+    EXPECT_EQ(result.degradation, result.winner.member);
+    EXPECT_NE(result.degradation_reason.find("smt.solve"),
+              std::string::npos);
+    const auto xtalk_outcome = std::find_if(
+        result.outcomes.begin(), result.outcomes.end(),
+        [](const PortfolioMemberOutcome& o) { return o.member == "xtalk"; });
+    ASSERT_NE(xtalk_outcome, result.outcomes.end());
+    EXPECT_EQ(xtalk_outcome->status,
+              PortfolioMemberOutcome::Status::kFailed);
+}
+
+TEST(Portfolio, AnnealFaultSiteMakesTheMemberLose)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("sched.anneal:p=1");
+    PortfolioContext ctx;
+    ctx.device = &device;
+    ctx.characterization = &characterization;
+    SchedulerPortfolio portfolio(MakeMembers({"anneal", "parallel"}));
+    const PortfolioResult result = portfolio.Run(ConflictCircuit(), ctx);
+    EXPECT_EQ(result.winner.member, "parallel");
+    EXPECT_EQ(result.degradation, "parallel");
+    EXPECT_EQ(result.outcomes[0].status,
+              PortfolioMemberOutcome::Status::kFailed);
+}
+
+TEST(Portfolio, InternalErrorIsNeverRacedAround)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:n=1,kind=internal");
+    PortfolioContext ctx;
+    ctx.device = &device;
+    ctx.characterization = &characterization;
+    SchedulerPortfolio portfolio(
+        MakeMembers({"xtalk", "greedy", "parallel"}));
+    EXPECT_THROW(portfolio.Run(ConflictCircuit(), ctx), InternalError);
+}
+
+TEST(Portfolio, AllMembersFailingRethrowsTheFirstError)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    faults::ScopedFaultPlan scoped("smt.solve:p=1;sched.anneal:p=1");
+    PortfolioContext ctx;
+    ctx.device = &device;
+    ctx.characterization = &characterization;
+    SchedulerPortfolio portfolio(MakeMembers({"xtalk", "anneal"}));
+    try {
+        portfolio.Run(ConflictCircuit(), ctx);
+        FAIL() << "expected the race to fail when every member fails";
+    } catch (const InternalError&) {
+        FAIL() << "transient faults must not be reported as bugs";
+    } catch (const Error& e) {
+        EXPECT_NE(std::string(e.what()).find("smt.solve"),
+                  std::string::npos);
+    }
+}
+
+TEST(Portfolio, MembersWithoutCharacterizationRequireNone)
+{
+    const Device device = MakePoughkeepsie();
+    PortfolioContext ctx;
+    ctx.device = &device;  // characterization deliberately null
+    SchedulerPortfolio portfolio(MakeMembers({"serial", "parallel"}));
+    const PortfolioResult result = portfolio.Run(ConflictCircuit(), ctx);
+    EXPECT_TRUE(result.winner.estimate.success_probability > 0.0);
+
+    SchedulerPortfolio greedy(MakeMembers({"greedy"}));
+    EXPECT_THROW(greedy.Run(ConflictCircuit(), ctx), Error);
+}
+
+TEST(AnnealScheduler, IsDeterministicAndRespectsDependencies)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    AnnealScheduler scheduler(device, characterization);
+    const Circuit circuit = ConflictCircuit();
+    const ScheduledCircuit a = scheduler.Schedule(circuit);
+    const ScheduledCircuit b = scheduler.Schedule(circuit);
+    EXPECT_EQ(a.ToString(), b.ToString());
+    EXPECT_EQ(a.size(), circuit.size());
+    EXPECT_GT(scheduler.stats().iterations_run, 0);
+}
+
+TEST(AnnealScheduler, CancelledRunStillReturnsAValidSchedule)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    AnnealScheduler scheduler(device, characterization);
+    runtime::CancelToken cancel;
+    cancel.Cancel();
+    const ScheduledCircuit s =
+        scheduler.Schedule(ConflictCircuit(), &cancel);
+    EXPECT_EQ(s.size(), ConflictCircuit().size());
+    EXPECT_TRUE(scheduler.stats().cancelled);
+}
+
+TEST(CancelToken, ChainsThroughParents)
+{
+    auto parent = std::make_shared<runtime::CancelToken>();
+    runtime::CancelToken child(parent);
+    EXPECT_FALSE(child.Cancelled());
+    parent->Cancel();
+    EXPECT_TRUE(child.Cancelled());
+    EXPECT_THROW(child.ThrowIfCancelled("raced work lost"),
+                 runtime::OperationCancelled);
+}
+
+TEST(Executor, CancelledJobFailsBeforeSimulating)
+{
+    const Device device = MakePoughkeepsie();
+    SchedulerPortfolio portfolio(MakeMembers({"parallel"}));
+    PortfolioContext ctx;
+    ctx.device = &device;
+    const PortfolioResult raced = portfolio.Run(ConflictCircuit(), ctx);
+
+    runtime::Executor executor(device);
+    runtime::ExecutionJob job;
+    job.schedule = raced.winner.schedule;
+    job.spec = RunSpec{64, std::nullopt, 4};
+    auto cancel = std::make_shared<runtime::CancelToken>();
+    cancel->Cancel();
+    job.cancel = cancel;
+    EXPECT_THROW(executor.Run(std::move(job)),
+                 runtime::OperationCancelled);
+}
+
+TEST(CompilerPortfolio, PortfolioPolicyCompilesAndReportsOutcomes)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    CompilerOptions options;
+    options.scheduler = SchedulerPolicy::kPortfolio;
+    options.verify_passes = true;
+    const CompileResult result =
+        Compile(device, characterization, ConflictCircuit(), options);
+    EXPECT_EQ(result.degradation, "none");
+    EXPECT_EQ(result.portfolio.size(), 5u);
+    const auto winner = std::find_if(
+        result.portfolio.begin(), result.portfolio.end(),
+        [](const PortfolioMemberOutcome& o) {
+            return o.status == PortfolioMemberOutcome::Status::kWon;
+        });
+    ASSERT_NE(winner, result.portfolio.end());
+    EXPECT_EQ(winner->scheduler_name, result.scheduler_name);
+    // Every attempted member reports a score or a failure reason.
+    for (const PortfolioMemberOutcome& outcome : result.portfolio) {
+        EXPECT_TRUE(outcome.has_score || !outcome.reason.empty());
+    }
+}
+
+TEST(CompilerPortfolio, ExplicitMemberListIsHonored)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    CompilerOptions options;
+    options.scheduler = SchedulerPolicy::kPortfolio;
+    options.portfolio = {"anneal", "serial"};
+    const CompileResult result =
+        Compile(device, characterization, ConflictCircuit(), options);
+    ASSERT_EQ(result.portfolio.size(), 2u);
+    EXPECT_EQ(result.portfolio[0].member, "anneal");
+    EXPECT_EQ(result.portfolio[1].member, "serial");
+}
+
+TEST(Portfolio, UpperBoundDominatesEveryMember)
+{
+    const Device device = MakePoughkeepsie();
+    const auto characterization = OracleCharacterization(device);
+    const Circuit circuit = ConflictCircuit();
+    const double bound =
+        UpperBoundSuccessProbability(circuit, device, &characterization);
+    EXPECT_GT(bound, 0.0);
+    EXPECT_LE(bound, 1.0);
+    PortfolioContext ctx;
+    ctx.device = &device;
+    ctx.characterization = &characterization;
+    for (const std::string& key : PortfolioMemberKeys()) {
+        SchedulerPortfolio solo(MakeMembers({key}));
+        const PortfolioResult result = solo.Run(circuit, ctx);
+        EXPECT_LE(result.winner.estimate.success_probability,
+                  bound + 1e-12)
+            << key;
+    }
+}
+
+}  // namespace
+}  // namespace xtalk

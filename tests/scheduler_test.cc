@@ -464,7 +464,7 @@ TEST(XtalkSchedulerResilience, TimeoutDegradesToVerifiedSchedule)
     // Either the solver scraped together a (suboptimal) model inside
     // the budget, or the compiler degraded; a degradation must be
     // internally consistent.
-    if (result.degradation != SchedulerDegradation::kNone) {
+    if (result.degradation != "none") {
         EXPECT_FALSE(result.degradation_reason.empty());
         EXPECT_NE(result.scheduler_name, "XtalkSched");
     } else {

@@ -224,6 +224,54 @@ TEST(ServiceRequestTest, FromJsonIgnoresUnknownFieldsAndKeepsDefaults)
     EXPECT_DOUBLE_EQ(parsed.omega, 0.5);
 }
 
+TEST(ServiceRequestTest, SchedulersFieldRoundTripsAndValidates)
+{
+    ServiceRequest request;
+    request.kind = "compile";
+    request.qasm = "OPENQASM 2.0;\n";
+    request.scheduler = "portfolio";
+    request.schedulers = {"anneal", "greedy", "serial"};
+    std::string error;
+    EXPECT_TRUE(request.Validate(&error)) << error;
+
+    ServiceRequest parsed;
+    ASSERT_TRUE(
+        ServiceRequest::FromJson(request.ToJson(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.schedulers, request.schedulers);
+    EXPECT_EQ(parsed.scheduler, "portfolio");
+
+    // Member keys must come from the portfolio registry...
+    request.schedulers = {"anneal", "no-such-member"};
+    EXPECT_FALSE(request.Validate(&error));
+    EXPECT_NE(error.find("no-such-member"), std::string::npos);
+    // ...and an explicit list only makes sense for the portfolio policy.
+    request.schedulers = {"anneal"};
+    request.scheduler = "xtalk";
+    EXPECT_FALSE(request.Validate(&error));
+    EXPECT_NE(error.find("portfolio"), std::string::npos);
+
+    // The member list shapes the schedule, so it must shape the hash.
+    ServiceRequest a, b;
+    a.qasm = b.qasm = "OPENQASM 2.0;\n";
+    a.scheduler = b.scheduler = "portfolio";
+    a.schedulers = {"serial", "parallel"};
+    b.schedulers = {"parallel", "serial"};
+    EXPECT_NE(a.ConfigHash(), b.ConfigHash());
+}
+
+TEST(ServiceRequestTest, PolynomialOnlyPortfolioSkipsCharacterization)
+{
+    ServiceRequest request;
+    request.scheduler = "portfolio";
+    EXPECT_TRUE(request.NeedsCharacterization());  // default list
+    request.schedulers = {"serial", "parallel"};
+    request.layout = "trivial";
+    EXPECT_FALSE(request.NeedsCharacterization());
+    request.schedulers = {"serial", "anneal"};
+    EXPECT_TRUE(request.NeedsCharacterization());
+}
+
 TEST(ServiceResponseTest, JsonRoundTripPreservesEveryField)
 {
     ServiceResponse response;
@@ -248,6 +296,19 @@ TEST(ServiceResponseTest, JsonRoundTripPreservesEveryField)
     response.cache_hit = true;
     response.queue_ms = 0.5;
     response.run_ms = 31.25;
+    ServicePortfolioOutcome won;
+    won.member = "greedy";
+    won.scheduler = "GreedySched";
+    won.status = "won";
+    won.score = 0.91;
+    won.has_score = true;
+    won.wall_ms = 2.5;
+    ServicePortfolioOutcome failed;
+    failed.member = "xtalk";
+    failed.scheduler = "XtalkSched";
+    failed.status = "failed";
+    failed.reason = "injected fault at smt.solve";
+    response.portfolio = {failed, won};
 
     ServiceResponse parsed;
     std::string error;
@@ -277,6 +338,17 @@ TEST(ServiceResponseTest, JsonRoundTripPreservesEveryField)
     EXPECT_EQ(parsed.cache_hit, response.cache_hit);
     EXPECT_DOUBLE_EQ(parsed.queue_ms, response.queue_ms);
     EXPECT_DOUBLE_EQ(parsed.run_ms, response.run_ms);
+    ASSERT_EQ(parsed.portfolio.size(), 2u);
+    EXPECT_EQ(parsed.portfolio[0].member, "xtalk");
+    EXPECT_EQ(parsed.portfolio[0].status, "failed");
+    EXPECT_FALSE(parsed.portfolio[0].has_score);
+    EXPECT_EQ(parsed.portfolio[0].reason, failed.reason);
+    EXPECT_EQ(parsed.portfolio[1].member, "greedy");
+    EXPECT_EQ(parsed.portfolio[1].scheduler, "GreedySched");
+    EXPECT_EQ(parsed.portfolio[1].status, "won");
+    ASSERT_TRUE(parsed.portfolio[1].has_score);
+    EXPECT_DOUBLE_EQ(parsed.portfolio[1].score, won.score);
+    EXPECT_DOUBLE_EQ(parsed.portfolio[1].wall_ms, won.wall_ms);
 }
 
 TEST(ServiceResponseTest, TimingIsTheOnlyNondeterministicField)
@@ -287,10 +359,20 @@ TEST(ServiceResponseTest, TimingIsTheOnlyNondeterministicField)
     ServiceResponse b = a;
     b.run_ms = 99.0;
     b.queue_ms = 5.0;
+    // Per-member wall clocks are timing too: they must vanish from the
+    // deterministic projection along with the `timing` object.
+    ServicePortfolioOutcome outcome;
+    outcome.member = "serial";
+    outcome.scheduler = "SerialSched";
+    outcome.status = "won";
+    a.portfolio = {outcome};
+    outcome.wall_ms = 123.0;
+    b.portfolio = {outcome};
     // Wall-clock differences disappear in the deterministic projection.
     EXPECT_NE(a.ToJson(true), b.ToJson(true));
     EXPECT_EQ(a.ToJson(false), b.ToJson(false));
     EXPECT_EQ(a.ToJson(false).find("timing"), std::string::npos);
+    EXPECT_EQ(a.ToJson(false).find("wall_ms"), std::string::npos);
 }
 
 // ---------------------------------------------------------------------

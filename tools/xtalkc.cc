@@ -52,6 +52,7 @@
 #include "compiler/pass_manager.h"
 #include "faults/faults.h"
 #include "runtime/thread_pool.h"
+#include "scheduler/portfolio.h"
 #include "service/api.h"
 #include "service/engine.h"
 #include "telemetry/journal.h"
@@ -84,12 +85,14 @@ struct Options {
     std::string response_json_path;
     std::string log_level;
     std::string passes;
+    std::string schedulers;
     std::string faults;
     double omega = 0.5;
     int simulate_shots = 0;
     int threads = 0;
     bool report = false;
     bool list_passes = false;
+    bool list_schedulers = false;
     bool verify_passes = false;
     bool help = false;
 };
@@ -102,7 +105,14 @@ PrintUsage()
         "  --device <name>            poughkeepsie | johannesburg |\n"
         "                             boeblingen (default poughkeepsie)\n"
         "  --device-file <file>       load a custom device spec instead\n"
-        "  --scheduler <name>         xtalk | parallel | serial | greedy\n"
+        "  --scheduler <name>         xtalk | auto | parallel | serial |\n"
+        "                             greedy | anneal | portfolio\n"
+        "  --schedulers <a,b,c>       portfolio member keys to race, in\n"
+        "                             tie-break rank order (implies\n"
+        "                             --scheduler portfolio; see\n"
+        "                             --list-schedulers)\n"
+        "  --list-schedulers          print the portfolio member registry\n"
+        "                             and exit\n"
         "  --omega <w>                crosstalk weight factor (default 0.5)\n"
         "  --passes <a,b,c>           run a custom pass pipeline instead\n"
         "                             of the default (see --list-passes)\n"
@@ -172,6 +182,10 @@ ParseArgs(int argc, char** argv, Options* options)
             options->omega = std::stod(next("--omega"));
         } else if (arg == "--passes") {
             options->passes = next("--passes");
+        } else if (arg == "--schedulers") {
+            options->schedulers = next("--schedulers");
+        } else if (arg == "--list-schedulers") {
+            options->list_schedulers = true;
         } else if (arg == "--faults") {
             options->faults = next("--faults");
         } else if (arg == "--list-passes") {
@@ -339,6 +353,10 @@ MakeRequest(const Options& options)
     request.device_file = options.device_file;
     request.layout = options.layout;
     request.scheduler = options.scheduler;
+    request.schedulers = SplitCommaList(options.schedulers);
+    if (!request.schedulers.empty()) {
+        request.scheduler = "portfolio";
+    }
     request.omega = options.omega;
     request.passes = SplitCommaList(options.passes);
     request.verify_passes = options.verify_passes;
@@ -419,6 +437,25 @@ main(int argc, char** argv)
             }
             line << (info.verification ? " [verify] " : "           ")
                  << info.description;
+            std::cout << line.str() << "\n";
+        }
+        return 0;
+    }
+    if (options.list_schedulers) {
+        for (const std::string& key : PortfolioMemberKeys()) {
+            const std::unique_ptr<PortfolioMember> member =
+                MakePortfolioMember(key);
+            std::ostringstream line;
+            line << key;
+            for (size_t pad = key.size(); pad < 10; ++pad) {
+                line << ' ';
+            }
+            const std::string display = member->display_name();
+            line << display;
+            for (size_t pad = display.size(); pad < 18; ++pad) {
+                line << ' ';
+            }
+            line << member->description();
             std::cout << line.str() << "\n";
         }
         return 0;

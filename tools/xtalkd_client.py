@@ -45,6 +45,9 @@ def build_request(args):
             request["device_file"] = args.device_file
         request["layout"] = args.layout
         request["scheduler"] = args.scheduler
+        if args.schedulers:
+            request["scheduler"] = "portfolio"
+            request["schedulers"] = args.schedulers.split(",")
         request["omega"] = args.omega
         if args.characterization:
             request["characterization_path"] = args.characterization
@@ -87,6 +90,9 @@ def main():
                              "daemon (overrides --device)")
     parser.add_argument("--layout", default="noise-aware")
     parser.add_argument("--scheduler", default="xtalk")
+    parser.add_argument("--schedulers",
+                        help="comma-separated portfolio member keys to "
+                             "race (implies --scheduler portfolio)")
     parser.add_argument("--omega", type=float, default=0.5)
     parser.add_argument("--characterization",
                         help="characterization file path, resolved by "
