@@ -70,6 +70,20 @@ Max(const std::vector<double>& xs)
     return *std::max_element(xs.begin(), xs.end());
 }
 
+double
+TotalVariationDistance(const std::vector<double>& p,
+                       const std::vector<double>& q)
+{
+    const size_t n = std::max(p.size(), q.size());
+    double sum = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+        const double pi = i < p.size() ? p[i] : 0.0;
+        const double qi = i < q.size() ? q[i] : 0.0;
+        sum += std::abs(pi - qi);
+    }
+    return 0.5 * sum;
+}
+
 void
 RunningStats::Add(double x)
 {

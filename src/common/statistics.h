@@ -30,6 +30,14 @@ double Min(const std::vector<double>& xs);
 double Max(const std::vector<double>& xs);
 
 /**
+ * Total variation distance 0.5 * sum |p_i - q_i| between two
+ * distributions; shorter inputs are treated as zero-padded. 0 for
+ * identical distributions, 1 for disjoint support.
+ */
+double TotalVariationDistance(const std::vector<double>& p,
+                              const std::vector<double>& q);
+
+/**
  * Online accumulator for mean/variance (Welford) used where streaming shot
  * results would be wasteful to store.
  */

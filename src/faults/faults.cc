@@ -212,6 +212,7 @@ FaultPlan::Parse(const std::string& text)
     FaultPlan plan;
     std::stringstream items(text);
     std::string item;
+    bool seen_seed = false;
     while (std::getline(items, item, ';')) {
         // Trim surrounding whitespace.
         const size_t begin = item.find_first_not_of(" \t");
@@ -220,6 +221,10 @@ FaultPlan::Parse(const std::string& text)
         }
         item = item.substr(begin, item.find_last_not_of(" \t") - begin + 1);
         if (item.rfind("seed=", 0) == 0) {
+            XTALK_REQUIRE(!seen_seed,
+                          "fault plan: duplicate seed= (a plan has exactly "
+                          "one seed; which one was meant is ambiguous)");
+            seen_seed = true;
             plan.seed = ParseUint(item.substr(5), "seed");
             continue;
         }

@@ -4,6 +4,7 @@
 
 #include "common/error.h"
 #include "common/rng.h"
+#include "common/statistics.h"
 #include "sim/noisy_simulator.h"
 
 namespace xtalk {
@@ -46,15 +47,7 @@ namespace {
 double
 DistributionOverlap(const Counts& counts, const std::vector<double>& ideal)
 {
-    const std::vector<double> measured = counts.ToProbabilities();
-    const size_t n = std::max(measured.size(), ideal.size());
-    double tvd = 0.0;
-    for (size_t i = 0; i < n; ++i) {
-        const double p = i < measured.size() ? measured[i] : 0.0;
-        const double q = i < ideal.size() ? ideal[i] : 0.0;
-        tvd += std::abs(p - q);
-    }
-    return 1.0 - 0.5 * tvd;
+    return 1.0 - TotalVariationDistance(counts.ToProbabilities(), ideal);
 }
 
 }  // namespace

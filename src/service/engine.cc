@@ -119,7 +119,11 @@ CharacterizationKey(const Device& device, const RbConfig& config,
 
 }  // namespace
 
-Engine::Engine(EngineOptions options) : options_(options) {}
+Engine::Engine(EngineOptions options)
+    : options_(options),
+      cache_(SnapshotCacheOptions{options.cache_entries})
+{
+}
 
 ServiceResponse
 Engine::Handle(const ServiceRequest& request,

@@ -41,6 +41,8 @@ namespace xtalk::service {
 struct EngineOptions {
     /** Seed for on-the-fly characterization plans (the CLI default). */
     uint64_t characterization_seed = 1;
+    /** Snapshot-cache capacity (completed entries; 0 = unbounded). */
+    size_t cache_entries = 64;
 };
 
 /** Executes requests; shared by the CLI and the daemon. */

@@ -1,8 +1,33 @@
 #include "service/snapshot_cache.h"
 
+#include "faults/faults.h"
 #include "telemetry/telemetry.h"
 
 namespace xtalk::service {
+
+SnapshotCache::SnapshotCache(SnapshotCacheOptions options)
+    : options_(options)
+{
+}
+
+void
+SnapshotCache::EvictOverCapacityLocked()
+{
+    if (options_.max_entries == 0) {
+        return;  // Unbounded.
+    }
+    while (lru_.size() > options_.max_entries) {
+        // Only ready slots live in lru_, so the victim is never an
+        // in-flight computation with blocked followers.
+        const std::string victim = lru_.back();
+        lru_.pop_back();
+        slots_.erase(victim);
+        ++evictions_;
+        if (telemetry::Enabled()) {
+            telemetry::GetCounter("svc.cache.evictions").Add(1);
+        }
+    }
+}
 
 SnapshotCache::Entry
 SnapshotCache::GetOrCompute(const std::string& key, const Compute& compute)
@@ -23,6 +48,15 @@ SnapshotCache::GetOrCompute(const std::string& key, const Compute& compute)
                 std::rethrow_exception(slot->error);
             }
             ++hits_;
+            // Freshen recency — but only if *this* slot still owns the
+            // key: an eviction (and possibly a re-computation under a
+            // new slot) may have raced in while this follower waited,
+            // leaving slot->lru_it dangling.
+            auto surviving = slots_.find(key);
+            if (surviving != slots_.end() && surviving->second == slot &&
+                slot->lru_it != lru_.begin()) {
+                lru_.splice(lru_.begin(), lru_, slot->lru_it);
+            }
             if (telemetry::Enabled()) {
                 telemetry::GetCounter("svc.cache.hits").Add(1);
             }
@@ -38,11 +72,15 @@ SnapshotCache::GetOrCompute(const std::string& key, const Compute& compute)
     // Leader: run the measurement outside the lock so followers block
     // on the slot, not on every other key's traffic.
     try {
+        faults::MaybeInject("cache.fill");
         auto data = std::make_shared<const CrosstalkCharacterization>(
             compute());
         std::lock_guard<std::mutex> lock(mutex_);
         slot->data = std::move(data);
         slot->ready = true;
+        lru_.push_front(key);
+        slot->lru_it = lru_.begin();
+        EvictOverCapacityLocked();
         slot_ready_.notify_all();
         return Entry{slot->data, false};
     } catch (...) {
@@ -72,17 +110,18 @@ SnapshotCache::misses() const
     return misses_;
 }
 
+uint64_t
+SnapshotCache::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
 size_t
 SnapshotCache::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    size_t ready = 0;
-    for (const auto& [key, slot] : slots_) {
-        if (slot->ready) {
-            ++ready;
-        }
-    }
-    return ready;
+    return lru_.size();
 }
 
 void
@@ -99,6 +138,7 @@ SnapshotCache::Clear()
             ++it;
         }
     }
+    lru_.clear();
 }
 
 }  // namespace xtalk::service

@@ -1,6 +1,6 @@
 /**
  * @file
- * Single-flight cache of characterization snapshots.
+ * Single-flight, LRU-bounded cache of characterization snapshots.
  *
  * Characterizing a device is the most expensive thing the service does
  * (seconds of SRB simulation), and every concurrent client of a daemon
@@ -12,9 +12,18 @@
  * blocks on the slot and receives the leader's result (a "hit" — it
  * did not spend the measurement itself).
  *
+ * Capacity: at most `max_entries` *completed* snapshots are retained
+ * (least-recently-used evicted first, counted in `evictions()` and the
+ * `svc.cache.evictions` metric), so a hostile key-churn workload —
+ * every request inventing a fresh device spec — cannot grow daemon
+ * memory without bound. In-flight computations are never evicted: a
+ * follower blocked on a slot always observes its leader's outcome.
+ *
  * Failure semantics: a leader that throws wakes its followers with the
  * same exception and *removes* the slot, so the next request retries
- * the measurement instead of caching the failure forever.
+ * the measurement instead of caching the failure forever. The
+ * `cache.fill` fault site fires inside the leader (before the
+ * measurement), making exactly this path injectable.
  *
  * Keys are content-derived by the caller (device spec + RB budget +
  * policy + seed — see Engine::CharacterizationKey), so two requests
@@ -27,6 +36,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -36,11 +46,19 @@
 
 namespace xtalk::service {
 
-/** Single-flight, unbounded, process-lifetime snapshot cache. */
+/** Capacity knobs. */
+struct SnapshotCacheOptions {
+    /** Completed snapshots retained; 0 = unbounded (legacy behavior). */
+    size_t max_entries = 64;
+};
+
+/** Single-flight snapshot cache with an LRU bound. */
 class SnapshotCache {
   public:
     /** The measurement to run on a miss (executed outside the lock). */
     using Compute = std::function<CrosstalkCharacterization()>;
+
+    explicit SnapshotCache(SnapshotCacheOptions options = {});
 
     struct Entry {
         std::shared_ptr<const CrosstalkCharacterization> data;
@@ -61,6 +79,8 @@ class SnapshotCache {
     uint64_t hits() const;
     /** Calls that ran (or started) the measurement. */
     uint64_t misses() const;
+    /** Completed snapshots dropped to stay within max_entries. */
+    uint64_t evictions() const;
     /** Completed snapshots currently cached. */
     size_t size() const;
 
@@ -73,13 +93,22 @@ class SnapshotCache {
         bool failed = false;
         std::shared_ptr<const CrosstalkCharacterization> data;
         std::exception_ptr error;
+        /** Position in lru_; valid only while ready. */
+        std::list<std::string>::iterator lru_it;
     };
 
+    /** Evict ready slots beyond max_entries. Caller holds mutex_. */
+    void EvictOverCapacityLocked();
+
+    SnapshotCacheOptions options_;
     mutable std::mutex mutex_;
     std::condition_variable slot_ready_;
     std::map<std::string, std::shared_ptr<Slot>> slots_;
+    /** Ready keys, most-recently-used first. */
+    std::list<std::string> lru_;
     uint64_t hits_ = 0;
     uint64_t misses_ = 0;
+    uint64_t evictions_ = 0;
 };
 
 }  // namespace xtalk::service

@@ -187,27 +187,29 @@ StabilizerState::ApplyGate(const Gate& gate)
 }
 
 void
-StabilizerState::RowSum(Row& h, const Row& i) const
+StabilizerState::RowSum(Row& h, const Row& i, bool track_phase) const
 {
-    // Phase exponent of i^k in the product, tracked mod 4 (CHP's g).
-    int phase = (h.r ? 2 : 0) + (i.r ? 2 : 0);
-    for (int q = 0; q < num_qubits_; ++q) {
-        const int x1 = i.GetX(q), z1 = i.GetZ(q);
-        const int x2 = h.GetX(q), z2 = h.GetZ(q);
-        if (x1 == 0 && z1 == 0) {
-            continue;
+    if (track_phase) {
+        // Phase exponent of i^k in the product, tracked mod 4 (CHP's g).
+        int phase = (h.r ? 2 : 0) + (i.r ? 2 : 0);
+        for (int q = 0; q < num_qubits_; ++q) {
+            const int x1 = i.GetX(q), z1 = i.GetZ(q);
+            const int x2 = h.GetX(q), z2 = h.GetZ(q);
+            if (x1 == 0 && z1 == 0) {
+                continue;
+            }
+            if (x1 == 1 && z1 == 1) {
+                phase += z2 - x2;                 // Y * P.
+            } else if (x1 == 1) {
+                phase += z2 * (2 * x2 - 1);       // X * P.
+            } else {
+                phase += x2 * (1 - 2 * z2);       // Z * P.
+            }
         }
-        if (x1 == 1 && z1 == 1) {
-            phase += z2 - x2;                 // Y * P.
-        } else if (x1 == 1) {
-            phase += z2 * (2 * x2 - 1);       // X * P.
-        } else {
-            phase += x2 * (1 - 2 * z2);       // Z * P.
-        }
+        phase = ((phase % 4) + 4) % 4;
+        XTALK_ASSERT(phase == 0 || phase == 2, "rowsum produced odd i-power");
+        h.r = (phase == 2);
     }
-    phase = ((phase % 4) + 4) % 4;
-    XTALK_ASSERT(phase == 0 || phase == 2, "rowsum produced odd i-power");
-    h.r = (phase == 2);
     for (size_t w = 0; w < words_; ++w) {
         h.x[w] ^= i.x[w];
         h.z[w] ^= i.z[w];
@@ -245,10 +247,13 @@ StabilizerState::MeasureQubit(int q, Rng& rng)
         }
     }
     if (p >= 0) {
-        // Random outcome.
+        // Random outcome. Destabilizer rows may anticommute with row p
+        // (odd i-power), but their phase bits are never read — skip the
+        // phase bookkeeping for them instead of asserting on it.
         for (int row = 0; row < 2 * num_qubits_; ++row) {
             if (row != p && rows_[row].GetX(q)) {
-                RowSum(rows_[row], rows_[p]);
+                RowSum(rows_[row], rows_[p],
+                       /*track_phase=*/row >= num_qubits_);
             }
         }
         rows_[p - num_qubits_] = rows_[p];

@@ -84,8 +84,14 @@ class StabilizerState {
         void Clear();
     };
 
-    /** CHP rowsum: row h *= row i (Pauli product with phase tracking). */
-    void RowSum(Row& h, const Row& i) const;
+    /**
+     * CHP rowsum: row h *= row i (Pauli product with phase tracking).
+     * @p track_phase=false skips the i-power bookkeeping and leaves
+     * h.r untouched — required when h is a *destabilizer* row, which
+     * may anticommute with i (odd i-power) and whose phase bit the
+     * algorithm never reads.
+     */
+    void RowSum(Row& h, const Row& i, bool track_phase = true) const;
 
     int num_qubits_;
     size_t words_;

@@ -1,0 +1,301 @@
+#include "workloads/adversarial.h"
+
+#include <algorithm>
+#include <set>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace xtalk {
+
+std::vector<AdversarialFamily>
+AllAdversarialFamilies()
+{
+    return {AdversarialFamily::kParallelCxMesh, AdversarialFamily::kDepthChain,
+            AdversarialFamily::kReadoutHeavy,
+            AdversarialFamily::kCliffordOnly};
+}
+
+std::string
+ToString(AdversarialFamily family)
+{
+    switch (family) {
+      case AdversarialFamily::kParallelCxMesh:
+        return "parallel-cx-mesh";
+      case AdversarialFamily::kDepthChain:
+        return "depth-chain";
+      case AdversarialFamily::kReadoutHeavy:
+        return "readout-heavy";
+      case AdversarialFamily::kCliffordOnly:
+        return "clifford-only";
+    }
+    throw InternalError("unhandled AdversarialFamily");
+}
+
+AdversarialFamily
+ParseAdversarialFamily(const std::string& name)
+{
+    for (AdversarialFamily family : AllAdversarialFamilies()) {
+        if (ToString(family) == name) {
+            return family;
+        }
+    }
+    throw Error("unknown adversarial family '" + name +
+                "' (expected parallel-cx-mesh, depth-chain, "
+                "readout-heavy, or clifford-only)");
+}
+
+bool
+IsCliffordFamily(AdversarialFamily family)
+{
+    return family == AdversarialFamily::kCliffordOnly ||
+           family == AdversarialFamily::kReadoutHeavy;
+}
+
+namespace {
+
+/** A connected window of device qubits plus the couplers inside it. */
+struct Window {
+    std::vector<QubitId> qubits;
+    std::vector<Edge> edges;
+    std::set<QubitId> members;
+};
+
+/** Grow a connected window of up to @p max_qubits qubits by seeded BFS. */
+Window
+PickWindow(const Topology& topo, int max_qubits, Rng& rng)
+{
+    Window window;
+    std::vector<QubitId> frontier{
+        static_cast<QubitId>(rng.UniformInt(topo.num_qubits()))};
+    while (!frontier.empty() &&
+           static_cast<int>(window.qubits.size()) < max_qubits) {
+        const QubitId q = frontier.front();
+        frontier.erase(frontier.begin());
+        if (window.members.count(q)) {
+            continue;
+        }
+        window.members.insert(q);
+        window.qubits.push_back(q);
+        std::vector<QubitId> next = topo.Neighbors(q);
+        rng.Shuffle(next);
+        for (QubitId n : next) {
+            if (!window.members.count(n)) {
+                frontier.push_back(n);
+            }
+        }
+    }
+    for (const Edge& edge : topo.edges()) {
+        if (window.members.count(edge.a) && window.members.count(edge.b)) {
+            window.edges.push_back(edge);
+        }
+    }
+    XTALK_REQUIRE(window.qubits.size() >= 2 && !window.edges.empty(),
+                  "device window has no couplers (isolated qubit region)");
+    return window;
+}
+
+/** A maximal set of pairwise-disjoint couplers, in shuffled order. */
+std::vector<Edge>
+DisjointLayer(const Window& window, Rng& rng)
+{
+    std::vector<Edge> shuffled = window.edges;
+    rng.Shuffle(shuffled);
+    std::vector<Edge> layer;
+    std::set<QubitId> busy;
+    for (const Edge& edge : shuffled) {
+        if (busy.count(edge.a) || busy.count(edge.b)) {
+            continue;
+        }
+        layer.push_back(edge);
+        busy.insert(edge.a);
+        busy.insert(edge.b);
+    }
+    return layer;
+}
+
+/** Longest path findable by greedy randomized walks from random starts. */
+std::vector<QubitId>
+PickPath(const Topology& topo, const Window& window, Rng& rng)
+{
+    std::vector<QubitId> best;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+        QubitId cur =
+            window.qubits[rng.UniformInt(window.qubits.size())];
+        std::vector<QubitId> path{cur};
+        std::set<QubitId> used{cur};
+        for (;;) {
+            std::vector<QubitId> next;
+            for (QubitId n : topo.Neighbors(cur)) {
+                if (window.members.count(n) && !used.count(n)) {
+                    next.push_back(n);
+                }
+            }
+            if (next.empty()) {
+                break;
+            }
+            cur = next[rng.UniformInt(next.size())];
+            path.push_back(cur);
+            used.insert(cur);
+        }
+        if (path.size() > best.size()) {
+            best = path;
+        }
+    }
+    return best;
+}
+
+/** Measure every window qubit once; clbits compact (optionally shuffled). */
+void
+MeasureWindow(Circuit& circuit, const Window& window, Rng& rng, bool shuffle)
+{
+    std::vector<int> clbits(window.qubits.size());
+    for (size_t i = 0; i < clbits.size(); ++i) {
+        clbits[i] = static_cast<int>(i);
+    }
+    if (shuffle) {
+        rng.Shuffle(clbits);
+    }
+    for (size_t i = 0; i < window.qubits.size(); ++i) {
+        circuit.Measure(window.qubits[i], clbits[i]);
+    }
+}
+
+Circuit
+BuildParallelCxMesh(const Device& device, const Window& window,
+                    int intensity, Rng& rng)
+{
+    Circuit circuit(device.topology().num_qubits());
+    for (QubitId q : window.qubits) {
+        circuit.H(q);
+    }
+    for (int round = 0; round < intensity; ++round) {
+        // Disjoint CNOTs have no data dependencies, so the scheduler is
+        // free to pack them into one instant — the crosstalk-dense regime.
+        for (const Edge& edge : DisjointLayer(window, rng)) {
+            circuit.CX(edge.a, edge.b);
+        }
+        for (QubitId q : window.qubits) {
+            if (rng.Bernoulli(0.5)) {
+                circuit.T(q);
+            }
+        }
+    }
+    MeasureWindow(circuit, window, rng, /*shuffle=*/false);
+    return circuit;
+}
+
+Circuit
+BuildDepthChain(const Device& device, const Window& window, int intensity,
+                Rng& rng)
+{
+    Circuit circuit(device.topology().num_qubits());
+    const std::vector<QubitId> path = PickPath(device.topology(), window, rng);
+    XTALK_REQUIRE(path.size() >= 2, "depth chain needs a path of length 2");
+    circuit.H(path.front());
+    for (int round = 0; round < intensity; ++round) {
+        // Serial CX ladder down the path and back: every gate depends on
+        // the previous one, so depth (and idle decoherence) is maximal.
+        for (size_t i = 0; i + 1 < path.size(); ++i) {
+            circuit.CX(path[i], path[i + 1]);
+            circuit.T(path[i + 1]);
+        }
+        for (size_t i = path.size() - 1; i > 0; --i) {
+            circuit.CX(path[i], path[i - 1]);
+        }
+        circuit.H(path.front());
+    }
+    MeasureWindow(circuit, window, rng, /*shuffle=*/false);
+    return circuit;
+}
+
+Circuit
+BuildReadoutHeavy(const Device& device, const Window& window, int intensity,
+                  Rng& rng)
+{
+    Circuit circuit(device.topology().num_qubits());
+    // Minimal Clifford prefix: the measures dominate the error budget.
+    for (QubitId q : window.qubits) {
+        if (rng.Bernoulli(0.5)) {
+            circuit.X(q);
+        } else {
+            circuit.H(q);
+        }
+    }
+    const int layers = std::max(1, intensity / 2);
+    for (int round = 0; round < layers; ++round) {
+        for (const Edge& edge : DisjointLayer(window, rng)) {
+            circuit.CX(edge.a, edge.b);
+        }
+    }
+    MeasureWindow(circuit, window, rng, /*shuffle=*/true);
+    return circuit;
+}
+
+Circuit
+BuildCliffordOnly(const Device& device, const Window& window, int intensity,
+                  Rng& rng)
+{
+    Circuit circuit(device.topology().num_qubits());
+    for (int round = 0; round < intensity; ++round) {
+        for (QubitId q : window.qubits) {
+            switch (rng.UniformInt(6)) {
+              case 0:
+                circuit.H(q);
+                break;
+              case 1:
+                circuit.S(q);
+                break;
+              case 2:
+                circuit.Sdg(q);
+                break;
+              case 3:
+                circuit.X(q);
+                break;
+              case 4:
+                circuit.Z(q);
+                break;
+              default:
+                circuit.SX(q);
+                break;
+            }
+        }
+        for (const Edge& edge : DisjointLayer(window, rng)) {
+            if (rng.Bernoulli(0.5)) {
+                circuit.CX(edge.a, edge.b);
+            } else {
+                circuit.CZ(edge.a, edge.b);
+            }
+        }
+    }
+    MeasureWindow(circuit, window, rng, /*shuffle=*/false);
+    return circuit;
+}
+
+}  // namespace
+
+Circuit
+BuildAdversarialCircuit(const Device& device, const AdversarialOptions& options)
+{
+    const Topology& topo = device.topology();
+    XTALK_REQUIRE(options.max_qubits >= 2 &&
+                      options.max_qubits <= topo.num_qubits(),
+                  "max_qubits " << options.max_qubits << " out of range");
+    XTALK_REQUIRE(options.intensity >= 1, "intensity must be >= 1");
+
+    Rng rng(options.seed);
+    const Window window = PickWindow(topo, options.max_qubits, rng);
+    switch (options.family) {
+      case AdversarialFamily::kParallelCxMesh:
+        return BuildParallelCxMesh(device, window, options.intensity, rng);
+      case AdversarialFamily::kDepthChain:
+        return BuildDepthChain(device, window, options.intensity, rng);
+      case AdversarialFamily::kReadoutHeavy:
+        return BuildReadoutHeavy(device, window, options.intensity, rng);
+      case AdversarialFamily::kCliffordOnly:
+        return BuildCliffordOnly(device, window, options.intensity, rng);
+    }
+    throw InternalError("unhandled AdversarialFamily");
+}
+
+}  // namespace xtalk

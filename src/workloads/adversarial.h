@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Seeded adversarial circuit families for differential backend testing.
+ *
+ * Each family stresses one regime where simulation backends are most
+ * likely to silently diverge (CrossBench-style parametric generation):
+ *
+ *  - `parallel-cx-mesh`: maximal layers of disjoint CNOTs inside a small
+ *    connected window, so the scheduler packs them concurrently and the
+ *    conditional (crosstalk) error rates dominate;
+ *  - `depth-chain`: one long serial dependency chain up and down a path,
+ *    maximizing idle decoherence windows;
+ *  - `readout-heavy`: a minimal entangling prefix followed by measuring
+ *    every active qubit (shuffled clbit assignment), so readout
+ *    confusion dominates the outcome distribution;
+ *  - `clifford-only`: random Clifford layers (H/S/Sdg/X/Z/SX + CX/CZ),
+ *    comparable on the stabilizer backend.
+ *
+ * Generation is a pure function of (device topology, options): equal
+ * seeds give identical circuits, which is what lets CI pin a seed and
+ * the oracle reproduce a divergence from its report line. Every family
+ * keeps the active register inside `max_qubits` so the exact
+ * density-matrix replay (<= 10 qubits) stays feasible, and every measure
+ * is terminal for its qubit (required by that replay).
+ */
+#ifndef XTALK_WORKLOADS_ADVERSARIAL_H
+#define XTALK_WORKLOADS_ADVERSARIAL_H
+
+#include <string>
+#include <vector>
+
+#include "circuit/circuit.h"
+#include "device/device.h"
+
+namespace xtalk {
+
+/** The stress regimes the generator can produce. */
+enum class AdversarialFamily {
+    kParallelCxMesh,
+    kDepthChain,
+    kReadoutHeavy,
+    kCliffordOnly,
+};
+
+/** All families, in canonical order. */
+std::vector<AdversarialFamily> AllAdversarialFamilies();
+
+/** Canonical name (`parallel-cx-mesh`, `depth-chain`, ...). */
+std::string ToString(AdversarialFamily family);
+
+/** Inverse of ToString; throws Error on an unknown name. */
+AdversarialFamily ParseAdversarialFamily(const std::string& name);
+
+/** True when the family emits only Clifford gates (stabilizer-comparable). */
+bool IsCliffordFamily(AdversarialFamily family);
+
+/** Knobs for one generated circuit. */
+struct AdversarialOptions {
+    AdversarialFamily family = AdversarialFamily::kParallelCxMesh;
+    /** Cap on active qubits (a connected window of the device). */
+    int max_qubits = 6;
+    /** Rounds/layers knob; higher = deeper and denser. */
+    int intensity = 3;
+    uint64_t seed = 2020;
+};
+
+/**
+ * Build one adversarial circuit on @p device. The circuit uses a
+ * seeded connected window of at most `max_qubits` physical qubits and
+ * measures every active qubit exactly once at the end.
+ */
+Circuit BuildAdversarialCircuit(const Device& device,
+                                const AdversarialOptions& options = {});
+
+}  // namespace xtalk
+
+#endif  // XTALK_WORKLOADS_ADVERSARIAL_H

@@ -84,6 +84,72 @@ TEST(FaultPlan, RejectsMalformedInput)
     EXPECT_THROW(FaultPlan::Parse("seed=-4"), Error);
 }
 
+// Every malformed plan must surface as a structured Error whose
+// diagnostic names the fault plan — never a crash, never InternalError
+// (a bad plan is user input, not a library bug).
+TEST(FaultPlan, RejectionTable)
+{
+    struct Case {
+        const char* plan;
+        const char* why;
+    };
+    const Case cases[] = {
+        {"", "empty plan parses to no rules but installing is pointless"},
+        {":p=0.5", "missing site name before the colon"},
+        {"srb.run", "rule with no trigger list at all"},
+        {"srb.run:", "rule with an empty trigger list"},
+        {"srb.run:p", "trigger with no '='"},
+        {"srb.run:p=", "empty probability"},
+        {"srb.run:p=2.0", "probability above 1"},
+        {"srb.run:p=-0.1", "negative probability"},
+        {"srb.run:p=nan", "non-finite probability"},
+        {"srb.run:n=0", "n= is 1-based"},
+        {"srb.run:n=99999999999999999999999", "overflow call number"},
+        {"srb.run:limit=99999999999999999999999", "overflow fire limit"},
+        {"srb.run:limit=2", "limit without an arming trigger"},
+        {"srb.run:kind=error", "kind without an arming trigger"},
+        {"srb.run:kind=fatal", "unknown kind"},
+        {"srb.run:frequency=2", "unknown trigger key"},
+        {"seed=abc", "non-numeric seed"},
+        {"seed=-4", "negative seed"},
+        {"seed=99999999999999999999999", "overflow seed"},
+        {"seed=1;seed=2", "duplicate seed"},
+        {"srb.run:n=1;seed=1;seed=1", "duplicate seed even when equal"},
+    };
+    for (const Case& c : cases) {
+        if (std::string(c.plan).empty()) {
+            // The empty plan is the documented "no rules" case, not an
+            // error; pin that behavior here instead.
+            EXPECT_TRUE(FaultPlan::Parse("").rules.empty());
+            continue;
+        }
+        try {
+            (void)FaultPlan::Parse(c.plan);
+            FAIL() << "plan '" << c.plan << "' (" << c.why
+                   << ") was accepted";
+        } catch (const InternalError&) {
+            FAIL() << "plan '" << c.plan << "' (" << c.why
+                   << ") raised InternalError instead of Error";
+        } catch (const Error& e) {
+            EXPECT_NE(std::string(e.what()).find("fault plan"),
+                      std::string::npos)
+                << "plan '" << c.plan
+                << "' diagnostic does not name the fault plan: "
+                << e.what();
+        }
+    }
+}
+
+TEST(FaultPlan, DuplicateSeedIsRejectedButDistinctRulesAreNot)
+{
+    // Same *site* twice is legal (later overrides earlier at install
+    // time); only seed= is single-shot.
+    const FaultPlan plan =
+        FaultPlan::Parse("srb.run:n=1;srb.run:n=2;seed=5");
+    EXPECT_EQ(plan.rules.size(), 2u);
+    EXPECT_THROW(FaultPlan::Parse("seed=5;srb.run:n=1;seed=5"), Error);
+}
+
 TEST(FaultPlan, EmptyAndWhitespaceItemsAreIgnored)
 {
     const FaultPlan plan = FaultPlan::Parse(" ; srb.run:n=1 ; ;seed=3");

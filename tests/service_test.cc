@@ -7,6 +7,8 @@
  */
 #include <atomic>
 #include <chrono>
+#include <cstdio>
+#include <fstream>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -14,6 +16,7 @@
 
 #include <gtest/gtest.h>
 
+#include "faults/faults.h"
 #include "service/admission.h"
 #include "service/api.h"
 #include "service/engine.h"
@@ -464,6 +467,110 @@ TEST(SnapshotCacheTest, DistinctKeysComputeSeparately)
     EXPECT_EQ(cache.size(), 0u);
     cache.GetOrCompute("a", compute);
     EXPECT_EQ(computed, 3);
+}
+
+TEST(SnapshotCacheTest, LruBoundEvictsOldestAndCounts)
+{
+    SnapshotCache cache(SnapshotCacheOptions{2});
+    int computed = 0;
+    const auto compute = [&] {
+        ++computed;
+        return CrosstalkCharacterization{};
+    };
+    cache.GetOrCompute("a", compute);
+    cache.GetOrCompute("b", compute);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 0u);
+    // Touch "a" so "b" becomes least recently used.
+    cache.GetOrCompute("a", compute);
+    cache.GetOrCompute("c", compute);  // Evicts "b".
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_EQ(cache.evictions(), 1u);
+    EXPECT_EQ(computed, 3);
+    EXPECT_TRUE(cache.GetOrCompute("a", compute).hit);
+    EXPECT_TRUE(cache.GetOrCompute("c", compute).hit);
+    // "b" was evicted: recomputed on next request.
+    EXPECT_FALSE(cache.GetOrCompute("b", compute).hit);
+    EXPECT_EQ(computed, 4);
+}
+
+TEST(SnapshotCacheTest, KeyChurnStaysBounded)
+{
+    SnapshotCache cache(SnapshotCacheOptions{4});
+    for (int i = 0; i < 100; ++i) {
+        cache.GetOrCompute("key-" + std::to_string(i),
+                           [] { return CrosstalkCharacterization{}; });
+    }
+    EXPECT_EQ(cache.size(), 4u);
+    EXPECT_EQ(cache.evictions(), 96u);
+}
+
+TEST(SnapshotCacheTest, ZeroMaxEntriesIsUnbounded)
+{
+    SnapshotCache cache(SnapshotCacheOptions{0});
+    for (int i = 0; i < 100; ++i) {
+        cache.GetOrCompute("key-" + std::to_string(i),
+                           [] { return CrosstalkCharacterization{}; });
+    }
+    EXPECT_EQ(cache.size(), 100u);
+    EXPECT_EQ(cache.evictions(), 0u);
+}
+
+TEST(SnapshotCacheTest, CacheFillFaultFailsFlightThenRetries)
+{
+    faults::ScopedFaultPlan plan("cache.fill:n=1;seed=3");
+    SnapshotCache cache;
+    int computed = 0;
+    const auto compute = [&] {
+        ++computed;
+        return CrosstalkCharacterization{};
+    };
+    // First flight dies at the fault site before the measurement runs.
+    EXPECT_THROW(cache.GetOrCompute("k", compute), faults::InjectedFault);
+    EXPECT_EQ(computed, 0);
+    EXPECT_EQ(cache.size(), 0u);
+    // The failure was not cached; the retry computes and succeeds.
+    const SnapshotCache::Entry entry = cache.GetOrCompute("k", compute);
+    EXPECT_FALSE(entry.hit);
+    EXPECT_EQ(computed, 1);
+    EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(EngineTest, CacheFillFaultAnswersStructuredErrorThenHeals)
+{
+    faults::ScopedFaultPlan plan("cache.fill:n=1;seed=3");
+    // A 3-qubit linear device keeps the on-the-fly SRB of the healed
+    // request cheap (the 20-qubit defaults take seconds).
+    const std::string device_path =
+        ::testing::TempDir() + "/svc_cache_fill_device_" +
+        std::to_string(static_cast<long>(::getpid())) + ".txt";
+    {
+        std::ofstream device(device_path);
+        device << "device tiny\nqubits 3\ntraits 1 1\n";
+        for (int q = 0; q < 3; ++q) {
+            device << "qubit " << q
+                   << " t1_us 50 t2_us 40 readout_err 0.03"
+                      " sq_err 0.0005 sq_ns 50 readout_ns 1000\n";
+        }
+        device << "edge 0 1 cx_err 0.015 cx_ns 400\n"
+               << "edge 1 2 cx_err 0.02 cx_ns 450\n";
+    }
+    Engine engine;
+    ServiceRequest request = TinyRequest();
+    request.id = "cache-fill-fault";
+    request.device_file = device_path;
+    request.scheduler = "greedy";  // Needs an on-the-fly snapshot.
+    // The injected Error surfaces as a structured response, never an
+    // exception or a silent wrong answer.
+    const ServiceResponse faulted = engine.Handle(request);
+    EXPECT_EQ(faulted.code, StatusCode::kError);
+    EXPECT_FALSE(faulted.error.empty());
+    // The fault is spent (n=1); the identical request now succeeds —
+    // the failed flight was not cached.
+    const ServiceResponse healed = engine.Handle(request);
+    EXPECT_EQ(healed.code, StatusCode::kOk) << healed.error;
+    EXPECT_FALSE(healed.cache_hit);
+    std::remove(device_path.c_str());
 }
 
 // ---------------------------------------------------------------------

@@ -477,6 +477,194 @@ TEST(XtalkdTest, ConcurrentClientsShareOneCharacterization)
     ::unlink(prom_path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// Chaos campaigns: socket-level abuse and service-boundary fault sites.
+// Mirrors `tools/xtalkd_client.py --chaos`; these cases pin the hostile
+// input contract in-tree: answer structurally or close the connection —
+// never hang, never crash, never leak an inflight slot.
+
+/** Value of a `key=value` entry in a response's diagnostics. */
+std::string
+DiagnosticValue(const ServiceResponse& response, const std::string& key)
+{
+    for (const std::string& item : response.diagnostics) {
+        if (item.rfind(key + "=", 0) == 0) {
+            return item.substr(key.size() + 1);
+        }
+    }
+    return "";
+}
+
+/** Ping until inflight and queued both read zero (or fail the test). */
+void
+AssertDrained(const DaemonProcess& daemon)
+{
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::seconds(10);
+    while (true) {
+        Client prober(daemon);
+        ASSERT_TRUE(prober.ok());
+        ServiceRequest ping;
+        ping.kind = "ping";
+        const ServiceResponse pong = prober.Call(ping);
+        ASSERT_EQ(pong.code, StatusCode::kOk) << pong.error;
+        if (DiagnosticValue(pong, "inflight") == "0" &&
+            DiagnosticValue(pong, "queued") == "0") {
+            return;
+        }
+        ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+            << "inflight never drained";
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+}
+
+TEST(XtalkdChaosTest, OversizedLineRejectedAndDaemonKeepsServing)
+{
+    DaemonProcess daemon({"--max-line-bytes", "4096"}, "oversized");
+    ASSERT_TRUE(daemon.WaitReady());
+    {
+        Client hostile(daemon);
+        ASSERT_TRUE(hostile.ok());
+        ASSERT_TRUE(hostile.SendLine(std::string(8192, 'x')));
+        std::string line;
+        ASSERT_TRUE(hostile.RecvLine(&line));
+        ServiceResponse response;
+        std::string error;
+        ASSERT_TRUE(ServiceResponse::FromJson(line, &response, &error))
+            << error << "\nline: " << line;
+        EXPECT_EQ(response.code, StatusCode::kError);
+        EXPECT_NE(response.error.find("max-line-bytes"),
+                  std::string::npos);
+        // The rejection closes the connection: the unframeable rest of
+        // the blast can never become a request.
+        EXPECT_FALSE(hostile.RecvLine(&line));
+    }
+    AssertDrained(daemon);
+    Client closer(daemon);
+    ASSERT_TRUE(closer.ok());
+    ServiceRequest shutdown;
+    shutdown.kind = "shutdown";
+    EXPECT_EQ(closer.Call(shutdown).code, StatusCode::kOk);
+    EXPECT_EQ(daemon.WaitExit(), 0);
+}
+
+TEST(XtalkdChaosTest, TruncatedFramesAndDisconnectsDoNotWedge)
+{
+    DaemonProcess daemon({}, "truncated");
+    ASSERT_TRUE(daemon.WaitReady());
+    {
+        // Half a request, then gone: the unframed bytes must be
+        // discarded with the connection.
+        Client hostile(daemon);
+        ASSERT_TRUE(hostile.ok());
+        const int fd = daemon.TryConnect();
+        ASSERT_GE(fd, 0);
+        const char partial[] = "{\"schema\":\"xtalk.request.v1\",\"ki";
+        ASSERT_GT(::send(fd, partial, sizeof(partial) - 1, MSG_NOSIGNAL),
+                  0);
+        ::close(fd);
+    }
+    {
+        // A full compile whose client vanishes before the response:
+        // the daemon's write fails but the slot must drain.
+        Client hostile(daemon);
+        ASSERT_TRUE(hostile.ok());
+        ServiceRequest compile = ChainCompileRequest("gone");
+        compile.layout = "trivial";
+        compile.scheduler = "serial";
+        ASSERT_TRUE(hostile.SendLine(compile.ToJson()));
+        // Destructor closes without reading.
+    }
+    AssertDrained(daemon);
+}
+
+TEST(XtalkdChaosTest, SvcReadFaultFailsOneRequestNotTheDaemon)
+{
+    DaemonProcess daemon({"--faults", "svc.read:n=1;seed=7"}, "readfault");
+    ASSERT_TRUE(daemon.WaitReady());
+    Client client(daemon);
+    ASSERT_TRUE(client.ok());
+    ServiceRequest ping;
+    ping.id = "p1";
+    ping.kind = "ping";
+    const ServiceResponse faulted = client.Call(ping);
+    EXPECT_EQ(faulted.code, StatusCode::kError);
+    EXPECT_NE(faulted.error.find("injected fault"), std::string::npos)
+        << faulted.error;
+    // The fault is spent; the same connection keeps working.
+    ping.id = "p2";
+    const ServiceResponse healed = client.Call(ping);
+    EXPECT_EQ(healed.code, StatusCode::kOk) << healed.error;
+    EXPECT_EQ(DiagnosticValue(healed, "inflight"), "0");
+}
+
+TEST(XtalkdChaosTest, SvcWriteFaultDropsTheConnectionNotTheDaemon)
+{
+    DaemonProcess daemon({"--faults", "svc.write:n=1;seed=7"},
+                         "writefault");
+    ASSERT_TRUE(daemon.WaitReady());
+    {
+        Client victim(daemon);
+        ASSERT_TRUE(victim.ok());
+        ServiceRequest ping;
+        ping.kind = "ping";
+        ASSERT_TRUE(victim.SendLine(ping.ToJson()));
+        // The injected write fault is reported exactly like a vanished
+        // peer: response dropped, connection closed — never a crash.
+        std::string line;
+        EXPECT_FALSE(victim.RecvLine(&line));
+    }
+    AssertDrained(daemon);
+}
+
+TEST(XtalkdChaosTest, CacheFillFaultAnswersStructuredErrorThenHeals)
+{
+    // A 4-qubit linear device (the chain program's width) keeps the
+    // healed request's on-the-fly SRB cheap.
+    const std::string device_path =
+        ::testing::TempDir() + "xtalkd_chaos_device_" +
+        std::to_string(::getpid()) + ".txt";
+    {
+        std::ofstream device(device_path);
+        device << "device tiny\nqubits 4\ntraits 1 1\n";
+        for (int q = 0; q < 4; ++q) {
+            device << "qubit " << q
+                   << " t1_us 50 t2_us 40 readout_err 0.03"
+                      " sq_err 0.0005 sq_ns 50 readout_ns 1000\n";
+        }
+        device << "edge 0 1 cx_err 0.015 cx_ns 400\n"
+               << "edge 1 2 cx_err 0.02 cx_ns 450\n"
+               << "edge 2 3 cx_err 0.018 cx_ns 420\n";
+    }
+    DaemonProcess daemon({"--faults", "cache.fill:n=1;seed=3",
+                          "--cache-entries", "8"},
+                         "cachefault");
+    ASSERT_TRUE(daemon.WaitReady());
+    Client client(daemon);
+    ASSERT_TRUE(client.ok());
+    ServiceRequest compile = ChainCompileRequest("cf");
+    compile.device_file = device_path;
+    compile.layout = "trivial";
+    compile.scheduler = "greedy";  // Needs an on-the-fly snapshot.
+    const ServiceResponse faulted = client.Call(compile);
+    EXPECT_EQ(faulted.code, StatusCode::kError);
+    EXPECT_NE(faulted.error.find("injected fault"), std::string::npos)
+        << faulted.error;
+    // The failed flight was not cached: the retry measures and serves.
+    compile.id = "cf2";
+    const ServiceResponse healed = client.Call(compile);
+    ASSERT_EQ(healed.code, StatusCode::kOk) << healed.error;
+    EXPECT_FALSE(healed.cache_hit);
+    // And the snapshot it produced is a real cache entry.
+    ServiceRequest ping;
+    ping.kind = "ping";
+    const ServiceResponse pong = client.Call(ping);
+    ASSERT_EQ(pong.code, StatusCode::kOk);
+    EXPECT_EQ(DiagnosticValue(pong, "cache_size"), "1");
+    EXPECT_EQ(DiagnosticValue(pong, "inflight"), "0");
+    ::unlink(device_path.c_str());
+}
+
 }  // namespace
 }  // namespace xtalk
 

@@ -83,7 +83,9 @@ struct Options {
     int max_concurrent = 4;
     int max_queue = 16;
     int threads = 0;
-    long max_requests = 0;  // 0 = unlimited
+    long max_requests = 0;            // 0 = unlimited
+    long max_line_bytes = 1 << 20;    // Request-line cap (1 MiB).
+    long cache_entries = 64;          // Snapshot-cache capacity.
     bool help = false;
 };
 
@@ -102,6 +104,12 @@ PrintUsage()
         "                         immediately with status 'rejected'\n"
         "  --max-requests <n>     shut down after serving n requests\n"
         "                         (0 = serve forever; for CI smoke runs)\n"
+        "  --max-line-bytes <n>   longest accepted request line (default\n"
+        "                         1048576); an oversized line gets a\n"
+        "                         structured error and the connection\n"
+        "                         is closed\n"
+        "  --cache-entries <n>    snapshot-cache capacity (default 64;\n"
+        "                         0 = unbounded); see svc.cache.evictions\n"
         "  --threads <n>          worker threads for simulation; same\n"
         "                         precedence as xtalkc: --threads beats\n"
         "                         XTALK_THREADS beats hardware threads\n"
@@ -143,6 +151,19 @@ ParseArgs(int argc, char** argv, Options* options)
             options->max_queue = std::stoi(next("--max-queue"));
         } else if (arg == "--max-requests") {
             options->max_requests = std::stol(next("--max-requests"));
+        } else if (arg == "--max-line-bytes") {
+            options->max_line_bytes = std::stol(next("--max-line-bytes"));
+            if (options->max_line_bytes <= 0) {
+                std::cerr
+                    << "error: --max-line-bytes needs a positive count\n";
+                return false;
+            }
+        } else if (arg == "--cache-entries") {
+            options->cache_entries = std::stol(next("--cache-entries"));
+            if (options->cache_entries < 0) {
+                std::cerr << "error: --cache-entries must be >= 0\n";
+                return false;
+            }
         } else if (arg == "--threads") {
             options->threads = std::stoi(next("--threads"));
             if (options->threads <= 0) {
@@ -225,6 +246,15 @@ class ConnectionRegistry {
     std::set<int> fds_;
 };
 
+service::EngineOptions
+MakeEngineOptions(const Options& options)
+{
+    service::EngineOptions engine_options;
+    engine_options.cache_entries =
+        static_cast<size_t>(options.cache_entries);
+    return engine_options;
+}
+
 /** Everything one connection thread needs, shared across all of them. */
 struct Daemon {
     Options options;
@@ -248,15 +278,33 @@ struct Daemon {
 
     explicit Daemon(const Options& opts)
         : options(opts),
+          engine(MakeEngineOptions(opts)),
           gate(service::AdmissionOptions{opts.max_concurrent,
                                          opts.max_queue})
     {
     }
 };
 
+/**
+ * Frame @p line and push it down the socket, looping across short
+ * write()s until every byte is flushed or the peer is gone. Partial
+ * sends are journaled as `svc.write.short` (they are normal under
+ * socket backpressure — a slow or stalled reader — but a flood of
+ * them is the signature of a client-side drain problem). Never throws:
+ * the caller runs on a detached connection thread, so an injected
+ * `svc.write` fault is journaled and reported as a failed write (the
+ * connection closes), exactly like a vanished client.
+ */
 bool
 WriteLine(int fd, const std::string& line)
 {
+    try {
+        faults::MaybeInject("svc.write");
+    } catch (const Error& e) {
+        telemetry::JournalEmit("svc.write.fault", {{"fd", fd}});
+        Warn(std::string("write fault: ") + e.what());
+        return false;
+    }
     std::string framed = line;
     framed.push_back('\n');
     size_t sent = 0;
@@ -268,9 +316,16 @@ WriteLine(int fd, const std::string& line)
             if (errno == EINTR) {
                 continue;
             }
-            return false;
+            return false;  // EPIPE/ECONNRESET: peer is gone.
         }
         sent += static_cast<size_t>(n);
+        if (sent < framed.size()) {
+            telemetry::JournalEmit(
+                "svc.write.short",
+                {{"fd", fd},
+                 {"sent", static_cast<long>(sent)},
+                 {"total", static_cast<long>(framed.size())}});
+        }
     }
     return true;
 }
@@ -305,7 +360,23 @@ ServeRequest(Daemon* daemon, const service::ServiceRequest& request)
     // ping/shutdown are protocol chatter, not pipeline work: they must
     // answer even when the queue is saturated, so they skip the gate.
     if (request.kind != "compile") {
-        return daemon->engine.Handle(request);
+        service::ServiceResponse response = daemon->engine.Handle(request);
+        if (request.kind == "ping" &&
+            response.code == StatusCode::kOk) {
+            // Liveness probes double as a health readout: chaos
+            // campaigns assert inflight drains to zero through here.
+            response.diagnostics.push_back(
+                "inflight=" + std::to_string(daemon->gate.running()));
+            response.diagnostics.push_back(
+                "queued=" + std::to_string(daemon->gate.waiting()));
+            response.diagnostics.push_back(
+                "cache_size=" +
+                std::to_string(daemon->engine.cache().size()));
+            response.diagnostics.push_back(
+                "cache_evictions=" +
+                std::to_string(daemon->engine.cache().evictions()));
+        }
+        return response;
     }
     std::optional<Clock::time_point> deadline;
     if (request.deadline_ms > 0) {
@@ -370,12 +441,45 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
             break;  // EOF (possibly forced by ShutdownReads) or error.
         }
         buffer.append(chunk, static_cast<size_t>(n));
+        const size_t cap =
+            static_cast<size_t>(daemon->options.max_line_bytes);
+        if (buffer.find('\n') == std::string::npos && buffer.size() > cap) {
+            // A line that has already outgrown the cap can never become
+            // a valid request; reject it with a structured error while
+            // the headers of the flood are still cheap, then close —
+            // the rest of the oversized line is unframeable garbage.
+            telemetry::JournalEmit(
+                "svc.oversized",
+                {{"conn", conn_id},
+                 {"bytes", static_cast<long>(buffer.size())}});
+            const auto response = MakeErrorResponse(
+                service::ServiceRequest{}, StatusCode::kError,
+                "request line exceeds --max-line-bytes (" +
+                    std::to_string(daemon->options.max_line_bytes) +
+                    "); closing connection");
+            WriteLine(fd, response.ToJson());
+            break;
+        }
         size_t newline;
         while (open && (newline = buffer.find('\n')) != std::string::npos) {
             const std::string line = buffer.substr(0, newline);
             buffer.erase(0, newline + 1);
             if (line.empty()) {
                 continue;
+            }
+            if (line.size() > cap) {
+                telemetry::JournalEmit(
+                    "svc.oversized",
+                    {{"conn", conn_id},
+                     {"bytes", static_cast<long>(line.size())}});
+                const auto response = MakeErrorResponse(
+                    service::ServiceRequest{}, StatusCode::kError,
+                    "request line exceeds --max-line-bytes (" +
+                        std::to_string(daemon->options.max_line_bytes) +
+                        "); closing connection");
+                WriteLine(fd, response.ToJson());
+                open = false;
+                break;
             }
             service::ServiceRequest request;
             std::string parse_error;
@@ -386,6 +490,10 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
             // response — escaping the thread would std::terminate the
             // whole daemon on untrusted input.
             try {
+                // svc.read: the seam between "bytes arrived" and "a
+                // request exists" — chaos plans inject here to prove a
+                // poisoned read fails one request, not the daemon.
+                faults::MaybeInject("svc.read");
                 if (!service::ServiceRequest::FromJson(line, &request,
                                                        &parse_error)) {
                     response = MakeErrorResponse(
@@ -398,6 +506,11 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
                                      daemon->ledger_seq.fetch_add(1));
                     }
                 }
+            } catch (const Error& e) {
+                // User-class failures (including injected svc.read
+                // faults) answer as structured errors, not internals.
+                response = MakeErrorResponse(request, StatusCode::kError,
+                                             e.what());
             } catch (const std::exception& e) {
                 response = MakeErrorResponse(
                     request, StatusCode::kInternal,
