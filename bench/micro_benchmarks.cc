@@ -29,6 +29,7 @@
 #include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
 #include "workloads/swap_circuits.h"
 
 namespace xtalk {
@@ -371,6 +372,34 @@ BM_ProfilerEnabled(benchmark::State& state)
     telemetry::ResetProfile();
 }
 BENCHMARK(BM_ProfilerEnabled);
+
+/**
+ * The per-job overhead ThreadPool::Enqueue adds when a request trace is
+ * active: capture the submitter's thread-local context, then install /
+ * restore it in the worker via ScopedTraceContext. This is on the hot
+ * path of every pooled job inside a traced request, so it has to stay
+ * in the tens-of-nanoseconds range.
+ */
+void
+BM_TraceContextPropagation(benchmark::State& state)
+{
+    telemetry::TraceContext request;
+    request.trace_hi = 0x0123456789abcdefull;
+    request.trace_lo = 0xfedcba9876543210ull;
+    request.span = 0x1122334455667788ull;
+    telemetry::ScopedTraceContext active(request);
+    for (auto _ : state) {
+        const telemetry::TraceContext captured =
+            telemetry::CurrentTraceContext();
+        if (captured.valid()) {
+            telemetry::ScopedTraceContext scope(captured);
+            benchmark::DoNotOptimize(
+                telemetry::CurrentTraceContext().trace_lo);
+        }
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TraceContextPropagation);
 
 void
 BM_ParSchedSwapPath(benchmark::State& state)

@@ -9,6 +9,7 @@
 #include "common/error.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
 
 namespace xtalk::runtime {
 
@@ -113,6 +114,19 @@ ThreadPool::~ThreadPool()
 void
 ThreadPool::Enqueue(std::function<void()> job)
 {
+    // Capture the submitter's trace context so work executed on a pool
+    // worker — executor chunks, portfolio members, cache fills — still
+    // journals and traces under the request that submitted it. Only
+    // wrap when there is a context: untraced submitters keep the
+    // original job unwrapped (no extra allocation, no TLS writes).
+    const telemetry::TraceContext context =
+        telemetry::CurrentTraceContext();
+    if (context.valid()) {
+        job = [context, inner = std::move(job)] {
+            telemetry::ScopedTraceContext scope(context);
+            inner();
+        };
+    }
     {
         std::lock_guard<std::mutex> lock(mutex_);
         XTALK_REQUIRE(!shutdown_, "ThreadPool::Submit after Shutdown");

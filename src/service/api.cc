@@ -9,6 +9,7 @@
 #include "scheduler/portfolio.h"
 #include "telemetry/json.h"
 #include "telemetry/ledger.h"
+#include "telemetry/trace_context.h"
 
 namespace xtalk::service {
 
@@ -17,7 +18,8 @@ namespace {
 bool
 KnownKind(const std::string& kind)
 {
-    return kind == "compile" || kind == "ping" || kind == "shutdown";
+    return kind == "compile" || kind == "ping" || kind == "stats" ||
+           kind == "shutdown";
 }
 
 /** Comma-join for the config hash (pass lists are order-sensitive). */
@@ -221,10 +223,16 @@ ServiceRequest::Validate(std::string* error) const
     };
     if (!KnownKind(kind)) {
         return fail("unknown kind '" + kind +
-                    "' (expected compile, ping, or shutdown)");
+                    "' (expected compile, ping, stats, or shutdown)");
+    }
+    if (!trace_id.empty()) {
+        telemetry::TraceContext parsed;
+        if (!telemetry::ParseTraceId(trace_id, &parsed)) {
+            return fail("'trace.id' must be 32 hex chars and non-zero");
+        }
     }
     if (kind != "compile") {
-        return true;  // ping/shutdown carry no work payload.
+        return true;  // ping/stats/shutdown carry no work payload.
     }
     if (qasm.empty()) {
         return fail("compile request needs a non-empty 'qasm' field");
@@ -330,6 +338,14 @@ ServiceRequest::ToJson() const
     w.Key("schema").String(kRequestSchema);
     w.Key("id").String(id);
     w.Key("kind").String(kind);
+    if (!trace_id.empty()) {
+        w.Key("trace").BeginObject();
+        w.Key("id").String(trace_id);
+        if (span_id != 0) {
+            w.Key("span").String(telemetry::SpanIdHex(span_id));
+        }
+        w.EndObject();
+    }
     w.Key("qasm").String(qasm);
     w.Key("device").String(device);
     w.Key("device_file").String(device_file);
@@ -359,7 +375,7 @@ ServiceRequest::FromJson(const std::string& text, ServiceRequest* out,
     }
     ServiceRequest request;
     std::string field_error;
-    const bool ok =
+    bool ok =
         TakeString(object, "id", &request.id, &field_error) &&
         TakeString(object, "kind", &request.kind, &field_error) &&
         TakeString(object, "qasm", &request.qasm, &field_error) &&
@@ -385,6 +401,21 @@ ServiceRequest::FromJson(const std::string& text, ServiceRequest* out,
         TakeBool(object, "want_report", &request.want_report,
                  &field_error) &&
         TakeInt(object, "deadline_ms", &request.deadline_ms, &field_error);
+    const telemetry::JsonValue* trace = object.Find("trace");
+    if (ok && trace != nullptr) {
+        if (!trace->is_object()) {
+            field_error = "field 'trace' must be an object";
+            ok = false;
+        } else {
+            request.trace_id = trace->GetString("id");
+            const std::string span_hex = trace->GetString("span");
+            if (!span_hex.empty() &&
+                !telemetry::ParseSpanId(span_hex, &request.span_id)) {
+                field_error = "field 'trace.span' must be 16 hex chars";
+                ok = false;
+            }
+        }
+    }
     if (!ok) {
         if (error != nullptr) {
             *error = field_error;
@@ -443,10 +474,44 @@ ServiceResponse::ToJson(bool include_timing) const
     WriteStringArray(w, "diagnostics", diagnostics);
     w.Key("characterization_id").String(characterization_id);
     w.Key("cache_hit").Bool(cache_hit);
+    if (!diag.empty()) {
+        w.Key("diag").BeginObject();
+        for (const auto& [key, value] : diag) {
+            w.Key(key).Number(value);
+        }
+        w.EndObject();
+    }
+    if (!stats_json.empty()) {
+        w.Key("stats").String(stats_json);
+    }
+    // A service-minted trace id is fresh randomness each run, so the
+    // deterministic projection only carries client-supplied ids (which
+    // the client controls, and therefore repeat byte-for-byte).
+    if (!trace_id.empty() && (include_timing || trace_client_supplied)) {
+        w.Key("trace").BeginObject();
+        w.Key("id").String(trace_id);
+        w.Key("origin").String(trace_client_supplied ? "client"
+                                                     : "service");
+        w.EndObject();
+    }
     if (include_timing) {
         w.Key("timing").BeginObject();
         w.Key("queue_ms").Number(queue_ms);
         w.Key("run_ms").Number(run_ms);
+        if (!phases.empty()) {
+            w.Key("phases").BeginArray();
+            for (const ServicePhase& phase : phases) {
+                w.BeginObject();
+                w.Key("phase").String(phase.phase);
+                w.Key("ms").Number(phase.ms);
+                if (phase.pct_of_deadline.has_value()) {
+                    w.Key("pct_of_deadline")
+                        .Number(*phase.pct_of_deadline);
+                }
+                w.EndObject();
+            }
+            w.EndArray();
+        }
         w.EndObject();
     }
     w.EndObject();
@@ -536,10 +601,50 @@ ServiceResponse::FromJson(const std::string& text, ServiceResponse* out,
             response.omega = omega_field->as_number();
         }
     }
+    const telemetry::JsonValue* trace = object.Find("trace");
+    if (ok && trace != nullptr && trace->is_object()) {
+        response.trace_id = trace->GetString("id");
+        response.trace_client_supplied =
+            trace->GetString("origin") == "client";
+    }
+    const telemetry::JsonValue* diag = object.Find("diag");
+    if (ok && diag != nullptr) {
+        if (!diag->is_object()) {
+            field_error = "field 'diag' must be an object";
+            ok = false;
+        } else {
+            for (const auto& [key, value] : diag->members()) {
+                if (value.is_number()) {
+                    response.diag[key] = value.as_number();
+                }
+            }
+        }
+    }
+    if (ok &&
+        !TakeString(object, "stats", &response.stats_json, &field_error)) {
+        ok = false;
+    }
     const telemetry::JsonValue* timing = object.Find("timing");
     if (ok && timing != nullptr && timing->is_object()) {
         response.queue_ms = timing->GetNumber("queue_ms");
         response.run_ms = timing->GetNumber("run_ms");
+        const telemetry::JsonValue* phases = timing->Find("phases");
+        if (phases != nullptr && phases->is_array()) {
+            for (const telemetry::JsonValue& item : phases->items()) {
+                if (!item.is_object()) {
+                    continue;
+                }
+                ServicePhase phase;
+                phase.phase = item.GetString("phase");
+                phase.ms = item.GetNumber("ms");
+                const telemetry::JsonValue* pct =
+                    item.Find("pct_of_deadline");
+                if (pct != nullptr && pct->is_number()) {
+                    phase.pct_of_deadline = pct->as_number();
+                }
+                response.phases.push_back(std::move(phase));
+            }
+        }
     }
     if (!ok) {
         if (error != nullptr) {

@@ -22,15 +22,27 @@
  *   {"schema":"xtalk.response.v1","id":"r1","status":"ok",
  *    "qasm":"...","scheduler":"XtalkSched","degradation":"none",
  *    "characterization_id":"c0ffee12","cache_hit":true,
- *    "timing":{"queue_ms":0.2,"run_ms":31.5}}
+ *    "trace":{"id":"4bf9…32 hex…","origin":"service"},
+ *    "timing":{"queue_ms":0.2,"run_ms":31.5,
+ *              "phases":[{"phase":"parse","ms":0.4},…]}}
+ *
+ * Requests may carry a `trace` object ({"id":<32 hex>,"span":<16 hex>})
+ * to propagate a caller-minted trace context through the service; when
+ * absent the service mints one. The response echoes the id with its
+ * origin. See docs/OBSERVABILITY.md for the propagation rules.
  *
  * Timing is the only wall-clock-dependent part of a response;
  * ToJson(false) omits it so tests can assert two runs of one request
- * are byte-identical.
+ * are byte-identical. A service-minted trace id is wall-clock-seeded
+ * randomness by the same argument, so the `trace` object appears in
+ * ToJson(false) only when the client supplied the id (origin
+ * "client"); service-minted ids live only in the timed projection.
  */
 #ifndef XTALK_SERVICE_API_H
 #define XTALK_SERVICE_API_H
 
+#include <cstdint>
+#include <map>
 #include <optional>
 #include <string>
 #include <vector>
@@ -51,8 +63,18 @@ inline constexpr const char* kResponseSchema = "xtalk.response.v1";
 struct ServiceRequest {
     /** Client-chosen correlation id, echoed verbatim in the response. */
     std::string id;
-    /** "compile" (the work kind), "ping", or "shutdown". */
+    /** "compile" (the work kind), "ping", "stats", or "shutdown". */
     std::string kind = "compile";
+
+    /**
+     * Caller-minted trace id, 32 lowercase hex chars (128 bits), from
+     * the wire object {"trace":{"id":…,"span":…}}. Empty = none; the
+     * service mints one on accept. Must parse (and be non-zero) when
+     * present — see telemetry/trace_context.h.
+     */
+    std::string trace_id;
+    /** Caller's span id (64 bits; 0 = unset). Children span from it. */
+    uint64_t span_id = 0;
 
     /** OpenQASM 2.0 source of the logical circuit (compile only). */
     std::string qasm;
@@ -155,6 +177,23 @@ struct ServicePortfolioOutcome {
     std::string reason;
 };
 
+/**
+ * One budget-attribution phase of a request's wall time. The phases in
+ * a response partition run_ms exactly (a final "other" entry absorbs
+ * the residual), so summing `ms` over the array reproduces the wall
+ * time; `pct_of_deadline` is only present when the request carried a
+ * deadline. Wall-clock data, so phases live inside the response's
+ * `timing` object and are absent from the deterministic projection.
+ */
+struct ServicePhase {
+    /** "admission", "parse", "characterize", "schedule", "simulate",
+     *  "emit", or "other". */
+    std::string phase;
+    double ms = 0.0;
+    /** ms / deadline_ms * 100; unset when the request had no deadline. */
+    std::optional<double> pct_of_deadline;
+};
+
 /** Outcome of one ServiceRequest. */
 struct ServiceResponse {
     /** Echo of ServiceRequest::id. */
@@ -205,10 +244,36 @@ struct ServiceResponse {
      *  cache instead of being measured by this request. */
     bool cache_hit = false;
 
+    /**
+     * Trace id of the request (32 hex chars). Always set by the
+     * engine; the wire `trace` object carries it with an `origin` of
+     * "client" (echoed from the request) or "service" (minted).
+     */
+    std::string trace_id;
+    /** True when trace_id came from the request, not the service. */
+    bool trace_client_supplied = false;
+
+    /**
+     * Structured ping/stats diagnostics (counters and gauges such as
+     * inflight, queued, admitted). Serialized as the `diag` object when
+     * non-empty; supersedes the legacy `key=value` diagnostics strings
+     * (kept one release for compatibility — see docs/SERVICE.md).
+     */
+    std::map<std::string, double> diag;
+
+    /**
+     * Service introspection snapshot (kind "stats" only): one JSON
+     * document, schema xtalk.svcstats.v1, carried as an escaped string
+     * in the `stats` field so the response stays one flat object.
+     */
+    std::string stats_json;
+
     /** Milliseconds spent queued before a run slot freed. */
     double queue_ms = 0.0;
     /** Milliseconds spent running (parse through simulate). */
     double run_ms = 0.0;
+    /** Budget attribution: where queue_ms + run_ms actually went. */
+    std::vector<ServicePhase> phases;
 
     /** Wire status string ("ok", "error", "rejected", ...). */
     const char* status() const { return StatusName(code); }

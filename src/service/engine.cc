@@ -16,9 +16,11 @@
 #include "device/ibmq_devices.h"
 #include "experiments/experiments.h"
 #include "runtime/executor.h"
+#include "service/stats.h"
 #include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
 
 namespace xtalk::service {
 
@@ -99,6 +101,64 @@ ApplyDeadlineBudget(Clock::time_point deadline, CompilerOptions* options)
             : std::min(options->xtalk.total_budget_ms, solver_ms);
 }
 
+/**
+ * RAII budget-attribution timer: on destruction, appends one
+ * {phase, ms} entry to the response. Scoped around each major stage of
+ * RunCompile; Handle later adds the "other" residual so the entries
+ * partition run_ms exactly, then stamps pct_of_deadline and records
+ * the `svc.phase.<name>.ms` histograms.
+ */
+class PhaseTimer {
+  public:
+    PhaseTimer(ServiceResponse* response, const char* phase)
+        : response_(response), phase_(phase), start_(Clock::now())
+    {
+    }
+
+    ~PhaseTimer()
+    {
+        ServicePhase entry;
+        entry.phase = phase_;
+        entry.ms = std::chrono::duration<double, std::milli>(
+                       Clock::now() - start_)
+                       .count();
+        response_->phases.push_back(std::move(entry));
+    }
+
+    PhaseTimer(const PhaseTimer&) = delete;
+    PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+  private:
+    ServiceResponse* response_;
+    const char* phase_;
+    Clock::time_point start_;
+};
+
+/**
+ * Adopt the request's trace context: the client's id when it supplied
+ * one, else whatever context the caller (the daemon's connection
+ * handler) already established on this thread, else a fresh mint. The
+ * one place every request passes through, so a request has exactly one
+ * trace id however it arrived.
+ */
+telemetry::TraceContext
+AdoptTraceContext(const ServiceRequest& request, bool* client_supplied)
+{
+    telemetry::TraceContext context;
+    if (!request.trace_id.empty() &&
+        telemetry::ParseTraceId(request.trace_id, &context)) {
+        context.span = request.span_id != 0 ? request.span_id
+                                            : telemetry::MintSpanId();
+        *client_supplied = true;
+        return context;
+    }
+    *client_supplied = false;
+    if (telemetry::CurrentTraceContext().valid()) {
+        return telemetry::CurrentTraceContext();
+    }
+    return telemetry::MintTraceContext();
+}
+
 /** Content key for the snapshot cache: everything that shapes the
  *  measurement, hashed. Two requests share a key exactly when their
  *  on-the-fly characterizations would be bit-identical. */
@@ -133,6 +193,12 @@ Engine::Handle(const ServiceRequest& request,
     if (!deadline.has_value() && request.deadline_ms > 0) {
         deadline = started + std::chrono::milliseconds(request.deadline_ms);
     }
+    // Scope the request's trace context over everything Handle does:
+    // every journal event, span, and pool job below carries this id.
+    bool client_trace = false;
+    const telemetry::TraceContext context =
+        AdoptTraceContext(request, &client_trace);
+    telemetry::ScopedTraceContext trace_scope(context);
     telemetry::JournalEmit("svc.start", {{"id", request.id},
                                          {"kind", request.kind}});
     ServiceResponse response;
@@ -141,8 +207,13 @@ Engine::Handle(const ServiceRequest& request,
         response = MakeErrorResponse(request, StatusCode::kError,
                                      validation_error);
     } else if (request.kind != "compile") {
-        // ping/shutdown: protocol-level requests with no pipeline work.
+        // ping/stats/shutdown: protocol requests with no pipeline work.
         response.id = request.id;
+        if (request.kind == "stats") {
+            ServiceStatsInfo info;
+            info.cache = &cache_;
+            response.stats_json = BuildServiceStatsJson(info);
+        }
     } else {
         try {
             response = RunCompile(request, deadline);
@@ -151,9 +222,37 @@ Engine::Handle(const ServiceRequest& request,
                                          e.what());
         }
     }
+    response.trace_id = context.trace_id();
+    response.trace_client_supplied = client_trace;
     response.run_ms = std::chrono::duration<double, std::milli>(
                           Clock::now() - started)
                           .count();
+    if (request.kind == "compile") {
+        // Budget attribution: close the books so the phases partition
+        // run_ms exactly — "other" absorbs whatever the timed stages
+        // did not cover (device resolution, state setup, the error
+        // path). Then price each phase against the deadline.
+        double accounted = 0.0;
+        for (const ServicePhase& phase : response.phases) {
+            accounted += phase.ms;
+        }
+        ServicePhase other;
+        other.phase = "other";
+        other.ms = std::max(0.0, response.run_ms - accounted);
+        response.phases.push_back(std::move(other));
+        for (ServicePhase& phase : response.phases) {
+            if (request.deadline_ms > 0) {
+                phase.pct_of_deadline =
+                    phase.ms /
+                    static_cast<double>(request.deadline_ms) * 100.0;
+            }
+            if (telemetry::Enabled()) {
+                telemetry::GetHistogram("svc.phase." + phase.phase +
+                                        ".ms")
+                    .Record(phase.ms);
+            }
+        }
+    }
     if (telemetry::Enabled()) {
         telemetry::GetCounter("svc.requests").Add(1);
         telemetry::GetCounter(std::string("svc.status.") +
@@ -178,6 +277,7 @@ Engine::RunCompile(const ServiceRequest& request,
 
     std::optional<Circuit> parsed;
     {
+        PhaseTimer phase_timer(&response, "parse");
         telemetry::ScopedSpan span("tool.parse_qasm");
         parsed = ParseQasm(request.qasm);
     }
@@ -206,6 +306,7 @@ Engine::RunCompile(const ServiceRequest& request,
     CrosstalkCharacterization characterization;
     if (!request.characterization_text.empty() ||
         !request.characterization_path.empty()) {
+        PhaseTimer phase_timer(&response, "characterize");
         std::string measured_on;
         if (!request.characterization_text.empty()) {
             characterization = ParseCharacterization(
@@ -227,10 +328,13 @@ Engine::RunCompile(const ServiceRequest& request,
                 << measured_on << "', not '" << device.name()
                 << "' (edge ids are device-specific)");
     } else if (request.NeedsCharacterization()) {
+        PhaseTimer phase_timer(&response, "characterize");
         if (deadline.has_value() && RemainingMs(*deadline) <= 0.0) {
-            return MakeErrorResponse(
+            ServiceResponse timeout = MakeErrorResponse(
                 request, StatusCode::kTimeout,
                 "deadline expired before characterization");
+            timeout.phases = response.phases;
+            return timeout;
         }
         const RbConfig rb_config = BenchRbConfig();
         const std::string key = CharacterizationKey(
@@ -264,6 +368,7 @@ Engine::RunCompile(const ServiceRequest& request,
                 "deadline expired before compilation");
             timeout.characterization_id = response.characterization_id;
             timeout.cache_hit = response.cache_hit;
+            timeout.phases = response.phases;
             return timeout;
         }
         ApplyDeadlineBudget(*deadline, &compile_options);
@@ -272,6 +377,7 @@ Engine::RunCompile(const ServiceRequest& request,
     CompilationState state(device, characterization, circuit,
                            compile_options);
     {
+        PhaseTimer phase_timer(&response, "schedule");
         telemetry::ScopedSpan span("compile.total");
         if (telemetry::Enabled()) {
             telemetry::GetCounter("compile.invocations").Add(1);
@@ -331,8 +437,10 @@ Engine::RunCompile(const ServiceRequest& request,
                 "deadline expired before simulation");
             timeout.characterization_id = response.characterization_id;
             timeout.cache_hit = response.cache_hit;
+            timeout.phases = response.phases;
             return timeout;
         }
+        PhaseTimer phase_timer(&response, "simulate");
         telemetry::ScopedSpan span("tool.simulate");
         runtime::Executor executor(device);
         runtime::ExecutionJob job;
@@ -348,12 +456,15 @@ Engine::RunCompile(const ServiceRequest& request,
 
     // The emitted circuit: the barriered executable, or the schedule's
     // gate order when the pipeline stopped before barrier lowering.
-    std::optional<Circuit> emitted = state.executable;
-    if (!emitted && state.schedule) {
-        emitted = state.schedule->ToCircuit();
-    }
-    if (emitted) {
-        response.qasm = ToQasm(*emitted);
+    {
+        PhaseTimer phase_timer(&response, "emit");
+        std::optional<Circuit> emitted = state.executable;
+        if (!emitted && state.schedule) {
+            emitted = state.schedule->ToCircuit();
+        }
+        if (emitted) {
+            response.qasm = ToQasm(*emitted);
+        }
     }
     return response;
 }
@@ -372,6 +483,7 @@ FillRunRecord(const ServiceRequest& request,
     record->degradation_reason = response.degradation_reason.empty()
                                      ? response.error
                                      : response.degradation_reason;
+    record->trace_id = response.trace_id;
     record->exit_code = ExitCodeFor(response.code);
 }
 

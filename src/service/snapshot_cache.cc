@@ -1,9 +1,33 @@
 #include "service/snapshot_cache.h"
 
 #include "faults/faults.h"
+#include "telemetry/journal.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace_context.h"
 
 namespace xtalk::service {
+
+namespace {
+
+/**
+ * Journal the cross-request edge from a served snapshot back to the
+ * flight that measured it. The emitting request's own trace is stamped
+ * automatically by Journal::Emit; link_trace/link_span point at the
+ * leader's `svc.cache.fill`, so a trace graph can attribute "this
+ * request's characterization cost was paid by that request".
+ */
+void
+JournalCacheLink(const telemetry::TraceContext& leader, uint64_t fill_span)
+{
+    if (!leader.valid()) {
+        return;
+    }
+    telemetry::JournalEmit(
+        "svc.cache.link", {{"link_trace", leader.trace_id()},
+                           {"link_span", telemetry::SpanIdHex(fill_span)}});
+}
+
+}  // namespace
 
 SnapshotCache::SnapshotCache(SnapshotCacheOptions options)
     : options_(options)
@@ -60,9 +84,15 @@ SnapshotCache::GetOrCompute(const std::string& key, const Compute& compute)
             if (telemetry::Enabled()) {
                 telemetry::GetCounter("svc.cache.hits").Add(1);
             }
+            JournalCacheLink(slot->leader, slot->fill_span);
             return Entry{slot->data, true};
         }
         slot = std::make_shared<Slot>();
+        // Record who is paying for this flight before any follower can
+        // join: followers read these fields to link their hit back to
+        // this leader's fill.
+        slot->leader = telemetry::CurrentTraceContext();
+        slot->fill_span = telemetry::MintSpanId();
         slots_[key] = slot;
         ++misses_;
         if (telemetry::Enabled()) {
@@ -75,6 +105,11 @@ SnapshotCache::GetOrCompute(const std::string& key, const Compute& compute)
         faults::MaybeInject("cache.fill");
         auto data = std::make_shared<const CrosstalkCharacterization>(
             compute());
+        // "fill_span", not "span": Emit appends the emitting context's
+        // own "span" field centrally, and the two must not collide.
+        telemetry::JournalEmit(
+            "svc.cache.fill",
+            {{"fill_span", telemetry::SpanIdHex(slot->fill_span)}});
         std::lock_guard<std::mutex> lock(mutex_);
         slot->data = std::move(data);
         slot->ready = true;

@@ -43,6 +43,7 @@
 #include <string>
 
 #include "characterization/characterizer.h"
+#include "telemetry/trace_context.h"
 
 namespace xtalk::service {
 
@@ -93,6 +94,12 @@ class SnapshotCache {
         bool failed = false;
         std::shared_ptr<const CrosstalkCharacterization> data;
         std::exception_ptr error;
+        /** Trace context of the request that ran the measurement, so
+         *  followers (and later hits) can journal a link to the fill
+         *  (`svc.cache.link` -> leader's `svc.cache.fill`). */
+        telemetry::TraceContext leader;
+        /** Span id of the leader's fill, minted when the flight starts. */
+        uint64_t fill_span = 0;
         /** Position in lru_; valid only while ready. */
         std::list<std::string>::iterator lru_it;
     };

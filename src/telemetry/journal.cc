@@ -11,6 +11,7 @@
 
 #include "telemetry/json.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
 
 namespace xtalk::telemetry {
 
@@ -94,9 +95,19 @@ Journal::Emit(const char* type,
     JournalRecord record;
     record.type = type;
     record.tid = CurrentTraceTid();
-    record.fields.reserve(fields.size());
+    // Stamp the emitting thread's trace context here, centrally, so
+    // every emit site — service, scheduler, executor chunks on pool
+    // workers, fault injections — correlates to its request without
+    // each site knowing traces exist. No context, no fields: events
+    // emitted outside any request look exactly as they always did.
+    const TraceContext context = CurrentTraceContext();
+    record.fields.reserve(fields.size() + (context.valid() ? 2 : 0));
     for (const auto& [key, value] : fields) {
         record.fields.emplace_back(key, value);
+    }
+    if (context.valid()) {
+        record.fields.emplace_back("trace", context.trace_id());
+        record.fields.emplace_back("span", context.span_id());
     }
     const uint32_t shard_index = record.tid % kNumShards;
     record.shard = shard_index;

@@ -25,6 +25,7 @@ RunRecordJson(const RunRecord& record)
     w.Key("scheduler").String(record.scheduler);
     w.Key("degradation").String(record.degradation);
     w.Key("degradation_reason").String(record.degradation_reason);
+    w.Key("trace").String(record.trace_id);
     w.Key("exit").Number(static_cast<int64_t>(record.exit_code));
     w.Key("metrics").BeginObject();
     for (const auto& [key, value] : record.metrics) {

@@ -43,6 +43,7 @@ struct RunRecord {
                                        ///< when a better-ranked member
                                        ///< failed; "none" otherwise.
     std::string degradation_reason;    ///< "" when degradation == none.
+    std::string trace_id;  ///< Request trace id ("" = untraced run).
     int exit_code = 0;
     /** Key metrics (counts, durations); see docs/OBSERVABILITY.md. */
     std::map<std::string, double> metrics;

@@ -7,6 +7,7 @@
 
 #include "telemetry/json.h"
 #include "telemetry/profiler.h"
+#include "telemetry/trace_context.h"
 
 namespace xtalk::telemetry {
 
@@ -207,6 +208,7 @@ ScopedSpan::~ScopedSpan()
         TraceEvent event;
         event.name = name_;
         event.category = category_;
+        event.trace = CurrentTraceContext().trace_id();
         event.ts_us = start_us_;
         event.dur_us = dur_ms * 1000.0;
         event.tid = CurrentTraceTid();
@@ -245,6 +247,45 @@ TraceJson()
         w.EndObject();
         w.EndObject();
     }
+    // One async lane per request trace ("ph":"b"/"e" pairs keyed by
+    // the trace id): Perfetto renders each request as its own track
+    // spanning first span start to last span end, so concurrent
+    // compiles through the daemon separate visually instead of
+    // interleaving anonymously on the worker lanes.
+    struct Extent {
+        double begin_us;
+        double end_us;
+    };
+    std::map<std::string, Extent> requests;
+    for (const TraceEvent& e : events) {
+        if (e.trace.empty()) {
+            continue;
+        }
+        auto [it, inserted] = requests.try_emplace(
+            e.trace, Extent{e.ts_us, e.ts_us + e.dur_us});
+        if (!inserted) {
+            it->second.begin_us = std::min(it->second.begin_us, e.ts_us);
+            it->second.end_us =
+                std::max(it->second.end_us, e.ts_us + e.dur_us);
+        }
+    }
+    for (const auto& [trace, extent] : requests) {
+        const std::string label = "request " + trace.substr(0, 8);
+        for (const bool begin : {true, false}) {
+            w.BeginObject();
+            w.Key("name").String(label);
+            w.Key("cat").String("request");
+            w.Key("ph").String(begin ? "b" : "e");
+            w.Key("id").String(trace);
+            w.Key("pid").Number(uint64_t{1});
+            w.Key("tid").Number(uint64_t{0});
+            w.Key("ts").Number(begin ? extent.begin_us : extent.end_us);
+            w.Key("args").BeginObject();
+            w.Key("trace").String(trace);
+            w.EndObject();
+            w.EndObject();
+        }
+    }
     for (const TraceEvent& e : events) {
         w.BeginObject();
         w.Key("name").String(e.name);
@@ -254,6 +295,11 @@ TraceJson()
         w.Key("tid").Number(static_cast<uint64_t>(e.tid));
         w.Key("ts").Number(e.ts_us);
         w.Key("dur").Number(e.dur_us);
+        if (!e.trace.empty()) {
+            w.Key("args").BeginObject();
+            w.Key("trace").String(e.trace);
+            w.EndObject();
+        }
         w.EndObject();
     }
     w.EndArray();

@@ -47,6 +47,9 @@ void SetTracingEnabled(bool enabled);
 struct TraceEvent {
     std::string name;
     std::string category;
+    /** Trace id of the request this span ran for ("" = none); read
+     *  from the thread-local TraceContext when the span closes. */
+    std::string trace;
     double ts_us = 0.0;   ///< Start, microseconds since trace epoch.
     double dur_us = 0.0;  ///< Duration in microseconds.
     uint32_t tid = 0;     ///< Telemetry thread id (1-based, stable).

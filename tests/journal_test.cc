@@ -10,17 +10,20 @@
 
 #include <cstdio>
 #include <fstream>
+#include <future>
 #include <map>
 #include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "runtime/thread_pool.h"
 #include "telemetry/journal.h"
 #include "telemetry/json.h"
 #include "telemetry/ledger.h"
 #include "telemetry/openmetrics.h"
 #include "telemetry/telemetry.h"
+#include "telemetry/trace_context.h"
 
 namespace xtalk::telemetry {
 namespace {
@@ -80,6 +83,98 @@ TEST_F(JournalTest, EmitRecordsTypedFields)
     EXPECT_EQ(e.fields[2].second.as_uint(), uint64_t{1} << 63);
     EXPECT_EQ(e.fields[3].second.kind(), JournalValue::Kind::kDouble);
     EXPECT_EQ(e.fields[4].second.kind(), JournalValue::Kind::kBool);
+}
+
+/** Find a field's string value on a record; "" when absent. */
+std::string
+FieldString(const JournalRecord& record, const std::string& name)
+{
+    for (const auto& [key, value] : record.fields) {
+        if (key == name && value.kind() == JournalValue::Kind::kString) {
+            return value.str();
+        }
+    }
+    return "";
+}
+
+TEST_F(JournalTest, EmitStampsActiveTraceContext)
+{
+    TraceContext context;
+    ASSERT_TRUE(
+        ParseTraceId("0123456789abcdef0123456789abcdef", &context));
+    ASSERT_TRUE(ParseSpanId("00000000000000aa", &context.span));
+    {
+        ScopedTraceContext scope(context);
+        JournalEmit("test.traced", {{"n", 1}});
+    }
+    JournalEmit("test.untraced", {{"n", 2}});
+    const std::vector<JournalRecord> events =
+        Journal::Global().Snapshot();
+    ASSERT_EQ(events.size(), 2u);
+    EXPECT_EQ(FieldString(events[0], "trace"),
+              "0123456789abcdef0123456789abcdef");
+    EXPECT_EQ(FieldString(events[0], "span"), "00000000000000aa");
+    // Outside the scope the stamp must vanish with the context.
+    EXPECT_EQ(FieldString(events[1], "trace"), "");
+    EXPECT_EQ(FieldString(events[1], "span"), "");
+}
+
+TEST_F(JournalTest, ThreadPoolPropagatesTraceContextIntoWorkers)
+{
+    TraceContext context;
+    ASSERT_TRUE(
+        ParseTraceId("feedfacefeedfacefeedfacefeedface", &context));
+    context.span = 0x1234;
+    runtime::ThreadPool pool(2);
+    {
+        ScopedTraceContext scope(context);
+        std::vector<std::future<void>> done;
+        for (int i = 0; i < 8; ++i) {
+            done.push_back(pool.Submit(
+                [i] { JournalEmit("test.pooled", {{"i", i}}); }));
+        }
+        for (std::future<void>& future : done) {
+            future.get();
+        }
+    }
+    const std::vector<JournalRecord> events =
+        Journal::Global().Snapshot();
+    ASSERT_EQ(events.size(), 8u);
+    for (const JournalRecord& event : events) {
+        // Every pooled job ran under the submitter's request context,
+        // not the worker thread's (empty) default.
+        EXPECT_EQ(FieldString(event, "trace"),
+                  "feedfacefeedfacefeedfacefeedface");
+    }
+}
+
+TEST(TraceContextIds, MintingIsDeterministicWhenSeeded)
+{
+    SeedTraceIds(7);
+    const TraceContext first = MintTraceContext();
+    SeedTraceIds(7);
+    const TraceContext second = MintTraceContext();
+    EXPECT_TRUE(first.valid());
+    EXPECT_EQ(first.trace_id(), second.trace_id());
+    EXPECT_EQ(first.span, second.span);
+    // Documented stream: tools/xtalkd_client.py mints the same ids
+    // from the same seed, so cross-language tooling must agree.
+    EXPECT_EQ(first.trace_id(), "63cbe1e459320dd7044c3cd7f43c661c");
+}
+
+TEST(TraceContextIds, ParseRejectsMalformedAndZeroIds)
+{
+    TraceContext context;
+    EXPECT_FALSE(ParseTraceId("", &context));
+    EXPECT_FALSE(ParseTraceId("0123", &context));
+    EXPECT_FALSE(
+        ParseTraceId("xyzzy6789abcdef0123456789abcdef0", &context));
+    EXPECT_FALSE(
+        ParseTraceId("00000000000000000000000000000000", &context));
+    uint64_t span = 0;
+    EXPECT_FALSE(ParseSpanId("123", &span));
+    EXPECT_TRUE(ParseSpanId("00000000000000ff", &span));
+    EXPECT_EQ(span, 0xffu);
 }
 
 TEST_F(JournalTest, DisabledJournalRecordsNothing)

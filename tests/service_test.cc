@@ -21,7 +21,9 @@
 #include "service/api.h"
 #include "service/engine.h"
 #include "service/snapshot_cache.h"
+#include "telemetry/json.h"
 #include "telemetry/ledger.h"
+#include "telemetry/telemetry.h"
 
 namespace xtalk::service {
 namespace {
@@ -741,6 +743,178 @@ TEST(EngineTest, ReportAndSimulationFillTheirFields)
     ASSERT_EQ(response.code, StatusCode::kOk) << response.error;
     EXPECT_FALSE(response.report.empty());
     EXPECT_FALSE(response.counts.empty());
+}
+
+// ---------------------------------------------------------------------
+// Request tracing, budget attribution, stats
+
+TEST(ServiceRequestTest, TraceFieldRoundTripsAndValidates)
+{
+    ServiceRequest request = TinyRequest();
+    request.trace_id = "0123456789abcdef0123456789abcdef";
+    request.span_id = 0xbeef;
+    std::string error;
+    EXPECT_TRUE(request.Validate(&error)) << error;
+
+    ServiceRequest parsed;
+    ASSERT_TRUE(
+        ServiceRequest::FromJson(request.ToJson(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.trace_id, request.trace_id);
+    EXPECT_EQ(parsed.span_id, request.span_id);
+    // The trace id never feeds the cache/ledger config hash: the same
+    // compile under two traces must share one snapshot.
+    ServiceRequest untraced = TinyRequest();
+    EXPECT_EQ(request.ConfigHash(), untraced.ConfigHash());
+
+    request.trace_id = "not-hex";
+    EXPECT_FALSE(request.Validate(&error));
+    EXPECT_NE(error.find("trace.id"), std::string::npos);
+    request.trace_id = "00000000000000000000000000000000";
+    EXPECT_FALSE(request.Validate(&error));
+}
+
+TEST(ServiceResponseTest, TraceOnlyDeterministicWhenClientSupplied)
+{
+    ServiceResponse response;
+    response.id = "x";
+    response.trace_id = "0123456789abcdef0123456789abcdef";
+    // Service-minted ids are fresh randomness per run, so they belong
+    // with timing: visible in the full projection, absent from the
+    // deterministic one.
+    response.trace_client_supplied = false;
+    EXPECT_NE(response.ToJson(true).find("\"trace\""),
+              std::string::npos);
+    EXPECT_NE(response.ToJson(true).find("\"origin\":\"service\""),
+              std::string::npos);
+    EXPECT_EQ(response.ToJson(false).find("trace"), std::string::npos);
+    // A client-supplied id is part of the request, hence deterministic.
+    response.trace_client_supplied = true;
+    EXPECT_NE(response.ToJson(false).find("\"trace\""),
+              std::string::npos);
+    EXPECT_NE(response.ToJson(false).find("\"origin\":\"client\""),
+              std::string::npos);
+}
+
+TEST(ServiceResponseTest, DiagPhasesAndStatsRoundTrip)
+{
+    ServiceResponse response;
+    response.id = "x";
+    response.diag["inflight"] = 2.0;
+    response.diag["queued"] = 0.0;
+    response.stats_json = "{\"schema\":\"xtalk.svcstats.v1\"}";
+    ServicePhase phase;
+    phase.phase = "schedule";
+    phase.ms = 12.5;
+    phase.pct_of_deadline = 25.0;
+    response.phases.push_back(phase);
+    response.trace_id = "0123456789abcdef0123456789abcdef";
+    response.trace_client_supplied = true;
+
+    ServiceResponse parsed;
+    std::string error;
+    ASSERT_TRUE(
+        ServiceResponse::FromJson(response.ToJson(), &parsed, &error))
+        << error;
+    EXPECT_EQ(parsed.diag, response.diag);
+    EXPECT_EQ(parsed.stats_json, response.stats_json);
+    ASSERT_EQ(parsed.phases.size(), 1u);
+    EXPECT_EQ(parsed.phases[0].phase, "schedule");
+    EXPECT_DOUBLE_EQ(parsed.phases[0].ms, 12.5);
+    ASSERT_TRUE(parsed.phases[0].pct_of_deadline.has_value());
+    EXPECT_DOUBLE_EQ(*parsed.phases[0].pct_of_deadline, 25.0);
+    EXPECT_EQ(parsed.trace_id, response.trace_id);
+    EXPECT_TRUE(parsed.trace_client_supplied);
+    // Phases are wall-clock measurements: timing-projection only.
+    EXPECT_EQ(response.ToJson(false).find("phases"), std::string::npos);
+}
+
+TEST(EngineTest, PhasesPartitionRunMsExactly)
+{
+    Engine engine;
+    ServiceRequest request = TinyRequest();
+    request.deadline_ms = 60000;
+    const ServiceResponse response = engine.Handle(request);
+    ASSERT_EQ(response.code, StatusCode::kOk) << response.error;
+    ASSERT_FALSE(response.phases.empty());
+    double sum = 0.0;
+    bool saw_schedule = false;
+    for (const ServicePhase& phase : response.phases) {
+        EXPECT_GE(phase.ms, 0.0) << phase.phase;
+        // A deadline was set, so every phase reports its budget share.
+        ASSERT_TRUE(phase.pct_of_deadline.has_value()) << phase.phase;
+        EXPECT_DOUBLE_EQ(*phase.pct_of_deadline,
+                         phase.ms / 60000.0 * 100.0);
+        sum += phase.ms;
+        saw_schedule |= phase.phase == "schedule";
+    }
+    EXPECT_TRUE(saw_schedule);
+    EXPECT_EQ(response.phases.back().phase, "other");
+    // The "other" residual makes the partition exact by construction.
+    EXPECT_NEAR(sum, response.run_ms, 1e-9);
+}
+
+TEST(EngineTest, PhasesOmitDeadlineShareWithoutDeadline)
+{
+    Engine engine;
+    const ServiceResponse response = engine.Handle(TinyRequest());
+    ASSERT_EQ(response.code, StatusCode::kOk) << response.error;
+    ASSERT_FALSE(response.phases.empty());
+    for (const ServicePhase& phase : response.phases) {
+        EXPECT_FALSE(phase.pct_of_deadline.has_value()) << phase.phase;
+    }
+}
+
+TEST(EngineTest, EchoesClientTraceAndMintsOtherwise)
+{
+    Engine engine;
+    ServiceRequest request = TinyRequest();
+    request.trace_id = "feedfacefeedfacefeedfacefeedface";
+    ServiceResponse response = engine.Handle(request);
+    ASSERT_EQ(response.code, StatusCode::kOk) << response.error;
+    EXPECT_EQ(response.trace_id, request.trace_id);
+    EXPECT_TRUE(response.trace_client_supplied);
+
+    // Without a client id the service mints one so the run is still
+    // greppable end to end; it is marked service-origin.
+    request.trace_id.clear();
+    request.id = "t2";
+    response = engine.Handle(request);
+    ASSERT_EQ(response.code, StatusCode::kOk) << response.error;
+    EXPECT_EQ(response.trace_id.size(), 32u);
+    EXPECT_FALSE(response.trace_client_supplied);
+}
+
+TEST(EngineTest, StatsKindReturnsServiceSnapshot)
+{
+    // Counters only move while telemetry is on (daemons run that way).
+    telemetry::SetEnabled(true);
+    Engine engine;
+    // One compile first so the counters have something to report.
+    const ServiceResponse compiled = engine.Handle(TinyRequest());
+    ASSERT_EQ(compiled.code, StatusCode::kOk) << compiled.error;
+
+    ServiceRequest request;
+    request.id = "s";
+    request.kind = "stats";
+    const ServiceResponse response = engine.Handle(request);
+    ASSERT_EQ(response.code, StatusCode::kOk) << response.error;
+    ASSERT_FALSE(response.stats_json.empty());
+    telemetry::JsonValue stats;
+    std::string error;
+    ASSERT_TRUE(telemetry::ParseJsonValue(response.stats_json, &stats,
+                                          &error))
+        << error;
+    EXPECT_EQ(stats.GetString("schema"), "xtalk.svcstats.v1");
+    const telemetry::JsonValue* requests = stats.Find("requests");
+    ASSERT_NE(requests, nullptr);
+    EXPECT_GE(requests->GetNumber("total"), 1.0);
+    ASSERT_NE(stats.Find("phases"), nullptr);
+    ASSERT_NE(stats.Find("cache"), nullptr);
+    ASSERT_NE(stats.Find("journal"), nullptr);
+    // The engine alone has no admission gate; only the daemon does.
+    EXPECT_EQ(stats.Find("admission"), nullptr);
+    telemetry::SetEnabled(false);
 }
 
 TEST(EngineTest, FillRunRecordMapsStatusToExitCode)

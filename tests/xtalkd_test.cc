@@ -665,6 +665,231 @@ TEST(XtalkdChaosTest, CacheFillFaultAnswersStructuredErrorThenHeals)
     ::unlink(device_path.c_str());
 }
 
+// ---------------------------------------------------------------------
+// End-to-end request tracing: one trace id per request through the
+// daemon, the journal, and the single-flight cache.
+
+/** A distinct, valid 32-hex trace id for request slot @p index. */
+std::string
+TestTraceId(int index)
+{
+    std::string id(32, '0');
+    id[31] = static_cast<char>('1' + index);
+    return id;
+}
+
+TEST(XtalkdTraceTest, EightConcurrentRequestsKeepTracesSeparate)
+{
+    const std::string journal_path =
+        ::testing::TempDir() + "xtalkd_trace_journal_" +
+        std::to_string(::getpid()) + ".jsonl";
+    ::unlink(journal_path.c_str());
+    DaemonProcess daemon({"--journal", journal_path}, "traces");
+    ASSERT_TRUE(daemon.WaitReady());
+
+    constexpr int kRequests = 8;
+    ServiceResponse responses[kRequests];
+    std::thread clients[kRequests];
+    for (int i = 0; i < kRequests; ++i) {
+        clients[i] = std::thread([&, i] {
+            Client client(daemon);
+            ASSERT_TRUE(client.ok());
+            ServiceRequest mine = ChainCompileRequest(
+                "tr" + std::to_string(i));
+            mine.layout = "trivial";
+            mine.scheduler = "serial";
+            mine.trace_id = TestTraceId(i);
+            responses[i] = client.Call(mine);
+        });
+    }
+    for (std::thread& thread : clients) {
+        thread.join();
+    }
+    for (int i = 0; i < kRequests; ++i) {
+        ASSERT_EQ(responses[i].code, StatusCode::kOk)
+            << responses[i].error;
+        // Each response echoes its own client trace, nobody else's.
+        EXPECT_EQ(responses[i].trace_id, TestTraceId(i)) << i;
+        EXPECT_TRUE(responses[i].trace_client_supplied);
+    }
+
+    {
+        Client closer(daemon);
+        ASSERT_TRUE(closer.ok());
+        ServiceRequest shutdown;
+        shutdown.kind = "shutdown";
+        EXPECT_EQ(closer.Call(shutdown).code, StatusCode::kOk);
+    }
+    ASSERT_EQ(daemon.WaitExit(), 0);
+
+    // Journal forensics: every event that names request tr<i> carries
+    // trace i, every begin has exactly one end under the same trace,
+    // and no line mixes one request's id with another's trace.
+    const std::string journal = ReadFile(journal_path);
+    ASSERT_FALSE(journal.empty());
+    int begins[kRequests] = {};
+    int ends[kRequests] = {};
+    std::istringstream lines(journal);
+    std::string line;
+    while (std::getline(lines, line)) {
+        for (int i = 0; i < kRequests; ++i) {
+            const bool names_request =
+                line.find("\"id\":\"tr" + std::to_string(i) + "\"") !=
+                std::string::npos;
+            const bool has_trace =
+                line.find("\"trace\":\"" + TestTraceId(i) + "\"") !=
+                std::string::npos;
+            if (names_request &&
+                line.find("\"trace\":\"") != std::string::npos) {
+                EXPECT_TRUE(has_trace) << "cross-contaminated: " << line;
+            }
+            if (names_request && has_trace) {
+                if (line.find("\"svc.request.begin\"") !=
+                    std::string::npos) {
+                    ++begins[i];
+                }
+                if (line.find("\"svc.request.end\"") !=
+                    std::string::npos) {
+                    ++ends[i];
+                }
+            }
+        }
+    }
+    for (int i = 0; i < kRequests; ++i) {
+        EXPECT_EQ(begins[i], 1) << "tr" << i;
+        EXPECT_EQ(ends[i], 1) << "tr" << i;
+    }
+    ::unlink(journal_path.c_str());
+}
+
+TEST(XtalkdTraceTest, CacheFollowerLinksLeaderFillSpan)
+{
+    const std::string journal_path =
+        ::testing::TempDir() + "xtalkd_link_journal_" +
+        std::to_string(::getpid()) + ".jsonl";
+    ::unlink(journal_path.c_str());
+    DaemonProcess daemon({"--journal", journal_path}, "links");
+    ASSERT_TRUE(daemon.WaitReady());
+
+    // Two traced requests race for one characterization; the follower
+    // must record which trace paid for the snapshot it reused.
+    ServiceResponse responses[2];
+    std::thread clients[2];
+    for (int i = 0; i < 2; ++i) {
+        clients[i] = std::thread([&, i] {
+            Client client(daemon);
+            ASSERT_TRUE(client.ok());
+            ServiceRequest mine = ChainCompileRequest(
+                "ln" + std::to_string(i));
+            mine.layout = "trivial";
+            mine.scheduler = "greedy";  // Needs a characterization.
+            mine.trace_id = TestTraceId(i);
+            responses[i] = client.Call(mine);
+        });
+    }
+    for (std::thread& thread : clients) {
+        thread.join();
+    }
+    ASSERT_EQ(responses[0].code, StatusCode::kOk) << responses[0].error;
+    ASSERT_EQ(responses[1].code, StatusCode::kOk) << responses[1].error;
+    ASSERT_NE(responses[0].cache_hit, responses[1].cache_hit);
+    const int leader = responses[0].cache_hit ? 1 : 0;
+    const int follower = 1 - leader;
+
+    {
+        Client closer(daemon);
+        ASSERT_TRUE(closer.ok());
+        ServiceRequest shutdown;
+        shutdown.kind = "shutdown";
+        EXPECT_EQ(closer.Call(shutdown).code, StatusCode::kOk);
+    }
+    ASSERT_EQ(daemon.WaitExit(), 0);
+
+    const std::string journal = ReadFile(journal_path);
+    ASSERT_FALSE(journal.empty());
+    bool saw_fill = false;
+    bool saw_link = false;
+    std::istringstream lines(journal);
+    std::string line;
+    while (std::getline(lines, line)) {
+        if (line.find("\"svc.cache.fill\"") != std::string::npos &&
+            line.find("\"fill_span\"") != std::string::npos &&
+            line.find("\"trace\":\"" + TestTraceId(leader) + "\"") !=
+                std::string::npos) {
+            saw_fill = true;
+        }
+        if (line.find("\"svc.cache.link\"") != std::string::npos &&
+            line.find("\"link_trace\":\"" + TestTraceId(leader) +
+                      "\"") != std::string::npos &&
+            line.find("\"trace\":\"" + TestTraceId(follower) + "\"") !=
+                std::string::npos) {
+            saw_link = true;
+        }
+    }
+    EXPECT_TRUE(saw_fill)
+        << "leader's svc.cache.fill missing its fill_span or trace";
+    EXPECT_TRUE(saw_link)
+        << "follower's svc.cache.link does not point at the leader";
+    ::unlink(journal_path.c_str());
+}
+
+TEST(XtalkdTraceTest, SeededCliTraceIsDeterministic)
+{
+    const std::string dir = ::testing::TempDir();
+    const std::string tag = std::to_string(::getpid());
+    const std::string qasm_path = dir + "xtalkd_seed_in_" + tag + ".qasm";
+    const std::string first_path = dir + "xtalkd_seed_a_" + tag + ".json";
+    const std::string second_path =
+        dir + "xtalkd_seed_b_" + tag + ".json";
+    const std::string charz_path =
+        dir + "xtalkd_seed_charz_" + tag + ".txt";
+    {
+        const Device device = MakePoughkeepsie();
+        RbConfig config;
+        config.lengths = {1, 2, 4, 7, 12, 20, 30};
+        config.sequences_per_length = 4;
+        config.shots = 128;
+        config.seed = 99;
+        SaveCharacterization(charz_path,
+                             CharacterizeDevice(device, config),
+                             device.name());
+        std::ofstream out(qasm_path);
+        out << kChainQasm;
+    }
+    const auto run = [&](const std::string& response_path) {
+        const std::string command =
+            std::string(XTALK_XTALKC_BIN) +
+            " --scheduler serial --characterization " + charz_path +
+            " --trace-seed 7 --response-json " + response_path + " " +
+            qasm_path + " > /dev/null 2>&1";
+        ASSERT_EQ(std::system(command.c_str()), 0) << command;
+    };
+    run(first_path);
+    run(second_path);
+
+    ServiceResponse first;
+    ServiceResponse second;
+    std::string error;
+    ASSERT_TRUE(ServiceResponse::FromJson(ReadFile(first_path), &first,
+                                          &error))
+        << error;
+    ASSERT_TRUE(ServiceResponse::FromJson(ReadFile(second_path),
+                                          &second, &error))
+        << error;
+    // Same seed, same edge-minted trace id — and the documented
+    // cross-tool stream (tools/xtalkd_client.py mints the same id).
+    EXPECT_EQ(first.trace_id, "63cbe1e459320dd7044c3cd7f43c661c");
+    EXPECT_EQ(first.trace_id, second.trace_id);
+    EXPECT_TRUE(first.trace_client_supplied);
+    // The client-supplied trace is part of the deterministic
+    // projection, so the whole projection must be byte-identical.
+    EXPECT_EQ(Canonical(first), Canonical(second));
+    ::unlink(qasm_path.c_str());
+    ::unlink(first_path.c_str());
+    ::unlink(second_path.c_str());
+    ::unlink(charz_path.c_str());
+}
+
 }  // namespace
 }  // namespace xtalk
 

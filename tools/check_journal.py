@@ -2,6 +2,7 @@
 """Minimal format checker for xtalk journal dumps (xtalk.journal.v1).
 
 Usage: check_journal.py FILE [--require-type TYPE ...]
+                             [--pair BEGIN:END ...]
 
 Validates, line by line, that:
   * every line is a standalone JSON object,
@@ -10,7 +11,11 @@ Validates, line by line, that:
   * every subsequent line is an event with ts_us, seq, shard, and type,
   * within each shard, seq is strictly increasing and ts_us never
     decreases (the journal's per-shard total-order guarantee),
-  * every --require-type TYPE appears at least once.
+  * every --require-type TYPE appears at least once,
+  * for every --pair BEGIN:END (e.g. svc.request.begin:svc.request.end),
+    the two types appear equally often overall AND per trace id: each
+    trace that opened a BEGIN closed exactly as many ENDs — no request
+    vanished mid-flight, even during shutdown drain.
 
 Exits 0 when the dump is well-formed, 1 otherwise, printing the first
 problem found. Stdlib only, so it can run in any CI image with python3.
@@ -31,10 +36,19 @@ def main(argv):
         return 2
     path = argv[1]
     required = []
+    pairs = []
     args = argv[2:]
     while args:
         if args[0] == "--require-type" and len(args) >= 2:
             required.append(args[1])
+            args = args[2:]
+        elif args[0] == "--pair" and len(args) >= 2:
+            begin, sep, end = args[1].partition(":")
+            if not sep or not begin or not end:
+                print(f"check_journal: --pair wants BEGIN:END, "
+                      f"got {args[1]!r}", file=sys.stderr)
+                return 2
+            pairs.append((begin, end))
             args = args[2:]
         else:
             print(f"check_journal: unknown argument {args[0]}",
@@ -63,6 +77,8 @@ def main(argv):
     last_seq = {}
     last_ts = {}
     seen_types = set()
+    # type -> trace id (or "" when unstamped) -> count, for --pair.
+    type_traces = {}
     for number, line in enumerate(lines[1:], start=2):
         try:
             event = json.loads(line)
@@ -81,6 +97,9 @@ def main(argv):
         last_seq[shard] = event["seq"]
         last_ts[shard] = event["ts_us"]
         seen_types.add(event["type"])
+        trace = event.get("fields", {}).get("trace", "")
+        per_trace = type_traces.setdefault(event["type"], {})
+        per_trace[trace] = per_trace.get(trace, 0) + 1
 
     if len(lines) - 1 != header["events"]:
         return fail(f"header says {header['events']} events, "
@@ -90,6 +109,24 @@ def main(argv):
     if missing:
         return fail(f"required event types absent: {missing} "
                     f"(saw {sorted(seen_types)})")
+
+    for begin, end in pairs:
+        begins = type_traces.get(begin, {})
+        ends = type_traces.get(end, {})
+        total_begin = sum(begins.values())
+        total_end = sum(ends.values())
+        if total_begin != total_end:
+            return fail(f"pair {begin}:{end} unbalanced: "
+                        f"{total_begin} begins vs {total_end} ends")
+        for trace in sorted(set(begins) | set(ends)):
+            opened = begins.get(trace, 0)
+            closed = ends.get(trace, 0)
+            if opened != closed:
+                label = trace or "<unstamped>"
+                return fail(f"pair {begin}:{end} leaks trace {label}: "
+                            f"{opened} begins vs {closed} ends")
+        if not begins:
+            return fail(f"pair {begin}:{end} never occurred")
 
     print(f"check_journal: OK: {len(lines) - 1} events, "
           f"{len(seen_types)} types, {header['dropped']} dropped")

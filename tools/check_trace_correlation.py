@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Cross-artifact trace correlation checker for xtalkd observability.
+
+Usage: check_trace_correlation.py --journal FILE --ledger FILE
+                                  [--stats FILE]
+
+A request that went through xtalkd leaves three footprints: paired
+svc.request.begin/end journal events, one xtalk.ledger.v1 line per
+compile, and the aggregated counters behind the `stats` request kind.
+This checker proves the three artifacts tell one consistent story:
+
+  * every compile that the journal saw end also landed in the ledger —
+    the count of svc.request.end events with kind "compile" equals the
+    ledger's record count;
+  * the trace ids agree: the set of trace ids on the ledger records is
+    exactly the set of trace ids on the journal's compile begin/end
+    pairs (so a single grep by trace id spans both artifacts);
+  * when --stats is given (the "stats" field of a stats response, saved
+    to a file), requests.total covers at least the ledger count — the
+    daemon's aggregate counters did not lose requests.
+
+Exits 0 when the artifacts agree, 1 with the first mismatch otherwise.
+Stdlib only, so it runs in any CI image with python3.
+"""
+
+import argparse
+import json
+import sys
+
+
+def fail(message):
+    print(f"check_trace_correlation: FAIL: {message}", file=sys.stderr)
+    return 1
+
+
+def load_journal(path):
+    """Returns (end_count, trace id set) for compile request events."""
+    with open(path, encoding="utf-8") as handle:
+        lines = handle.read().splitlines()
+    if not lines:
+        raise ValueError("empty journal")
+    header = json.loads(lines[0])
+    if header.get("schema") != "xtalk.journal.v1":
+        raise ValueError(f"bad journal schema: {header.get('schema')!r}")
+    compile_ends = 0
+    traces = set()
+    for line in lines[1:]:
+        event = json.loads(line)
+        fields = event.get("fields", {})
+        if fields.get("kind") != "compile":
+            continue
+        if event.get("type") == "svc.request.end":
+            compile_ends += 1
+        if event.get("type") in ("svc.request.begin", "svc.request.end"):
+            trace = fields.get("trace", "")
+            if trace:
+                traces.add(trace)
+    return compile_ends, traces
+
+
+def load_ledger(path):
+    """Returns (record_count, trace id set) from xtalk.ledger.v1."""
+    count = 0
+    traces = set()
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            if record.get("schema") != "xtalk.ledger.v1":
+                raise ValueError(
+                    f"bad ledger schema: {record.get('schema')!r}")
+            count += 1
+            trace = record.get("trace", "")
+            if trace:
+                traces.add(trace)
+    return count, traces
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--journal", required=True,
+                        help="journal dump (xtalk.journal.v1 JSONL)")
+    parser.add_argument("--ledger", required=True,
+                        help="run ledger (xtalk.ledger.v1 JSONL)")
+    parser.add_argument("--stats",
+                        help="xtalk.svcstats.v1 JSON saved from a "
+                             "stats response's 'stats' field")
+    args = parser.parse_args()
+
+    try:
+        journal_ends, journal_traces = load_journal(args.journal)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        return fail(f"journal {args.journal}: {err}")
+    try:
+        ledger_count, ledger_traces = load_ledger(args.ledger)
+    except (OSError, ValueError, json.JSONDecodeError) as err:
+        return fail(f"ledger {args.ledger}: {err}")
+
+    if journal_ends != ledger_count:
+        return fail(f"journal saw {journal_ends} compile request ends "
+                    f"but the ledger has {ledger_count} records")
+    if journal_traces != ledger_traces:
+        only_journal = sorted(journal_traces - ledger_traces)
+        only_ledger = sorted(ledger_traces - journal_traces)
+        return fail(f"trace sets disagree: journal-only={only_journal} "
+                    f"ledger-only={only_ledger}")
+
+    if args.stats:
+        try:
+            with open(args.stats, encoding="utf-8") as handle:
+                stats = json.load(handle)
+        except (OSError, json.JSONDecodeError) as err:
+            return fail(f"stats {args.stats}: {err}")
+        if stats.get("schema") != "xtalk.svcstats.v1":
+            return fail(f"bad stats schema: {stats.get('schema')!r}")
+        total = stats.get("requests", {}).get("total", 0)
+        if total < ledger_count:
+            return fail(f"stats requests.total={total} is below the "
+                        f"ledger's {ledger_count} compile records")
+
+    print(f"check_trace_correlation: OK: {ledger_count} compiles, "
+          f"{len(ledger_traces)} traced, artifacts agree")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

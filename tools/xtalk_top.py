@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""xtalk_top: a live terminal dashboard for a running xtalkd.
+
+Stdlib only. Polls the daemon's gate-bypassing `stats` request kind
+(docs/SERVICE.md, schema xtalk.svcstats.v1) over the AF_UNIX socket and
+renders request totals, per-phase latency percentiles, cache hit rates,
+portfolio win rates, and admission-gate pressure — refreshing in place
+like top(1):
+
+    xtalkd --socket /tmp/xtalkd.sock &
+    tools/xtalk_top.py --socket /tmp/xtalkd.sock            # refresh loop
+    tools/xtalk_top.py --socket /tmp/xtalkd.sock --once     # one snapshot
+    tools/xtalk_top.py --socket /tmp/xtalkd.sock --json     # raw stats
+
+`stats` bypasses the admission gate (like ping), so the dashboard stays
+live even when the daemon is saturated with compiles — that is exactly
+when you want to watch it. Exit codes: 0 on a clean run (or --once
+success), 1 when the daemon cannot be reached.
+"""
+import argparse
+import json
+import socket
+import sys
+import time
+
+
+def fetch_stats(path, timeout_s):
+    """One stats request; returns the parsed xtalk.svcstats.v1 dict."""
+    sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    sock.settimeout(timeout_s)
+    try:
+        sock.connect(path)
+        request = {"schema": "xtalk.request.v1", "id": "xtalk-top",
+                   "kind": "stats"}
+        sock.sendall((json.dumps(request) + "\n").encode("utf-8"))
+        buf = b""
+        while not buf.endswith(b"\n"):
+            chunk = sock.recv(65536)
+            if not chunk:
+                raise RuntimeError(
+                    "daemon closed the connection without a response")
+            buf += chunk
+    finally:
+        sock.close()
+    response = json.loads(buf.decode("utf-8"))
+    if response.get("status") != "ok":
+        raise RuntimeError("stats request answered %r"
+                           % response.get("error", response))
+    return json.loads(response["stats"])
+
+
+def _bar(fraction, width=20):
+    fraction = max(0.0, min(1.0, fraction))
+    filled = int(round(fraction * width))
+    return "#" * filled + "." * (width - filled)
+
+
+def render(stats, previous, elapsed_s):
+    """Format one xtalk.svcstats.v1 snapshot as dashboard lines."""
+    lines = []
+    requests = stats.get("requests", {})
+    total = requests.get("total", 0)
+    rate = ""
+    if previous is not None and elapsed_s > 0:
+        delta = total - previous.get("requests", {}).get("total", 0)
+        rate = "  (%.1f req/s)" % (delta / elapsed_s)
+    lines.append("xtalk_top — requests: %d%s" % (total, rate))
+
+    by_status = requests.get("by_status", {})
+    if by_status:
+        lines.append("  status   " + "  ".join(
+            "%s=%d" % (status, count)
+            for status, count in sorted(by_status.items())))
+    latency = requests.get("latency_ms")
+    if latency:
+        lines.append(
+            "  latency  p50=%.1fms p90=%.1fms p99=%.1fms mean=%.1fms"
+            % (latency.get("p50", 0), latency.get("p90", 0),
+               latency.get("p99", 0), latency.get("mean", 0)))
+
+    phases = stats.get("phases", {})
+    if phases:
+        lines.append("")
+        lines.append("  %-14s %8s %10s %10s %10s" %
+                     ("phase", "count", "p50 ms", "p90 ms", "p99 ms"))
+        for name, summary in sorted(phases.items()):
+            lines.append("  %-14s %8d %10.2f %10.2f %10.2f" %
+                         (name, summary.get("count", 0),
+                          summary.get("p50", 0), summary.get("p90", 0),
+                          summary.get("p99", 0)))
+
+    admission = stats.get("admission")
+    if admission:
+        lines.append("")
+        lines.append(
+            "  gate     running=%d waiting=%d admitted=%d "
+            "rejected=%d timed_out=%d"
+            % (admission.get("running", 0), admission.get("waiting", 0),
+               admission.get("admitted", 0), admission.get("rejected", 0),
+               admission.get("timed_out", 0)))
+
+    cache = stats.get("cache")
+    if cache:
+        hit_rate = cache.get("hit_rate", 0.0)
+        lines.append(
+            "  cache    [%s] %3.0f%% hit  size=%d evictions=%d"
+            % (_bar(hit_rate), hit_rate * 100, cache.get("size", 0),
+               cache.get("evictions", 0)))
+
+    portfolio = stats.get("portfolio", {})
+    wins = portfolio.get("wins", {})
+    if portfolio.get("races", 0) or wins:
+        parts = "  ".join("%s=%d" % (member, count)
+                          for member, count in sorted(wins.items()))
+        lines.append("  races    %d (fallbacks=%d)  wins: %s"
+                     % (portfolio.get("races", 0),
+                        portfolio.get("fallbacks", 0), parts or "-"))
+
+    journal = stats.get("journal", {})
+    trace_buffer = stats.get("trace_buffer", {})
+    lines.append(
+        "  journal  events=%d dropped=%d   trace events=%d dropped=%d"
+        % (journal.get("events", 0), journal.get("dropped", 0),
+           trace_buffer.get("events", 0), trace_buffer.get("dropped", 0)))
+    return lines
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--socket", required=True,
+                        help="AF_UNIX socket path xtalkd listens on")
+    parser.add_argument("--interval", type=float, default=1.0,
+                        help="seconds between refreshes")
+    parser.add_argument("--once", action="store_true",
+                        help="print one snapshot and exit")
+    parser.add_argument("--json", action="store_true",
+                        help="print the raw xtalk.svcstats.v1 JSON "
+                             "instead of the rendered dashboard")
+    parser.add_argument("--timeout", type=float, default=10.0,
+                        help="seconds to wait for each stats response")
+    args = parser.parse_args()
+
+    previous = None
+    previous_at = None
+    while True:
+        try:
+            stats = fetch_stats(args.socket, args.timeout)
+        except (OSError, RuntimeError, ValueError, KeyError) as error:
+            print("error: %s" % error, file=sys.stderr)
+            return 1
+        if args.json:
+            print(json.dumps(stats, indent=2, sort_keys=True))
+        else:
+            now = time.monotonic()
+            elapsed = (now - previous_at) if previous_at else 0.0
+            lines = render(stats, previous, elapsed)
+            if not args.once:
+                # Clear and home, like top(1); plain ANSI keeps this
+                # dependency-free and pipe-safe with --once.
+                sys.stdout.write("\x1b[2J\x1b[H")
+            print("\n".join(lines))
+            sys.stdout.flush()
+            previous, previous_at = stats, now
+        if args.once:
+            return 0
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -31,7 +31,9 @@
  * exit-code-3 runs leave evidence), --metrics-prom dumps the registry
  * in OpenMetrics/Prometheus text format, --ledger appends a one-line
  * per-run summary record, --response-json dumps the full
- * xtalk.response.v1 message, --log-level controls stderr verbosity.
+ * xtalk.response.v1 message, --trace-seed mints a deterministic
+ * request trace id at the edge (end-to-end request tracing),
+ * --log-level controls stderr verbosity.
  *
  * Exit codes (common/status.h, pinned by common_test): 0 success,
  * 1 I/O or telemetry-write failure, 2 invalid usage or input
@@ -61,6 +63,7 @@
 #include "telemetry/profiler.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
 
 using namespace xtalk;
 
@@ -90,6 +93,8 @@ struct Options {
     double omega = 0.5;
     int simulate_shots = 0;
     int threads = 0;
+    uint64_t trace_seed = 0;
+    bool has_trace_seed = false;
     bool report = false;
     bool list_passes = false;
     bool list_schedulers = false;
@@ -154,6 +159,11 @@ PrintUsage()
         "  --response-json <file>     dump the xtalk.response.v1 message\n"
         "                             for this run (the daemon's wire\n"
         "                             format; see docs/SERVICE.md)\n"
+        "  --trace-seed <n>           mint the request's trace id from a\n"
+        "                             deterministic stream seeded with n\n"
+        "                             (same as XTALK_TRACE_SEED); without\n"
+        "                             either, the service mints a random\n"
+        "                             id (see docs/OBSERVABILITY.md)\n"
         "  --log-level <level>        quiet | warn | info | debug\n"
         "  --help\n";
 }
@@ -223,6 +233,9 @@ ParseArgs(int argc, char** argv, Options* options)
             options->ledger_path = next("--ledger");
         } else if (arg == "--response-json") {
             options->response_json_path = next("--response-json");
+        } else if (arg == "--trace-seed") {
+            options->trace_seed = std::stoull(next("--trace-seed"));
+            options->has_trace_seed = true;
         } else if (arg == "--log-level") {
             options->log_level = next("--log-level");
         } else if (arg == "--report") {
@@ -513,6 +526,20 @@ main(int argc, char** argv)
     }
 
     service::ServiceRequest request = MakeRequest(options);
+    if (options.has_trace_seed) {
+        telemetry::SeedTraceIds(options.trace_seed);
+    }
+    // Mint the trace id at the edge only when a deterministic stream
+    // was requested (--trace-seed or XTALK_TRACE_SEED): a client-
+    // supplied id appears in the deterministic response projection, so
+    // it must itself be reproducible. Otherwise the engine mints a
+    // random id that lives only in the timed projection.
+    if (options.has_trace_seed || telemetry::TraceIdsSeeded()) {
+        const telemetry::TraceContext minted =
+            telemetry::MintTraceContext();
+        request.trace_id = minted.trace_id();
+        request.span_id = minted.span;
+    }
 
     telemetry::RunRecord ledger;
     ledger.run_id = telemetry::RunId();

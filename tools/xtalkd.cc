@@ -17,23 +17,30 @@
  * compiles run at once, at most --max-queue more wait for a slot, and
  * anything beyond that is rejected immediately with a structured
  * "rejected" response (overload degrades to fast honest rejections,
- * not unbounded latency). `ping` and `shutdown` bypass the gate.
- * Per-request deadlines (`deadline_ms`) keep ticking while queued and
- * clamp the SMT solver budget once running.
+ * not unbounded latency). `ping`, `stats`, and `shutdown` bypass the
+ * gate. Per-request deadlines (`deadline_ms`) keep ticking while
+ * queued and clamp the SMT solver budget once running.
  *
  * Concurrent requests needing the same on-the-fly characterization
  * share one single-flight measurement through the engine's snapshot
  * cache; responses carry `cache_hit` so clients can tell.
  *
- * Observability: --journal / --stats-json / --metrics-prom dump the
- * flight-recorder journal (svc.accept / svc.start / svc.done /
- * svc.reject / svc.timeout events) and the metric registry
- * (svc.requests, svc.request_ms, svc.queue.depth[_hwm],
- * svc.inflight[_hwm], svc.cache.hits/misses, svc.rejected) at
- * shutdown; --ledger appends one RunRecord per compile request as it
- * completes. Shutdown is graceful on SIGINT/SIGTERM, a `shutdown`
- * request, or after --max-requests: stop accepting, drain in-flight
- * connections, write telemetry, unlink the socket.
+ * Observability: every request is traced end to end — the connection
+ * adopts the client's trace id (request `trace` object) or mints one,
+ * and every journal event, span, ledger record, and response between
+ * `svc.request.begin` and `svc.request.end` carries it (see
+ * docs/OBSERVABILITY.md). The `stats` kind answers a live
+ * xtalk.svcstats.v1 snapshot (tools/xtalk_top.py renders it).
+ * --journal / --stats-json / --metrics-prom / --trace-json dump the
+ * flight-recorder journal (svc.accept / svc.request.begin / svc.start
+ * / svc.done / svc.request.end / svc.reject / svc.timeout events),
+ * the metric registry (svc.requests, svc.request_ms,
+ * svc.queue.depth[_hwm], svc.inflight[_hwm], svc.cache.hits/misses,
+ * svc.rejected), and the Chrome trace at shutdown; --ledger appends
+ * one RunRecord per compile request as it completes. Shutdown is
+ * graceful on SIGINT/SIGTERM, a `shutdown` request, or after
+ * --max-requests: stop accepting, drain in-flight connections, write
+ * telemetry, unlink the socket.
  */
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -62,11 +69,13 @@
 #include "service/admission.h"
 #include "service/api.h"
 #include "service/engine.h"
+#include "service/stats.h"
 #include "telemetry/journal.h"
 #include "telemetry/ledger.h"
 #include "telemetry/openmetrics.h"
 #include "telemetry/telemetry.h"
 #include "telemetry/trace.h"
+#include "telemetry/trace_context.h"
 
 using namespace xtalk;
 
@@ -78,6 +87,7 @@ struct Options {
     std::string ledger_path;
     std::string metrics_prom_path;
     std::string stats_json_path;
+    std::string trace_json_path;
     std::string log_level;
     std::string faults;
     int max_concurrent = 4;
@@ -121,6 +131,9 @@ PrintUsage()
         "                         request as it completes (JSONL)\n"
         "  --stats-json <file>    dump telemetry metrics as JSON at\n"
         "                         shutdown\n"
+        "  --trace-json <file>    capture spans and dump a Chrome\n"
+        "                         trace_event file at shutdown (one\n"
+        "                         async lane per request trace)\n"
         "  --metrics-prom <file>  dump metrics in OpenMetrics text\n"
         "                         format at shutdown\n"
         "  --log-level <level>    quiet | warn | info | debug\n"
@@ -178,6 +191,8 @@ ParseArgs(int argc, char** argv, Options* options)
             options->ledger_path = next("--ledger");
         } else if (arg == "--stats-json") {
             options->stats_json_path = next("--stats-json");
+        } else if (arg == "--trace-json") {
+            options->trace_json_path = next("--trace-json");
         } else if (arg == "--metrics-prom") {
             options->metrics_prom_path = next("--metrics-prom");
         } else if (arg == "--log-level") {
@@ -357,14 +372,33 @@ service::ServiceResponse
 ServeRequest(Daemon* daemon, const service::ServiceRequest& request)
 {
     using Clock = std::chrono::steady_clock;
-    // ping/shutdown are protocol chatter, not pipeline work: they must
-    // answer even when the queue is saturated, so they skip the gate.
+    // ping/stats/shutdown are protocol chatter, not pipeline work: they
+    // must answer even when the queue is saturated, so they skip the
+    // gate — an operator polling `stats` sees a saturated daemon, not a
+    // queue position behind it.
     if (request.kind != "compile") {
         service::ServiceResponse response = daemon->engine.Handle(request);
         if (request.kind == "ping" &&
             response.code == StatusCode::kOk) {
             // Liveness probes double as a health readout: chaos
             // campaigns assert inflight drains to zero through here.
+            response.diag["inflight"] =
+                static_cast<double>(daemon->gate.running());
+            response.diag["queued"] =
+                static_cast<double>(daemon->gate.waiting());
+            response.diag["admitted"] =
+                static_cast<double>(daemon->gate.admitted());
+            response.diag["rejected"] =
+                static_cast<double>(daemon->gate.rejected());
+            response.diag["timed_out"] =
+                static_cast<double>(daemon->gate.timed_out());
+            response.diag["cache_size"] =
+                static_cast<double>(daemon->engine.cache().size());
+            response.diag["cache_evictions"] =
+                static_cast<double>(daemon->engine.cache().evictions());
+            // Legacy key=value diagnostics: kept one release behind the
+            // structured `diag` object above (docs/SERVICE.md), then
+            // gone. New consumers must read `diag`.
             response.diagnostics.push_back(
                 "inflight=" + std::to_string(daemon->gate.running()));
             response.diagnostics.push_back(
@@ -375,6 +409,22 @@ ServeRequest(Daemon* daemon, const service::ServiceRequest& request)
             response.diagnostics.push_back(
                 "cache_evictions=" +
                 std::to_string(daemon->engine.cache().evictions()));
+            response.diagnostics.push_back(
+                "deprecated: key=value ping diagnostics are superseded "
+                "by the 'diag' object and will be removed next release");
+        } else if (request.kind == "stats" &&
+                   response.code == StatusCode::kOk) {
+            // The engine built a cache-only snapshot; rebuild with the
+            // admission gate layered in — only the daemon knows it.
+            service::ServiceStatsInfo info;
+            info.cache = &daemon->engine.cache();
+            info.has_gate = true;
+            info.running = daemon->gate.running();
+            info.waiting = daemon->gate.waiting();
+            info.admitted = daemon->gate.admitted();
+            info.rejected = daemon->gate.rejected();
+            info.timed_out = daemon->gate.timed_out();
+            response.stats_json = service::BuildServiceStatsJson(info);
         }
         return response;
     }
@@ -422,6 +472,20 @@ ServeRequest(Daemon* daemon, const service::ServiceRequest& request)
     }
     daemon->gate.Leave();
     response.queue_ms = queue_ms;
+    // The admission wait happened before the engine saw the request, so
+    // the daemon owns its slice of the budget attribution.
+    service::ServicePhase admission;
+    admission.phase = "admission";
+    admission.ms = queue_ms;
+    if (request.deadline_ms > 0) {
+        admission.pct_of_deadline =
+            queue_ms / static_cast<double>(request.deadline_ms) * 100.0;
+    }
+    response.phases.insert(response.phases.begin(), admission);
+    if (telemetry::Enabled()) {
+        telemetry::GetHistogram("svc.phase.admission.ms")
+            .Record(queue_ms);
+    }
     return response;
 }
 
@@ -483,6 +547,32 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
             }
             service::ServiceRequest request;
             std::string parse_error;
+            // Parse before the fault seam so the connection can adopt
+            // the client's trace id (and echo the request id) even for
+            // requests that are about to fail injected reads.
+            const bool parsed_ok = service::ServiceRequest::FromJson(
+                line, &request, &parse_error);
+            // Establish the request's trace context at the edge: the
+            // client's id when it sent one, a daemon mint otherwise.
+            // Every journal event, span, ledger record, and response
+            // for this line — whatever path it exits through — carries
+            // this one id.
+            telemetry::TraceContext context;
+            bool client_trace = false;
+            if (parsed_ok && !request.trace_id.empty() &&
+                telemetry::ParseTraceId(request.trace_id, &context)) {
+                context.span = request.span_id != 0
+                                   ? request.span_id
+                                   : telemetry::MintSpanId();
+                client_trace = true;
+            } else {
+                context = telemetry::MintTraceContext();
+            }
+            telemetry::ScopedTraceContext trace_scope(context);
+            telemetry::JournalEmit("svc.request.begin",
+                                   {{"conn", conn_id},
+                                    {"id", request.id},
+                                    {"kind", request.kind}});
             service::ServiceResponse response;
             // Catch-all per line: Engine::Handle never throws by
             // contract, but an exception that slips through anything
@@ -494,8 +584,7 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
                 // request exists" — chaos plans inject here to prove a
                 // poisoned read fails one request, not the daemon.
                 faults::MaybeInject("svc.read");
-                if (!service::ServiceRequest::FromJson(line, &request,
-                                                       &parse_error)) {
+                if (!parsed_ok) {
                     response = MakeErrorResponse(
                         service::ServiceRequest{}, StatusCode::kError,
                         "bad request: " + parse_error);
@@ -519,11 +608,28 @@ ServeConnection(Daemon* daemon, int fd, long conn_id)
                 response = MakeErrorResponse(request, StatusCode::kInternal,
                                              "internal error");
             }
-            if (!WriteLine(fd, response.ToJson())) {
+            if (response.trace_id.empty()) {
+                // Paths that never reached the engine (parse errors,
+                // injected read faults, rejections) still answer with
+                // the connection's trace id.
+                response.trace_id = context.trace_id();
+                response.trace_client_supplied = client_trace;
+            }
+            const bool written = WriteLine(fd, response.ToJson());
+            if (!written) {
                 Warn("client went away mid-response (conn " +
                      std::to_string(conn_id) + ")");
                 open = false;
             }
+            // One svc.request.end per svc.request.begin, on every exit
+            // path — ok, error, rejected, timeout, even a vanished
+            // client — so per-trace begin/end pairing is checkable.
+            telemetry::JournalEmit("svc.request.end",
+                                   {{"conn", conn_id},
+                                    {"id", request.id},
+                                    {"kind", request.kind},
+                                    {"status", response.status()},
+                                    {"written", written}});
             const long served = ++daemon->requests_served;
             if (request.kind == "shutdown") {
                 Inform("shutdown requested by client");
@@ -579,6 +685,14 @@ WriteTelemetryOutputs(const Options& options)
         if (telemetry::WriteOpenMetrics(options.metrics_prom_path,
                                         &error)) {
             Inform("wrote OpenMetrics to " + options.metrics_prom_path);
+        } else {
+            std::cerr << "error: " << error << "\n";
+            ok = false;
+        }
+    }
+    if (!options.trace_json_path.empty()) {
+        if (telemetry::WriteTraceJson(options.trace_json_path, &error)) {
+            Inform("wrote Chrome trace to " + options.trace_json_path);
         } else {
             std::cerr << "error: " << error << "\n";
             ok = false;
@@ -652,6 +766,9 @@ main(int argc, char** argv)
     // cannot be debugged after the fact.
     telemetry::SetEnabled(true);
     telemetry::SetJournalEnabled(true);
+    if (!options.trace_json_path.empty()) {
+        telemetry::SetTracingEnabled(true);
+    }
     telemetry::SetCurrentThreadName("acceptor");
     if (!options.journal_path.empty()) {
         telemetry::ArmCrashDump(options.journal_path);

@@ -7,7 +7,14 @@ CI smoke jobs, operator shells, quick protocol experiments:
     xtalkd --socket /tmp/xtalkd.sock &
     tools/xtalkd_client.py --socket /tmp/xtalkd.sock --qasm in.qasm \
         --scheduler xtalk --report
+    tools/xtalkd_client.py --socket /tmp/xtalkd.sock --kind stats
     tools/xtalkd_client.py --socket /tmp/xtalkd.sock --kind shutdown
+
+`--kind stats` returns a live xtalk.svcstats.v1 snapshot (phase latency
+percentiles, cache rates, admission counts) in the response's "stats"
+field; tools/xtalk_top.py turns it into a refreshing dashboard.
+`--trace-seed N` mints a deterministic trace id into the request so one
+grep over the daemon's journal follows the request end to end.
 
 Prints the raw response line (one JSON object) to stdout and exits
 with the same code the equivalent xtalkc run would use (the
@@ -26,6 +33,7 @@ count drained to zero. Exit 0 means the daemon survived the campaign:
 """
 import argparse
 import json
+import os
 import socket
 import sys
 import threading
@@ -41,6 +49,28 @@ EXIT_CODES = {
     "timeout": 2,
 }
 
+_MASK64 = (1 << 64) - 1
+
+
+def _splitmix64(state):
+    """One SplitMix64 step; mirrors src/telemetry/trace_context.cc so a
+    seed mints the same trace ids here as `xtalkc --trace-seed`."""
+    state = (state + 0x9E3779B97F4A7C15) & _MASK64
+    z = state
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return state, z ^ (z >> 31)
+
+
+def mint_trace(seed):
+    """Deterministic {id, span} wire object for xtalk.request.v1."""
+    state, hi = _splitmix64(seed)
+    state, lo = _splitmix64(state)
+    _, span = _splitmix64(state)
+    if hi == 0 and lo == 0:
+        lo = 1  # The all-zero trace id means "no trace".
+    return {"id": "%016x%016x" % (hi, lo), "span": "%016x" % span}
+
 
 def build_request(args):
     request = {
@@ -48,6 +78,14 @@ def build_request(args):
         "id": args.id,
         "kind": args.kind,
     }
+    trace_seed = args.trace_seed
+    if trace_seed is None and os.environ.get("XTALK_TRACE_SEED"):
+        try:
+            trace_seed = int(os.environ["XTALK_TRACE_SEED"])
+        except ValueError:
+            trace_seed = None
+    if trace_seed is not None:
+        request["trace"] = mint_trace(trace_seed)
     if args.kind == "compile":
         with open(args.qasm, "r", encoding="utf-8") as handle:
             request["qasm"] = handle.read()
@@ -127,6 +165,12 @@ def _ping_diagnostics(path, timeout_s=30.0):
                "kind": "ping"}, timeout_s)
     if response is None or response.get("status") != "ok":
         raise RuntimeError("daemon did not answer ping: %r" % (response,))
+    # Prefer the structured `diag` object; the key=value diagnostics
+    # strings are deprecated and kept one release for old consumers.
+    diag = response.get("diag")
+    if isinstance(diag, dict) and diag:
+        return {key: str(int(value)) if float(value).is_integer()
+                else str(value) for key, value in diag.items()}
     diagnostics = {}
     for item in response.get("diagnostics", []):
         key, _, value = item.partition("=")
@@ -329,7 +373,11 @@ def main():
     parser.add_argument("--socket", required=True,
                         help="AF_UNIX socket path xtalkd listens on")
     parser.add_argument("--kind", default="compile",
-                        choices=["compile", "ping", "shutdown"])
+                        choices=["compile", "ping", "stats", "shutdown"])
+    parser.add_argument("--trace-seed", type=int, default=None,
+                        help="mint a deterministic request trace id from "
+                             "this seed (same stream as xtalkc "
+                             "--trace-seed; XTALK_TRACE_SEED also works)")
     parser.add_argument("--id", default="cli",
                         help="correlation id echoed in the response")
     parser.add_argument("--qasm", help="OpenQASM 2.0 file (compile only)")
